@@ -1,0 +1,52 @@
+# Development targets for the Sim universal construction reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race short bench examples experiments check clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -count=1 -timeout 900s
+
+short:
+	$(GO) test ./... -count=1 -short -timeout 300s
+
+race:
+	$(GO) test -race ./... -count=1 -timeout 1800s
+
+bench:
+	$(GO) test -bench=. -benchmem -timeout 3000s ./...
+
+# Regenerate every figure/table at CI scale (paper scale: OPS=1000000 REPS=10).
+OPS ?= 200000
+REPS ?= 3
+experiments:
+	$(GO) run ./cmd/simbench -experiment all -ops $(OPS) -reps $(REPS)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bankaccount
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/largeobject
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/priorityqueue
+
+# Linearizability + conservation stress across every implementation.
+check:
+	$(GO) run ./cmd/simcheck -object stack -impl sim
+	$(GO) run ./cmd/simcheck -object stack -impl sim -mode linearize
+	$(GO) run ./cmd/simcheck -object queue -impl sim
+	$(GO) run ./cmd/simcheck -object queue -impl sim -mode linearize
+	$(GO) run ./cmd/simcheck -object fmul -impl psim -mode linearize
+	$(GO) run ./cmd/simcheck -object fmul -impl pool -mode linearize
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

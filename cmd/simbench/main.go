@@ -1,0 +1,148 @@
+// Command simbench regenerates the paper's tables and figures on the local
+// machine. Each experiment prints the rows/series the corresponding figure
+// plots, plus the speedup ratios the paper quotes in prose.
+//
+// Usage:
+//
+//	simbench -experiment fig2        # Figure 2 left: Fetch&Multiply sweep
+//	simbench -experiment fig2help    # Figure 2 right: helping degree
+//	simbench -experiment fig3stack   # Figure 3 left: stacks
+//	simbench -experiment fig3queue   # Figure 3 right: queues
+//	simbench -experiment table1      # Table 1: accesses per operation
+//	simbench -experiment ablation-backoff
+//	simbench -experiment ablation-publication
+//	simbench -experiment ablation-act
+//	simbench -experiment all
+//
+// Flags -ops, -reps, -threads and -maxwork rescale the runs; the paper's
+// full-size configuration is -ops 1000000 -reps 10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which experiment to run (fig2, fig2help, fig3stack, fig3queue, table1, lsim, map, ablation-backoff, ablation-publication, ablation-act, all)")
+		ops     = flag.Int("ops", 100_000, "total operations per run (paper: 1000000)")
+		reps    = flag.Int("reps", 3, "repetitions per configuration (paper: 10)")
+		threads = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
+		maxWork = flag.Int("maxwork", 512, "max dummy-loop iterations between operations (paper: 512)")
+		csvOut  = flag.Bool("csv", false, "also print CSV series")
+		withMCS = flag.Bool("mcs", false, "include the MCS lock in fig2 (paper footnote 2)")
+	)
+	flag.Parse()
+
+	tc, err := parseThreads(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(2)
+	}
+	cfg := harness.Config{
+		Threads:  tc,
+		TotalOps: *ops,
+		MaxWork:  *maxWork,
+		Reps:     *reps,
+		Seed:     1,
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig2":
+			runSweep(cfg, "Figure 2 (left): Fetch&Multiply, time for total ops",
+				experiments.Fig2Makers(*withMCS), "P-Sim", *csvOut)
+		case "fig2help":
+			fmt.Println("== Figure 2 (right): average degree of helping ==")
+			res := harness.Run(cfg, experiments.Fig2Makers(*withMCS))
+			fmt.Println(harness.HelpingTable(res))
+		case "fig3stack":
+			runSweep(cfg, "Figure 3 (left): stacks, time for total push+pop pairs",
+				experiments.Fig3StackMakers(), "SimStack", *csvOut)
+		case "fig3queue":
+			runSweep(cfg, "Figure 3 (right): queues, time for total enq+deq pairs",
+				experiments.Fig3QueueMakers(), "SimQueue", *csvOut)
+		case "table1":
+			fmt.Println("== Table 1: shared-memory accesses per operation ==")
+			opsPer := *ops / 100
+			if opsPer < 100 {
+				opsPer = 100
+			}
+			rows := experiments.Table1Measure(cfg.Threads, opsPer)
+			fmt.Println(experiments.Table1Render(rows))
+		case "lsim":
+			fmt.Println("== L-Sim vs P-Sim on large objects (the paper's deferred experiment) ==")
+			fmt.Printf("   object sizes 16/256/4096 words, w=2 cells touched per op\n\n")
+			small := cfg
+			small.TotalOps = cfg.TotalOps / 10 // the s=4096 P-Sim rows are O(s) per op
+			if small.TotalOps < 1000 {
+				small.TotalOps = 1000
+			}
+			res := experiments.LargeObjectSweep(small, []int{16, 256, 4096})
+			fmt.Println(harness.Table(res))
+			if *csvOut {
+				fmt.Println(harness.CSV(res))
+			}
+		case "map":
+			runSweep(cfg, "Striped map: multiple Sim instances vs one",
+				experiments.MapContentionMakers(8), "Map(8-stripes)", *csvOut)
+		case "ablation-backoff":
+			runSweep(cfg, "Ablation: adaptive backoff vs none",
+				experiments.AblationBackoffMakers(), "P-Sim(backoff)", *csvOut)
+		case "ablation-publication":
+			runSweep(cfg, "Ablation: GC state publication vs paper-exact pool/seqlock",
+				experiments.AblationPublicationMakers(), "P-Sim(GC)", *csvOut)
+		case "ablation-act":
+			runSweep(cfg, "Ablation: dense vs padded Act bit-vector layout",
+				experiments.AblationActLayoutMakers(), "Act-dense", *csvOut)
+		default:
+			fmt.Fprintf(os.Stderr, "simbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"fig2", "fig2help", "fig3stack", "fig3queue", "table1", "lsim", "map",
+			"ablation-backoff", "ablation-publication", "ablation-act",
+		} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*exp)
+}
+
+func runSweep(cfg harness.Config, title string, makers []harness.Maker, target string, csvOut bool) {
+	fmt.Printf("== %s ==\n", title)
+	fmt.Printf("   total ops %d, reps %d, max inter-op work %d iters\n\n",
+		cfg.TotalOps, cfg.Reps, cfg.MaxWork)
+	res := harness.Run(cfg, makers)
+	fmt.Println(harness.Table(res))
+	fmt.Println(harness.Chart(res, 14))
+	fmt.Println(harness.Speedups(res, target))
+	if csvOut {
+		fmt.Println(harness.CSV(res))
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("1, 2,4")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Fatalf("parseThreads = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "0", "-1", "1,,2"} {
+		if _, err := parseThreads(bad); err == nil {
+			t.Fatalf("parseThreads(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Command simcheck stress-tests the repository's concurrent objects and
+// checks them for linearizability. Two modes:
+//
+//	-mode stress    large concurrent runs checked with structural invariants
+//	                (value conservation, no duplication, per-producer order)
+//	-mode linearize many small adversarial histories validated with the
+//	                Wing–Gong checker
+//
+// Example:
+//
+//	simcheck -object stack -impl sim -threads 8 -ops 10000
+//	simcheck -object queue -impl ms -mode linearize -rounds 200
+//
+// Exit status 0 means every check passed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/fmul"
+	"repro/internal/queue"
+	"repro/internal/stack"
+)
+
+func main() {
+	var (
+		object  = flag.String("object", "stack", "object to check: stack, queue, fmul")
+		impl    = flag.String("impl", "sim", "implementation (stack: sim|treiber|elimination|clh|fc; queue: sim|ms|twolock|fc; fmul: psim|pool|clh|mcs|lockfree|fc|herlihy|combtree)")
+		mode    = flag.String("mode", "stress", "check mode: stress or linearize")
+		threads = flag.Int("threads", 8, "concurrent processes")
+		ops     = flag.Int("ops", 5000, "operations per process (stress mode)")
+		rounds  = flag.Int("rounds", 100, "histories to check (linearize mode)")
+	)
+	flag.Parse()
+
+	ok := false
+	switch *object {
+	case "stack":
+		ok = checkStack(*impl, *mode, *threads, *ops, *rounds)
+	case "queue":
+		ok = checkQueue(*impl, *mode, *threads, *ops, *rounds)
+	case "fmul":
+		ok = checkFMul(*impl, *mode, *threads, *ops, *rounds)
+	default:
+		fmt.Fprintf(os.Stderr, "simcheck: unknown object %q\n", *object)
+		os.Exit(2)
+	}
+	if !ok {
+		fmt.Println("FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
+
+func newStack(impl string, n int) stack.Interface[uint64] {
+	switch impl {
+	case "sim":
+		return stack.NewSimStack[uint64](n)
+	case "treiber":
+		return stack.NewTreiber[uint64](n)
+	case "elimination":
+		return stack.NewElimination[uint64](n)
+	case "clh":
+		return stack.NewCLHStack[uint64](n)
+	case "fc":
+		return stack.NewFCStack[uint64](n, 0, 0)
+	}
+	fmt.Fprintf(os.Stderr, "simcheck: unknown stack impl %q\n", impl)
+	os.Exit(2)
+	return nil
+}
+
+func newQueue(impl string, n int) queue.Interface[uint64] {
+	switch impl {
+	case "sim":
+		return queue.NewSimQueue[uint64](n)
+	case "ms":
+		return queue.NewMSQueue[uint64](n)
+	case "twolock":
+		return queue.NewTwoLockQueue[uint64](n)
+	case "fc":
+		return queue.NewFCQueue[uint64](n, 0, 0)
+	}
+	fmt.Fprintf(os.Stderr, "simcheck: unknown queue impl %q\n", impl)
+	os.Exit(2)
+	return nil
+}
+
+func newFMul(impl string, n int) fmul.Interface {
+	switch impl {
+	case "psim":
+		return fmul.NewPSim(n)
+	case "pool":
+		return fmul.NewPSimPooled(n)
+	case "clh":
+		return fmul.NewCLH(n)
+	case "mcs":
+		return fmul.NewMCS(n)
+	case "lockfree":
+		return fmul.NewLockFree(n)
+	case "fc":
+		return fmul.NewFC(n, 0, 0)
+	case "herlihy":
+		return fmul.NewHerlihy(n)
+	case "combtree":
+		return fmul.NewCombTree(n)
+	}
+	fmt.Fprintf(os.Stderr, "simcheck: unknown fmul impl %q\n", impl)
+	os.Exit(2)
+	return nil
+}
+
+func checkStack(impl, mode string, threads, ops, rounds int) bool {
+	switch mode {
+	case "stress":
+		s := newStack(impl, threads)
+		popped := concurrentPairs(threads, ops,
+			func(id int, v uint64) { s.Push(id, v) },
+			func(id int) (uint64, bool) { return s.Pop(id) })
+		return verifyConservation(popped, threads*ops, func() (uint64, bool) { return s.Pop(0) })
+	case "linearize":
+		for r := 0; r < rounds; r++ {
+			s := newStack(impl, 3)
+			h := recordHistory(3, 3,
+				check.OpPush, func(id int, v uint64) { s.Push(id, v) },
+				check.OpPop, func(id int) (uint64, bool) { return s.Pop(id) })
+			if !check.Linearizable(h, check.StackSpec()) {
+				fmt.Printf("round %d: non-linearizable stack history:\n", r)
+				for _, op := range h {
+					fmt.Println(" ", op)
+				}
+				return false
+			}
+		}
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "simcheck: unknown mode %q\n", mode)
+	os.Exit(2)
+	return false
+}
+
+func checkQueue(impl, mode string, threads, ops, rounds int) bool {
+	switch mode {
+	case "stress":
+		q := newQueue(impl, threads)
+		got := concurrentPairs(threads, ops,
+			func(id int, v uint64) { q.Enqueue(id, v) },
+			func(id int) (uint64, bool) { return q.Dequeue(id) })
+		return verifyConservation(got, threads*ops, func() (uint64, bool) { return q.Dequeue(0) })
+	case "linearize":
+		for r := 0; r < rounds; r++ {
+			q := newQueue(impl, 3)
+			h := recordHistory(3, 3,
+				check.OpEnqueue, func(id int, v uint64) { q.Enqueue(id, v) },
+				check.OpDequeue, func(id int) (uint64, bool) { return q.Dequeue(id) })
+			if !check.Linearizable(h, check.QueueSpec()) {
+				fmt.Printf("round %d: non-linearizable queue history:\n", r)
+				for _, op := range h {
+					fmt.Println(" ", op)
+				}
+				return false
+			}
+		}
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "simcheck: unknown mode %q\n", mode)
+	os.Exit(2)
+	return false
+}
+
+func checkFMul(impl, mode string, threads, ops, rounds int) bool {
+	switch mode {
+	case "stress":
+		o := newFMul(impl, threads)
+		var want uint64 = 1
+		for i := 0; i < threads*ops; i++ {
+			want *= 3
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for k := 0; k < ops; k++ {
+					o.Apply(id, 3)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if got := o.Read(); got != want {
+			fmt.Printf("product mismatch: got %#x want %#x\n", got, want)
+			return false
+		}
+		return true
+	case "linearize":
+		for r := 0; r < rounds; r++ {
+			o := newFMul(impl, 3)
+			rec := check.NewRecorder(9)
+			var wg sync.WaitGroup
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for k := 0; k < 3; k++ {
+						slot := rec.Invoke(id, check.OpMul, 3)
+						prev := o.Apply(id, 3)
+						rec.Return(slot, prev, false)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if !check.Linearizable(rec.Operations(), check.FMulSpec(1)) {
+				fmt.Printf("round %d: non-linearizable Fetch&Multiply history\n", r)
+				return false
+			}
+		}
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "simcheck: unknown mode %q\n", mode)
+	os.Exit(2)
+	return false
+}
+
+// concurrentPairs runs threads×ops produce+consume pairs with unique tagged
+// values and returns the multiset of consumed values.
+func concurrentPairs(threads, ops int, produce func(int, uint64), consume func(int) (uint64, bool)) map[uint64]int {
+	var mu sync.Mutex
+	got := make(map[uint64]int)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := map[uint64]int{}
+			for k := 0; k < ops; k++ {
+				produce(id, uint64(id*ops+k)+1)
+				if v, ok := consume(id); ok {
+					local[v]++
+				}
+			}
+			mu.Lock()
+			for v, c := range local {
+				got[v] += c
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return got
+}
+
+// verifyConservation drains the remainder and checks that every produced
+// value was consumed exactly once.
+func verifyConservation(got map[uint64]int, produced int, drain func() (uint64, bool)) bool {
+	for {
+		v, ok := drain()
+		if !ok {
+			break
+		}
+		got[v]++
+	}
+	if len(got) != produced {
+		fmt.Printf("conservation: %d distinct values consumed, want %d\n", len(got), produced)
+		return false
+	}
+	for v, c := range got {
+		if c != 1 {
+			fmt.Printf("duplication: value %d consumed %d times\n", v, c)
+			return false
+		}
+	}
+	return true
+}
+
+// recordHistory runs a tiny concurrent history of produce/consume pairs.
+func recordHistory(threads, per int, prodOp string, produce func(int, uint64), consOp string, consume func(int) (uint64, bool)) []check.Operation {
+	rec := check.NewRecorder(2 * threads * per)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				v := uint64(id*per+k) + 1
+				slot := rec.Invoke(id, prodOp, v)
+				produce(id, v)
+				rec.Return(slot, 0, false)
+
+				slot = rec.Invoke(id, consOp, 0)
+				cv, ok := consume(id)
+				rec.Return(slot, cv, ok)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return rec.Operations()
+}

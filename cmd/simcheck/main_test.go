@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestCheckStackStress(t *testing.T) {
+	for _, impl := range []string{"sim", "treiber", "elimination", "clh", "fc"} {
+		if !checkStack(impl, "stress", 4, 200, 0) {
+			t.Fatalf("stack %s failed stress check", impl)
+		}
+	}
+}
+
+func TestCheckStackLinearize(t *testing.T) {
+	if !checkStack("sim", "linearize", 3, 0, 10) {
+		t.Fatal("SimStack failed linearizability check")
+	}
+}
+
+func TestCheckQueueStress(t *testing.T) {
+	for _, impl := range []string{"sim", "ms", "twolock", "fc"} {
+		if !checkQueue(impl, "stress", 4, 200, 0) {
+			t.Fatalf("queue %s failed stress check", impl)
+		}
+	}
+}
+
+func TestCheckQueueLinearize(t *testing.T) {
+	if !checkQueue("ms", "linearize", 3, 0, 10) {
+		t.Fatal("MS queue failed linearizability check")
+	}
+}
+
+func TestCheckFMul(t *testing.T) {
+	for _, impl := range []string{"psim", "pool", "lockfree", "combtree"} {
+		if !checkFMul(impl, "stress", 4, 200, 0) {
+			t.Fatalf("fmul %s failed stress check", impl)
+		}
+	}
+	if !checkFMul("psim", "linearize", 3, 0, 10) {
+		t.Fatal("P-Sim failed linearizability check")
+	}
+}

@@ -1,0 +1,105 @@
+// Pipeline: producers → transformers → consumers over two wait-free
+// SimQueues — the inter-thread communication pattern the paper's
+// introduction motivates ("shared data structures, like stacks and queues,
+// are the most widely used inter-thread communication structures").
+//
+// Because SimQueue is wait-free, a stalled producer can never wedge the
+// transformers, and the enqueuer/dequeuer independence of the two-instance
+// design means the hand-off queues never serialize their two ends.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	simuc "repro"
+)
+
+const (
+	producers    = 3
+	transformers = 3
+	consumers    = 2
+	itemsPerProd = 5_000
+	totalItems   = producers * itemsPerProd
+)
+
+func main() {
+	// Stage ids partition each queue's [0, n): producers and transformers
+	// share q1; transformers and consumers share q2.
+	q1 := simuc.NewQueue[uint64](producers+transformers, simuc.Config{})
+	q2 := simuc.NewQueue[uint64](transformers+consumers, simuc.Config{})
+
+	var transformed, consumed atomic.Uint64
+	var checksumIn, checksumOut atomic.Uint64
+	var wg sync.WaitGroup
+
+	// Producers: ids [0, producers) on q1. Each item's transformed value is
+	// added to checksumIn, so in==out at the end proves no loss and no
+	// duplication through both hand-offs.
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < itemsPerProd; k++ {
+				v := uint64(id*itemsPerProd+k) + 1
+				checksumIn.Add(v * 3)
+				q1.Enqueue(id, v)
+			}
+		}(p)
+	}
+
+	// Transformers: dequeue from q1, triple, enqueue to q2. They exit when
+	// all items have been claimed (transformed counts claims atomically).
+	for t := 0; t < transformers; t++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			q1id, q2id := producers+idx, idx
+			for {
+				v, ok := q1.Dequeue(q1id)
+				if !ok {
+					if transformed.Load() >= totalItems {
+						return
+					}
+					runtime.Gosched() // producers still filling q1
+					continue
+				}
+				q2.Enqueue(q2id, v*3)
+				transformed.Add(1)
+			}
+		}(t)
+	}
+
+	// Consumers: drain q2 until every item has been consumed.
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			id := transformers + idx
+			for {
+				v, ok := q2.Dequeue(id)
+				if !ok {
+					if consumed.Load() >= totalItems {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				checksumOut.Add(v)
+				consumed.Add(1)
+			}
+		}(c)
+	}
+
+	wg.Wait()
+	fmt.Printf("items: produced %d, transformed %d, consumed %d\n",
+		totalItems, transformed.Load(), consumed.Load())
+	fmt.Printf("checksum in %d, out %d, conserved=%v\n",
+		checksumIn.Load(), checksumOut.Load(), checksumIn.Load() == checksumOut.Load())
+	s := q1.Stats()
+	fmt.Printf("stage-1 queue: %d ops, avg combining %.2f\n", s.Ops, s.AvgHelping)
+}

@@ -1,0 +1,60 @@
+// Quickstart: make any sequential operation wait-free and linearizable.
+//
+// The paper's synthetic benchmark object is a Fetch&Multiply instruction —
+// an atomic "multiply the shared word, return the previous value" that no
+// hardware provides. With the universal construction it is four lines: the
+// sequential operation, wrapped by NewUniversal.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	simuc "repro"
+)
+
+func main() {
+	const n = 8         // processes sharing the object
+	const opsPer = 1000 // operations per process
+
+	// The sequential object: state is a uint64, the operation multiplies it
+	// by the argument and returns the previous value. The construction makes
+	// it linearizable and wait-free; no locks anywhere.
+	fmul := simuc.NewUniversal(n, uint64(1),
+		func(st *uint64, _ int, factor uint64) uint64 {
+			prev := *st
+			*st = prev * factor
+			return prev
+		},
+		nil, // uint64 needs no deep copy
+		simuc.Config{},
+	)
+
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < opsPer; k++ {
+				fmul.Apply(id, 3) // each call is one wait-free Fetch&Multiply
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	// 3^(n*opsPer) mod 2^64 — every one of the 8000 multiplications applied
+	// exactly once, in some linearization order.
+	want := uint64(1)
+	for i := 0; i < n*opsPer; i++ {
+		want *= 3
+	}
+	got := fmul.Read()
+	fmt.Printf("state after %d Fetch&Multiply(3): %#x (expected %#x, match=%v)\n",
+		n*opsPer, got, want, got == want)
+
+	s := fmul.Stats()
+	fmt.Printf("operations: %d, successful publishes: %d, avg ops combined per publish: %.2f\n",
+		s.Ops, s.CASSuccesses, s.AvgHelping)
+}

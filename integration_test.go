@@ -1,0 +1,244 @@
+package simuc_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	simuc "repro"
+)
+
+// Integration tests: cross-module scenarios exercising the public API the
+// way a downstream application would — several objects interacting, mixed
+// readers and writers, and end-to-end invariants.
+
+// TestIntegrationWorkQueuePipeline wires a Queue, a Map and a Universal
+// counter together: producers enqueue jobs, workers dequeue them, record
+// results in the map, and bump a shared completion counter. Everything is
+// wait-free, so the pipeline can be drained deterministically.
+func TestIntegrationWorkQueuePipeline(t *testing.T) {
+	const producers, workers, jobs = 3, 3, 1200
+	n := producers + workers
+
+	q := simuc.NewQueue[uint64](n, simuc.Config{})
+	results := simuc.NewMap[uint64, uint64](workers, 4)
+	done := simuc.NewUniversal(workers, uint64(0), func(st *uint64, _ int, d uint64) uint64 {
+		*st += d
+		return *st
+	}, nil, simuc.Config{})
+
+	var wg sync.WaitGroup
+	perProd := jobs / producers
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < perProd; k++ {
+				q.Enqueue(id, uint64(id*perProd+k)+1)
+			}
+		}(p)
+	}
+	var processed atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			qid := producers + idx
+			for {
+				job, ok := q.Dequeue(qid)
+				if !ok {
+					if processed.Load() >= jobs {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				results.Put(idx, job, job*job)
+				done.Apply(idx, 1)
+				processed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := done.Read(); got != jobs {
+		t.Fatalf("completion counter = %d, want %d", got, jobs)
+	}
+	if results.Len() != jobs {
+		t.Fatalf("results map has %d entries, want %d", results.Len(), jobs)
+	}
+	for j := uint64(1); j <= jobs; j++ {
+		if v, ok := results.Get(j); !ok || v != j*j {
+			t.Fatalf("job %d result = (%d,%v)", j, v, ok)
+		}
+	}
+}
+
+// TestIntegrationStackAsUndoLog drives a Universal ledger and a Stack of
+// undo records in lock-step, then unwinds: after all undos the ledger must
+// be back at its initial state.
+func TestIntegrationStackAsUndoLog(t *testing.T) {
+	const n, per = 4, 300
+	type change struct {
+		acct  int
+		delta int64
+	}
+	ledger := simuc.NewUniversal(n, make([]int64, 8),
+		func(st *[]int64, _ int, c change) int64 {
+			(*st)[c.acct] += c.delta
+			return (*st)[c.acct]
+		},
+		func(s []int64) []int64 { return append([]int64(nil), s...) },
+		simuc.Config{})
+	undo := simuc.NewStack[change](n, simuc.Config{})
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			seed := uint64(id)*2654435761 + 3
+			for k := 0; k < per; k++ {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				c := change{acct: int(seed % 8), delta: int64(seed%100) - 50}
+				ledger.Apply(id, c)
+				undo.Push(id, c)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Unwind concurrently: apply the inverse of every logged change.
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				c, ok := undo.Pop(id)
+				if !ok {
+					return
+				}
+				ledger.Apply(id, change{acct: c.acct, delta: -c.delta})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	final := ledger.Read()
+	for acct, bal := range final {
+		if bal != 0 {
+			t.Fatalf("account %d = %d after full unwind, want 0", acct, bal)
+		}
+	}
+}
+
+// TestIntegrationCollectCoordinatesPhases uses the ActiveSet and Collect
+// objects as the coordination substrate they were designed to be: workers
+// join, publish progress through the collect, and a coordinator watches
+// until every worker reports completion.
+func TestIntegrationCollectCoordinatesPhases(t *testing.T) {
+	const workers, steps = 6, 100
+	as := simuc.NewActiveSet(workers)
+	col := simuc.NewCollect(workers, 8) // progress in [0,255]
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := as.Member(id)
+			m.Join()
+			u := col.Updater(id)
+			for s := 1; s <= steps; s++ {
+				u.Update(uint64(s * 255 / steps))
+			}
+			m.Leave()
+		}(w)
+	}
+
+	// Coordinator: wait until the active set drains and progress is full.
+	for {
+		if as.GetSet().IsZero() {
+			vals := col.Collect()
+			doneAll := true
+			for _, v := range vals {
+				if v != 255 {
+					doneAll = false
+					break
+				}
+			}
+			if doneAll {
+				break
+			}
+		}
+		runtime.Gosched()
+	}
+	wg.Wait()
+}
+
+// TestIntegrationLargeObjectCheckpoint pairs a LargeObject document store
+// with a Queue of checkpoint requests: a checkpointer drains the queue and
+// snapshots named cells, verifying L-Sim's per-item reads compose with the
+// wait-free queue.
+func TestIntegrationLargeObjectCheckpoint(t *testing.T) {
+	const editors, edits = 4, 200
+	n := editors + 1
+	doc := simuc.NewLargeObject[uint64, [2]uint64, uint64](n)
+	cells := make([]*simuc.Item[uint64], 64)
+	for i := range cells {
+		cells[i] = doc.NewRootItem(0)
+	}
+	edit := func(m *simuc.Mem[uint64, [2]uint64, uint64], a [2]uint64) uint64 {
+		v := m.Read(cells[a[0]%64])
+		m.Write(cells[a[0]%64], v+a[1])
+		return v
+	}
+	ckq := simuc.NewQueue[uint64](n, simuc.Config{})
+
+	var wg sync.WaitGroup
+	var totalAdded atomic.Uint64
+	for e := 0; e < editors; e++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			seed := uint64(id) + 17
+			for k := 0; k < edits; k++ {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				add := seed%9 + 1
+				doc.ApplyOp(id, edit, [2]uint64{seed, add})
+				totalAdded.Add(add)
+				if k%10 == 0 {
+					ckq.Enqueue(id, seed%64)
+				}
+			}
+		}(e)
+	}
+	// Checkpointer: read requested cells while edits continue (wait-free
+	// reads via Item.Current never block editors).
+	ckpts := 0
+	go func() {
+		for {
+			if _, ok := ckq.Dequeue(editors); ok {
+				ckpts++
+			} else if ckpts >= editors*edits/10 {
+				return
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+
+	var sum uint64
+	for _, c := range cells {
+		sum += c.Current()
+	}
+	if sum != totalAdded.Load() {
+		t.Fatalf("document sum %d, want %d", sum, totalAdded.Load())
+	}
+}

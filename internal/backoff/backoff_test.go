@@ -1,0 +1,93 @@
+package backoff
+
+import "testing"
+
+func TestExpDoublesAndSaturates(t *testing.T) {
+	b := NewExp(2, 16)
+	if b.Window() != 2 {
+		t.Fatalf("initial window %d, want 2", b.Window())
+	}
+	wants := []int{4, 8, 16, 16, 16}
+	for i, w := range wants {
+		b.Wait()
+		if b.Window() != w {
+			t.Fatalf("after wait %d: window %d, want %d", i+1, b.Window(), w)
+		}
+	}
+}
+
+func TestExpReset(t *testing.T) {
+	b := NewExp(2, 64)
+	for i := 0; i < 5; i++ {
+		b.Wait()
+	}
+	b.Reset()
+	if b.Window() != 2 {
+		t.Fatalf("window after Reset = %d, want 2", b.Window())
+	}
+}
+
+func TestExpClampsBadBounds(t *testing.T) {
+	b := NewExp(0, 0)
+	if b.Window() != 1 {
+		t.Fatalf("window = %d, want clamped to 1", b.Window())
+	}
+	b.Wait() // must not panic or divide by zero
+	b2 := NewExp(8, 2)
+	if b2.Window() != 8 {
+		t.Fatalf("window = %d, want min respected", b2.Window())
+	}
+}
+
+func TestAdaptiveGrowShrinkBounds(t *testing.T) {
+	b := NewAdaptive(2, 32)
+	if b.Window() != 2 {
+		t.Fatalf("initial window %d, want 2", b.Window())
+	}
+	for i := 0; i < 10; i++ {
+		b.Grow()
+	}
+	if b.Window() != 32 {
+		t.Fatalf("window after growth = %d, want saturated at 32", b.Window())
+	}
+	for i := 0; i < 10; i++ {
+		b.Shrink()
+	}
+	if b.Window() != 2 {
+		t.Fatalf("window after shrink = %d, want floor 2", b.Window())
+	}
+}
+
+func TestAdaptiveDisabled(t *testing.T) {
+	b := NewAdaptive(1, 0)
+	if b.Enabled() {
+		t.Fatal("upper=0 should disable the backoff")
+	}
+	before := b.Window()
+	b.Grow()
+	b.Shrink()
+	b.Wait() // must return immediately
+	if b.Window() != before {
+		t.Fatal("disabled backoff changed its window")
+	}
+}
+
+func TestAdaptiveEnabled(t *testing.T) {
+	b := NewAdaptive(1, 100)
+	if !b.Enabled() {
+		t.Fatal("backoff with positive upper should be enabled")
+	}
+	b.Wait() // smoke: returns
+}
+
+func TestAdaptiveGrowthIsMonotonic(t *testing.T) {
+	b := NewAdaptive(1, 1024)
+	prev := b.Window()
+	for i := 0; i < 12; i++ {
+		b.Grow()
+		if b.Window() < prev {
+			t.Fatalf("window shrank on Grow: %d -> %d", prev, b.Window())
+		}
+		prev = b.Window()
+	}
+}

@@ -1,0 +1,72 @@
+// Package check provides concurrent-history recording and a Wing–Gong style
+// linearizability checker, used by the test suite to validate that every
+// stack/queue/universal-object implementation in the repository is
+// linearizable (the correctness condition of §2) on adversarially
+// interleaved small histories, complementing the large-scale structural
+// stress tests.
+package check
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Operation is one completed operation of a recorded history.
+type Operation struct {
+	Thread int
+	Op     string // operation name, interpreted by the Spec
+	Arg    uint64
+	Ret    uint64
+	RetOK  bool  // auxiliary response flag (e.g. pop/dequeue non-empty)
+	Invoke int64 // logical invocation timestamp
+	Return int64 // logical response timestamp
+}
+
+// String renders the operation compactly for failure messages.
+func (o Operation) String() string {
+	return fmt.Sprintf("t%d %s(%d)=(%d,%v)@[%d,%d]", o.Thread, o.Op, o.Arg, o.Ret, o.RetOK, o.Invoke, o.Return)
+}
+
+// Recorder collects a concurrent history. Invoke/Return draw timestamps from
+// one atomic clock, so the happens-before order of non-overlapping
+// operations is captured exactly: if op A's Return timestamp was drawn
+// before op B's Invoke timestamp, then A really responded before B was
+// invoked.
+type Recorder struct {
+	clock atomic.Int64
+	next  atomic.Int64
+	ops   []Operation // preallocated; indexed by slot
+}
+
+// NewRecorder returns a recorder for up to capacity operations.
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{ops: make([]Operation, capacity)}
+}
+
+// Invoke records the invocation of an operation and returns its slot, to be
+// passed to Return. It must be called BEFORE the operation's first step.
+func (r *Recorder) Invoke(thread int, op string, arg uint64) int {
+	slot := int(r.next.Add(1) - 1)
+	if slot >= len(r.ops) {
+		panic("check: recorder capacity exceeded")
+	}
+	r.ops[slot] = Operation{
+		Thread: thread, Op: op, Arg: arg,
+		Invoke: r.clock.Add(1),
+	}
+	return slot
+}
+
+// Return records the response of the operation in slot. It must be called
+// AFTER the operation's last step.
+func (r *Recorder) Return(slot int, ret uint64, ok bool) {
+	r.ops[slot].Ret = ret
+	r.ops[slot].RetOK = ok
+	r.ops[slot].Return = r.clock.Add(1)
+}
+
+// Operations returns the completed history. Call only after all recorded
+// operations have returned.
+func (r *Recorder) Operations() []Operation {
+	return r.ops[:r.next.Load()]
+}

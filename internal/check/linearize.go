@@ -1,0 +1,105 @@
+package check
+
+// Spec is a sequential specification for the checker: an immutable initial
+// state, a step function that applies an operation and reports whether the
+// operation's RECORDED response is consistent with the state, and a
+// canonical key used to memoize explored configurations.
+type Spec struct {
+	Init func() any
+	// Step returns the successor state and whether op's recorded response
+	// matches what the sequential object would have returned. It must not
+	// mutate state.
+	Step func(state any, op Operation) (any, bool)
+	// Key canonically encodes a state (used with the remaining-set bitmask
+	// to prune re-explorations).
+	Key func(state any) string
+}
+
+// Linearizable reports whether the history admits a linearization under
+// spec: a total order of all operations that (1) contains every operation
+// exactly once, (2) respects real-time order — if A returned before B was
+// invoked, A precedes B — and (3) yields each operation's recorded response
+// when executed sequentially. Histories are limited to 64 operations (the
+// search uses a bitmask); the test suite checks many small adversarial
+// histories rather than few large ones.
+func Linearizable(ops []Operation, spec Spec) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	if n > 64 {
+		panic("check: history longer than 64 operations")
+	}
+
+	type frame struct {
+		remaining uint64
+		state     any
+	}
+	full := uint64(1)<<uint(n) - 1
+	seen := make(map[string]bool)
+
+	var dfs func(remaining uint64, state any) bool
+	dfs = func(remaining uint64, state any) bool {
+		if remaining == 0 {
+			return true
+		}
+		memo := spec.Key(state) + "/" + string(maskBytes(remaining))
+		if seen[memo] {
+			return false
+		}
+		seen[memo] = true
+
+		// minReturn: the earliest response among remaining operations. An
+		// operation may be linearized next only if it was invoked before
+		// that response (otherwise some remaining operation finished
+		// entirely before it began).
+		minReturn := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if remaining&(1<<uint(i)) != 0 && ops[i].Return < minReturn {
+				minReturn = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if remaining&bit == 0 || ops[i].Invoke > minReturn {
+				continue
+			}
+			if ns, ok := spec.Step(state, ops[i]); ok {
+				if dfs(remaining&^bit, ns) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(full, spec.Init())
+}
+
+// maskBytes encodes a bitmask as 8 bytes for memo keys.
+func maskBytes(m uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(m >> (8 * i))
+	}
+	return b
+}
+
+// LinearizablePartitioned splits the history into independent
+// sub-histories (e.g. per key for a map whose operations each touch one
+// key) and checks each part separately. This is sound whenever operations
+// of different parts commute in the sequential specification — then a
+// global linearization exists iff each part has one — and it lets much
+// longer histories be checked than the 64-operation global limit.
+func LinearizablePartitioned(ops []Operation, partOf func(Operation) string, spec func(part string) Spec) bool {
+	parts := make(map[string][]Operation)
+	for _, op := range ops {
+		p := partOf(op)
+		parts[p] = append(parts[p], op)
+	}
+	for p, sub := range parts {
+		if !Linearizable(sub, spec(p)) {
+			return false
+		}
+	}
+	return true
+}

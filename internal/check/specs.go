@@ -1,0 +1,202 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Operation names understood by the built-in specs.
+const (
+	OpPush    = "push" // stack: Arg = value
+	OpPop     = "pop"  // stack: RetOK=false means empty, else Ret = value
+	OpEnqueue = "enq"  // queue: Arg = value
+	OpDequeue = "deq"  // queue: RetOK=false means empty, else Ret = value
+	OpAdd     = "add"  // counter: Arg = delta, Ret = previous value
+	OpMul     = "mul"  // Fetch&Multiply: Arg = factor, Ret = previous value
+	OpRead    = "read" // register: Ret = value
+	OpWrite   = "write"
+)
+
+// seqState is an immutable slice-backed sequence state shared by the stack
+// and queue specs.
+type seqState struct {
+	items []uint64
+}
+
+func seqKey(s any) string {
+	st := s.(*seqState)
+	var b strings.Builder
+	for _, v := range st.items {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// StackSpec is the sequential LIFO specification.
+func StackSpec() Spec {
+	return Spec{
+		Init: func() any { return &seqState{} },
+		Step: func(state any, op Operation) (any, bool) {
+			st := state.(*seqState)
+			switch op.Op {
+			case OpPush:
+				ns := append(append([]uint64(nil), st.items...), op.Arg)
+				return &seqState{items: ns}, true
+			case OpPop:
+				if len(st.items) == 0 {
+					return st, !op.RetOK
+				}
+				top := st.items[len(st.items)-1]
+				if !op.RetOK || op.Ret != top {
+					return st, false
+				}
+				ns := append([]uint64(nil), st.items[:len(st.items)-1]...)
+				return &seqState{items: ns}, true
+			}
+			return st, false
+		},
+		Key: seqKey,
+	}
+}
+
+// QueueSpec is the sequential FIFO specification.
+func QueueSpec() Spec {
+	return Spec{
+		Init: func() any { return &seqState{} },
+		Step: func(state any, op Operation) (any, bool) {
+			st := state.(*seqState)
+			switch op.Op {
+			case OpEnqueue:
+				ns := append(append([]uint64(nil), st.items...), op.Arg)
+				return &seqState{items: ns}, true
+			case OpDequeue:
+				if len(st.items) == 0 {
+					return st, !op.RetOK
+				}
+				front := st.items[0]
+				if !op.RetOK || op.Ret != front {
+					return st, false
+				}
+				ns := append([]uint64(nil), st.items[1:]...)
+				return &seqState{items: ns}, true
+			}
+			return st, false
+		},
+		Key: seqKey,
+	}
+}
+
+// CounterSpec is a fetch-and-add counter: add returns the previous value.
+func CounterSpec(init uint64) Spec {
+	return Spec{
+		Init: func() any { return init },
+		Step: func(state any, op Operation) (any, bool) {
+			v := state.(uint64)
+			switch op.Op {
+			case OpAdd:
+				return v + op.Arg, op.Ret == v
+			case OpRead:
+				return v, op.Ret == v
+			}
+			return v, false
+		},
+		Key: func(state any) string { return fmt.Sprintf("%d", state.(uint64)) },
+	}
+}
+
+// FMulSpec is the paper's Fetch&Multiply object: mul returns the previous
+// value and multiplies the state by the argument.
+func FMulSpec(init uint64) Spec {
+	return Spec{
+		Init: func() any { return init },
+		Step: func(state any, op Operation) (any, bool) {
+			v := state.(uint64)
+			switch op.Op {
+			case OpMul:
+				return v * op.Arg, op.Ret == v
+			case OpRead:
+				return v, op.Ret == v
+			}
+			return v, false
+		},
+		Key: func(state any) string { return fmt.Sprintf("%d", state.(uint64)) },
+	}
+}
+
+// RegisterSpec is a read/write register.
+func RegisterSpec(init uint64) Spec {
+	return Spec{
+		Init: func() any { return init },
+		Step: func(state any, op Operation) (any, bool) {
+			v := state.(uint64)
+			switch op.Op {
+			case OpWrite:
+				return op.Arg, true
+			case OpRead:
+				return v, op.Ret == v
+			}
+			return v, false
+		},
+		Key: func(state any) string { return fmt.Sprintf("%d", state.(uint64)) },
+	}
+}
+
+// Set operation names.
+const (
+	OpInsert   = "ins" // set: Arg = key; RetOK = newly inserted
+	OpRemove   = "rem" // set: Arg = key; RetOK = was present
+	OpContains = "has" // set: Arg = key; RetOK = present
+)
+
+// SetSpec is a sequential set of uint64 keys.
+func SetSpec() Spec {
+	return Spec{
+		Init: func() any { return &seqState{} }, // sorted keys
+		Step: func(state any, op Operation) (any, bool) {
+			st := state.(*seqState)
+			idx := -1
+			for i, k := range st.items {
+				if k == op.Arg {
+					idx = i
+					break
+				}
+			}
+			present := idx >= 0
+			switch op.Op {
+			case OpContains:
+				return st, op.RetOK == present
+			case OpInsert:
+				if present {
+					return st, !op.RetOK
+				}
+				if !op.RetOK {
+					return st, false
+				}
+				ns := append(append([]uint64(nil), st.items...), op.Arg)
+				sortKeys(ns)
+				return &seqState{items: ns}, true
+			case OpRemove:
+				if !present {
+					return st, !op.RetOK
+				}
+				if !op.RetOK {
+					return st, false
+				}
+				ns := append([]uint64(nil), st.items[:idx]...)
+				ns = append(ns, st.items[idx+1:]...)
+				return &seqState{items: ns}, true
+			}
+			return st, false
+		},
+		Key: seqKey,
+	}
+}
+
+// sortKeys is a tiny insertion sort (sets in checked histories are small).
+func sortKeys(ks []uint64) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package collect
+
+import "repro/internal/xatomic"
+
+// ActSet is the paper's SimActSet: an active set over a Fetch&Add bit vector
+// with one bit per process. join sets the caller's bit and leave clears it,
+// each with a single Fetch&Add (no carry/borrow can escape the bit because
+// the bit's owner is its only writer); getSet reads ⌈n/64⌉ words.
+//
+// L-Sim (§6) uses an ActSet to discover which processes have announced
+// operations.
+type ActSet struct {
+	bits *xatomic.SharedBits
+}
+
+// NewActSet returns an active set for n processes, all initially absent.
+func NewActSet(n int) *ActSet {
+	return &ActSet{bits: xatomic.NewSharedBits(n)}
+}
+
+// N returns the capacity of the set.
+func (a *ActSet) N() int { return a.bits.Len() }
+
+// Member is process i's single-writer handle for joining and leaving.
+type Member struct {
+	set    *ActSet
+	word   int
+	mask   uint64
+	joined bool
+}
+
+// Member returns the handle for process i; it must be used by one goroutine.
+func (a *ActSet) Member(i int) *Member {
+	return &Member{set: a, word: i / 64, mask: 1 << uint(i%64)}
+}
+
+// Join adds the process to the set (one Fetch&Add). Idempotent.
+func (m *Member) Join() {
+	if m.joined {
+		return
+	}
+	m.set.bits.AddWord(m.word, m.mask)
+	m.joined = true
+}
+
+// Leave removes the process from the set (one Fetch&Add). Idempotent.
+func (m *Member) Leave() {
+	if !m.joined {
+		return
+	}
+	m.set.bits.AddWord(m.word, -m.mask)
+	m.joined = false
+}
+
+// Joined reports the member's own view of its membership.
+func (m *Member) Joined() bool { return m.joined }
+
+// GetSet reads the vector (⌈n/64⌉ shared accesses) and returns it as a
+// snapshot; bit i set means process i is participating.
+func (a *ActSet) GetSet() xatomic.Snapshot {
+	return a.bits.Load()
+}
+
+// GetSetInto is GetSet without allocation.
+func (a *ActSet) GetSetInto(dst xatomic.Snapshot) {
+	a.bits.LoadInto(dst)
+}
+
+// Words returns the number of words backing the set.
+func (a *ActSet) Words() int { return a.bits.Words() }

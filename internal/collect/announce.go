@@ -1,0 +1,41 @@
+package collect
+
+import "repro/internal/pad"
+
+// Announce is the practical substitute P-Sim makes for the collect object
+// (§4): an array of n single-writer registers, one per process, each on its
+// own cache line. Process i announces its operation (with arguments) by
+// storing into slot i; helpers read the slots of the processes whose Act
+// bits differ from the applied vector. This raises Sim's step complexity
+// from O(1) to O(k) — k the interval contention — but shrinks the Fetch&Add
+// object to one bit per process.
+//
+// The register holds a *T published with an atomic pointer store, so the
+// announcement (closure + arguments) is safely transferred to helpers under
+// the Go memory model.
+type Announce[T any] struct {
+	slots []pad.Pointer[T]
+}
+
+// NewAnnounce returns an announce array for n processes.
+func NewAnnounce[T any](n int) *Announce[T] {
+	return &Announce[T]{slots: make([]pad.Pointer[T], n)}
+}
+
+// N returns the number of slots.
+func (a *Announce[T]) N() int { return len(a.slots) }
+
+// Write publishes v in process i's register.
+func (a *Announce[T]) Write(i int, v *T) {
+	a.slots[i].P.Store(v)
+}
+
+// Read returns the value last published by process i (nil if none).
+func (a *Announce[T]) Read(i int) *T {
+	return a.slots[i].P.Load()
+}
+
+// Swap publishes v and returns the previous value.
+func (a *Announce[T]) Swap(i int, v *T) *T {
+	return a.slots[i].P.Swap(v)
+}

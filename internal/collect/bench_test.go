@@ -1,0 +1,52 @@
+package collect
+
+import "testing"
+
+// The paper's step-complexity claims as micro-benchmarks: update is ONE
+// Fetch&Add regardless of n; collect costs one load per backing word.
+
+func BenchmarkUpdate(b *testing.B) {
+	c := NewSimCollect(8, 8)
+	u := c.Updater(3)
+	for i := 0; i < b.N; i++ {
+		u.Update(uint64(i) & 0xFF)
+	}
+}
+
+func BenchmarkCollect(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		n, d int
+	}{
+		{"1word", 8, 8},
+		{"4words", 32, 8},
+		{"16words", 128, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			c := NewSimCollect(cfg.n, cfg.d)
+			dst := make([]uint64, cfg.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.CollectInto(dst)
+			}
+		})
+	}
+}
+
+func BenchmarkActSetJoinLeave(b *testing.B) {
+	a := NewActSet(64)
+	m := a.Member(9)
+	for i := 0; i < b.N; i++ {
+		m.Join()
+		m.Leave()
+	}
+}
+
+func BenchmarkAnnounceWriteRead(b *testing.B) {
+	a := NewAnnounce[uint64](8)
+	v := uint64(42)
+	for i := 0; i < b.N; i++ {
+		a.Write(3, &v)
+		_ = a.Read(3)
+	}
+}

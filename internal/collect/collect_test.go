@@ -1,0 +1,222 @@
+package collect
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimCollectBasics(t *testing.T) {
+	c := NewSimCollect(4, 8)
+	if c.N() != 4 || c.D() != 8 || c.Words() != 1 || !c.Single() {
+		t.Fatalf("geometry wrong: n=%d d=%d words=%d", c.N(), c.D(), c.Words())
+	}
+	u0, u2 := c.Updater(0), c.Updater(2)
+	u0.Update(5)
+	u2.Update(200)
+	got := c.Collect()
+	want := []uint64{5, 0, 200, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Collect = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimCollectOverwrite(t *testing.T) {
+	c := NewSimCollect(2, 8)
+	u := c.Updater(0)
+	for _, v := range []uint64{1, 255, 0, 42, 41, 43, 0, 7} {
+		u.Update(v)
+		if got := c.Collect()[0]; got != v {
+			t.Fatalf("component 0 = %d after Update(%d)", got, v)
+		}
+		if u.Last() != v {
+			t.Fatalf("Last() = %d, want %d", u.Last(), v)
+		}
+	}
+}
+
+func TestSimCollectTruncatesToD(t *testing.T) {
+	c := NewSimCollect(2, 4)
+	u := c.Updater(1)
+	u.Update(0x1F) // 5 bits; chunk keeps low 4
+	if got := c.Collect()[1]; got != 0xF {
+		t.Fatalf("component = %#x, want 0xF", got)
+	}
+}
+
+// TestSimCollectNeighborIsolation: downward updates must not borrow into the
+// neighbouring chunk (regression test for the masked-delta bug found during
+// development: (0→2→0) on one chunk corrupted its neighbour).
+func TestSimCollectNeighborIsolation(t *testing.T) {
+	c := NewSimCollect(8, 8)
+	u3, u4 := c.Updater(3), c.Updater(4)
+	u4.Update(7)
+	u3.Update(200)
+	u3.Update(1) // big downward step
+	u3.Update(0)
+	got := c.Collect()
+	if got[4] != 7 {
+		t.Fatalf("component 4 corrupted: %v", got)
+	}
+	if got[3] != 0 {
+		t.Fatalf("component 3 = %d, want 0", got[3])
+	}
+}
+
+// TestSimCollectQuickIsolation: random update sequences on every component;
+// each component must always read the last value its owner wrote.
+func TestSimCollectQuickIsolation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n, d = 5, 12
+		c := NewSimCollect(n, d)
+		ups := make([]*Updater, n)
+		last := make([]uint64, n)
+		for i := range ups {
+			ups[i] = c.Updater(i)
+		}
+		for i, r := range raw {
+			comp := i % n
+			v := uint64(r) & ((1 << d) - 1)
+			ups[comp].Update(v)
+			last[comp] = v
+		}
+		got := c.Collect()
+		for i := 0; i < n; i++ {
+			if got[i] != last[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimCollectMultiWord(t *testing.T) {
+	c := NewSimCollect(20, 16) // 4 chunks per word -> 5 words
+	if c.Words() != 5 || c.Single() {
+		t.Fatalf("Words = %d, want 5", c.Words())
+	}
+	for i := 0; i < 20; i++ {
+		c.Updater(i).Update(uint64(i * 100))
+	}
+	got := c.Collect()
+	for i := 0; i < 20; i++ {
+		if got[i] != uint64(i*100) {
+			t.Fatalf("component %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestSimCollectD64SingleComponent(t *testing.T) {
+	c := NewSimCollect(1, 64)
+	u := c.Updater(0)
+	u.Update(^uint64(0))
+	if got := c.Collect()[0]; got != ^uint64(0) {
+		t.Fatalf("component = %#x", got)
+	}
+	u.Update(3)
+	if got := c.Collect()[0]; got != 3 {
+		t.Fatalf("component = %d, want 3", got)
+	}
+}
+
+func TestSimCollectPanicsOnBadArgs(t *testing.T) {
+	assertPanics(t, func() { NewSimCollect(0, 8) })
+	assertPanics(t, func() { NewSimCollect(4, 0) })
+	assertPanics(t, func() { NewSimCollect(4, 65) })
+	c := NewSimCollect(4, 8)
+	assertPanics(t, func() { c.Updater(-1) })
+	assertPanics(t, func() { c.Updater(4) })
+}
+
+func TestSnapshotSingleWordOnly(t *testing.T) {
+	c := NewSimCollect(4, 8)
+	_ = c.Snapshot() // single word: OK
+	big := NewSimCollect(20, 16)
+	assertPanics(t, func() { big.Snapshot() })
+}
+
+// TestSimCollectConcurrentRegularity: concurrent single-writer updates; a
+// final collect (after quiescence) must return every writer's last value,
+// and no intermediate collect may observe a value never written.
+func TestSimCollectConcurrentRegularity(t *testing.T) {
+	const n, per = 8, 500
+	c := NewSimCollect(n, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			u := c.Updater(id)
+			for k := 1; k <= per; k++ {
+				u.Update(uint64(k)) // monotonically increasing per writer
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	violations := make(chan string, 1)
+	go func() {
+		prev := make([]uint64, n)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			vals := c.Collect()
+			for i, v := range vals {
+				if v > per {
+					select {
+					case violations <- "value out of range":
+					default:
+					}
+				}
+				// Monotonic writers: collects must never go backwards.
+				if v < prev[i] {
+					select {
+					case violations <- "collect went backwards for a monotonic writer":
+					default:
+					}
+				}
+				prev[i] = v
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	select {
+	case msg := <-violations:
+		t.Fatal(msg)
+	default:
+	}
+	got := c.Collect()
+	for i := 0; i < n; i++ {
+		if got[i] != per {
+			t.Fatalf("component %d = %d, want %d", i, got[i], per)
+		}
+	}
+}
+
+func TestCollectInto(t *testing.T) {
+	c := NewSimCollect(3, 8)
+	c.Updater(1).Update(9)
+	dst := make([]uint64, 3)
+	c.CollectInto(dst)
+	if dst[1] != 9 || dst[0] != 0 || dst[2] != 0 {
+		t.Fatalf("CollectInto = %v", dst)
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

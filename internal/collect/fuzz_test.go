@@ -1,0 +1,35 @@
+package collect
+
+import "testing"
+
+// FuzzCollectLastWrites: fuzzed update schedules over a multi-word collect;
+// each component must always read back its owner's last write (the
+// no-carry/no-borrow packing invariant under arbitrary value sequences).
+func FuzzCollectLastWrites(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 250, 3, 0})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n, d = 9, 12 // 5 chunks/word -> 2 words
+		c := NewSimCollect(n, d)
+		ups := make([]*Updater, n)
+		last := make([]uint64, n)
+		for i := range ups {
+			ups[i] = c.Updater(i)
+		}
+		for i, b := range raw {
+			if i > 4096 {
+				break
+			}
+			comp := i % n
+			v := (uint64(b) * 17) & ((1 << d) - 1)
+			ups[comp].Update(v)
+			last[comp] = v
+		}
+		got := c.Collect()
+		for i := 0; i < n; i++ {
+			if got[i] != last[i] {
+				t.Fatalf("component %d = %d, want %d", i, got[i], last[i])
+			}
+		}
+	})
+}

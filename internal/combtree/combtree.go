@@ -1,0 +1,219 @@
+// Package combtree implements the classic software combining tree of Yew,
+// Tzeng and Lawrie (the paper's reference [30] for distributing hot-spot
+// accesses), in the form popularized by Herlihy and Shavit's textbook: a
+// binary tree whose leaves are shared by pairs of threads; requests meet at
+// internal nodes, merge, and a single winner carries the combined batch to
+// the root, then distributes responses on the way back down.
+//
+// The tree is BLOCKING (threads wait for their combining partner), which is
+// exactly the contrast the wait-free Sim draws against prior combining
+// techniques: combining amortizes the hot spot but a preempted partner
+// stalls its whole subtree. It serves as an additional Figure 2 baseline.
+//
+// The combined operation is any monoid over uint64: combine merges two
+// request batches, apply folds a batch into the state and the PREVIOUS
+// state is each batch's response seed (fetch-and-phi).
+package combtree
+
+import (
+	"sync"
+)
+
+type status int
+
+const (
+	idle status = iota
+	first
+	second
+	result
+	root
+)
+
+// node is one combining-tree node, guarded by its mutex/cond.
+type node struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	status status
+	locked bool
+	parent *node
+
+	firstValue  uint64 // batch deposited by the first-arriving thread
+	secondValue uint64 // batch deposited by the second
+	resultValue uint64 // response seed handed back to the second
+
+	state uint64 // root only: the shared object's state
+}
+
+func newNode(parent *node) *node {
+	n := &node{parent: parent}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// Tree is a combining tree shared by n threads computing a fetch-and-phi.
+type Tree struct {
+	combine func(a, b uint64) uint64  // merge two batches
+	apply   func(st, d uint64) uint64 // fold a batch into the state
+	leaf    []*node                   // thread i enters at leaf[i/2]
+	depth   int
+}
+
+// New builds a combining tree for n threads with the given monoid and
+// initial state. combine must be associative and apply(apply(s,a),b) must
+// equal apply(s, combine(a,b)) — the condition under which batching is
+// invisible to callers.
+func New(n int, init uint64, combine func(a, b uint64) uint64, apply func(st, d uint64) uint64) *Tree {
+	if n < 1 {
+		panic("combtree: n must be >= 1")
+	}
+	leaves := (n + 1) / 2
+	// Round leaves up to a power of two for a complete tree.
+	width := 1
+	for width < leaves {
+		width *= 2
+	}
+	nodes := make([]*node, 2*width-1)
+	nodes[0] = newNode(nil)
+	nodes[0].status = root
+	nodes[0].state = init
+	for i := 1; i < len(nodes); i++ {
+		nodes[i] = newNode(nodes[(i-1)/2])
+	}
+	t := &Tree{
+		combine: combine,
+		apply:   apply,
+		leaf:    nodes[len(nodes)-width:],
+	}
+	return t
+}
+
+// NewFetchAdd returns a combining-tree fetch-and-add object.
+func NewFetchAdd(n int, init uint64) *Tree {
+	return New(n, init,
+		func(a, b uint64) uint64 { return a + b },
+		func(st, d uint64) uint64 { return st + d })
+}
+
+// NewFetchMultiply returns a combining-tree Fetch&Multiply object (the
+// Figure 2 benchmark operation).
+func NewFetchMultiply(n int, init uint64) *Tree {
+	return New(n, init,
+		func(a, b uint64) uint64 { return a * b },
+		func(st, d uint64) uint64 { return st * d })
+}
+
+// Apply folds value into the shared state and returns the state the
+// caller's operation observed (its fetch-and-phi response).
+func (t *Tree) Apply(id int, value uint64) uint64 {
+	myLeaf := t.leaf[(id/2)%len(t.leaf)]
+
+	// Phase 1 — precombining: climb while winning the first slot; stop at
+	// the node where we are second (or at the root). Becoming second LOCKS
+	// the node, so the first's combining phase below cannot pass it before
+	// our batch is deposited.
+	stop := myLeaf
+	var path []*node // nodes where this thread is FIRST, bottom-up
+	for {
+		nd := stop
+		nd.mu.Lock()
+		for nd.locked {
+			nd.cond.Wait() // an episode is still draining through this node
+		}
+		switch nd.status {
+		case idle:
+			nd.status = first
+			nd.mu.Unlock()
+			path = append(path, nd)
+			stop = nd.parent
+			continue
+		case first:
+			nd.status = second
+			nd.locked = true
+			nd.mu.Unlock()
+		case root:
+			nd.mu.Unlock()
+		default:
+			nd.mu.Unlock()
+			panic("combtree: corrupt precombine state")
+		}
+		break
+	}
+
+	// Phase 2 — combining: revisit the FIRST nodes bottom-up, locking each
+	// and folding in a waiting second's batch, if one arrived.
+	combined := value
+	for _, nd := range path {
+		nd.mu.Lock()
+		for nd.locked {
+			nd.cond.Wait()
+		}
+		nd.locked = true
+		nd.firstValue = combined
+		if nd.status == second {
+			combined = t.combine(combined, nd.secondValue)
+		}
+		nd.mu.Unlock()
+	}
+
+	// Phase 3 — operation at the stop node.
+	var prior uint64
+	nd := stop
+	nd.mu.Lock()
+	switch nd.status {
+	case root:
+		prior = nd.state
+		nd.state = t.apply(nd.state, combined)
+		nd.mu.Unlock()
+	case second:
+		// Deposit our batch, release the lock we took in precombine so the
+		// first thread's combine can fold it in, then wait for our response.
+		// We do NOT return here: the batch we deposited included operations
+		// combined from OUR lower path, and those nodes (locked during our
+		// combine phase) are drained by the distribution loop below.
+		nd.secondValue = combined
+		nd.locked = false
+		nd.cond.Broadcast()
+		for nd.status != result {
+			nd.cond.Wait()
+		}
+		prior = nd.resultValue
+		nd.status = idle
+		nd.locked = false // the first's combine locked the node; release it
+		nd.cond.Broadcast()
+		nd.mu.Unlock()
+	default:
+		nd.mu.Unlock()
+		panic("combtree: corrupt stop-node state")
+	}
+
+	// Phase 4 — distribution: walk back down the FIRST nodes, releasing
+	// each and handing a waiting second its response seed. Our own batch
+	// linearizes before the second's, so the second's prior is our prior
+	// with OUR contribution at that node applied.
+	for i := len(path) - 1; i >= 0; i-- {
+		nd := path[i]
+		nd.mu.Lock()
+		switch nd.status {
+		case first:
+			nd.status = idle
+			nd.locked = false
+		case second:
+			nd.resultValue = t.apply(prior, nd.firstValue)
+			nd.status = result
+		}
+		nd.cond.Broadcast()
+		nd.mu.Unlock()
+	}
+	return prior
+}
+
+// Read returns the current state (exact only at quiescence).
+func (t *Tree) Read() uint64 {
+	rt := t.leaf[0]
+	for rt.parent != nil {
+		rt = rt.parent
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.state
+}

@@ -1,0 +1,173 @@
+package combtree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTreeSequentialAdd(t *testing.T) {
+	tr := NewFetchAdd(4, 0)
+	if got := tr.Apply(0, 5); got != 0 {
+		t.Fatalf("first = %d", got)
+	}
+	if got := tr.Apply(0, 3); got != 5 {
+		t.Fatalf("second = %d", got)
+	}
+	if tr.Read() != 8 {
+		t.Fatalf("state = %d", tr.Read())
+	}
+}
+
+func TestTreeSequentialMultiply(t *testing.T) {
+	tr := NewFetchMultiply(2, 1)
+	if got := tr.Apply(0, 3); got != 1 {
+		t.Fatalf("first = %d", got)
+	}
+	if got := tr.Apply(1, 5); got != 3 {
+		t.Fatalf("second = %d", got)
+	}
+	if tr.Read() != 15 {
+		t.Fatalf("state = %d", tr.Read())
+	}
+}
+
+func TestTreeSingleThread(t *testing.T) {
+	tr := NewFetchAdd(1, 10)
+	for k := 0; k < 100; k++ {
+		if got := tr.Apply(0, 1); got != uint64(10+k) {
+			t.Fatalf("op %d = %d", k, got)
+		}
+	}
+}
+
+// TestTreeResponsesArePermutation: concurrent add(1) responses must form a
+// permutation of 0..N-1 — combining must not lose, duplicate or misroute a
+// response.
+func TestTreeResponsesArePermutation(t *testing.T) {
+	const n, per = 8, 300
+	tr := NewFetchAdd(n, 0)
+	seen := make([]bool, n*per)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := make([]uint64, 0, per)
+			for k := 0; k < per; k++ {
+				local = append(local, tr.Apply(id, 1))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, prev := range local {
+				if prev >= n*per || seen[prev] {
+					t.Errorf("bad/duplicate previous value %d", prev)
+					return
+				}
+				seen[prev] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := tr.Read(); got != n*per {
+		t.Fatalf("state = %d, want %d", got, n*per)
+	}
+}
+
+// TestTreeConcurrentMultiply: commutative product must be exact however the
+// batches combined.
+func TestTreeConcurrentMultiply(t *testing.T) {
+	const n, per = 6, 200
+	tr := NewFetchMultiply(n, 1)
+	var want uint64 = 1
+	for i := 0; i < n*per; i++ {
+		want *= 3
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				tr.Apply(id, 3)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := tr.Read(); got != want {
+		t.Fatalf("product = %#x, want %#x", got, want)
+	}
+}
+
+// TestTreePairSharingLeaf: the two threads of one leaf are the pair most
+// likely to combine; hammer exactly that pair.
+func TestTreePairSharingLeaf(t *testing.T) {
+	const per = 2000
+	tr := NewFetchAdd(2, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				tr.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := tr.Read(); got != 2*per {
+		t.Fatalf("state = %d, want %d", got, 2*per)
+	}
+}
+
+func TestTreeOddThreadCount(t *testing.T) {
+	const n, per = 5, 200
+	tr := NewFetchAdd(n, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				tr.Apply(id, 2)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := tr.Read(); got != 2*n*per {
+		t.Fatalf("state = %d, want %d", got, 2*n*per)
+	}
+}
+
+func TestTreeBadNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFetchAdd(0, 0)
+}
+
+// TestTreeDeepPathsHeavy: many threads over a depth-3 tree for long runs —
+// the configuration that exposed a distribution bug where a thread stopping
+// as "second" returned without draining its own lower path, leaving nodes
+// locked forever (regression test; fails by deadlock/timeout if the
+// distribution loop is skipped).
+func TestTreeDeepPathsHeavy(t *testing.T) {
+	const n, per = 16, 3000
+	tr := NewFetchAdd(n, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				tr.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := tr.Read(); got != n*per {
+		t.Fatalf("state = %d, want %d", got, n*per)
+	}
+}

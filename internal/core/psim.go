@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/collect"
+	"repro/internal/xatomic"
+)
+
+// PSim is the practical Sim universal construction (Algorithms 2 and 3) for
+// an arbitrary sequential object.
+//
+// Type parameters:
+//   - S: the simulated object's state. Attempt works on a private copy of S
+//     obtained with the Clone option (shallow copy by default, which is
+//     correct when S is a value or an immutable pointer-to-structure).
+//   - A: the argument type announced with each operation.
+//   - R: the operation return type.
+//
+// The construction is wait-free: Apply finishes after at most two combining
+// rounds, falling back to reading the published state (which by then must
+// contain its result — the two-successful-CAS argument of Observation 3.2).
+//
+// Deviation from the paper's memory layout: instead of the pool of State
+// records recycled under seq1/seq2 stamps, each round publishes a freshly
+// allocated immutable state record via CompareAndSwap on an atomic pointer,
+// and the garbage collector reclaims superseded records. This removes ABA
+// (every CAS installs a never-before-present pointer) and the need for the
+// consistency check; PSimWord implements the faithful pooled layout.
+type PSim[S, A, R any] struct {
+	n     int
+	apply func(st *S, pid int, arg A) R
+	clone func(S) S
+
+	announce *collect.Announce[A]
+	act      *xatomic.SharedBits
+	state    atomic.Pointer[psimState[S, R]]
+
+	threads []psimThread
+	stats   []threadStats
+	counter *xatomic.AccessCounter // optional Table 1 instrumentation
+
+	boLower, boUpper int
+}
+
+// psimState is one immutable published state record: the simulated state, the
+// applied bit vector, and the per-process return values (struct State of
+// Algorithm 2 minus the seq stamps, which pointer-publication makes
+// unnecessary).
+type psimState[S, R any] struct {
+	applied xatomic.Snapshot
+	rvals   []R
+	st      S
+}
+
+// psimThread is a thread's private handle internals.
+type psimThread struct {
+	toggler *xatomic.Toggler
+	bo      *backoff.Adaptive
+	active  xatomic.Snapshot // scratch: last read of Act
+	diffs   xatomic.Snapshot // scratch: applied XOR active
+	inited  bool
+}
+
+// PSimOption configures a PSim instance.
+type PSimOption[S any] func(*psimOptions[S])
+
+type psimOptions[S any] struct {
+	clone            func(S) S
+	boLower, boUpper int
+	padActWords      bool
+}
+
+// WithClone supplies a deep-copy function for the state, required when S
+// contains shared mutable references (slices, maps) that combining rounds
+// mutate in place.
+func WithClone[S any](clone func(S) S) PSimOption[S] {
+	return func(o *psimOptions[S]) { o.clone = clone }
+}
+
+// WithBackoff bounds the adaptive backoff window to [lower, upper] spin
+// iterations. upper = 0 disables backoff entirely (§4 notes P-Sim performs
+// well even without it; the ablation bench quantifies the difference).
+func WithBackoff[S any](lower, upper int) PSimOption[S] {
+	return func(o *psimOptions[S]) { o.boLower, o.boUpper = lower, upper }
+}
+
+// WithPaddedAct spreads the Act bit vector one word per cache line instead
+// of the paper's dense minimal-lines layout.
+func WithPaddedAct[S any]() PSimOption[S] {
+	return func(o *psimOptions[S]) { o.padActWords = true }
+}
+
+// DefaultBackoffUpper is the default adaptive-backoff ceiling, in delay-loop
+// iterations. It is deliberately modest: the right value is machine
+// dependent and the harness sweeps it.
+const DefaultBackoffUpper = 4096
+
+// NewPSim builds a P-Sim instance for n threads simulating a sequential
+// object with initial state init and sequential operation apply. apply is
+// called with a PRIVATE copy of the state it may mutate, the id of the
+// process whose operation it is applying, and that operation's argument; it
+// returns the operation's response.
+func NewPSim[S, A, R any](n int, init S, apply func(st *S, pid int, arg A) R, opts ...PSimOption[S]) *PSim[S, A, R] {
+	if n < 1 {
+		panic("core: PSim needs n >= 1")
+	}
+	o := &psimOptions[S]{boLower: 1, boUpper: DefaultBackoffUpper}
+	for _, f := range opts {
+		f(o)
+	}
+	clone := o.clone
+	if clone == nil {
+		clone = func(s S) S { return s }
+	}
+	var act *xatomic.SharedBits
+	if o.padActWords {
+		act = xatomic.NewSharedBitsPadded(n)
+	} else {
+		act = xatomic.NewSharedBits(n)
+	}
+	u := &PSim[S, A, R]{
+		n:        n,
+		apply:    apply,
+		clone:    clone,
+		announce: collect.NewAnnounce[A](n),
+		act:      act,
+		threads:  make([]psimThread, n),
+		stats:    make([]threadStats, n),
+		boLower:  o.boLower,
+		boUpper:  o.boUpper,
+	}
+	u.state.Store(&psimState[S, R]{
+		applied: xatomic.NewSnapshot(n),
+		rvals:   make([]R, n),
+		st:      init,
+	})
+	return u
+}
+
+// N returns the number of threads the instance was built for.
+func (u *PSim[S, A, R]) N() int { return u.n }
+
+// SetAccessCounter attaches shared-memory-access instrumentation (the
+// Table 1 experiment: P-Sim performs O(k) accesses — the announce-array
+// reads replace the theoretical construction's O(1) collect). Not safe to
+// call concurrently with Apply.
+func (u *PSim[S, A, R]) SetAccessCounter(c *xatomic.AccessCounter) { u.counter = c }
+
+// thread lazily initializes and returns thread i's private handle internals.
+// Apply(i, …) must only ever be called by one goroutine per i, which makes
+// the lazy init safe.
+func (u *PSim[S, A, R]) thread(i int) *psimThread {
+	t := &u.threads[i]
+	if !t.inited {
+		t.toggler = xatomic.NewToggler(u.act, i)
+		t.bo = backoff.NewAdaptive(u.boLower, u.boUpper)
+		t.active = xatomic.NewSnapshot(u.n)
+		t.diffs = xatomic.NewSnapshot(u.n)
+		t.inited = true
+	}
+	return t
+}
+
+// Apply announces operation arg on behalf of process i, participates in
+// combining until the operation has been applied, and returns its response.
+// Each process id must be driven by a single goroutine at a time.
+func (u *PSim[S, A, R]) Apply(i int, arg A) R {
+	if i < 0 || i >= u.n {
+		panic(fmt.Sprintf("core: process id %d out of range [0,%d)", i, u.n))
+	}
+	t := u.thread(i)
+	st := &u.stats[i]
+
+	u.announce.Write(i, &arg) // line 1: announce the operation
+	t.toggler.Toggle()        // lines 2–3: toggle pi's bit in Act (one F&A)
+	u.counter.Add(i, 2)
+	t.bo.Wait() // line 4: back off so helpers accumulate work
+
+	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
+
+	for j := 0; j < 2; j++ { // lines 5–27: at most two Attempt rounds
+		ls := u.state.Load()     // line 6: "LL" — read the state reference
+		u.act.LoadInto(t.active) // line 9: read Act
+		u.counter.Add(i, 1+uint64(u.act.Words()))
+		// line 10: diffs = applied XOR active — the set of processes whose
+		// announced operation has not been applied to ls.
+		ls.applied.XorInto(t.active, t.diffs)
+
+		// line 12: if pi's bit agrees, its operation has been applied; the
+		// response is already in ls.rvals (immutable record — safe to read).
+		if t.diffs[myWord]&myMask == 0 {
+			st.ops.V.Add(1)
+			st.servedBy.V.Add(1)
+			return ls.rvals[i]
+		}
+
+		// Build the successor record: lines 8/14–21 work on a private copy.
+		ns := &psimState[S, R]{
+			applied: t.active.Clone(),
+			rvals:   append([]R(nil), ls.rvals...),
+			st:      u.clone(ls.st),
+		}
+		combined := uint64(0)
+		d := t.diffs
+		for { // lines 15–19: help every process in diffs
+			k := d.BitSearchFirst()
+			if k < 0 {
+				break
+			}
+			arg := u.announce.Read(k) // line 17: discover its operation
+			u.counter.Inc(i)          // the O(k) announce reads of P-Sim
+			ns.rvals[k] = u.apply(&ns.st, k, *arg)
+			d.ClearBit(k)
+			combined++
+		}
+
+		// lines 22–25: try to publish. CAS on the pointer plays the role of
+		// the CAS on the timestamped pool index.
+		u.counter.Inc(i)
+		if u.state.CompareAndSwap(ls, ns) {
+			st.ops.V.Add(1)
+			st.casSuccess.V.Add(1)
+			st.combined.V.Add(combined)
+			if j == 0 {
+				t.bo.Shrink() // low contention: waiting was wasted
+			}
+			return ns.rvals[i]
+		}
+		st.casFail.V.Add(1)
+		if j == 0 {
+			t.bo.Grow() // line 13: contention detected — widen the window
+			t.bo.Wait()
+		}
+	}
+
+	// Lines 28–30: both rounds failed, so two successful CASes intervened;
+	// the second one must have applied our operation (Observation 3.2 /
+	// Lemma 3.3 carried to the practical algorithm). Read and return.
+	u.counter.Inc(i)
+	ls := u.state.Load()
+	st.ops.V.Add(1)
+	st.servedBy.V.Add(1)
+	return ls.rvals[i]
+}
+
+// Read returns the current simulated state without announcing an operation.
+// The returned value must be treated as immutable.
+func (u *PSim[S, A, R]) Read() S {
+	return u.state.Load().st
+}
+
+// Stats returns aggregated combining statistics (Figure 2 right: the average
+// degree of helping is Stats().AvgHelping).
+func (u *PSim[S, A, R]) Stats() Stats { return aggregate(u.stats) }
+
+// ResetStats zeroes the statistics counters.
+func (u *PSim[S, A, R]) ResetStats() { resetStats(u.stats) }

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/pad"
+	"repro/internal/xatomic"
+)
+
+// PSimWord is the faithful pooled P-Sim of Algorithms 2 and 3, specialised
+// to a word-sized simulated state (the Fetch&Multiply object of Figure 2 is
+// exactly that; SimStack's top pointer also fits one word).
+//
+// It reproduces the paper's memory discipline precisely:
+//
+//   - a shared Pool of n·C+1 State records, thread i owning records
+//     [i·C, (i+1)·C) and rotating through them after successful publishes
+//     (the extra record n·C holds the initial state);
+//   - the single shared variable P packing a 16-bit pool index and a 48-bit
+//     timestamp into one CAS word (xatomic.TimedWord), standing in for the
+//     LL/SC object;
+//   - seq1/seq2 consistency stamps: a writer increments seq1 before and seq2
+//     after mutating its record, and readers copy seq1 first, the payload,
+//     then seq2, accepting only matching stamps (Algorithm 3 line 11). Each
+//     record's stamp pair increases monotonically with every reuse, so a
+//     record reused by its owner can never reproduce an already-seen pair
+//     and a torn copy is always detected.
+//
+// Every shared field is accessed through sync/atomic, which makes the
+// seqlock race-detector-clean while keeping the exact access pattern of the
+// paper's C code.
+type PSimWord struct {
+	n, c  int
+	words int // bit-vector words for n bits
+	apply func(st, arg uint64) (newSt, rv uint64)
+
+	announce []pad.Uint64 // Announce[i]: single-writer argument registers
+	act      *xatomic.SharedBits
+	pool     []wordState
+	p        xatomic.TimedWord
+
+	threads []wordThread
+	stats   []threadStats
+
+	boLower, boUpper int
+}
+
+// wordState is one pool record: struct State of Algorithm 2 for a word-sized
+// object. seq1/seq2 bracket the payload exactly as in the paper; the record
+// is padded so distinct threads' records do not share lines.
+type wordState struct {
+	seq1    atomic.Uint64
+	applied []atomic.Uint64 // the applied bit vector, WordsFor(n) words
+	st      atomic.Uint64   // the simulated object's state
+	rvals   []atomic.Uint64 // per-process return values
+	seq2    atomic.Uint64
+	_       pad.CacheLinePad
+}
+
+type wordThread struct {
+	toggler   *xatomic.Toggler
+	bo        *backoff.Adaptive
+	poolIndex int // rotates over [0, C)
+	inited    bool
+	// scratch buffers for the copied state
+	applied xatomic.Snapshot
+	active  xatomic.Snapshot
+	diffs   xatomic.Snapshot
+	rvals   []uint64
+}
+
+// DefaultPoolPerThread is the paper's "small constant C > 1" — the number of
+// State records each thread rotates through. Larger C widens the reuse
+// distance that protects the fallback read.
+const DefaultPoolPerThread = 8
+
+// NewPSimWord builds a pooled P-Sim for n threads with C records per thread
+// (C ≥ 2; pass 0 for DefaultPoolPerThread), initial state init, and the
+// sequential transition function apply.
+func NewPSimWord(n, c int, init uint64, apply func(st, arg uint64) (uint64, uint64)) *PSimWord {
+	if n < 1 {
+		panic("core: PSimWord needs n >= 1")
+	}
+	if c == 0 {
+		c = DefaultPoolPerThread
+	}
+	if c < 2 {
+		panic("core: PSimWord needs C >= 2 (the paper's 'small constant C > 1')")
+	}
+	if n*c+1 > xatomic.TimedIndexMax {
+		panic(fmt.Sprintf("core: n*C+1 = %d exceeds the 16-bit pool index", n*c+1))
+	}
+	w := xatomic.WordsFor(n)
+	u := &PSimWord{
+		n: n, c: c, words: w,
+		apply:    apply,
+		announce: make([]pad.Uint64, n),
+		act:      xatomic.NewSharedBits(n),
+		pool:     make([]wordState, n*c+1),
+		threads:  make([]wordThread, n),
+		stats:    make([]threadStats, n),
+		boLower:  1,
+		boUpper:  DefaultBackoffUpper,
+	}
+	for i := range u.pool {
+		u.pool[i].applied = make([]atomic.Uint64, w)
+		u.pool[i].rvals = make([]atomic.Uint64, n)
+	}
+	// Record n·C carries the initial state (P = {n·C, 0} in Algorithm 2).
+	u.pool[n*c].st.Store(init)
+	u.p.Store(uint16(n*c), 0)
+	return u
+}
+
+// SetBackoff reconfigures the adaptive backoff bounds (0 upper disables).
+// Call before any Apply.
+func (u *PSimWord) SetBackoff(lower, upper int) { u.boLower, u.boUpper = lower, upper }
+
+// N returns the number of threads.
+func (u *PSimWord) N() int { return u.n }
+
+func (u *PSimWord) thread(i int) *wordThread {
+	t := &u.threads[i]
+	if !t.inited {
+		t.toggler = xatomic.NewToggler(u.act, i)
+		t.bo = backoff.NewAdaptive(u.boLower, u.boUpper)
+		t.applied = xatomic.NewSnapshot(u.n)
+		t.active = xatomic.NewSnapshot(u.n)
+		t.diffs = xatomic.NewSnapshot(u.n)
+		t.rvals = make([]uint64, u.n)
+		t.inited = true
+	}
+	return t
+}
+
+// copyState copies pool record src into thread-local scratch under the
+// seq1/seq2 protocol and reports whether the copy is consistent.
+func (u *PSimWord) copyState(src *wordState, t *wordThread) (st uint64, ok bool) {
+	s1 := src.seq1.Load() // read seq1 BEFORE the payload
+	for w := 0; w < u.words; w++ {
+		t.applied[w] = src.applied[w].Load()
+	}
+	st = src.st.Load()
+	for k := 0; k < u.n; k++ {
+		t.rvals[k] = src.rvals[k].Load()
+	}
+	s2 := src.seq2.Load() // read seq2 AFTER the payload
+	return st, s1 == s2
+}
+
+// Apply announces arg for process i and returns the operation's response.
+// Each process id must be driven by a single goroutine.
+func (u *PSimWord) Apply(i int, arg uint64) uint64 {
+	t := u.thread(i)
+	st := &u.stats[i]
+
+	u.announce[i].V.Store(arg) // line 1: announce
+	t.toggler.Toggle()         // lines 2–3: toggle pi's bit in Act
+	t.bo.Wait()                // line 4: backoff
+
+	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
+
+	for j := 0; j < 2; j++ { // lines 5–27
+		lpRaw := u.p.LoadRaw() // line 6: read ⟨index, stamp⟩
+		lpIdx, lpStamp := xatomic.UnpackTimed(lpRaw)
+		src := &u.pool[lpIdx]
+
+		// line 8: copy the current State into local scratch;
+		// line 11: consistency check via the seq stamps.
+		stWord, ok := u.copyState(src, t)
+		if !ok {
+			continue
+		}
+		u.act.LoadInto(t.active)             // line 9
+		t.applied.XorInto(t.active, t.diffs) // line 10
+
+		// line 12: already applied? return the recorded response.
+		if t.diffs[myWord]&myMask == 0 {
+			st.ops.V.Add(1)
+			st.servedBy.V.Add(1)
+			return t.rvals[i]
+		}
+
+		// lines 14–21: write the successor into our own pool record.
+		dst := &u.pool[i*u.c+t.poolIndex]
+		dst.seq1.Add(1) // line 14: open the record (seq1 = seq2 + 1)
+		combined := uint64(0)
+		d := t.diffs
+		for { // lines 15–19: help everyone in diffs
+			k := d.BitSearchFirst()
+			if k < 0 {
+				break
+			}
+			a := u.announce[k].V.Load() // line 17
+			var rv uint64
+			stWord, rv = u.apply(stWord, a) // line 18 on the local copy
+			t.rvals[k] = rv
+			d.ClearBit(k)
+			combined++
+		}
+		for w := 0; w < u.words; w++ { // line 20: applied ← active
+			dst.applied[w].Store(t.active[w])
+		}
+		dst.st.Store(stWord)
+		for k := 0; k < u.n; k++ {
+			dst.rvals[k].Store(t.rvals[k])
+		}
+		dst.seq2.Add(1) // line 21: close the record
+
+		// lines 22–25: CAS P to ⟨our record, stamp+1⟩.
+		if u.p.CompareAndSwap(lpRaw, uint16(i*u.c+t.poolIndex), lpStamp+1) {
+			t.poolIndex = (t.poolIndex + 1) % u.c // line 26
+			st.ops.V.Add(1)
+			st.casSuccess.V.Add(1)
+			st.combined.V.Add(combined)
+			if j == 0 {
+				t.bo.Shrink()
+			}
+			return t.rvals[i]
+		}
+		st.casFail.V.Add(1)
+		if j == 0 { // line 13's compute_backoff, applied on failure
+			t.bo.Grow()
+			t.bo.Wait()
+		}
+	}
+
+	// Lines 28–30: both rounds failed ⇒ two successful CASes intervened and
+	// the second applied our operation. The paper reads Pool[P.index].rvals
+	// unchecked; we retry the seq-checked read a bounded number of times
+	// first (the unchecked read is only unsafe if the record is recycled
+	// mid-read, which needs C further publishes by one thread — the same
+	// window the paper's unchecked read tolerates).
+	st.ops.V.Add(1)
+	st.servedBy.V.Add(1)
+	for tries := 0; tries < 64; tries++ {
+		lpIdx, _ := u.p.Load()
+		src := &u.pool[lpIdx]
+		if _, ok := u.copyState(src, t); ok {
+			return t.rvals[i]
+		}
+	}
+	lpIdx, _ := u.p.Load()
+	return u.pool[lpIdx].rvals[i].Load()
+}
+
+// Read returns the current simulated state word. Unlike Apply it may be
+// called from any goroutine; it is lock-free (it retries if it observes a
+// record mid-rewrite, which requires concurrent successful publishes).
+func (u *PSimWord) Read() uint64 {
+	scratch := &wordThread{
+		applied: xatomic.NewSnapshot(u.n),
+		rvals:   make([]uint64, u.n),
+	}
+	for {
+		lpIdx, _ := u.p.Load()
+		if st, ok := u.copyState(&u.pool[lpIdx], scratch); ok {
+			return st
+		}
+	}
+}
+
+// Stats returns aggregated combining statistics.
+func (u *PSimWord) Stats() Stats { return aggregate(u.stats) }
+
+// ResetStats zeroes the statistics counters.
+func (u *PSimWord) ResetStats() { resetStats(u.stats) }

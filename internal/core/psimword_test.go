@@ -1,0 +1,223 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+)
+
+// faaWord builds a pooled fetch-and-add object.
+func faaWord(n, c int) *PSimWord {
+	return NewPSimWord(n, c, 0, func(st, arg uint64) (uint64, uint64) {
+		return st + arg, st
+	})
+}
+
+func TestPSimWordSequential(t *testing.T) {
+	u := faaWord(1, 2)
+	if got := u.Apply(0, 7); got != 0 {
+		t.Fatalf("first = %d", got)
+	}
+	if got := u.Apply(0, 3); got != 7 {
+		t.Fatalf("second = %d", got)
+	}
+	if u.Read() != 10 {
+		t.Fatalf("state = %d", u.Read())
+	}
+}
+
+func TestPSimWordConstructionValidation(t *testing.T) {
+	assertPanics(t, func() { faaWord(0, 2) })
+	assertPanics(t, func() { faaWord(2, 1) })     // C must be >= 2
+	assertPanics(t, func() { faaWord(8192, 16) }) // pool index overflows 16 bits
+	if u := NewPSimWord(2, 0, 0, func(st, a uint64) (uint64, uint64) { return st, st }); u == nil {
+		t.Fatal("C=0 should select the default pool size")
+	}
+}
+
+// TestPSimWordSmallPoolStress: C=2 is the tightest legal pool; heavy churn
+// maximizes record recycling and exercises the seq1/seq2 consistency path.
+func TestPSimWordSmallPoolStress(t *testing.T) {
+	const n, per = 8, 500
+	u := faaWord(n, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := u.Read(); got != n*per {
+		t.Fatalf("final = %d, want %d", got, n*per)
+	}
+}
+
+func TestPSimWordResponsesArePermutation(t *testing.T) {
+	const n, per = 8, 300
+	u := faaWord(n, 4)
+	seen := make([]bool, n*per)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := make([]uint64, 0, per)
+			for k := 0; k < per; k++ {
+				local = append(local, u.Apply(id, 1))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, prev := range local {
+				if prev >= n*per || seen[prev] {
+					t.Errorf("bad/duplicate previous value %d", prev)
+					return
+				}
+				seen[prev] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestPSimWordLinearizableHistories(t *testing.T) {
+	const n, per, rounds = 3, 4, 20
+	for r := 0; r < rounds; r++ {
+		u := faaWord(n, 2)
+		rec := check.NewRecorder(n * per)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for k := 0; k < per; k++ {
+					slot := rec.Invoke(id, check.OpAdd, 1)
+					prev := u.Apply(id, 1)
+					rec.Return(slot, prev, false)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if !check.Linearizable(rec.Operations(), check.CounterSpec(0)) {
+			t.Fatalf("round %d: history not linearizable:\n%v", r, rec.Operations())
+		}
+	}
+}
+
+func TestPSimWordStats(t *testing.T) {
+	const n, per = 4, 100
+	u := faaWord(n, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := u.Stats()
+	if s.Ops != n*per || s.Combined != n*per {
+		t.Fatalf("stats = %+v", s)
+	}
+	u.ResetStats()
+	if u.Stats().Ops != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestPSimWordBackoffSettings(t *testing.T) {
+	u := faaWord(4, 2)
+	u.SetBackoff(1, 0) // disabled
+	const n, per = 4, 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := u.Read(); got != n*per {
+		t.Fatalf("final = %d", got)
+	}
+}
+
+func TestPSimWordConcurrentReaders(t *testing.T) {
+	const n, per = 4, 300
+	u := faaWord(n, 2)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := u.Read()
+				if v > n*per {
+					t.Errorf("Read out of range: %d", v)
+					return
+				}
+				if v < last {
+					t.Errorf("Read went backwards: %d after %d", v, last)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := u.Read(); got != n*per {
+		t.Fatalf("final = %d", got)
+	}
+}
+
+func TestPSimWordN(t *testing.T) {
+	if faaWord(5, 2).N() != 5 {
+		t.Fatal("N() wrong")
+	}
+}
+
+func TestPSimWordGenericTransition(t *testing.T) {
+	// A non-commutative transition: st' = st*3 + arg; response = st. Checks
+	// that the pooled variant applies operations atomically in some total
+	// order (responses must chain: resp_{k+1} = resp_k*3 + arg_k).
+	u := NewPSimWord(2, 2, 1, func(st, arg uint64) (uint64, uint64) {
+		return st*3 + arg, st
+	})
+	prev := u.Apply(0, 5)
+	if prev != 1 {
+		t.Fatalf("prev = %d", prev)
+	}
+	if got := u.Read(); got != 8 {
+		t.Fatalf("state = %d", got)
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/pad"
+	"repro/internal/xatomic"
+)
+
+// PSimWords generalizes PSimWord to simulated states of any fixed number of
+// 64-bit words, completing the faithful pooled layout for the paper's full
+// State struct (Algorithm 2 stores the object state `st` inline in each
+// pool record, whatever its size). The memory discipline is identical to
+// PSimWord — pool of n·C+1 records, 16-bit index + 48-bit stamp CAS word,
+// seq1/seq2 stamps around seqlock copies — but each record carries a
+// stateWords-long vector, so the copy cost per round is O(stateWords + n),
+// exactly the O(s) term that motivates L-Sim for large objects.
+type PSimWords struct {
+	n, c   int
+	words  int // applied bit-vector words
+	sWords int // state words
+	apply  func(st []uint64, pid int, arg uint64) uint64
+
+	announce []pad.Uint64
+	act      *xatomic.SharedBits
+	pool     []wordsState
+	p        xatomic.TimedWord
+
+	threads []wordsThread
+	stats   []threadStats
+
+	boLower, boUpper int
+}
+
+// wordsState is one pool record with a multi-word state vector.
+type wordsState struct {
+	seq1    atomic.Uint64
+	applied []atomic.Uint64
+	st      []atomic.Uint64
+	rvals   []atomic.Uint64
+	seq2    atomic.Uint64
+	_       pad.CacheLinePad
+}
+
+type wordsThread struct {
+	toggler   *xatomic.Toggler
+	bo        *backoff.Adaptive
+	poolIndex int
+	inited    bool
+	applied   xatomic.Snapshot
+	active    xatomic.Snapshot
+	diffs     xatomic.Snapshot
+	st        []uint64
+	rvals     []uint64
+}
+
+// NewPSimWords builds a pooled P-Sim for n threads over a state of
+// len(init) words. c is the per-thread pool size (0 = default, ≥ 2). apply
+// receives a PRIVATE copy of the state words it may mutate in place, the id
+// of the process whose operation is applied, and that process's announced
+// argument; it returns the response word.
+func NewPSimWords(n, c int, init []uint64, apply func(st []uint64, pid int, arg uint64) uint64) *PSimWords {
+	if n < 1 {
+		panic("core: PSimWords needs n >= 1")
+	}
+	if len(init) < 1 {
+		panic("core: PSimWords needs at least one state word")
+	}
+	if c == 0 {
+		c = DefaultPoolPerThread
+	}
+	if c < 2 {
+		panic("core: PSimWords needs C >= 2")
+	}
+	if n*c+1 > xatomic.TimedIndexMax {
+		panic(fmt.Sprintf("core: n*C+1 = %d exceeds the 16-bit pool index", n*c+1))
+	}
+	w := xatomic.WordsFor(n)
+	u := &PSimWords{
+		n: n, c: c, words: w, sWords: len(init),
+		apply:    apply,
+		announce: make([]pad.Uint64, n),
+		act:      xatomic.NewSharedBits(n),
+		pool:     make([]wordsState, n*c+1),
+		threads:  make([]wordsThread, n),
+		stats:    make([]threadStats, n),
+		boLower:  1,
+		boUpper:  DefaultBackoffUpper,
+	}
+	for i := range u.pool {
+		u.pool[i].applied = make([]atomic.Uint64, w)
+		u.pool[i].st = make([]atomic.Uint64, len(init))
+		u.pool[i].rvals = make([]atomic.Uint64, n)
+	}
+	initRec := &u.pool[n*c]
+	for i, v := range init {
+		initRec.st[i].Store(v)
+	}
+	u.p.Store(uint16(n*c), 0)
+	return u
+}
+
+// SetBackoff reconfigures the adaptive backoff bounds (0 upper disables).
+// Call before any Apply.
+func (u *PSimWords) SetBackoff(lower, upper int) { u.boLower, u.boUpper = lower, upper }
+
+// N returns the number of threads.
+func (u *PSimWords) N() int { return u.n }
+
+// StateWords returns the state width in words.
+func (u *PSimWords) StateWords() int { return u.sWords }
+
+func (u *PSimWords) thread(i int) *wordsThread {
+	t := &u.threads[i]
+	if !t.inited {
+		t.toggler = xatomic.NewToggler(u.act, i)
+		t.bo = backoff.NewAdaptive(u.boLower, u.boUpper)
+		t.applied = xatomic.NewSnapshot(u.n)
+		t.active = xatomic.NewSnapshot(u.n)
+		t.diffs = xatomic.NewSnapshot(u.n)
+		t.st = make([]uint64, u.sWords)
+		t.rvals = make([]uint64, u.n)
+		t.inited = true
+	}
+	return t
+}
+
+// copyState copies record src into thread scratch under the seq protocol.
+func (u *PSimWords) copyState(src *wordsState, t *wordsThread) bool {
+	s1 := src.seq1.Load()
+	for w := 0; w < u.words; w++ {
+		t.applied[w] = src.applied[w].Load()
+	}
+	for w := 0; w < u.sWords; w++ {
+		t.st[w] = src.st[w].Load()
+	}
+	for k := 0; k < u.n; k++ {
+		t.rvals[k] = src.rvals[k].Load()
+	}
+	return s1 == src.seq2.Load()
+}
+
+// Apply announces arg for process i and returns the operation's response.
+func (u *PSimWords) Apply(i int, arg uint64) uint64 {
+	t := u.thread(i)
+	st := &u.stats[i]
+
+	u.announce[i].V.Store(arg)
+	t.toggler.Toggle()
+	t.bo.Wait()
+
+	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
+
+	for j := 0; j < 2; j++ {
+		lpRaw := u.p.LoadRaw()
+		lpIdx, lpStamp := xatomic.UnpackTimed(lpRaw)
+		if !u.copyState(&u.pool[lpIdx], t) {
+			continue
+		}
+		u.act.LoadInto(t.active)
+		t.applied.XorInto(t.active, t.diffs)
+
+		if t.diffs[myWord]&myMask == 0 {
+			st.ops.V.Add(1)
+			st.servedBy.V.Add(1)
+			return t.rvals[i]
+		}
+
+		dst := &u.pool[i*u.c+t.poolIndex]
+		dst.seq1.Add(1)
+		combined := uint64(0)
+		d := t.diffs
+		for {
+			k := d.BitSearchFirst()
+			if k < 0 {
+				break
+			}
+			t.rvals[k] = u.apply(t.st, k, u.announce[k].V.Load())
+			d.ClearBit(k)
+			combined++
+		}
+		for w := 0; w < u.words; w++ {
+			dst.applied[w].Store(t.active[w])
+		}
+		for w := 0; w < u.sWords; w++ {
+			dst.st[w].Store(t.st[w])
+		}
+		for k := 0; k < u.n; k++ {
+			dst.rvals[k].Store(t.rvals[k])
+		}
+		dst.seq2.Add(1)
+
+		if u.p.CompareAndSwap(lpRaw, uint16(i*u.c+t.poolIndex), lpStamp+1) {
+			t.poolIndex = (t.poolIndex + 1) % u.c
+			st.ops.V.Add(1)
+			st.casSuccess.V.Add(1)
+			st.combined.V.Add(combined)
+			if j == 0 {
+				t.bo.Shrink()
+			}
+			return t.rvals[i]
+		}
+		st.casFail.V.Add(1)
+		if j == 0 {
+			t.bo.Grow()
+			t.bo.Wait()
+		}
+	}
+
+	st.ops.V.Add(1)
+	st.servedBy.V.Add(1)
+	for tries := 0; tries < 64; tries++ {
+		lpIdx, _ := u.p.Load()
+		if u.copyState(&u.pool[lpIdx], t) {
+			return t.rvals[i]
+		}
+	}
+	lpIdx, _ := u.p.Load()
+	return u.pool[lpIdx].rvals[i].Load()
+}
+
+// ReadInto copies the current state into dst (len ≥ StateWords). Lock-free.
+func (u *PSimWords) ReadInto(dst []uint64) {
+	scratch := &wordsThread{
+		applied: xatomic.NewSnapshot(u.n),
+		st:      make([]uint64, u.sWords),
+		rvals:   make([]uint64, u.n),
+	}
+	for {
+		lpIdx, _ := u.p.Load()
+		if u.copyState(&u.pool[lpIdx], scratch) {
+			copy(dst, scratch.st)
+			return
+		}
+	}
+}
+
+// Stats returns aggregated combining statistics.
+func (u *PSimWords) Stats() Stats { return aggregate(u.stats) }
+
+// ResetStats zeroes the statistics counters.
+func (u *PSimWords) ResetStats() { resetStats(u.stats) }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+)
+
+// wideCounter builds a PSimWords object with `words` counter cells; each
+// operation adds arg to cell (arg mod words) and returns that cell's
+// previous value.
+func wideCounter(n, c, words int) *PSimWords {
+	return NewPSimWords(n, c, make([]uint64, words), func(st []uint64, _ int, arg uint64) uint64 {
+		cell := arg % uint64(len(st))
+		prev := st[cell]
+		st[cell] += 1
+		return prev
+	})
+}
+
+func TestPSimWordsSequential(t *testing.T) {
+	u := wideCounter(1, 2, 4)
+	if got := u.Apply(0, 2); got != 0 {
+		t.Fatalf("first = %d", got)
+	}
+	if got := u.Apply(0, 2); got != 1 {
+		t.Fatalf("second = %d", got)
+	}
+	st := make([]uint64, 4)
+	u.ReadInto(st)
+	if st[2] != 2 || st[0] != 0 {
+		t.Fatalf("state = %v", st)
+	}
+}
+
+func TestPSimWordsValidation(t *testing.T) {
+	assertPanics(t, func() { NewPSimWords(0, 2, []uint64{0}, nil) })
+	assertPanics(t, func() { NewPSimWords(2, 1, []uint64{0}, nil) })
+	assertPanics(t, func() { NewPSimWords(2, 2, nil, nil) })
+	assertPanics(t, func() {
+		NewPSimWords(8192, 16, []uint64{0}, nil) // pool index overflow
+	})
+}
+
+func TestPSimWordsConcurrentSums(t *testing.T) {
+	const n, per, words = 8, 300, 8
+	u := wideCounter(n, 2, words)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, uint64(k))
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := make([]uint64, words)
+	u.ReadInto(st)
+	var total uint64
+	for _, v := range st {
+		total += v
+	}
+	if total != n*per {
+		t.Fatalf("total = %d, want %d", total, n*per)
+	}
+}
+
+// TestPSimWordsResponsesPermutationPerCell: per cell, the previous values
+// returned must form a permutation of 0..hits-1 (exactly-once on a
+// multi-word state).
+func TestPSimWordsResponsesPermutationPerCell(t *testing.T) {
+	const n, per = 6, 200
+	u := NewPSimWords(n, 2, make([]uint64, 2), func(st []uint64, _ int, arg uint64) uint64 {
+		prev := st[arg%2]
+		st[arg%2]++
+		return prev
+	})
+	var mu sync.Mutex
+	seen := [2]map[uint64]bool{{}, {}}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			type rec struct{ cell, prev uint64 }
+			local := make([]rec, 0, per)
+			for k := 0; k < per; k++ {
+				cell := uint64(k % 2)
+				local = append(local, rec{cell, u.Apply(id, cell)})
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, r := range local {
+				if seen[r.cell][r.prev] {
+					t.Errorf("cell %d: previous value %d duplicated", r.cell, r.prev)
+					return
+				}
+				seen[r.cell][r.prev] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestPSimWordsLinearizable(t *testing.T) {
+	const n, per, rounds = 3, 4, 15
+	for r := 0; r < rounds; r++ {
+		u := NewPSimWords(n, 2, []uint64{0, 0}, func(st []uint64, _ int, arg uint64) uint64 {
+			prev := st[0]
+			st[0] += arg
+			st[1] ^= prev // second word exercises multi-word copies
+			return prev
+		})
+		rec := check.NewRecorder(n * per)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for k := 0; k < per; k++ {
+					slot := rec.Invoke(id, check.OpAdd, 1)
+					prev := u.Apply(id, 1)
+					rec.Return(slot, prev, false)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if !check.Linearizable(rec.Operations(), check.CounterSpec(0)) {
+			t.Fatalf("round %d: history not linearizable:\n%v", r, rec.Operations())
+		}
+	}
+}
+
+func TestPSimWordsStatsAndAccessors(t *testing.T) {
+	u := wideCounter(3, 2, 5)
+	if u.N() != 3 || u.StateWords() != 5 {
+		t.Fatalf("N=%d StateWords=%d", u.N(), u.StateWords())
+	}
+	u.Apply(0, 1)
+	u.Apply(1, 1)
+	s := u.Stats()
+	if s.Ops != 2 || s.Combined != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	u.ResetStats()
+	if u.Stats().Ops != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestPSimWordsSmallPoolStress(t *testing.T) {
+	const n, per = 8, 400
+	u := NewPSimWords(n, 2, make([]uint64, 16), func(st []uint64, _ int, arg uint64) uint64 {
+		prev := st[0]
+		st[0] += arg
+		st[15] = st[0] // keep the far word in play
+		return prev
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := make([]uint64, 16)
+	u.ReadInto(st)
+	if st[0] != n*per || st[15] != n*per {
+		t.Fatalf("state = %v", st[:2])
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSimReadMonotoneUnderConcurrency: with monotonically growing state
+// (adds only), concurrent Reads must never observe a regression — Read is a
+// single load of the linearizable LL/SC object's current value.
+func TestSimReadMonotoneUnderConcurrency(t *testing.T) {
+	const n, per = 4, 150
+	u := faaSim(n, 8)
+	var stop atomic.Bool
+	readerErr := make(chan string, 1)
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		var last uint64
+		for !stop.Load() {
+			v := u.Read()
+			if v < last {
+				select {
+				case readerErr <- "Read went backwards":
+				default:
+				}
+				return
+			}
+			last = v
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.ApplyOp(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	stop.Store(true)
+	readers.Wait()
+	select {
+	case msg := <-readerErr:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestSimOpcodeBoundaryWidths: the d=63 and d=64 boundary cases of the
+// opcode validation and chunk packing.
+func TestSimOpcodeBoundaryWidths(t *testing.T) {
+	u63 := NewSim(1, 63, uint64(0), func(st uint64, _ int, op uint64) (uint64, uint64) {
+		return st ^ op, st
+	})
+	big := uint64(1)<<63 - 1
+	u63.ApplyOp(0, big)
+	if u63.Read() != big {
+		t.Fatalf("state = %#x", u63.Read())
+	}
+	assertPanics(t, func() { u63.ApplyOp(0, 1<<63) })
+
+	u64 := NewSim(1, 64, uint64(0), func(st uint64, _ int, op uint64) (uint64, uint64) {
+		return op, st
+	})
+	u64.ApplyOp(0, ^uint64(0))
+	if u64.Read() != ^uint64(0) {
+		t.Fatalf("state = %#x", u64.Read())
+	}
+}
+
+// TestSimManySequentialOps: a long single-process run keeps the ⊥
+// alternation sound (the applied bit flips on, then off, every request).
+func TestSimManySequentialOps(t *testing.T) {
+	u := faaSim(1, 8)
+	for k := 0; k < 500; k++ {
+		if got := u.ApplyOp(0, 1); got != uint64(k) {
+			t.Fatalf("op %d returned %d", k, got)
+		}
+	}
+}
+
+// TestSimDistinctOpcodesRouting: different opcodes from different processes
+// apply their own semantics (the opcode is the operation, not just a flag).
+func TestSimDistinctOpcodesRouting(t *testing.T) {
+	// Opcode semantics: 1 = add 10, 2 = add 100, 3 = add 1000.
+	u := NewSim(3, 4, uint64(0), func(st uint64, _ int, op uint64) (uint64, uint64) {
+		switch op {
+		case 1:
+			return st + 10, st
+		case 2:
+			return st + 100, st
+		case 3:
+			return st + 1000, st
+		}
+		return st, st
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				u.ApplyOp(id, uint64(id)+1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := u.Read(); got != 50*(10+100+1000) {
+		t.Fatalf("state = %d, want %d", got, 50*(10+100+1000))
+	}
+}

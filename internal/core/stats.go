@@ -1,0 +1,51 @@
+package core
+
+import "repro/internal/pad"
+
+// threadStats is one thread's padded counter block. Threads only ever write
+// their own block, so the instrumentation adds no coherence traffic.
+type threadStats struct {
+	ops        pad.Uint64 // operations completed by this thread
+	casSuccess pad.Uint64 // successful state-publish CAS/SC by this thread
+	casFail    pad.Uint64 // failed state-publish CAS/SC
+	combined   pad.Uint64 // operations this thread applied while combining
+	servedBy   pad.Uint64 // own ops completed by another thread's combine
+}
+
+// Stats aggregates the combining behaviour of a construction instance. The
+// AverageHelping value is the paper's "average degree of helping" plotted in
+// the right part of Figure 2: how many announced operations each successful
+// state change applied.
+type Stats struct {
+	Ops           uint64  // total completed operations
+	CASSuccesses  uint64  // total successful publishes
+	CASFailures   uint64  // total failed publishes
+	Combined      uint64  // total operations applied inside combines
+	ServedByOther uint64  // operations completed for a thread by a helper
+	AvgHelping    float64 // Combined / CASSuccesses
+}
+
+func aggregate(ts []threadStats) Stats {
+	var s Stats
+	for i := range ts {
+		s.Ops += ts[i].ops.V.Load()
+		s.CASSuccesses += ts[i].casSuccess.V.Load()
+		s.CASFailures += ts[i].casFail.V.Load()
+		s.Combined += ts[i].combined.V.Load()
+		s.ServedByOther += ts[i].servedBy.V.Load()
+	}
+	if s.CASSuccesses > 0 {
+		s.AvgHelping = float64(s.Combined) / float64(s.CASSuccesses)
+	}
+	return s
+}
+
+func resetStats(ts []threadStats) {
+	for i := range ts {
+		ts[i].ops.V.Store(0)
+		ts[i].casSuccess.V.Store(0)
+		ts[i].casFail.V.Store(0)
+		ts[i].combined.V.Store(0)
+		ts[i].servedBy.V.Store(0)
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/lsim"
+	"repro/internal/simmap"
+	"repro/internal/workload"
+)
+
+// The paper leaves L-Sim's experimental analysis as future work (§1, §6);
+// this experiment performs it. The object is an array of `size` words; each
+// operation touches two pseudo-random cells (w = 2). P-Sim must copy all
+// `size` words per combining round (the clone), while L-Sim touches only
+// the accessed ItemSV records — O(kw) instead of O(s). The crossover as
+// `size` grows is the entire reason L-Sim exists.
+
+// LargeObjectMakers returns the two contenders for one object size.
+func LargeObjectMakers(size int) []harness.Maker {
+	psim := func(n int) harness.Instance {
+		u := newArrayPSim(n, size)
+		return harness.Instance{
+			Name: fmt.Sprintf("P-Sim(s=%d)", size),
+			Op: func(id int, rng *workload.RNG) {
+				u.Apply(id, [2]uint64{uint64(rng.Intn(size)), uint64(rng.Intn(size))})
+			},
+		}
+	}
+	lsimMk := func(n int) harness.Instance {
+		l, _, op := newArrayLSim(n, size)
+		return harness.Instance{
+			Name: fmt.Sprintf("L-Sim(s=%d)", size),
+			Op: func(id int, rng *workload.RNG) {
+				l.ApplyOp(id, op, [2]uint64{uint64(rng.Intn(size)), uint64(rng.Intn(size))})
+			},
+		}
+	}
+	return []harness.Maker{psim, lsimMk}
+}
+
+// newArrayPSim builds the array object over plain P-Sim: the state is the
+// whole []uint64 and the clone copies every word each combining round.
+func newArrayPSim(n, size int) *core.PSim[[]uint64, [2]uint64, uint64] {
+	return core.NewPSim(n, make([]uint64, size),
+		func(st *[]uint64, _ int, arg [2]uint64) uint64 {
+			va := (*st)[arg[0]]
+			(*st)[arg[0]] = va + 1
+			(*st)[arg[1]] ^= va
+			return va
+		},
+		core.WithClone[[]uint64](func(s []uint64) []uint64 {
+			return append([]uint64(nil), s...)
+		}))
+}
+
+// newArrayLSim builds the same object over L-Sim: one item per cell.
+func newArrayLSim(n, size int) (*lsim.LSim[uint64, [2]uint64, uint64], []*lsim.Item[uint64], lsim.OpFunc[uint64, [2]uint64, uint64]) {
+	l := lsim.New[uint64, [2]uint64, uint64](n)
+	items := make([]*lsim.Item[uint64], size)
+	for i := range items {
+		items[i] = l.NewRootItem(0)
+	}
+	op := func(m *lsim.Mem[uint64, [2]uint64, uint64], arg [2]uint64) uint64 {
+		a, b := items[arg[0]], items[arg[1]]
+		va := m.Read(a)
+		m.Write(a, va+1)
+		vb := m.Read(b)
+		m.Write(b, vb^va)
+		return va
+	}
+	return l, items, op
+}
+
+// LargeObjectSweep runs the comparison across object sizes and returns the
+// combined results (the harness keys rows by implementation name, which
+// embeds the size).
+func LargeObjectSweep(cfg harness.Config, sizes []int) []harness.Result {
+	var all []harness.Result
+	for _, s := range sizes {
+		all = append(all, harness.Run(cfg, LargeObjectMakers(s))...)
+	}
+	return all
+}
+
+// MapContentionMakers compares the striped wait-free map against a single
+// global P-Sim instance managing the same object — quantifying what the
+// multiple-instances idea (SimQueue's trick, §5) buys on a map workload.
+func MapContentionMakers(stripes int) []harness.Maker {
+	striped := func(n int) harness.Instance {
+		m := simmap.New[uint64, uint64](n, stripes)
+		return harness.Instance{
+			Name: fmt.Sprintf("Map(%d-stripes)", stripes),
+			Op: func(id int, rng *workload.RNG) {
+				k := rng.Uint64() % 512
+				if rng.Intn(4) == 0 {
+					m.Delete(id, k)
+				} else {
+					m.Put(id, k, k)
+				}
+			},
+		}
+	}
+	single := func(n int) harness.Instance {
+		m := simmap.New[uint64, uint64](n, 1)
+		return harness.Instance{
+			Name: "Map(1-stripe)",
+			Op: func(id int, rng *workload.RNG) {
+				k := rng.Uint64() % 512
+				if rng.Intn(4) == 0 {
+					m.Delete(id, k)
+				} else {
+					m.Put(id, k, k)
+				}
+			},
+		}
+	}
+	return []harness.Maker{striped, single}
+}

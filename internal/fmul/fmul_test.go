@@ -1,0 +1,109 @@
+package fmul
+
+import (
+	"sync"
+	"testing"
+)
+
+func allImpls(n int) []Interface {
+	return []Interface{
+		NewPSim(n),
+		NewPSimPooled(n),
+		NewCLH(n),
+		NewMCS(n),
+		NewLockFree(n),
+		NewFC(n, 0, 0),
+		NewHerlihy(n),
+		NewCombTree(n),
+	}
+}
+
+func TestFMulSequentialAllImpls(t *testing.T) {
+	for _, o := range allImpls(1) {
+		t.Run(o.Name(), func(t *testing.T) {
+			if got := o.Apply(0, 3); got != 1 {
+				t.Fatalf("first = %d, want 1", got)
+			}
+			if got := o.Apply(0, 5); got != 3 {
+				t.Fatalf("second = %d, want 3", got)
+			}
+			if got := o.Read(); got != 15 {
+				t.Fatalf("Read = %d, want 15", got)
+			}
+		})
+	}
+}
+
+// TestFMulConcurrentProduct: multiplication is commutative, so however the
+// operations linearize, the final product must equal the product of all
+// applied factors — for every implementation.
+func TestFMulConcurrentProduct(t *testing.T) {
+	const n, per = 8, 200
+	for _, o := range allImpls(n) {
+		t.Run(o.Name(), func(t *testing.T) {
+			var want uint64 = 1
+			for i := 0; i < n*per; i++ {
+				want *= 3
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for k := 0; k < per; k++ {
+						o.Apply(id, 3)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if got := o.Read(); got != want {
+				t.Fatalf("product = %#x, want %#x", got, want)
+			}
+		})
+	}
+}
+
+// TestFMulResponsesChain: under a single thread, each response must equal
+// the previous response times the factor — response consistency.
+func TestFMulResponsesChain(t *testing.T) {
+	for _, o := range allImpls(1) {
+		t.Run(o.Name(), func(t *testing.T) {
+			prev := uint64(1)
+			for k := 0; k < 30; k++ {
+				got := o.Apply(0, 7)
+				if got != prev {
+					t.Fatalf("op %d: response %d, want %d", k, got, prev)
+				}
+				prev *= 7
+			}
+		})
+	}
+}
+
+func TestFMulNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, o := range allImpls(1) {
+		if o.Name() == "" || seen[o.Name()] {
+			t.Fatalf("bad/duplicate name %q", o.Name())
+		}
+		seen[o.Name()] = true
+	}
+}
+
+func TestFMulStatsExposed(t *testing.T) {
+	p := NewPSim(2)
+	p.Apply(0, 3)
+	if s := p.Stats(); s.Ops != 1 {
+		t.Fatalf("PSim stats: %+v", s)
+	}
+	pp := NewPSimPooled(2)
+	pp.Apply(0, 3)
+	if s := pp.Stats(); s.Ops != 1 {
+		t.Fatalf("pooled stats: %+v", s)
+	}
+	fc := NewFC(2, 0, 0)
+	fc.Apply(0, 3)
+	if s := fc.Stats(); s.Served == 0 {
+		t.Fatalf("FC stats: %+v", s)
+	}
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the results as an ASCII line chart shaped like the paper's
+// figures: x axis = threads, y axis = mean time per run, one glyph per
+// implementation. It makes the qualitative shape (who degrades, who stays
+// flat, where curves cross) visible directly in terminal output and in
+// EXPERIMENTS.md.
+func Chart(results []Result, height int) string {
+	impls, threads := axes(results)
+	cell := index(results)
+	if len(impls) == 0 || len(threads) == 0 {
+		return "(no data)\n"
+	}
+	if height < 4 {
+		height = 12
+	}
+
+	// y range over all cells.
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, r := range results {
+		if r.MeanSec < minY {
+			minY = r.MeanSec
+		}
+		if r.MeanSec > maxY {
+			maxY = r.MeanSec
+		}
+	}
+	if minY == maxY {
+		maxY = minY + 1e-9
+	}
+
+	glyphs := []byte{'S', 'c', 'l', 'f', 'm', 't', 'p', 'q', 'x', 'o', 'w'}
+	colWidth := 6
+	width := len(threads) * colWidth
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(sec float64) int {
+		frac := (sec - minY) / (maxY - minY)
+		r := int(math.Round(frac * float64(height-1)))
+		return height - 1 - r // row 0 is the top (max)
+	}
+	for ii, im := range impls {
+		g := glyphs[ii%len(glyphs)]
+		for ti, n := range threads {
+			r, ok := cell[key{im, n}]
+			if !ok {
+				continue
+			}
+			x := ti*colWidth + colWidth/2
+			y := row(r.MeanSec)
+			if grid[y][x] == ' ' {
+				grid[y][x] = g
+			} else {
+				grid[y][x] = '*' // collision: curves overlap here
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%9.2fms ┤\n", maxY*1e3)
+	for i := range grid {
+		label := strings.Repeat(" ", 12)
+		if i == height-1 {
+			label = fmt.Sprintf("%9.2fms ", minY*1e3)
+		}
+		fmt.Fprintf(&b, "%s│%s\n", label, string(grid[i]))
+	}
+	b.WriteString(strings.Repeat(" ", 12) + "└" + strings.Repeat("─", width) + "\n")
+	b.WriteString(strings.Repeat(" ", 13))
+	for _, n := range threads {
+		fmt.Fprintf(&b, "%-*d", colWidth, n)
+	}
+	b.WriteString("threads\n\nlegend: ")
+	for ii, im := range impls {
+		fmt.Fprintf(&b, "%c=%s  ", glyphs[ii%len(glyphs)], im)
+	}
+	b.WriteString("(*=overlap)\n")
+	return b.String()
+}

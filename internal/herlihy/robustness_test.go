@@ -1,0 +1,78 @@
+package herlihy
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHerlihyCrashedAnnouncerIsHelped: a process that announces its cell and
+// crashes is still threaded by round-robin helping — the wait-freedom
+// mechanism of the classic construction.
+func TestHerlihyCrashedAnnouncerIsHelped(t *testing.T) {
+	const n, per = 4, 200
+	u := faa(n)
+
+	// Process 0 announces and crashes.
+	crashed := &cell[uint64, uint64, uint64]{pid: 0, arg: 500}
+	u.announce[0].P.Store(crashed)
+
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if crashed.done.Load() == nil {
+		t.Fatal("crashed process's announced operation was never threaded")
+	}
+	if got := u.Read(1); got != (n-1)*per+500 {
+		t.Fatalf("state = %d, want %d", got, (n-1)*per+500)
+	}
+}
+
+// TestHerlihyHistoryChainIntact: after a run, walking the chain from any
+// process's head reaches a consistent suffix with strictly increasing
+// sequence numbers.
+func TestHerlihyHistoryChainIntact(t *testing.T) {
+	const n, per = 3, 50
+	u := faa(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	cur := u.head[0].P.Load()
+	prev := cur.done.Load().seq
+	steps := 0
+	for {
+		next := cur.next.Load()
+		if next == nil {
+			break
+		}
+		d := next.done.Load()
+		if d == nil {
+			t.Fatal("threaded chain contains an undecided cell")
+		}
+		if d.seq != prev+1 {
+			t.Fatalf("sequence gap: %d after %d", d.seq, prev)
+		}
+		prev = d.seq
+		cur = next
+		steps++
+	}
+	if prev != n*per {
+		t.Fatalf("chain ends at seq %d, want %d", prev, n*per)
+	}
+}

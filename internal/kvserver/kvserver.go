@@ -1,0 +1,180 @@
+// Package kvserver is a small TCP key-value server built on the wait-free
+// striped map — the kind of downstream application the universal
+// construction exists for. Every mutation is wait-free: a slow or stalled
+// client connection can never hold a lock that blocks other clients'
+// operations (there are no locks), and reads are single atomic loads.
+//
+// Protocol (one request per line, space-separated, values base-10 uint64):
+//
+//	PUT <key> <value>   -> OK <previous>|OK NIL
+//	GET <key>           -> VAL <value>|NIL
+//	DEL <key>           -> OK <previous>|OK NIL
+//	LEN                 -> LEN <count>
+//	STATS               -> STATS ops=<n> helping=<avg>
+//	QUIT                -> BYE (closes the connection)
+//
+// Malformed requests get "ERR <reason>" and the connection stays open.
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/simmap"
+)
+
+// Server is a key-value server instance. Up to MaxClients connections are
+// served concurrently; each holds one of the map's process ids while
+// connected.
+type Server struct {
+	m       *simmap.Map[string, uint64]
+	ids     chan int // free-list of process ids
+	ln      net.Listener
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup
+	maxConn int
+}
+
+// New returns a server allowing maxClients concurrent connections, with the
+// given stripe count for the underlying map (0 selects maxClients).
+func New(maxClients, stripes int) *Server {
+	if maxClients < 1 {
+		maxClients = 1
+	}
+	if stripes <= 0 {
+		stripes = maxClients
+	}
+	s := &Server{
+		m:       simmap.New[string, uint64](maxClients, stripes),
+		ids:     make(chan int, maxClients),
+		maxConn: maxClients,
+	}
+	for i := 0; i < maxClients; i++ {
+		s.ids <- i
+	}
+	return s
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serve loops run in background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		id := <-s.ids // waits if all client slots are busy
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { s.ids <- id }()
+			defer conn.Close()
+			s.ServeConn(id, conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ServeConn handles one client connection with map process id. Exposed so
+// tests (and in-process embedders) can drive the protocol over net.Pipe.
+func (s *Server) ServeConn(id int, conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		resp, quit := s.handle(id, line)
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// handle executes one request line and returns the response line.
+func (s *Server) handle(id int, line string) (resp string, quit bool) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "PUT":
+		if len(fields) != 3 {
+			return "ERR usage: PUT <key> <value>", false
+		}
+		v, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return "ERR value must be a uint64", false
+		}
+		prev, existed := s.m.Put(id, fields[1], v)
+		if !existed {
+			return "OK NIL", false
+		}
+		return fmt.Sprintf("OK %d", prev), false
+	case "GET":
+		if len(fields) != 2 {
+			return "ERR usage: GET <key>", false
+		}
+		v, ok := s.m.Get(fields[1])
+		if !ok {
+			return "NIL", false
+		}
+		return fmt.Sprintf("VAL %d", v), false
+	case "DEL":
+		if len(fields) != 2 {
+			return "ERR usage: DEL <key>", false
+		}
+		prev, existed := s.m.Delete(id, fields[1])
+		if !existed {
+			return "OK NIL", false
+		}
+		return fmt.Sprintf("OK %d", prev), false
+	case "LEN":
+		return fmt.Sprintf("LEN %d", s.m.Len()), false
+	case "STATS":
+		st := s.m.Stats()
+		return fmt.Sprintf("STATS ops=%d helping=%.2f", st.Ops, st.AvgHelping), false
+	case "QUIT":
+		return "BYE", true
+	}
+	return "ERR unknown command " + cmd, false
+}
+
+// Map exposes the underlying map for embedding scenarios and tests.
+func (s *Server) Map() *simmap.Map[string, uint64] { return s.m }

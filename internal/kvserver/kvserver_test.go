@@ -1,0 +1,197 @@
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// dialPipe wires a client to ServeConn over an in-memory pipe.
+func dialPipe(t *testing.T, s *Server, id int) (send func(string) string, shutdown func()) {
+	t.Helper()
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer server.Close()
+		s.ServeConn(id, server)
+		close(done)
+	}()
+	r := bufio.NewReader(client)
+	send = func(line string) string {
+		if _, err := fmt.Fprintln(client, line); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return strings.TrimSpace(resp)
+	}
+	return send, func() {
+		client.Close()
+		<-done
+	}
+}
+
+func TestProtocolBasics(t *testing.T) {
+	s := New(2, 2)
+	send, done := dialPipe(t, s, 0)
+	defer done()
+
+	cases := [][2]string{
+		{"GET a", "NIL"},
+		{"PUT a 5", "OK NIL"},
+		{"GET a", "VAL 5"},
+		{"PUT a 7", "OK 5"},
+		{"DEL a", "OK 7"},
+		{"DEL a", "OK NIL"},
+		{"LEN", "LEN 0"},
+		{"PUT b 1", "OK NIL"},
+		{"LEN", "LEN 1"},
+	}
+	for _, c := range cases {
+		if got := send(c[0]); got != c[1] {
+			t.Fatalf("%q -> %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := New(1, 1)
+	send, done := dialPipe(t, s, 0)
+	defer done()
+
+	for _, req := range []string{
+		"PUT a", "PUT a b c d", "PUT a notanumber",
+		"GET", "DEL", "NOSUCH x",
+	} {
+		if got := send(req); !strings.HasPrefix(got, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", req, got)
+		}
+	}
+	// The connection survives errors.
+	if got := send("PUT k 1"); got != "OK NIL" {
+		t.Fatalf("connection broken after errors: %q", got)
+	}
+}
+
+func TestProtocolQuit(t *testing.T) {
+	s := New(1, 1)
+	send, done := dialPipe(t, s, 0)
+	if got := send("QUIT"); got != "BYE" {
+		t.Fatalf("QUIT -> %q", got)
+	}
+	done()
+}
+
+func TestProtocolStats(t *testing.T) {
+	s := New(1, 1)
+	send, done := dialPipe(t, s, 0)
+	defer done()
+	send("PUT x 1")
+	if got := send("STATS"); !strings.HasPrefix(got, "STATS ops=") {
+		t.Fatalf("STATS -> %q", got)
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	s := New(4, 4)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	fmt.Fprintln(conn, "PUT hello 42")
+	if resp, _ := r.ReadString('\n'); strings.TrimSpace(resp) != "OK NIL" {
+		t.Fatalf("PUT -> %q", resp)
+	}
+	fmt.Fprintln(conn, "GET hello")
+	if resp, _ := r.ReadString('\n'); strings.TrimSpace(resp) != "VAL 42" {
+		t.Fatalf("GET -> %q", resp)
+	}
+}
+
+// TestConcurrentClientsConservation: many TCP clients hammer disjoint keys;
+// every binding must be present afterwards.
+func TestConcurrentClientsConservation(t *testing.T) {
+	const clients, keysPer = 6, 50
+	s := New(clients, 4)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for k := 0; k < keysPer; k++ {
+				fmt.Fprintf(conn, "PUT k%d-%d %d\n", c, k, c*1000+k)
+				if resp, _ := r.ReadString('\n'); !strings.HasPrefix(resp, "OK") {
+					t.Errorf("PUT -> %q", resp)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := s.Map().Len(); got != clients*keysPer {
+		t.Fatalf("map has %d entries, want %d", got, clients*keysPer)
+	}
+	for c := 0; c < clients; c++ {
+		for k := 0; k < keysPer; k++ {
+			key := fmt.Sprintf("k%d-%d", c, k)
+			if v, ok := s.Map().Get(key); !ok || v != uint64(c*1000+k) {
+				t.Fatalf("key %s = (%d,%v)", key, v, ok)
+			}
+		}
+	}
+}
+
+// TestClientSlotRecycling: more sequential connections than client slots —
+// ids must recycle.
+func TestClientSlotRecycling(t *testing.T) {
+	s := New(2, 2)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		r := bufio.NewReader(conn)
+		fmt.Fprintf(conn, "PUT k%d 1\nQUIT\n", i)
+		if resp, _ := r.ReadString('\n'); !strings.HasPrefix(resp, "OK") {
+			t.Fatalf("PUT -> %q", resp)
+		}
+		if resp, _ := r.ReadString('\n'); strings.TrimSpace(resp) != "BYE" {
+			t.Fatalf("QUIT -> %q", resp)
+		}
+		conn.Close()
+	}
+	if got := s.Map().Len(); got != 8 {
+		t.Fatalf("map has %d entries, want 8", got)
+	}
+}

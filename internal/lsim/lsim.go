@@ -1,0 +1,296 @@
+// Package lsim implements L-Sim (paper §6, Algorithms 7 and 8): the Sim
+// universal construction for LARGE objects. Where Sim/P-Sim copy the whole
+// simulated state each round, L-Sim operates directly on the shared data
+// structure: every data item lives in its own ItemSV record holding two
+// value slots, a toggle selecting the current slot, and the sequence number
+// of the combining round that last wrote it. Helpers of a round execute the
+// same set of operations deterministically against per-helper directories
+// (write sets), then write the dirty items back with per-item SC, so a round
+// costs O(kw) shared accesses — k the interval contention, w the number of
+// items an operation touches — instead of O(s) for the full state.
+//
+// The construction is wait-free and linearizable (Theorem 6.1). Announced
+// operations are executed by ALL concurrent helpers of a round, so an
+// operation function must be deterministic and must access shared data only
+// through its Mem parameter.
+package lsim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/collect"
+	"repro/internal/xatomic"
+)
+
+// Item is one shared data item (struct ItemSV of Algorithm 7): two value
+// slots plus toggle and round stamp, manipulated with LL/SC. The zero value
+// of V plays the paper's ⊥.
+type Item[V any] struct {
+	sv *xatomic.LLSC[itemBody[V]]
+}
+
+type itemBody[V any] struct {
+	val    [2]V
+	toggle int    // index of the CURRENT slot; 1-toggle holds the old value
+	seq    uint64 // round that last wrote the item
+}
+
+func newItem[V any](init V) *Item[V] {
+	var b itemBody[V]
+	b.val[0] = init
+	return &Item[V]{sv: xatomic.NewLLSC(b)}
+}
+
+// Current returns the item's committed value — for inspection outside any
+// operation (tests, examples). Inside an operation use Mem.Read.
+func (it *Item[V]) Current() V {
+	b := it.sv.Read()
+	return b.val[b.toggle]
+}
+
+// OpFunc is a sequential operation on the large object. It may read, write
+// and allocate items only through m, must be deterministic (helpers replay
+// it), and must not retain m beyond the call.
+type OpFunc[V, A, R any] func(m *Mem[V, A, R], arg A) R
+
+// announced is an announce-array record.
+type announced[V, A, R any] struct {
+	fn  OpFunc[V, A, R]
+	arg A
+}
+
+// lsimState is the LL/SC-published round record (struct State of
+// Algorithm 7): the applied/papplied double bit vector, per-process
+// responses, the round number, and the shared list of items allocated
+// during the round.
+type lsimState[R any] struct {
+	applied  []bool
+	papplied []bool
+	rvals    []R
+	seq      uint64
+	varList  *newList
+}
+
+// newList is the shared new-variable list; head is a dummy node so the
+// first insertion is the same CAS as every other (the paper's var_list).
+type newList struct {
+	head newVar
+}
+
+type newVar struct {
+	item any // *Item[V]; stored untyped to keep newList monomorphic
+	next atomic.Pointer[newVar]
+}
+
+// LSim is an L-Sim universal object instance.
+type LSim[V, A, R any] struct {
+	n int
+
+	announce *collect.Announce[announced[V, A, R]]
+	act      *collect.ActSet
+	members  []*collect.Member
+	s        *xatomic.LLSC[lsimState[R]]
+
+	counter *xatomic.AccessCounter
+	stats   []lsimStats
+}
+
+type lsimStats struct {
+	ops, scSuccess, scFail, combined atomic.Uint64
+	_                                [32]byte
+}
+
+// New returns an L-Sim instance for n processes. Items making up the
+// object's initial state are created with NewRootItem before any ApplyOp.
+func New[V, A, R any](n int) *LSim[V, A, R] {
+	l := &LSim[V, A, R]{
+		n:        n,
+		announce: collect.NewAnnounce[announced[V, A, R]](n),
+		act:      collect.NewActSet(n),
+		members:  make([]*collect.Member, n),
+		stats:    make([]lsimStats, n),
+	}
+	for i := range l.members {
+		l.members[i] = l.act.Member(i)
+	}
+	l.s = xatomic.NewLLSC(lsimState[R]{
+		applied:  make([]bool, n),
+		papplied: make([]bool, n),
+		rvals:    make([]R, n),
+		varList:  &newList{},
+	})
+	return l
+}
+
+// NewRootItem creates a free-standing item initialized to init. Root items
+// form the object's initial structure; items allocated during operations
+// come from Mem.Alloc.
+func (l *LSim[V, A, R]) NewRootItem(init V) *Item[V] {
+	return newItem(init)
+}
+
+// SetAccessCounter attaches shared-access instrumentation (Table 1). Not
+// safe to call concurrently with ApplyOp.
+func (l *LSim[V, A, R]) SetAccessCounter(c *xatomic.AccessCounter) { l.counter = c }
+
+// N returns the number of processes.
+func (l *LSim[V, A, R]) N() int { return l.n }
+
+// ApplyOp announces op with argument arg for process i, executes the
+// join/attempt/leave protocol of Algorithm 7 (lines 1–7), and returns the
+// operation's response. Each process id must be driven by one goroutine.
+func (l *LSim[V, A, R]) ApplyOp(i int, op OpFunc[V, A, R], arg A) R {
+	l.announce.Write(i, &announced[V, A, R]{fn: op, arg: arg}) // line 1
+	l.count(i, 1)
+	l.members[i].Join() // line 2
+	l.count(i, 1)
+	l.attempt(i) // lines 3–4
+	l.attempt(i)
+	l.members[i].Leave() // line 5
+	l.count(i, 1)
+	l.attempt(i) // line 6: eliminate the evidence of op
+
+	rv := l.s.Read().rvals[i] // line 7
+	l.count(i, 1)
+	l.stats[i].ops.Add(1)
+	return rv
+}
+
+// errObsolete aborts an in-progress simulation when the helper discovers the
+// state it read is stale (Algorithm 8 line 35's "goto line 38").
+type obsoleteError struct{}
+
+func (obsoleteError) Error() string { return "lsim: state obsolete" }
+
+// attempt is Attempt of Algorithm 8: two rounds of
+// read-state/simulate/write-back/publish.
+func (l *LSim[V, A, R]) attempt(i int) {
+	st := &l.stats[i]
+	for j := 0; j < 2; j++ { // line 9
+		ls, tag := l.s.LL() // line 11
+		l.count(i, 1)
+		lact := l.act.GetSet() // line 12
+		l.count(i, uint64(l.act.Words()))
+
+		tmp := lsimState[R]{ // lines 14–18
+			applied:  make([]bool, l.n),
+			papplied: append([]bool(nil), ls.applied...),
+			rvals:    append([]R(nil), ls.rvals...),
+			seq:      ls.seq + 1,
+		}
+		for q := 0; q < l.n; q++ {
+			tmp.applied[q] = lact.Bit(q)
+		}
+
+		m := &Mem[V, A, R]{
+			l:    l,
+			id:   i,
+			seq:  tmp.seq,
+			dir:  make(map[*Item[V]]*dirEntry[V]),
+			ltop: &ls.varList.head, // line 13
+		}
+
+		// lines 19–37: simulate the operation of every process whose
+		// announcement became visible last round (applied ∧ ¬papplied).
+		combined := uint64(0)
+		if ok := l.simulate(ls, &tmp, m, &combined); !ok {
+			continue // stale state detected mid-simulation — retry round
+		}
+
+		if !l.s.VL(tag) { // line 38: the state we read is obsolete
+			l.count(i, 1)
+			continue
+		}
+		l.count(i, 1)
+
+		// lines 39–43: write the directory back with per-item SC.
+		if !l.writeBack(i, m, tmp.seq) {
+			return // a later round already committed everything (line 40)
+		}
+
+		tmp.varList = &newList{} // line 44: fresh list for the next round
+
+		if l.s.SC(tag, tmp) { // line 45
+			st.scSuccess.Add(1)
+			st.combined.Add(combined)
+		} else {
+			st.scFail.Add(1)
+		}
+		l.count(i, 1)
+	}
+}
+
+// simulate runs every eligible announced operation against m. It reports
+// false if the state was discovered to be obsolete.
+func (l *LSim[V, A, R]) simulate(ls lsimState[R], tmp *lsimState[R], m *Mem[V, A, R], combined *uint64) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isObsolete := r.(obsoleteError); isObsolete {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	for q := 0; q < l.n; q++ { // line 19
+		if ls.applied[q] && !ls.papplied[q] { // line 20
+			a := l.announce.Read(q) // the operation announced by q
+			l.count(m.id, 1)
+			tmp.rvals[q] = a.fn(m, a.arg) // lines 21–37
+			*combined++
+		}
+	}
+	return true
+}
+
+// writeBack applies the directory to the shared items (lines 39–43). It
+// reports false when a LATER round has already committed, in which case the
+// caller must return immediately (every operation of this round — including
+// the caller's — has been applied by others).
+func (l *LSim[V, A, R]) writeBack(id int, m *Mem[V, A, R], seq uint64) bool {
+	for it, d := range m.dir {
+		body, itag := it.sv.LL() // lines 39–41
+		l.count(id, 1)
+		if body.seq > seq {
+			return false // line 40
+		}
+		if body.seq == seq {
+			continue // line 41: a co-helper already wrote it
+		}
+		var nb itemBody[V]
+		nb.seq = seq
+		if body.toggle == 0 { // line 42: preserve val[0] as the old value
+			nb.val[0] = body.val[0]
+			nb.val[1] = d.val
+			nb.toggle = 1
+		} else { // line 43
+			nb.val[0] = d.val
+			nb.val[1] = body.val[1]
+			nb.toggle = 0
+		}
+		it.sv.SC(itag, nb)
+		l.count(id, 1)
+	}
+	return true
+}
+
+func (l *LSim[V, A, R]) count(i int, n uint64) {
+	l.counter.Add(i, n)
+}
+
+// Rvals returns the committed response of process i (test helper).
+func (l *LSim[V, A, R]) Rvals(i int) R { return l.s.Read().rvals[i] }
+
+// Seq returns the committed round number (test helper).
+func (l *LSim[V, A, R]) Seq() uint64 { return l.s.Read().seq }
+
+// Stats aggregates combining statistics across processes.
+func (l *LSim[V, A, R]) Stats() (ops, scSuccess, scFail, combined uint64) {
+	for i := range l.stats {
+		ops += l.stats[i].ops.Load()
+		scSuccess += l.stats[i].scSuccess.Load()
+		scFail += l.stats[i].scFail.Load()
+		combined += l.stats[i].combined.Load()
+	}
+	return
+}

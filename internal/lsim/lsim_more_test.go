@@ -1,0 +1,124 @@
+package lsim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLSimConcurrentAllocStress: every operation allocates, under high
+// contention — the shared new-variable list is the only way co-helpers can
+// agree on fresh item identities, so duplicates or lost nodes here would
+// mean the Alloc protocol (lines 21–27) broke.
+func TestLSimConcurrentAllocStress(t *testing.T) {
+	type lv struct {
+		val  uint64
+		next *Item[lv]
+	}
+	const n, per = 8, 120
+	l := New[lv, uint64, uint64](n)
+	head := l.NewRootItem(lv{})
+	prepend := func(m *Mem[lv, uint64, uint64], arg uint64) uint64 {
+		h := m.Read(head)
+		node := m.Alloc()
+		m.Write(node, lv{val: arg, next: h.next})
+		m.Write(head, lv{next: node})
+		return arg
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				l.ApplyOp(id, prepend, uint64(id*per+k)+1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	count := 0
+	for it := head.Current().next; it != nil; it = it.Current().next {
+		v := it.Current().val
+		if seen[v] {
+			t.Fatalf("value %d duplicated in list", v)
+		}
+		seen[v] = true
+		count++
+	}
+	if count != n*per {
+		t.Fatalf("list has %d nodes, want %d", count, n*per)
+	}
+}
+
+// TestLSimMixedReadersWriters: read-only ops interleaved with writers; every
+// read response must be a value the counter actually passed through (a
+// multiple of 3, since every add is 3).
+func TestLSimMixedReadersWriters(t *testing.T) {
+	const n, per = 6, 150
+	l := New[uint64, uint64, uint64](n)
+	ctr := l.NewRootItem(0)
+	add := func(m *Mem[uint64, uint64, uint64], arg uint64) uint64 {
+		v := m.Read(ctr)
+		m.Write(ctr, v+arg)
+		return v
+	}
+	read := func(m *Mem[uint64, uint64, uint64], _ uint64) uint64 {
+		return m.Read(ctr)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				if id%2 == 0 {
+					l.ApplyOp(id, add, 3)
+				} else {
+					if got := l.ApplyOp(id, read, 0); got%3 != 0 {
+						t.Errorf("read observed non-multiple-of-3: %d", got)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := ctr.Current(); got != 3*(n/2)*per {
+		t.Fatalf("counter = %d, want %d", got, 3*(n/2)*per)
+	}
+}
+
+// TestLSimTwoItemsSwap: an operation that swaps two items' values must be
+// atomic: concurrent swappers always leave the pair a permutation of the
+// initial values.
+func TestLSimTwoItemsSwap(t *testing.T) {
+	const n, per = 4, 200
+	l := New[uint64, uint64, uint64](n)
+	a := l.NewRootItem(1)
+	b := l.NewRootItem(2)
+	swap := func(m *Mem[uint64, uint64, uint64], _ uint64) uint64 {
+		av, bv := m.Read(a), m.Read(b)
+		m.Write(a, bv)
+		m.Write(b, av)
+		return av
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				l.ApplyOp(id, swap, 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	av, bv := a.Current(), b.Current()
+	if !(av == 1 && bv == 2 || av == 2 && bv == 1) {
+		t.Fatalf("pair corrupted: a=%d b=%d", av, bv)
+	}
+	// n*per swaps total; parity determines the final arrangement.
+	if (n*per)%2 == 0 && av != 1 {
+		t.Fatalf("even number of swaps must restore the pair: a=%d b=%d", av, bv)
+	}
+}

@@ -1,0 +1,80 @@
+package lsim
+
+// Mem is the memory interface an operation uses to access the shared
+// object (Algorithm 8 lines 21–36). Reads and writes go through a private
+// directory (the paper's D) so a helper's speculative updates stay local
+// until the write-back phase; allocations go through the round's shared
+// new-variable list so every helper of the round agrees on the identity of
+// freshly allocated items.
+type Mem[V, A, R any] struct {
+	l    *LSim[V, A, R]
+	id   int // helper's process id (instrumentation only)
+	seq  uint64
+	dir  map[*Item[V]]*dirEntry[V]
+	ltop *newVar // cursor into the round's new-variable list
+	pvar *newVar // preallocated node for the next Alloc attempt
+}
+
+// dirEntry is one directory record (struct DirectoryNode): the item's
+// locally current value.
+type dirEntry[V any] struct {
+	val V
+}
+
+// Read returns the item's value as of this round's simulation, fetching it
+// from the shared record on first access (lines 28–35). It aborts the
+// enclosing attempt (via panic, recovered in attempt) when the item has
+// already been written by a LATER round — the state this helper simulates
+// against is obsolete.
+func (m *Mem[V, A, R]) Read(it *Item[V]) V {
+	if d, ok := m.dir[it]; ok { // line 31: read the local copy
+		return d.val
+	}
+	body, _ := it.sv.LL() // line 32
+	m.l.count(m.id, 1)
+	var v V
+	switch {
+	case body.seq == m.seq:
+		// A co-helper of THIS round already wrote the item; the pre-round
+		// value sits in the other slot (line 33).
+		v = body.val[1-body.toggle]
+	case body.seq < m.seq:
+		v = body.val[body.toggle] // line 34: committed value
+	default:
+		panic(obsoleteError{}) // line 35: goto the validation (abort)
+	}
+	m.dir[it] = &dirEntry[V]{val: v}
+	return v
+}
+
+// Write records v as the item's new value in the directory (line 36). The
+// shared record is updated during the write-back phase.
+func (m *Mem[V, A, R]) Write(it *Item[V], v V) {
+	if d, ok := m.dir[it]; ok {
+		d.val = v
+		return
+	}
+	m.dir[it] = &dirEntry[V]{val: v}
+}
+
+// Alloc returns a fresh item (lines 21–27). All helpers of the round
+// allocate through the round's shared list, so the k-th allocation of the
+// round yields the SAME item for every helper — their speculative writes to
+// it therefore converge on one shared record.
+func (m *Mem[V, A, R]) Alloc() *Item[V] {
+	if m.pvar == nil { // the paper preallocates pvar before the round
+		m.pvar = &newVar{item: newItem(*new(V))}
+	}
+	if m.ltop.next.CompareAndSwap(nil, m.pvar) { // line 23
+		m.l.count(m.id, 1)
+		m.pvar = nil // consumed; line 24–25 preallocate lazily next time
+	}
+	m.ltop = m.ltop.next.Load() // line 26
+	m.l.count(m.id, 1)
+	it := m.ltop.item.(*Item[V])
+	if _, ok := m.dir[it]; !ok {
+		// line 27: enter it into the directory with its initial value.
+		m.dir[it] = &dirEntry[V]{val: *new(V)}
+	}
+	return it
+}

@@ -1,0 +1,63 @@
+// Package pad provides cache-line padding helpers used by the hot shared
+// structures of the Sim universal construction and its baselines.
+//
+// The paper (§4) lays the Act bit vector and the per-thread pool entries out
+// on distinct cache lines so that a Fetch&Add by one thread does not falsely
+// invalidate another thread's line. Go gives no direct control over layout,
+// but padding structs to at least a cache line of separation achieves the
+// same effect.
+package pad
+
+import "sync/atomic"
+
+// CacheLineSize is the assumed size of one cache line in bytes. 64 bytes is
+// correct for every x86-64 part (including the AMD Opteron 6134 "Magny
+// Cours" used in the paper's evaluation) and for almost all ARM64 server
+// parts.
+const CacheLineSize = 64
+
+// CacheLinePad occupies exactly one cache line. Embed it between fields that
+// must not share a line.
+type CacheLinePad struct{ _ [CacheLineSize]byte }
+
+// Uint64 is a cache-line padded atomic uint64. Consecutive array elements
+// never share a cache line, because the struct size is a multiple of 64 and
+// the hot word sits at offset 0.
+type Uint64 struct {
+	V atomic.Uint64
+	_ [CacheLineSize - 8]byte
+}
+
+// Uint32 is a cache-line padded atomic uint32.
+type Uint32 struct {
+	V atomic.Uint32
+	_ [CacheLineSize - 4]byte
+}
+
+// Int64 is a cache-line padded atomic int64.
+type Int64 struct {
+	V atomic.Int64
+	_ [CacheLineSize - 8]byte
+}
+
+// Bool is a cache-line padded atomic bool (atomic.Bool is 4 bytes).
+type Bool struct {
+	V atomic.Bool
+	_ [CacheLineSize - 4]byte
+}
+
+// Pointer is a cache-line padded atomic pointer to T. atomic.Pointer[T] is
+// always pointer-sized, so the pad amount is a compile-time constant.
+type Pointer[T any] struct {
+	P atomic.Pointer[T]
+	_ [CacheLineSize - 8]byte
+}
+
+// Slot wraps an arbitrary value with a trailing cache line of padding.
+// Because each element of a []Slot[T] is at least CacheLineSize bytes after
+// the previous element's start, and the payload sits at offset 0, the
+// payloads of distinct slots never share a cache line.
+type Slot[T any] struct {
+	Value T
+	_     CacheLinePad
+}

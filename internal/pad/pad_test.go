@@ -1,0 +1,89 @@
+package pad
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestCacheLinePadSize(t *testing.T) {
+	if s := unsafe.Sizeof(CacheLinePad{}); s != CacheLineSize {
+		t.Fatalf("CacheLinePad is %d bytes, want %d", s, CacheLineSize)
+	}
+}
+
+func TestPaddedUint64Size(t *testing.T) {
+	if s := unsafe.Sizeof(Uint64{}); s%CacheLineSize != 0 {
+		t.Fatalf("pad.Uint64 is %d bytes, not a multiple of %d", s, CacheLineSize)
+	}
+}
+
+func TestPaddedUint32Size(t *testing.T) {
+	if s := unsafe.Sizeof(Uint32{}); s%CacheLineSize != 0 {
+		t.Fatalf("pad.Uint32 is %d bytes, not a multiple of %d", s, CacheLineSize)
+	}
+}
+
+func TestPaddedInt64Size(t *testing.T) {
+	if s := unsafe.Sizeof(Int64{}); s%CacheLineSize != 0 {
+		t.Fatalf("pad.Int64 is %d bytes, not a multiple of %d", s, CacheLineSize)
+	}
+}
+
+func TestPaddedBoolSize(t *testing.T) {
+	if s := unsafe.Sizeof(Bool{}); s%CacheLineSize != 0 {
+		t.Fatalf("pad.Bool is %d bytes, not a multiple of %d", s, CacheLineSize)
+	}
+}
+
+func TestPaddedPointerSize(t *testing.T) {
+	if s := unsafe.Sizeof(Pointer[int]{}); s%CacheLineSize != 0 {
+		t.Fatalf("pad.Pointer is %d bytes, not a multiple of %d", s, CacheLineSize)
+	}
+}
+
+// TestUint64SliceSeparation verifies that the hot words of consecutive
+// padded slots are at least a cache line apart — the property the padding
+// exists for.
+func TestUint64SliceSeparation(t *testing.T) {
+	s := make([]Uint64, 4)
+	for i := 1; i < len(s); i++ {
+		a := uintptr(unsafe.Pointer(&s[i-1].V))
+		b := uintptr(unsafe.Pointer(&s[i].V))
+		if b-a < CacheLineSize {
+			t.Fatalf("slots %d and %d only %d bytes apart", i-1, i, b-a)
+		}
+	}
+}
+
+// TestSlotSeparation verifies Slot payload separation for a payload larger
+// than one word.
+func TestSlotSeparation(t *testing.T) {
+	type payload struct{ a, b, c uint64 }
+	s := make([]Slot[payload], 4)
+	for i := 1; i < len(s); i++ {
+		a := uintptr(unsafe.Pointer(&s[i-1].Value))
+		b := uintptr(unsafe.Pointer(&s[i].Value))
+		if b-a < CacheLineSize {
+			t.Fatalf("slots %d and %d only %d bytes apart", i-1, i, b-a)
+		}
+	}
+}
+
+func TestPaddedFieldsUsable(t *testing.T) {
+	var u Uint64
+	u.V.Store(7)
+	if u.V.Load() != 7 {
+		t.Fatal("padded Uint64 does not round-trip")
+	}
+	var p Pointer[int]
+	x := 5
+	p.P.Store(&x)
+	if *p.P.Load() != 5 {
+		t.Fatal("padded Pointer does not round-trip")
+	}
+	var bl Bool
+	bl.V.Store(true)
+	if !bl.V.Load() {
+		t.Fatal("padded Bool does not round-trip")
+	}
+}

@@ -1,0 +1,63 @@
+package queue
+
+import "repro/internal/flatcombining"
+
+// FCQueue is a linked queue over flat combining, the strongest baseline of
+// Figure 3 (right). A single combiner serves both enqueues and dequeues —
+// the lack of enqueue/dequeue parallelism is exactly what SimQueue's two
+// Sim instances exploit against it.
+type FCQueue[V any] struct {
+	fc      *flatcombining.FC[queueOp[V], deqRes[V]]
+	handles []*flatcombining.Handle[queueOp[V], deqRes[V]]
+}
+
+type queueOp[V any] struct {
+	enq bool
+	v   V
+}
+
+// NewFCQueue returns an empty flat-combining queue for n processes with the
+// given combining parameters (0,0 for defaults).
+func NewFCQueue[V any](n, rounds, cleanupEvery int) *FCQueue[V] {
+	sentinel := &qnode[V]{}
+	head, tail := sentinel, sentinel
+	apply := func(_ int, op queueOp[V]) deqRes[V] {
+		if op.enq {
+			n := &qnode[V]{v: op.v}
+			tail.next.Store(n)
+			tail = n
+			return deqRes[V]{}
+		}
+		next := head.next.Load()
+		if next == nil {
+			return deqRes[V]{}
+		}
+		head = next
+		return deqRes[V]{v: next.v, ok: true}
+	}
+	q := &FCQueue[V]{
+		fc:      flatcombining.New(apply, rounds, cleanupEvery),
+		handles: make([]*flatcombining.Handle[queueOp[V], deqRes[V]], n),
+	}
+	for i := range q.handles {
+		q.handles[i] = q.fc.NewHandle(i)
+	}
+	return q
+}
+
+// Enqueue appends v.
+func (q *FCQueue[V]) Enqueue(id int, v V) {
+	q.handles[id].Apply(queueOp[V]{enq: true, v: v})
+}
+
+// Dequeue removes the front value; ok is false if empty.
+func (q *FCQueue[V]) Dequeue(id int) (V, bool) {
+	r := q.handles[id].Apply(queueOp[V]{})
+	return r.v, r.ok
+}
+
+// Stats exposes the flat-combining statistics.
+func (q *FCQueue[V]) Stats() flatcombining.Stats { return q.fc.Stats() }
+
+// Name implements Interface.
+func (q *FCQueue[V]) Name() string { return "FlatCombining" }

@@ -1,0 +1,43 @@
+package queue
+
+import "testing"
+
+// FuzzQueueEquivalence drives every queue implementation with a fuzzed op
+// string against the reference model (seed corpus runs under plain go test;
+// use -fuzz for coverage-guided exploration).
+func FuzzQueueEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 1})
+	f.Add([]byte{1})
+	f.Add([]byte{0, 1, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		impls := all(1)
+		refs := make([][]uint64, len(impls))
+		for step, o := range ops {
+			if o%2 == 0 {
+				v := uint64(step) + 1
+				for i, q := range impls {
+					q.Enqueue(0, v)
+					refs[i] = append(refs[i], v)
+				}
+			} else {
+				for i, q := range impls {
+					v, ok := q.Dequeue(0)
+					if len(refs[i]) == 0 {
+						if ok {
+							t.Fatalf("%s: dequeue on empty returned %d", q.Name(), v)
+						}
+						continue
+					}
+					want := refs[i][0]
+					refs[i] = refs[i][1:]
+					if !ok || v != want {
+						t.Fatalf("%s: dequeue = (%d,%v), want (%d,true)", q.Name(), v, ok, want)
+					}
+				}
+			}
+		}
+	})
+}

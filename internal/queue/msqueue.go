@@ -1,0 +1,91 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/pad"
+)
+
+// MSQueue is the Michael–Scott lock-free queue (PODC 1996), the lock-free
+// baseline of Figure 3 (right). Garbage collection removes the ABA hazard
+// the original handled with counted pointers. Bounded exponential backoff is
+// applied on CAS failure, matching the paper's tuned baselines.
+type MSQueue[V any] struct {
+	head atomic.Pointer[qnode[V]]
+	_    pad.CacheLinePad
+	tail atomic.Pointer[qnode[V]]
+	_pad pad.CacheLinePad
+	bo   []pad.Slot[*backoff.Exp]
+}
+
+// MSQueueBackoff bounds the exponential backoff window in delay-loop
+// iterations.
+const MSQueueBackoff = 1024
+
+// NewMSQueue returns an empty Michael–Scott queue for n processes.
+func NewMSQueue[V any](n int) *MSQueue[V] {
+	q := &MSQueue[V]{bo: make([]pad.Slot[*backoff.Exp], n)}
+	sentinel := &qnode[V]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	for i := range q.bo {
+		q.bo[i].Value = backoff.NewExp(1, MSQueueBackoff)
+	}
+	return q
+}
+
+// Enqueue appends v.
+func (q *MSQueue[V]) Enqueue(id int, v V) {
+	bo := q.bo[id].Value
+	n := &qnode[V]{v: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Tail lagging: help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n) // swing tail (may fail benignly)
+			bo.Reset()
+			return
+		}
+		bo.Wait()
+	}
+}
+
+// Dequeue removes the front value; ok is false if empty.
+func (q *MSQueue[V]) Dequeue(id int) (V, bool) {
+	bo := q.bo[id].Value
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				var zero V
+				bo.Reset()
+				return zero, false
+			}
+			q.tail.CompareAndSwap(tail, next) // help a lagging tail
+			continue
+		}
+		v := next.v
+		if q.head.CompareAndSwap(head, next) {
+			bo.Reset()
+			return v, true
+		}
+		bo.Wait()
+	}
+}
+
+// Name implements Interface.
+func (q *MSQueue[V]) Name() string { return "MS-lock-free" }

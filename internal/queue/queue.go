@@ -1,0 +1,18 @@
+// Package queue implements the four shared-queue algorithms of Figure 3
+// (right): SimQueue — the paper's wait-free queue built from TWO P-Sim
+// instances so enqueuers and dequeuers synchronize independently — and its
+// competitors: the Michael–Scott lock-free queue, the two-lock queue (with
+// CLH locks, the paper's lock-based baseline), and a flat-combining queue.
+//
+// All implementations satisfy Interface; each process id must be driven by
+// one goroutine at a time.
+package queue
+
+// Interface is the common shape of every queue implementation in the
+// benchmark suite. Dequeue returns ok=false on an empty queue.
+type Interface[V any] interface {
+	Enqueue(id int, v V)
+	Dequeue(id int) (V, bool)
+	// Name identifies the algorithm in harness output.
+	Name() string
+}

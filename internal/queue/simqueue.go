@@ -1,0 +1,297 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/xatomic"
+)
+
+// SimQueue is the paper's wait-free queue (§5, Algorithms 4–6). Two
+// independent instances of the Sim machinery are used — one synchronizing
+// enqueuers, one synchronizing dequeuers — so the two ends of the queue
+// proceed in parallel (the source of SimQueue's advantage over flat
+// combining in Figure 3).
+//
+// An enqueue combiner builds a PRIVATE linked list with one node per helped
+// enqueuer, then publishes an EnqState carrying ⟨old tail, first node of the
+// list, new tail⟩; the list is spliced onto the shared queue with a separate
+// CAS on the old tail's next pointer (Algorithm 5 lines 18/34). Any
+// subsequent enqueuer — and any dequeuer (Algorithm 6 lines 49–51) — helps
+// perform that splice, so a crash between publishing EnqState and splicing
+// cannot lose the batch.
+//
+// Like core.PSim, this implementation publishes immutable state records via
+// CAS on an atomic pointer (GC-based reclamation) instead of the paper's
+// pooled records with seq stamps; see DESIGN.md.
+type SimQueue[V any] struct {
+	n int
+
+	enqAnnounce *collect.Announce[V]
+	enqAct      *xatomic.SharedBits
+	enqP        atomic.Pointer[enqState[V]]
+
+	deqAct *xatomic.SharedBits
+	deqP   atomic.Pointer[deqState[V]]
+
+	enqThreads []sqThread
+	deqThreads []sqThread
+	enqStats   []sqStats
+	deqStats   []sqStats
+
+	boLower, boUpper int
+}
+
+// qnode is a queue node; next is written once with CAS when the node's
+// batch is spliced onto the shared list.
+type qnode[V any] struct {
+	v    V
+	next atomic.Pointer[qnode[V]]
+}
+
+// enqState is the enqueuers' State record (struct EnqState of Algorithm 4).
+type enqState[V any] struct {
+	applied xatomic.Snapshot
+	oldTail *qnode[V] // tail of the queue when this batch was built
+	lfirst  *qnode[V] // first node of this batch's private list (nil: none)
+	newTail *qnode[V] // last node of this batch — the tail after splicing
+}
+
+// deqState is the dequeuers' State record (struct DeqState of Algorithm 4).
+type deqState[V any] struct {
+	applied xatomic.Snapshot
+	head    *qnode[V] // node whose next pointer is the queue front
+	rvals   []deqRes[V]
+}
+
+type deqRes[V any] struct {
+	v  V
+	ok bool
+}
+
+type sqThread struct {
+	toggler *xatomic.Toggler
+	bo      *backoff.Adaptive
+	active  xatomic.Snapshot
+	diffs   xatomic.Snapshot
+	inited  bool
+}
+
+type sqStats = psimLikeStats
+
+// psimLikeStats mirrors core's per-thread counters for the two instances.
+type psimLikeStats struct {
+	ops, casSuccess, casFail, combined, servedBy atomic.Uint64
+	_                                            [24]byte
+}
+
+// NewSimQueue returns an empty wait-free queue shared by n processes.
+func NewSimQueue[V any](n int) *SimQueue[V] {
+	sentinel := &qnode[V]{}
+	q := &SimQueue[V]{
+		n:           n,
+		enqAnnounce: collect.NewAnnounce[V](n),
+		enqAct:      xatomic.NewSharedBits(n),
+		deqAct:      xatomic.NewSharedBits(n),
+		enqThreads:  make([]sqThread, n),
+		deqThreads:  make([]sqThread, n),
+		enqStats:    make([]sqStats, n),
+		deqStats:    make([]sqStats, n),
+		boLower:     1,
+		boUpper:     core.DefaultBackoffUpper,
+	}
+	q.enqP.Store(&enqState[V]{
+		applied: xatomic.NewSnapshot(n),
+		newTail: sentinel,
+	})
+	q.deqP.Store(&deqState[V]{
+		applied: xatomic.NewSnapshot(n),
+		head:    sentinel,
+		rvals:   make([]deqRes[V], n),
+	})
+	return q
+}
+
+// SetBackoff reconfigures the adaptive backoff bounds (upper 0 disables).
+// Call before any operation.
+func (q *SimQueue[V]) SetBackoff(lower, upper int) { q.boLower, q.boUpper = lower, upper }
+
+func (q *SimQueue[V]) thread(ts []sqThread, act *xatomic.SharedBits, i int) *sqThread {
+	t := &ts[i]
+	if !t.inited {
+		t.toggler = xatomic.NewToggler(act, i)
+		t.bo = backoff.NewAdaptive(q.boLower, q.boUpper)
+		t.active = xatomic.NewSnapshot(q.n)
+		t.diffs = xatomic.NewSnapshot(q.n)
+		t.inited = true
+	}
+	return t
+}
+
+// splice links batch es onto the shared queue if not already done. Both
+// enqueuers and dequeuers call it to help (lines 18, 34 and 49–51).
+func splice[V any](es *enqState[V]) {
+	if es.oldTail != nil && es.lfirst != nil {
+		es.oldTail.next.CompareAndSwap(nil, es.lfirst)
+	}
+}
+
+// Enqueue appends v on behalf of process id (Algorithm 5).
+func (q *SimQueue[V]) Enqueue(id int, v V) {
+	t := q.thread(q.enqThreads, q.enqAct, id)
+	st := &q.enqStats[id]
+
+	q.enqAnnounce.Write(id, &v) // line 1: announce
+	t.toggler.Toggle()          // lines 2–3
+	t.bo.Wait()                 // line 4
+
+	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
+
+	for j := 0; j < 2; j++ {
+		ls := q.enqP.Load() // lines 6–7
+		q.enqAct.LoadInto(t.active)
+		ls.applied.XorInto(t.active, t.diffs)
+		if t.diffs[myWord]&myMask == 0 { // line 11: already applied
+			st.ops.Add(1)
+			st.servedBy.Add(1)
+			return
+		}
+		splice(ls) // line 18: help link the previous batch
+
+		// lines 12–27: build the private list — own node first (lines
+		// 13–17), then one node per remaining enqueuer in diffs.
+		first := &qnode[V]{v: v}
+		last := first
+		t.diffs.ClearBit(id) // line 17: exclude self
+		combined := uint64(1)
+		for {
+			k := t.diffs.BitSearchFirst() // line 20
+			if k < 0 {
+				break
+			}
+			nn := &qnode[V]{v: *q.enqAnnounce.Read(k)} // lines 21–24
+			last.next.Store(nn)
+			last = nn
+			t.diffs.ClearBit(k)
+			combined++
+		}
+
+		ns := &enqState[V]{ // lines 28–31
+			applied: t.active.Clone(),
+			oldTail: ls.newTail,
+			lfirst:  first,
+			newTail: last,
+		}
+		if q.enqP.CompareAndSwap(ls, ns) { // line 35
+			splice(ns) // line 36: link our own batch
+			st.ops.Add(1)
+			st.casSuccess.Add(1)
+			st.combined.Add(combined)
+			if j == 0 {
+				t.bo.Shrink()
+			}
+			return
+		}
+		st.casFail.Add(1)
+		if j == 0 {
+			t.bo.Grow()
+			t.bo.Wait()
+		}
+	}
+	// line 38: two failed CASes ⇒ a helper applied our enqueue.
+	st.ops.Add(1)
+	st.servedBy.Add(1)
+}
+
+// Dequeue removes and returns the front value on behalf of process id
+// (Algorithm 6); ok is false if the queue was empty.
+func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
+	t := q.thread(q.deqThreads, q.deqAct, id)
+	st := &q.deqStats[id]
+
+	t.toggler.Toggle() // lines 39–40 (dequeue carries no argument)
+	t.bo.Wait()        // line 41
+
+	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
+
+	for j := 0; j < 2; j++ {
+		ls := q.deqP.Load() // lines 43–44
+		q.deqAct.LoadInto(t.active)
+		ls.applied.XorInto(t.active, t.diffs)
+		if t.diffs[myWord]&myMask == 0 { // line 48: already applied
+			st.ops.Add(1)
+			st.servedBy.Add(1)
+			r := ls.rvals[id]
+			return r.v, r.ok
+		}
+
+		// lines 49–51: help enqueuers splice their latest batch, so every
+		// completed enqueue is visible to the traversal below.
+		splice(q.enqP.Load())
+
+		head := ls.head
+		rvals := append([]deqRes[V](nil), ls.rvals...)
+		combined := uint64(0)
+		for { // lines 53–61: serve every dequeuer in diffs
+			k := t.diffs.BitSearchFirst()
+			if k < 0 {
+				break
+			}
+			if next := head.next.Load(); next != nil {
+				rvals[k] = deqRes[V]{v: next.v, ok: true}
+				head = next
+			} else {
+				rvals[k] = deqRes[V]{}
+			}
+			t.diffs.ClearBit(k)
+			combined++
+		}
+
+		ns := &deqState[V]{applied: t.active.Clone(), head: head, rvals: rvals}
+		if q.deqP.CompareAndSwap(ls, ns) { // line 67
+			st.ops.Add(1)
+			st.casSuccess.Add(1)
+			st.combined.Add(combined)
+			if j == 0 {
+				t.bo.Shrink()
+			}
+			r := ns.rvals[id]
+			return r.v, r.ok
+		}
+		st.casFail.Add(1)
+		if j == 0 {
+			t.bo.Grow()
+			t.bo.Wait()
+		}
+	}
+	// lines 70–72: a helper served us; read the published record.
+	st.ops.Add(1)
+	st.servedBy.Add(1)
+	ls := q.deqP.Load()
+	r := ls.rvals[id]
+	return r.v, r.ok
+}
+
+// Stats aggregates both instances' combining statistics into a core.Stats
+// (enqueue and dequeue sides summed).
+func (q *SimQueue[V]) Stats() core.Stats {
+	var s core.Stats
+	for _, side := range [][]sqStats{q.enqStats, q.deqStats} {
+		for i := range side {
+			s.Ops += side[i].ops.Load()
+			s.CASSuccesses += side[i].casSuccess.Load()
+			s.CASFailures += side[i].casFail.Load()
+			s.Combined += side[i].combined.Load()
+			s.ServedByOther += side[i].servedBy.Load()
+		}
+	}
+	if s.CASSuccesses > 0 {
+		s.AvgHelping = float64(s.Combined) / float64(s.CASSuccesses)
+	}
+	return s
+}
+
+// Name implements Interface.
+func (q *SimQueue[V]) Name() string { return "SimQueue" }

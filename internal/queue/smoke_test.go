@@ -1,0 +1,85 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+// all returns one instance of each queue implementation for n processes.
+func all(n int) []Interface[uint64] {
+	return []Interface[uint64]{
+		NewSimQueue[uint64](n),
+		NewMSQueue[uint64](n),
+		NewTwoLockQueue[uint64](n),
+		NewFCQueue[uint64](n, 0, 0),
+	}
+}
+
+func TestQueueSmokeSequential(t *testing.T) {
+	for _, q := range all(1) {
+		t.Run(q.Name(), func(t *testing.T) {
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("dequeue on empty queue returned ok")
+			}
+			q.Enqueue(0, 10)
+			q.Enqueue(0, 20)
+			if v, ok := q.Dequeue(0); !ok || v != 10 {
+				t.Fatalf("dequeue = (%d,%v), want (10,true)", v, ok)
+			}
+			if v, ok := q.Dequeue(0); !ok || v != 20 {
+				t.Fatalf("dequeue = (%d,%v), want (20,true)", v, ok)
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("dequeue on drained queue returned ok")
+			}
+		})
+	}
+}
+
+// TestQueueSmokeConservation checks, for every implementation, that under a
+// concurrent enqueue/dequeue mix no value is lost or duplicated.
+func TestQueueSmokeConservation(t *testing.T) {
+	const n, pairs = 8, 300
+	for _, q := range all(n) {
+		t.Run(q.Name(), func(t *testing.T) {
+			var mu sync.Mutex
+			got := make(map[uint64]int)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					local := make(map[uint64]int)
+					for k := 0; k < pairs; k++ {
+						v := uint64(id*pairs+k) + 1
+						q.Enqueue(id, v)
+						if dv, ok := q.Dequeue(id); ok {
+							local[dv]++
+						}
+					}
+					mu.Lock()
+					for v, c := range local {
+						got[v] += c
+					}
+					mu.Unlock()
+				}(i)
+			}
+			wg.Wait()
+			for {
+				v, ok := q.Dequeue(0)
+				if !ok {
+					break
+				}
+				got[v]++
+			}
+			if len(got) != n*pairs {
+				t.Fatalf("dequeued %d distinct values, want %d", len(got), n*pairs)
+			}
+			for v, c := range got {
+				if c != 1 {
+					t.Fatalf("value %d dequeued %d times", v, c)
+				}
+			}
+		})
+	}
+}

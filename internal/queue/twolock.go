@@ -1,0 +1,64 @@
+package queue
+
+import "repro/internal/spin"
+
+// TwoLockQueue is the two-lock concurrent queue of Michael and Scott with
+// both locks replaced by CLH queue locks — the paper's lock-based queue
+// baseline (§5: "a lock-based algorithm (using two CLH locks)"). Enqueues
+// and dequeues contend on separate locks, so the two ends proceed in
+// parallel when the queue is non-empty.
+type TwoLockQueue[V any] struct {
+	headLock, tailLock *spin.CLH
+	headHandles        []*spin.CLHHandle
+	tailHandles        []*spin.CLHHandle
+	head, tail         *qnode[V] // guarded by the respective locks
+}
+
+// NewTwoLockQueue returns an empty two-lock queue for n processes.
+func NewTwoLockQueue[V any](n int) *TwoLockQueue[V] {
+	sentinel := &qnode[V]{}
+	q := &TwoLockQueue[V]{
+		headLock:    spin.NewCLH(),
+		tailLock:    spin.NewCLH(),
+		headHandles: make([]*spin.CLHHandle, n),
+		tailHandles: make([]*spin.CLHHandle, n),
+		head:        sentinel,
+		tail:        sentinel,
+	}
+	for i := 0; i < n; i++ {
+		q.headHandles[i] = q.headLock.NewHandle()
+		q.tailHandles[i] = q.tailLock.NewHandle()
+	}
+	return q
+}
+
+// Enqueue appends v under the tail lock. The node's next pointer is stored
+// atomically so a concurrent dequeuer's read of it is properly synchronized
+// even though the two operations hold different locks.
+func (q *TwoLockQueue[V]) Enqueue(id int, v V) {
+	n := &qnode[V]{v: v}
+	h := q.tailHandles[id]
+	h.Lock()
+	q.tail.next.Store(n)
+	q.tail = n
+	h.Unlock()
+}
+
+// Dequeue removes the front value under the head lock; ok is false if empty.
+func (q *TwoLockQueue[V]) Dequeue(id int) (V, bool) {
+	h := q.headHandles[id]
+	h.Lock()
+	next := q.head.next.Load()
+	if next == nil {
+		h.Unlock()
+		var zero V
+		return zero, false
+	}
+	v := next.v
+	q.head = next
+	h.Unlock()
+	return v, true
+}
+
+// Name implements Interface.
+func (q *TwoLockQueue[V]) Name() string { return "2CLH-lock" }

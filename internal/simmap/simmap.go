@@ -1,0 +1,186 @@
+// Package simmap is a wait-free hash map built from MULTIPLE instances of
+// the Sim universal construction — the direction the paper sketches for
+// data structures with internal parallelism (§1: "This limitation can
+// possibly be overcome by using multiple instances of Sim (as done in our
+// queue implementation)"). SimQueue uses two instances (one per end); simmap
+// generalizes to S stripes, each an independent P-Sim simulating one
+// bucket's immutable entry list. Operations on different stripes proceed in
+// parallel; operations within a stripe combine.
+//
+// Gets do not announce at all: a stripe's state is an immutable list behind
+// one atomic pointer, so a single load IS a linearizable wait-free read —
+// the structural analogue of the paper's observation that reads of the
+// simulated state need no helping.
+package simmap
+
+import (
+	"hash/maphash"
+
+	"repro/internal/core"
+)
+
+// entry is one immutable node of a stripe's entry list. Nodes are never
+// mutated after publication; updates rebuild the prefix of the list up to
+// the affected key.
+type entry[K comparable, V any] struct {
+	k    K
+	v    V
+	next *entry[K, V]
+}
+
+// mapOp is the announced mutation descriptor.
+type mapOp[K comparable, V any] struct {
+	del bool
+	k   K
+	v   V
+}
+
+// mapRes carries a mutation's response: the previous value, if any.
+type mapRes[V any] struct {
+	prev    V
+	existed bool
+}
+
+// Map is a wait-free striped hash map for n processes. Each process id in
+// [0, n) must be driven by one goroutine at a time.
+type Map[K comparable, V any] struct {
+	stripes []*core.PSim[*entry[K, V], mapOp[K, V], mapRes[V]]
+	seed    maphash.Seed
+}
+
+// New returns a map with the given number of stripes (rounded up to 1).
+// More stripes mean more inter-key parallelism and shorter chains; a stripe
+// count near the expected concurrency level is a good default.
+func New[K comparable, V any](n, stripes int) *Map[K, V] {
+	if stripes < 1 {
+		stripes = 1
+	}
+	m := &Map[K, V]{
+		stripes: make([]*core.PSim[*entry[K, V], mapOp[K, V], mapRes[V]], stripes),
+		seed:    maphash.MakeSeed(),
+	}
+	apply := func(head **entry[K, V], _ int, op mapOp[K, V]) mapRes[V] {
+		if op.del {
+			nh, prev, existed := removeKey(*head, op.k)
+			*head = nh
+			return mapRes[V]{prev: prev, existed: existed}
+		}
+		nh, prev, existed := putKey(*head, op.k, op.v)
+		*head = nh
+		return mapRes[V]{prev: prev, existed: existed}
+	}
+	for i := range m.stripes {
+		m.stripes[i] = core.NewPSim[*entry[K, V], mapOp[K, V], mapRes[V]](n, nil, apply)
+	}
+	return m
+}
+
+// putKey returns a new list with k bound to v, plus the previous binding.
+// The prefix before k is copied; the suffix is shared (immutable).
+func putKey[K comparable, V any](head *entry[K, V], k K, v V) (*entry[K, V], V, bool) {
+	var prefix []*entry[K, V]
+	for e := head; e != nil; e = e.next {
+		if e.k == k {
+			nh := &entry[K, V]{k: k, v: v, next: e.next}
+			for i := len(prefix) - 1; i >= 0; i-- {
+				nh = &entry[K, V]{k: prefix[i].k, v: prefix[i].v, next: nh}
+			}
+			return nh, e.v, true
+		}
+		prefix = append(prefix, e)
+	}
+	var zero V
+	return &entry[K, V]{k: k, v: v, next: head}, zero, false
+}
+
+// removeKey returns a new list without k, plus the removed binding.
+func removeKey[K comparable, V any](head *entry[K, V], k K) (*entry[K, V], V, bool) {
+	var prefix []*entry[K, V]
+	for e := head; e != nil; e = e.next {
+		if e.k == k {
+			nh := e.next
+			for i := len(prefix) - 1; i >= 0; i-- {
+				nh = &entry[K, V]{k: prefix[i].k, v: prefix[i].v, next: nh}
+			}
+			return nh, e.v, true
+		}
+		prefix = append(prefix, e)
+	}
+	var zero V
+	return head, zero, false
+}
+
+func (m *Map[K, V]) stripe(k K) *core.PSim[*entry[K, V], mapOp[K, V], mapRes[V]] {
+	h := maphash.Comparable(m.seed, k)
+	return m.stripes[h%uint64(len(m.stripes))]
+}
+
+// Put binds k to v on behalf of process id and returns the previous binding.
+func (m *Map[K, V]) Put(id int, k K, v V) (prev V, existed bool) {
+	r := m.stripe(k).Apply(id, mapOp[K, V]{k: k, v: v})
+	return r.prev, r.existed
+}
+
+// Delete removes k on behalf of process id and returns the removed binding.
+func (m *Map[K, V]) Delete(id int, k K) (prev V, existed bool) {
+	r := m.stripe(k).Apply(id, mapOp[K, V]{del: true, k: k})
+	return r.prev, r.existed
+}
+
+// Get returns k's binding. It is wait-free and linearizable WITHOUT
+// announcing: the stripe state is immutable behind one atomic pointer, so
+// the load is the linearization point.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	for e := m.stripe(k).Read(); e != nil; e = e.next {
+		if e.k == k {
+			return e.v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Len counts all entries. Each stripe is read atomically but stripes are
+// read one after another, so the total is NOT a linearizable snapshot (like
+// the size of any striped map under concurrent updates).
+func (m *Map[K, V]) Len() int {
+	total := 0
+	for _, s := range m.stripes {
+		for e := s.Read(); e != nil; e = e.next {
+			total++
+		}
+	}
+	return total
+}
+
+// Range calls f for every entry of a point-in-time per-stripe snapshot,
+// stopping early if f returns false. Same consistency caveat as Len.
+func (m *Map[K, V]) Range(f func(k K, v V) bool) {
+	for _, s := range m.stripes {
+		for e := s.Read(); e != nil; e = e.next {
+			if !f(e.k, e.v) {
+				return
+			}
+		}
+	}
+}
+
+// Stripes returns the stripe count.
+func (m *Map[K, V]) Stripes() int { return len(m.stripes) }
+
+// Stats aggregates combining statistics across all stripes.
+func (m *Map[K, V]) Stats() core.Stats {
+	var total core.Stats
+	for _, s := range m.stripes {
+		st := s.Stats()
+		total.Ops += st.Ops
+		total.CASSuccesses += st.CASSuccesses
+		total.CASFailures += st.CASFailures
+		total.Combined += st.Combined
+		total.ServedByOther += st.ServedByOther
+	}
+	if total.CASSuccesses > 0 {
+		total.AvgHelping = float64(total.Combined) / float64(total.CASSuccesses)
+	}
+	return total
+}

@@ -1,0 +1,124 @@
+// Package simset is a wait-free sorted set built on L-Sim — a demonstration
+// that the large-object construction (§6) carries a real pointer-linked
+// structure, not just flat arrays: nodes are ItemSV records allocated
+// through the round-shared new-variable list, links are item values, and an
+// operation's footprint is the traversal prefix (w = O(position)), never
+// the whole set.
+//
+// Each operation kind (insert, remove, contains) is a deterministic OpFunc
+// replayed identically by every helper of a combining round, as L-Sim
+// requires.
+package simset
+
+import (
+	"repro/internal/lsim"
+)
+
+// nodeVal is an item's payload: a key and the link to the next node. The
+// head sentinel's key is ignored.
+type nodeVal struct {
+	key  uint64
+	next *lsim.Item[nodeVal]
+}
+
+// opKind selects the operation.
+type opKind byte
+
+const (
+	opInsert opKind = iota
+	opRemove
+	opContains
+)
+
+// opArg is the announced argument.
+type opArg struct {
+	kind opKind
+	key  uint64
+}
+
+// Set is a wait-free sorted set of uint64 keys for n processes. Each
+// process id must be driven by a single goroutine.
+type Set struct {
+	l    *lsim.LSim[nodeVal, opArg, bool]
+	head *lsim.Item[nodeVal]
+	op   lsim.OpFunc[nodeVal, opArg, bool]
+}
+
+// New returns an empty set shared by n processes.
+func New(n int) *Set {
+	s := &Set{l: lsim.New[nodeVal, opArg, bool](n)}
+	s.head = s.l.NewRootItem(nodeVal{})
+	s.op = s.apply
+	return s
+}
+
+// apply is the sequential set algorithm against the L-Sim memory interface.
+func (s *Set) apply(m *lsim.Mem[nodeVal, opArg, bool], a opArg) bool {
+	// Walk to the first node with key >= a.key, tracking the predecessor.
+	prev := s.head
+	prevVal := m.Read(prev)
+	cur := prevVal.next
+	for cur != nil {
+		cv := m.Read(cur)
+		if cv.key >= a.key {
+			break
+		}
+		prev, prevVal = cur, cv
+		cur = cv.next
+	}
+	found := false
+	if cur != nil {
+		found = m.Read(cur).key == a.key
+	}
+	switch a.kind {
+	case opContains:
+		return found
+	case opInsert:
+		if found {
+			return false
+		}
+		node := m.Alloc()
+		m.Write(node, nodeVal{key: a.key, next: cur})
+		m.Write(prev, nodeVal{key: prevVal.key, next: node})
+		return true
+	case opRemove:
+		if !found {
+			return false
+		}
+		m.Write(prev, nodeVal{key: prevVal.key, next: m.Read(cur).next})
+		return true
+	}
+	return false
+}
+
+// Insert adds key on behalf of process id; reports whether it was absent.
+func (s *Set) Insert(id int, key uint64) bool {
+	return s.l.ApplyOp(id, s.op, opArg{kind: opInsert, key: key})
+}
+
+// Remove deletes key on behalf of process id; reports whether it was
+// present.
+func (s *Set) Remove(id int, key uint64) bool {
+	return s.l.ApplyOp(id, s.op, opArg{kind: opRemove, key: key})
+}
+
+// Contains reports membership on behalf of process id (goes through the
+// construction so it linearizes with mutations).
+func (s *Set) Contains(id int, key uint64) bool {
+	return s.l.ApplyOp(id, s.op, opArg{kind: opContains, key: key})
+}
+
+// Keys returns the committed keys in ascending order (quiescent snapshot:
+// exact when no mutation is in flight).
+func (s *Set) Keys() []uint64 {
+	var out []uint64
+	for it := s.head.Current().next; it != nil; {
+		v := it.Current()
+		out = append(out, v.key)
+		it = v.next
+	}
+	return out
+}
+
+// Len returns the committed size (same caveat as Keys).
+func (s *Set) Len() int { return len(s.Keys()) }

@@ -1,0 +1,220 @@
+package simset
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+)
+
+func TestSetSequentialBasics(t *testing.T) {
+	s := New(1)
+	if s.Contains(0, 5) {
+		t.Fatal("empty set contains 5")
+	}
+	if !s.Insert(0, 5) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if s.Insert(0, 5) {
+		t.Fatal("duplicate insert reported new")
+	}
+	if !s.Contains(0, 5) {
+		t.Fatal("5 missing after insert")
+	}
+	if !s.Remove(0, 5) {
+		t.Fatal("remove of present key failed")
+	}
+	if s.Remove(0, 5) {
+		t.Fatal("double remove succeeded")
+	}
+	if s.Contains(0, 5) {
+		t.Fatal("5 present after remove")
+	}
+}
+
+func TestSetSortedOrder(t *testing.T) {
+	s := New(1)
+	for _, k := range []uint64{5, 1, 9, 3, 7, 2, 8} {
+		s.Insert(0, k)
+	}
+	keys := s.Keys()
+	want := []uint64{1, 2, 3, 5, 7, 8, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want sorted %v", keys, want)
+		}
+	}
+	s.Remove(0, 1) // head position
+	s.Remove(0, 9) // tail position
+	s.Remove(0, 5) // middle
+	keys = s.Keys()
+	want = []uint64{2, 3, 7, 8}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("after removes: %v, want %v", keys, want)
+		}
+	}
+}
+
+// TestSetQuickEquivalence: random op strings vs map[uint64]bool.
+func TestSetQuickEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := New(1)
+		ref := map[uint64]bool{}
+		for _, o := range ops {
+			k := uint64(o % 16)
+			switch o % 3 {
+			case 0:
+				if s.Insert(0, k) != !ref[k] {
+					return false
+				}
+				ref[k] = true
+			case 1:
+				if s.Remove(0, k) != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				if s.Contains(0, k) != ref[k] {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetConcurrentDisjointRanges: writers insert disjoint key ranges; all
+// keys must end up present exactly once, in order.
+func TestSetConcurrentDisjointRanges(t *testing.T) {
+	const n, per = 6, 60
+	s := New(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				if !s.Insert(id, uint64(id*per+k)+1) {
+					t.Errorf("insert of fresh key reported duplicate")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	keys := s.Keys()
+	if len(keys) != n*per {
+		t.Fatalf("set has %d keys, want %d", len(keys), n*per)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("keys not strictly sorted at %d: %d after %d", i, keys[i], keys[i-1])
+		}
+	}
+}
+
+// TestSetConcurrentSameKeys: all processes fight over a small key range;
+// insert/remove responses must balance per key.
+func TestSetConcurrentSameKeys(t *testing.T) {
+	const n, per, keys = 6, 120, 8
+	s := New(n)
+	var inserted, removed [keys]int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			seed := uint64(id) + 3
+			localIns := [keys]int64{}
+			localRem := [keys]int64{}
+			for k := 0; k < per; k++ {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				key := seed % keys
+				if seed%2 == 0 {
+					if s.Insert(id, key) {
+						localIns[key]++
+					}
+				} else {
+					if s.Remove(id, key) {
+						localRem[key]++
+					}
+				}
+			}
+			mu.Lock()
+			for k := 0; k < keys; k++ {
+				inserted[k] += localIns[k]
+				removed[k] += localRem[k]
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	final := map[uint64]bool{}
+	for _, k := range s.Keys() {
+		if final[k] {
+			t.Fatalf("key %d appears twice", k)
+		}
+		final[k] = true
+	}
+	for k := 0; k < keys; k++ {
+		wantPresent := inserted[k]-removed[k] == 1
+		if inserted[k]-removed[k] != 0 && inserted[k]-removed[k] != 1 {
+			t.Fatalf("key %d: %d successful inserts vs %d removes", k, inserted[k], removed[k])
+		}
+		if final[uint64(k)] != wantPresent {
+			t.Fatalf("key %d: present=%v, want %v", k, final[uint64(k)], wantPresent)
+		}
+	}
+}
+
+// TestSetLinearizable: small adversarial histories against the set spec.
+func TestSetLinearizable(t *testing.T) {
+	const n, per, rounds = 3, 3, 10
+	for r := 0; r < rounds; r++ {
+		s := New(n)
+		rec := check.NewRecorder(n * per)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				seed := uint64(id*31 + r + 1)
+				for k := 0; k < per; k++ {
+					seed ^= seed << 13
+					seed ^= seed >> 7
+					seed ^= seed << 17
+					key := seed % 4
+					switch seed % 3 {
+					case 0:
+						slot := rec.Invoke(id, check.OpInsert, key)
+						ok := s.Insert(id, key)
+						rec.Return(slot, 0, ok)
+					case 1:
+						slot := rec.Invoke(id, check.OpRemove, key)
+						ok := s.Remove(id, key)
+						rec.Return(slot, 0, ok)
+					case 2:
+						slot := rec.Invoke(id, check.OpContains, key)
+						ok := s.Contains(id, key)
+						rec.Return(slot, 0, ok)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		if !check.Linearizable(rec.Operations(), check.SetSpec()) {
+			t.Fatalf("round %d: set history not linearizable:\n%v", r, rec.Operations())
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package snapshot
+
+import "testing"
+
+func BenchmarkSnapshotUpdate(b *testing.B) {
+	s := New(4, 8, 8)
+	w := s.Writer(1)
+	for i := 0; i < b.N; i++ {
+		w.Update(uint64(i) & 0xFF)
+	}
+}
+
+func BenchmarkSnapshotScan(b *testing.B) {
+	b.Run("single-word", func(b *testing.B) {
+		s := New(4, 8, 8)
+		for i := 0; i < b.N; i++ {
+			_ = s.Scan()
+		}
+	})
+	b.Run("multi-word", func(b *testing.B) {
+		s := New(16, 16, 16)
+		for i := 0; i < b.N; i++ {
+			_ = s.Scan()
+		}
+	})
+}

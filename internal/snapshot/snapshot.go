@@ -1,0 +1,134 @@
+// Package snapshot implements the single-writer snapshot object the paper
+// derives from its Fetch&Add collect (§1, §3): n components, each updated
+// by its owner with a SINGLE Fetch&Add, scanned atomically.
+//
+// Two regimes, mirroring Theorem 3.1:
+//
+//   - When every component (value + embedded update counter) fits in one
+//     64-bit Fetch&Add word, a scan is ONE atomic load: the collect itself
+//     is linearizable. Both operations are wait-free with step complexity 1
+//     ("one cache miss", as §1 puts it).
+//
+//   - Otherwise the object spans ⌈n(d+q)/64⌉ words and a scan uses the
+//     classic double collect: read all words, read them again, accept when
+//     every component's embedded update counter is unchanged — then the two
+//     reads bracket a moment at which all observed values coexisted. Updates
+//     stay wait-free (1 F&A); scans are lock-free (a scan retries only when
+//     a concurrent update COMPLETES, so some operation always progresses).
+//
+// Each component's value and its update counter share one chunk, so a
+// single F&A updates both atomically — a torn view of value-vs-counter is
+// impossible by construction.
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/collect"
+)
+
+// SWSnapshot is a single-writer snapshot object.
+type SWSnapshot struct {
+	n        int
+	dataBits int
+	seqBits  int
+	col      *collect.SimCollect
+	dataMask uint64
+}
+
+// DefaultSeqBits is the default width of the embedded update counter. A
+// scan can only be fooled if a writer performs an exact multiple of 2^seq
+// updates between the scan's two collects; 16 bits makes that 65536
+// completed F&As inside one scan window.
+const DefaultSeqBits = 16
+
+// New returns a snapshot object with n components of dataBits bits each,
+// with seqBits of embedded counter (0 selects DefaultSeqBits).
+// dataBits+seqBits must be ≤ 64.
+func New(n, dataBits, seqBits int) *SWSnapshot {
+	if seqBits == 0 {
+		seqBits = DefaultSeqBits
+	}
+	if dataBits < 1 || seqBits < 1 || dataBits+seqBits > 64 {
+		panic(fmt.Sprintf("snapshot: bad widths data=%d seq=%d", dataBits, seqBits))
+	}
+	return &SWSnapshot{
+		n:        n,
+		dataBits: dataBits,
+		seqBits:  seqBits,
+		col:      collect.NewSimCollect(n, dataBits+seqBits),
+		dataMask: chunkMask(dataBits),
+	}
+}
+
+func chunkMask(bits int) uint64 {
+	if bits == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(bits)) - 1
+}
+
+// N returns the number of components.
+func (s *SWSnapshot) N() int { return s.n }
+
+// Single reports whether the whole object fits in one Fetch&Add word, in
+// which case Scan is a single atomic load.
+func (s *SWSnapshot) Single() bool { return s.col.Single() }
+
+// Words returns the number of Fetch&Add words backing the object.
+func (s *SWSnapshot) Words() int { return s.col.Words() }
+
+// Writer is component i's single-writer handle.
+type Writer struct {
+	s   *SWSnapshot
+	upd *collect.Updater
+	seq uint64
+}
+
+// Writer returns the handle for component i (single goroutine only).
+func (s *SWSnapshot) Writer(i int) *Writer {
+	return &Writer{s: s, upd: s.col.Updater(i)}
+}
+
+// Update stores v (truncated to dataBits) with one Fetch&Add, bumping the
+// embedded update counter so concurrent scans see the change even when the
+// value is rewritten unchanged.
+func (w *Writer) Update(v uint64) {
+	w.seq++
+	chunk := (v & w.s.dataMask) | (w.seq&chunkMask(w.s.seqBits))<<uint(w.s.dataBits)
+	w.upd.Update(chunk)
+}
+
+// Scan returns a linearizable snapshot of all component values. Wait-free
+// when Single(); lock-free double collect otherwise.
+func (s *SWSnapshot) Scan() []uint64 {
+	first := s.col.Collect()
+	if s.Single() {
+		return s.values(first)
+	}
+	for {
+		second := s.col.Collect()
+		if sameSeqs(first, second, s.dataBits) {
+			return s.values(second)
+		}
+		first = second
+	}
+}
+
+// values strips the embedded counters.
+func (s *SWSnapshot) values(chunks []uint64) []uint64 {
+	out := make([]uint64, s.n)
+	for i, c := range chunks {
+		out[i] = c & s.dataMask
+	}
+	return out
+}
+
+func sameSeqs(a, b []uint64, dataBits int) bool {
+	for i := range a {
+		if a[i]>>uint(dataBits) != b[i]>>uint(dataBits) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,73 @@
+// Package spin implements the queue-based spin locks the paper benchmarks
+// against: the CLH lock (Craig; Magnusson, Landin and Hagersten), the MCS
+// lock (Mellor-Crummey and Scott), and a test-and-test-and-set lock used by
+// flat combining. CLH is the paper's lock baseline for Figure 2 and the
+// lock-based stack/queue of Figure 3 (footnote 2: MCS performed the same or
+// slightly worse on their ccNUMA host, so they report CLH).
+//
+// Spinning is cooperative: waiters call runtime.Gosched inside the spin so
+// the locks remain live on hosts with fewer cores than goroutines.
+package spin
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// clhNode is a CLH queue node; the locked flag is padded so a releasing
+// thread's store does not collide with its successor's spin variable line.
+type clhNode struct {
+	locked pad.Bool
+}
+
+// CLH is a Craig–Landin–Hagersten queue lock. Each acquiring thread enqueues
+// a node by swapping the tail pointer and spins locally on its predecessor's
+// flag, giving FIFO admission and one remote write per hand-off.
+//
+// Use NewCLH; each participating goroutine needs its own Handle.
+type CLH struct {
+	tail atomic.Pointer[clhNode]
+}
+
+// CLHHandle is one goroutine's private view of a CLH lock. A handle may be
+// used for any number of strictly nested Lock/Unlock pairs, but never
+// concurrently.
+type CLHHandle struct {
+	lock *CLH
+	node *clhNode // node to enqueue on next Lock
+	pred *clhNode // predecessor node while the lock is held
+}
+
+// NewCLH returns an unlocked CLH lock.
+func NewCLH() *CLH {
+	l := &CLH{}
+	l.tail.Store(&clhNode{}) // dummy released node
+	return l
+}
+
+// NewHandle returns a per-goroutine handle on the lock.
+func (l *CLH) NewHandle() *CLHHandle {
+	return &CLHHandle{lock: l, node: &clhNode{}}
+}
+
+// Lock acquires the lock, spinning (cooperatively) until the predecessor
+// releases it.
+func (h *CLHHandle) Lock() {
+	h.node.locked.V.Store(true)
+	pred := h.lock.tail.Swap(h.node)
+	for pred.locked.V.Load() {
+		runtime.Gosched()
+	}
+	h.pred = pred
+}
+
+// Unlock releases the lock. As in the classic CLH protocol, the thread
+// recycles its predecessor's node for its own next acquisition (its own node
+// may still be observed by the successor).
+func (h *CLHHandle) Unlock() {
+	h.node.locked.V.Store(false)
+	h.node = h.pred
+	h.pred = nil
+}

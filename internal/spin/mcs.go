@@ -1,0 +1,69 @@
+package spin
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// mcsNode is an MCS queue node. The flag and next pointer are together well
+// under a cache line; nodes are heap-allocated per handle so distinct
+// threads' nodes do not share lines in practice.
+type mcsNode struct {
+	locked atomic.Bool
+	next   atomic.Pointer[mcsNode]
+}
+
+// MCS is a Mellor-Crummey–Scott queue lock: FIFO, local spinning on the
+// waiter's own node. Included because the paper evaluated it (footnote 2)
+// before settling on CLH as the stronger lock baseline.
+type MCS struct {
+	tail atomic.Pointer[mcsNode]
+}
+
+// MCSHandle is one goroutine's private view of an MCS lock.
+type MCSHandle struct {
+	lock *MCS
+	node *mcsNode
+}
+
+// NewMCS returns an unlocked MCS lock.
+func NewMCS() *MCS { return &MCS{} }
+
+// NewHandle returns a per-goroutine handle on the lock.
+func (l *MCS) NewHandle() *MCSHandle {
+	return &MCSHandle{lock: l, node: &mcsNode{}}
+}
+
+// Lock acquires the lock.
+func (h *MCSHandle) Lock() {
+	n := h.node
+	n.next.Store(nil)
+	n.locked.Store(true)
+	pred := h.lock.tail.Swap(n)
+	if pred != nil {
+		pred.next.Store(n)
+		for n.locked.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the lock, handing it to the queue successor if one exists.
+func (h *MCSHandle) Unlock() {
+	n := h.node
+	succ := n.next.Load()
+	if succ == nil {
+		if h.lock.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		// A successor is enqueueing; wait for it to link itself.
+		for {
+			succ = n.next.Load()
+			if succ != nil {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	succ.locked.Store(false)
+}

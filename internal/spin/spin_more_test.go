@@ -1,0 +1,107 @@
+package spin
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTwoCLHLocksIndependent: holding one CLH lock never blocks another
+// lock's users (the two-lock queue relies on this).
+func TestTwoCLHLocksIndependent(t *testing.T) {
+	l1, l2 := NewCLH(), NewCLH()
+	h1 := l1.NewHandle()
+	h1.Lock() // hold l1 for the whole test
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h2 := l2.NewHandle()
+		for i := 0; i < 100; i++ {
+			h2.Lock()
+			h2.Unlock()
+		}
+	}()
+	<-done
+	h1.Unlock()
+}
+
+// TestCLHManyHandlesOneGoroutine: one goroutine may own several handles on
+// DIFFERENT locks simultaneously (nested acquisition).
+func TestCLHManyHandlesOneGoroutine(t *testing.T) {
+	locks := []*CLH{NewCLH(), NewCLH(), NewCLH()}
+	handles := make([]*CLHHandle, len(locks))
+	for i, l := range locks {
+		handles[i] = l.NewHandle()
+	}
+	for round := 0; round < 50; round++ {
+		for _, h := range handles {
+			h.Lock()
+		}
+		for i := len(handles) - 1; i >= 0; i-- {
+			handles[i].Unlock()
+		}
+	}
+}
+
+// TestMCSConvoy: many threads queueing on one MCS lock drain in bounded
+// time with every critical section observed exactly once.
+func TestMCSConvoy(t *testing.T) {
+	l := NewMCS()
+	const waiters = 12
+	var order []int
+	var mu sync.Mutex
+	h0 := l.NewHandle()
+	h0.Lock()
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := l.NewHandle()
+			h.Lock()
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			h.Unlock()
+		}(i)
+	}
+	h0.Unlock()
+	wg.Wait()
+	if len(order) != waiters {
+		t.Fatalf("%d critical sections, want %d", len(order), waiters)
+	}
+	seen := map[int]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("thread %d entered twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestTTASConcurrentTryLock: at most one TryLock may win per release epoch.
+func TestTTASConcurrentTryLock(t *testing.T) {
+	var l TTAS
+	const workers = 8
+	var wins int
+	var mu sync.Mutex
+	var wg, armed sync.WaitGroup
+	armed.Add(workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			armed.Done()
+			armed.Wait()
+			if l.TryLock() {
+				mu.Lock()
+				wins++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Fatalf("%d TryLock winners, want exactly 1", wins)
+	}
+	l.Unlock()
+}

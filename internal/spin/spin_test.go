@@ -1,0 +1,155 @@
+package spin
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// exerciseMutex pounds a plain counter under the lock and checks mutual
+// exclusion by the final count (any lost update means two holders
+// overlapped).
+func exerciseMutex(t *testing.T, lock func() (acquire, release func())) {
+	const workers, per = 8, 2000
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		acquire, release := lock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				acquire()
+				counter++
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*per {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, workers*per)
+	}
+}
+
+func TestCLHMutualExclusion(t *testing.T) {
+	l := NewCLH()
+	exerciseMutex(t, func() (func(), func()) {
+		h := l.NewHandle()
+		return h.Lock, h.Unlock
+	})
+}
+
+func TestMCSMutualExclusion(t *testing.T) {
+	l := NewMCS()
+	exerciseMutex(t, func() (func(), func()) {
+		h := l.NewHandle()
+		return h.Lock, h.Unlock
+	})
+}
+
+func TestTTASMutualExclusion(t *testing.T) {
+	var l TTAS
+	exerciseMutex(t, func() (func(), func()) {
+		return l.Lock, l.Unlock
+	})
+}
+
+func TestCLHHandleReuse(t *testing.T) {
+	l := NewCLH()
+	h := l.NewHandle()
+	for i := 0; i < 100; i++ {
+		h.Lock()
+		h.Unlock()
+	}
+}
+
+func TestMCSHandleReuse(t *testing.T) {
+	l := NewMCS()
+	h := l.NewHandle()
+	for i := 0; i < 100; i++ {
+		h.Lock()
+		h.Unlock()
+	}
+}
+
+func TestTTASTryLock(t *testing.T) {
+	var l TTAS
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	if !l.Locked() {
+		t.Fatal("Locked() false while held")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("Locked() true after Unlock")
+	}
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+// TestCLHFIFO: with goroutines enqueueing one after another (each waits for
+// the previous to be IN the queue before enqueueing), admission follows
+// enqueue order.
+func TestCLHFIFO(t *testing.T) {
+	l := NewCLH()
+	const waiters = 6
+
+	h0 := l.NewHandle()
+	h0.Lock() // hold so the others queue up
+
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	enqueued := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		h := l.NewHandle()
+		go func(id int, h *CLHHandle) {
+			defer wg.Done()
+			// Serialize arrival: the CLH swap below fixes queue position.
+			h.node.locked.V.Store(true)
+			pred := l.tail.Swap(h.node)
+			enqueued <- struct{}{}
+			for pred.locked.V.Load() {
+				runtime.Gosched()
+			}
+			h.pred = pred
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			h.Unlock()
+		}(i, h)
+		<-enqueued // next goroutine enqueues only after this one is queued
+	}
+	h0.Unlock()
+	wg.Wait()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("admission order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestMCSUnlockWithRacingEnqueuer covers the MCS unlock path where the
+// successor has swapped the tail but not yet linked itself.
+func TestMCSUnlockWithRacingEnqueuer(t *testing.T) {
+	l := NewMCS()
+	for i := 0; i < 200; i++ {
+		h1, h2 := l.NewHandle(), l.NewHandle()
+		h1.Lock()
+		done := make(chan struct{})
+		go func() {
+			h2.Lock()
+			h2.Unlock()
+			close(done)
+		}()
+		h1.Unlock()
+		<-done
+	}
+}

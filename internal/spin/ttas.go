@@ -1,0 +1,41 @@
+package spin
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// TTAS is a test-and-test-and-set lock. Flat combining (Hendler, Incze,
+// Shavit, Tzafrir, SPAA'10) uses exactly this shape of global lock: threads
+// first read the lock word (hitting in cache while it is held) and attempt
+// the atomic exchange only when it reads free. TryLock never blocks, which
+// is what the flat-combining fast path needs.
+type TTAS struct {
+	held atomic.Bool
+}
+
+// TryLock attempts one acquisition and reports success.
+func (l *TTAS) TryLock() bool {
+	return !l.held.Load() && l.held.CompareAndSwap(false, true)
+}
+
+// Lock spins until the lock is acquired.
+func (l *TTAS) Lock() {
+	for {
+		if l.TryLock() {
+			return
+		}
+		for l.held.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the lock.
+func (l *TTAS) Unlock() {
+	l.held.Store(false)
+}
+
+// Locked reports whether the lock is currently held (racy; for the
+// flat-combining waiter loop and for stats).
+func (l *TTAS) Locked() bool { return l.held.Load() }

@@ -1,0 +1,141 @@
+package stack
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/pad"
+	"repro/internal/workload"
+)
+
+// Elimination is the HSY elimination-backoff stack (Hendler, Shavit,
+// Yerushalmi, SPAA 2004): a Treiber stack whose contended operations back
+// off into a collision array where concurrent push/pop pairs exchange values
+// and complete without touching the top pointer at all.
+type Elimination[V any] struct {
+	base    *Treiber[V]
+	slots   []pad.Slot[exchanger[V]]
+	rngs    []pad.Slot[*workload.RNG]
+	timeout int // spin iterations to wait for a partner
+}
+
+// exchanger is a single collision slot: a lock-free exchanger specialised to
+// the push/pop pairing (a pop offers nil; a push offers its node).
+type exchanger[V any] struct {
+	slot atomic.Pointer[xcell[V]]
+}
+
+// xcell is one party waiting in a slot. The matcher removes the cell from
+// the slot with a CAS and then publishes its own item through response;
+// response non-nil is the waiter's signal that the exchange committed.
+type xcell[V any] struct {
+	offered  *node[V] // nil means the waiter is a pop
+	response atomic.Pointer[xresp[V]]
+}
+
+type xresp[V any] struct {
+	item *node[V] // nil when the matcher was a pop
+}
+
+// EliminationTimeout is the default partner-wait bound in spin iterations.
+const EliminationTimeout = 256
+
+// NewElimination returns an empty elimination-backoff stack for n processes
+// with a collision array of width ⌈n/2⌉ (capped at 16, the useful range for
+// the machine sizes of the paper's evaluation).
+func NewElimination[V any](n int) *Elimination[V] {
+	width := (n + 1) / 2
+	if width < 1 {
+		width = 1
+	}
+	if width > 16 {
+		width = 16
+	}
+	s := &Elimination[V]{
+		base:    NewTreiber[V](n),
+		slots:   make([]pad.Slot[exchanger[V]], width),
+		rngs:    make([]pad.Slot[*workload.RNG], n),
+		timeout: EliminationTimeout,
+	}
+	for i := range s.rngs {
+		s.rngs[i].Value = workload.NewRNG(uint64(i)*0x9E3779B9 + 1)
+	}
+	return s
+}
+
+// exchange waits in the slot with mine (nil for pop) and returns the
+// partner's item. ok reports whether an exchange with an OPPOSITE operation
+// committed within the timeout.
+func (e *exchanger[V]) exchange(mine *node[V], isPush bool, timeout int) (*node[V], bool) {
+	for spins := 0; spins < timeout; spins++ {
+		cur := e.slot.Load()
+		if cur == nil {
+			// Empty slot: enlist and wait for a partner.
+			cell := &xcell[V]{offered: mine}
+			if !e.slot.CompareAndSwap(nil, cell) {
+				continue
+			}
+			for w := 0; w < timeout; w++ {
+				if r := cell.response.Load(); r != nil {
+					return r.item, true
+				}
+				runtime.Gosched()
+			}
+			// Timed out: withdraw. If the withdraw CAS fails, a matcher has
+			// already claimed us and its response is imminent.
+			if e.slot.CompareAndSwap(cell, nil) {
+				return nil, false
+			}
+			for {
+				if r := cell.response.Load(); r != nil {
+					return r.item, true
+				}
+				runtime.Gosched()
+			}
+		}
+		// Occupied slot: match only opposite kinds (push with pop).
+		waiterIsPush := cur.offered != nil
+		if waiterIsPush == isPush {
+			return nil, false // same kind — no elimination possible here
+		}
+		if e.slot.CompareAndSwap(cur, nil) {
+			cur.response.Store(&xresp[V]{item: mine})
+			return cur.offered, true
+		}
+	}
+	return nil, false
+}
+
+// Push pushes v, eliminating against a concurrent Pop when the top is
+// contended.
+func (s *Elimination[V]) Push(id int, v V) {
+	n := &node[V]{v: v}
+	rng := s.rngs[id].Value
+	for {
+		if s.base.tryPush(n) {
+			return
+		}
+		slot := &s.slots[rng.Intn(len(s.slots))].Value
+		if _, ok := slot.exchange(n, true, s.timeout); ok {
+			return // a popper took our node
+		}
+	}
+}
+
+// Pop pops a value, eliminating against a concurrent Push when contended.
+func (s *Elimination[V]) Pop(id int) (V, bool) {
+	rng := s.rngs[id].Value
+	for {
+		v, ok, popped := s.base.tryPop()
+		if popped {
+			return v, ok
+		}
+		slot := &s.slots[rng.Intn(len(s.slots))].Value
+		if item, ok := slot.exchange(nil, false, s.timeout); ok && item != nil {
+			return item.v, true
+		}
+	}
+}
+
+// Name implements Interface.
+func (s *Elimination[V]) Name() string { return "EliminationBackoff" }

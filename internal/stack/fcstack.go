@@ -1,0 +1,55 @@
+package stack
+
+import "repro/internal/flatcombining"
+
+// FCStack is the linked stack over flat combining used as the strongest
+// baseline in Figure 3 (left): the combiner applies announced pushes and
+// pops to a private sequential list while holding the global lock.
+type FCStack[V any] struct {
+	fc      *flatcombining.FC[stackOp[V], popResult[V]]
+	handles []*flatcombining.Handle[stackOp[V], popResult[V]]
+}
+
+// NewFCStack returns an empty flat-combining stack for n processes with the
+// given combining parameters (0,0 for defaults; the paper tuned these per
+// machine).
+func NewFCStack[V any](n, rounds, cleanupEvery int) *FCStack[V] {
+	var top *node[V]
+	apply := func(_ int, op stackOp[V]) popResult[V] {
+		if op.push {
+			top = &node[V]{v: op.v, next: top}
+			return popResult[V]{}
+		}
+		if top == nil {
+			return popResult[V]{ok: false}
+		}
+		r := popResult[V]{v: top.v, ok: true}
+		top = top.next
+		return r
+	}
+	s := &FCStack[V]{
+		fc:      flatcombining.New(apply, rounds, cleanupEvery),
+		handles: make([]*flatcombining.Handle[stackOp[V], popResult[V]], n),
+	}
+	for i := range s.handles {
+		s.handles[i] = s.fc.NewHandle(i)
+	}
+	return s
+}
+
+// Push pushes v.
+func (s *FCStack[V]) Push(id int, v V) {
+	s.handles[id].Apply(stackOp[V]{push: true, v: v})
+}
+
+// Pop pops; ok is false if empty.
+func (s *FCStack[V]) Pop(id int) (V, bool) {
+	r := s.handles[id].Apply(stackOp[V]{})
+	return r.v, r.ok
+}
+
+// Stats exposes the flat-combining statistics.
+func (s *FCStack[V]) Stats() flatcombining.Stats { return s.fc.Stats() }
+
+// Name implements Interface.
+func (s *FCStack[V]) Name() string { return "FlatCombining" }

@@ -1,0 +1,44 @@
+package stack
+
+import "testing"
+
+// FuzzStackEquivalence drives every stack implementation with a fuzzed op
+// string and cross-checks it against the reference model. Run with
+// `go test -fuzz FuzzStackEquivalence ./internal/stack` for coverage-guided
+// exploration; under plain `go test` the seed corpus runs as a unit test.
+func FuzzStackEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 1, 1})
+	f.Add([]byte{1, 1, 1})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		impls := all(1)
+		refs := make([][]uint64, len(impls))
+		for step, o := range ops {
+			if o%2 == 0 {
+				v := uint64(step) + 1
+				for i, s := range impls {
+					s.Push(0, v)
+					refs[i] = append(refs[i], v)
+				}
+			} else {
+				for i, s := range impls {
+					v, ok := s.Pop(0)
+					if len(refs[i]) == 0 {
+						if ok {
+							t.Fatalf("%s: pop on empty returned %d", s.Name(), v)
+						}
+						continue
+					}
+					want := refs[i][len(refs[i])-1]
+					refs[i] = refs[i][:len(refs[i])-1]
+					if !ok || v != want {
+						t.Fatalf("%s: pop = (%d,%v), want (%d,true)", s.Name(), v, ok, want)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package stack
+
+import "repro/internal/spin"
+
+// CLHStack is the paper's lock-based stack baseline: a plain sequential
+// linked stack protected by a CLH queue lock (§5: "a stack implementation
+// based on CLH spin lock").
+type CLHStack[V any] struct {
+	lock    *spin.CLH
+	handles []*spin.CLHHandle
+	top     *node[V] // guarded by lock
+}
+
+// NewCLHStack returns an empty lock-based stack for n processes.
+func NewCLHStack[V any](n int) *CLHStack[V] {
+	s := &CLHStack[V]{lock: spin.NewCLH(), handles: make([]*spin.CLHHandle, n)}
+	for i := range s.handles {
+		s.handles[i] = s.lock.NewHandle()
+	}
+	return s
+}
+
+// Push pushes v under the lock.
+func (s *CLHStack[V]) Push(id int, v V) {
+	h := s.handles[id]
+	h.Lock()
+	s.top = &node[V]{v: v, next: s.top}
+	h.Unlock()
+}
+
+// Pop pops under the lock; ok is false if empty.
+func (s *CLHStack[V]) Pop(id int) (V, bool) {
+	h := s.handles[id]
+	h.Lock()
+	t := s.top
+	if t == nil {
+		h.Unlock()
+		var zero V
+		return zero, false
+	}
+	s.top = t.next
+	h.Unlock()
+	return t.v, true
+}
+
+// Name implements Interface.
+func (s *CLHStack[V]) Name() string { return "CLH-lock" }

@@ -1,0 +1,97 @@
+package stack
+
+import "repro/internal/core"
+
+// SimStack is the paper's wait-free stack (§5): P-Sim employed "to
+// atomically manipulate just the top of the stack". The simulated state is
+// the top pointer of an immutable linked list — pushes allocate a fresh node
+// in front, pops advance the pointer — so the state copy P-Sim makes each
+// round is a single pointer and combining k operations costs O(k) local
+// work.
+type SimStack[V any] struct {
+	u *core.PSim[*node[V], stackOp[V], popResult[V]]
+}
+
+// stackOp is the announced operation descriptor: push carries a value, pop
+// does not.
+type stackOp[V any] struct {
+	push bool
+	v    V
+}
+
+// popResult carries a pop's response; push responses are ignored.
+type popResult[V any] struct {
+	v  V
+	ok bool
+}
+
+// SimOption configures a SimStack.
+type SimOption func(*simCfg)
+
+type simCfg struct {
+	boLower, boUpper int
+	paddedAct        bool
+}
+
+// WithBackoff bounds the adaptive backoff window (upper 0 disables).
+func WithBackoff(lower, upper int) SimOption {
+	return func(c *simCfg) { c.boLower, c.boUpper = lower, upper }
+}
+
+// WithPaddedAct spreads the Act vector one word per cache line.
+func WithPaddedAct() SimOption {
+	return func(c *simCfg) { c.paddedAct = true }
+}
+
+// NewSimStack returns an empty wait-free stack shared by n processes.
+func NewSimStack[V any](n int, opts ...SimOption) *SimStack[V] {
+	cfg := simCfg{boLower: 1, boUpper: core.DefaultBackoffUpper}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var popts []core.PSimOption[*node[V]]
+	popts = append(popts, core.WithBackoff[*node[V]](cfg.boLower, cfg.boUpper))
+	if cfg.paddedAct {
+		popts = append(popts, core.WithPaddedAct[*node[V]]())
+	}
+	apply := func(top **node[V], _ int, op stackOp[V]) popResult[V] {
+		if op.push {
+			*top = &node[V]{v: op.v, next: *top}
+			return popResult[V]{}
+		}
+		t := *top
+		if t == nil {
+			return popResult[V]{ok: false}
+		}
+		*top = t.next
+		return popResult[V]{v: t.v, ok: true}
+	}
+	return &SimStack[V]{u: core.NewPSim[*node[V], stackOp[V], popResult[V]](n, nil, apply, popts...)}
+}
+
+// Push pushes v on behalf of process id.
+func (s *SimStack[V]) Push(id int, v V) {
+	s.u.Apply(id, stackOp[V]{push: true, v: v})
+}
+
+// Pop pops on behalf of process id; ok is false if the stack was empty.
+func (s *SimStack[V]) Pop(id int) (V, bool) {
+	r := s.u.Apply(id, stackOp[V]{})
+	return r.v, r.ok
+}
+
+// Len walks the current top pointer and returns the stack size. It is a
+// read-only snapshot, safe concurrently (the list is immutable).
+func (s *SimStack[V]) Len() int {
+	n := 0
+	for t := s.u.Read(); t != nil; t = t.next {
+		n++
+	}
+	return n
+}
+
+// Stats exposes the underlying P-Sim combining statistics.
+func (s *SimStack[V]) Stats() core.Stats { return s.u.Stats() }
+
+// Name implements Interface.
+func (s *SimStack[V]) Name() string { return "SimStack" }

@@ -1,0 +1,87 @@
+package stack
+
+import (
+	"sync"
+	"testing"
+)
+
+// all returns one instance of each stack implementation for n processes.
+func all(n int) []Interface[uint64] {
+	return []Interface[uint64]{
+		NewSimStack[uint64](n),
+		NewTreiber[uint64](n),
+		NewElimination[uint64](n),
+		NewCLHStack[uint64](n),
+		NewFCStack[uint64](n, 0, 0),
+	}
+}
+
+func TestStackSmokeSequential(t *testing.T) {
+	for _, s := range all(1) {
+		t.Run(s.Name(), func(t *testing.T) {
+			if _, ok := s.Pop(0); ok {
+				t.Fatal("pop on empty stack returned ok")
+			}
+			s.Push(0, 10)
+			s.Push(0, 20)
+			if v, ok := s.Pop(0); !ok || v != 20 {
+				t.Fatalf("pop = (%d,%v), want (20,true)", v, ok)
+			}
+			if v, ok := s.Pop(0); !ok || v != 10 {
+				t.Fatalf("pop = (%d,%v), want (10,true)", v, ok)
+			}
+			if _, ok := s.Pop(0); ok {
+				t.Fatal("pop on drained stack returned ok")
+			}
+		})
+	}
+}
+
+// TestStackSmokeConservation checks, for every implementation, that under a
+// concurrent push/pop mix no value is lost or duplicated.
+func TestStackSmokeConservation(t *testing.T) {
+	const n, pairs = 8, 300
+	for _, s := range all(n) {
+		t.Run(s.Name(), func(t *testing.T) {
+			var mu sync.Mutex
+			popped := make(map[uint64]int)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					local := make(map[uint64]int)
+					for k := 0; k < pairs; k++ {
+						v := uint64(id*pairs+k) + 1
+						s.Push(id, v)
+						if got, ok := s.Pop(id); ok {
+							local[got]++
+						}
+					}
+					mu.Lock()
+					for v, c := range local {
+						popped[v] += c
+					}
+					mu.Unlock()
+				}(i)
+			}
+			wg.Wait()
+			// Drain the remainder.
+			for {
+				v, ok := s.Pop(0)
+				if !ok {
+					break
+				}
+				popped[v]++
+			}
+			if len(popped) != n*pairs {
+				t.Fatalf("popped %d distinct values, want %d", len(popped), n*pairs)
+			}
+			for v, c := range popped {
+				if c != 1 {
+					t.Fatalf("value %d popped %d times", v, c)
+				}
+			}
+		})
+	}
+}

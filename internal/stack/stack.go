@@ -1,0 +1,25 @@
+// Package stack implements the five shared-stack algorithms of Figure 3
+// (left): SimStack — the paper's new wait-free stack over P-Sim — and its
+// four competitors: Treiber's lock-free stack, the HSY elimination-backoff
+// stack, a CLH spin-lock stack, and a flat-combining stack.
+//
+// All implementations satisfy Interface. Process ids identify threads for
+// the combining-based algorithms; each id must be driven by one goroutine.
+package stack
+
+// Interface is the common shape of every stack implementation in the
+// benchmark suite. Pop returns ok=false on an empty stack.
+type Interface[V any] interface {
+	Push(id int, v V)
+	Pop(id int) (V, bool)
+	// Name identifies the algorithm in harness output.
+	Name() string
+}
+
+// node is the immutable singly-linked node shared by the pointer-based
+// stacks (a node's fields are never written after publication, so concurrent
+// traversals are safe).
+type node[V any] struct {
+	v    V
+	next *node[V]
+}

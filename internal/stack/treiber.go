@@ -1,0 +1,90 @@
+package stack
+
+import (
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/pad"
+)
+
+// Treiber is R. K. Treiber's classic lock-free stack (IBM RJ 5118, 1986):
+// a CAS loop on the top pointer, here with bounded exponential backoff on
+// failure as in the paper's tuned baseline. Garbage collection removes the
+// ABA hazard that the original needed counters for.
+type Treiber[V any] struct {
+	top atomic.Pointer[node[V]]
+	_   pad.CacheLinePad
+	bo  []pad.Slot[*backoff.Exp]
+}
+
+// TreiberBackoff bounds the default exponential backoff window of the
+// lock-free baselines, in delay-loop iterations.
+const TreiberBackoff = 1024
+
+// NewTreiber returns an empty Treiber stack for n processes.
+func NewTreiber[V any](n int) *Treiber[V] {
+	s := &Treiber[V]{bo: make([]pad.Slot[*backoff.Exp], n)}
+	for i := range s.bo {
+		s.bo[i].Value = backoff.NewExp(1, TreiberBackoff)
+	}
+	return s
+}
+
+// Push pushes v.
+func (s *Treiber[V]) Push(id int, v V) {
+	bo := s.bo[id].Value
+	n := &node[V]{v: v}
+	for {
+		top := s.top.Load()
+		n.next = top
+		if s.top.CompareAndSwap(top, n) {
+			bo.Reset()
+			return
+		}
+		bo.Wait()
+	}
+}
+
+// Pop pops the most recently pushed value; ok is false if empty.
+func (s *Treiber[V]) Pop(id int) (V, bool) {
+	bo := s.bo[id].Value
+	for {
+		top := s.top.Load()
+		if top == nil {
+			var zero V
+			bo.Reset()
+			return zero, false
+		}
+		if s.top.CompareAndSwap(top, top.next) {
+			bo.Reset()
+			return top.v, true
+		}
+		bo.Wait()
+	}
+}
+
+// tryPush attempts one CAS push and reports success (used by the
+// elimination stack's fast path).
+func (s *Treiber[V]) tryPush(n *node[V]) bool {
+	top := s.top.Load()
+	n.next = top
+	return s.top.CompareAndSwap(top, n)
+}
+
+// tryPop attempts one CAS pop. popped reports whether the CAS succeeded;
+// when popped is true and ok is false the stack was empty.
+func (s *Treiber[V]) tryPop() (v V, ok bool, popped bool) {
+	top := s.top.Load()
+	if top == nil {
+		var zero V
+		return zero, false, true
+	}
+	if s.top.CompareAndSwap(top, top.next) {
+		return top.v, true, true
+	}
+	var zero V
+	return zero, false, false
+}
+
+// Name implements Interface.
+func (s *Treiber[V]) Name() string { return "Treiber" }

@@ -1,0 +1,58 @@
+// Package workload supplies the synthetic-load machinery of the paper's
+// evaluation (§4): a per-goroutine deterministic RNG and the "random number
+// (up to 512) of dummy loop iterations" inserted between consecutive
+// operations by the same thread, which keeps cache-miss ratios realistic
+// without destroying contention. The same technique is credited to Michael
+// and Scott's queue evaluation.
+package workload
+
+import "sync/atomic"
+
+// DefaultMaxWork is the paper's bound on dummy-loop iterations between
+// operations (§4: "A random number (up to 512) of dummy loop iterations").
+const DefaultMaxWork = 512
+
+// RNG is an xorshift64* pseudo-random generator. It is deterministic for a
+// given seed, allocation-free, and owned by a single goroutine.
+type RNG struct {
+	s uint64
+}
+
+// NewRNG returns a generator seeded from seed (0 is remapped to a fixed
+// non-zero constant, since xorshift has an all-zero fixed point).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// workSink defeats dead-code elimination of the dummy loop.
+var workSink atomic.Uint64
+
+// RandomWork burns a uniformly random number of dummy-loop iterations in
+// [0, max). It is the inter-operation local work of every experiment.
+func (r *RNG) RandomWork(max int) {
+	if max <= 0 {
+		return
+	}
+	iters := r.Intn(max)
+	var s uint64
+	for i := 0; i < iters; i++ {
+		s += uint64(i) ^ r.s
+	}
+	workSink.Add(s)
+}

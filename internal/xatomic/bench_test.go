@@ -1,0 +1,69 @@
+package xatomic
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkFetchAdd64(b *testing.B) {
+	var a atomic.Uint64
+	for i := 0; i < b.N; i++ {
+		FetchAdd64(&a, 1)
+	}
+}
+
+func BenchmarkLLSCRoundTrip(b *testing.B) {
+	l := NewLLSC(uint64(0))
+	for i := 0; i < b.N; i++ {
+		v, tag := l.LL()
+		l.SC(tag, v+1)
+	}
+}
+
+func BenchmarkTogglerToggle(b *testing.B) {
+	bits := NewSharedBits(64)
+	tg := NewToggler(bits, 7)
+	for i := 0; i < b.N; i++ {
+		tg.Toggle()
+	}
+}
+
+func BenchmarkSharedBitsLoad(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(map[int]string{64: "1word", 512: "8words"}[n], func(b *testing.B) {
+			bits := NewSharedBits(n)
+			dst := NewSnapshot(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bits.LoadInto(dst)
+			}
+		})
+	}
+}
+
+func BenchmarkSnapshotXorAndDrain(b *testing.B) {
+	a, c, d := NewSnapshot(64), NewSnapshot(64), NewSnapshot(64)
+	for i := 0; i < 64; i += 3 {
+		a.SetBit(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.XorInto(c, d)
+		for {
+			k := d.BitSearchFirst()
+			if k < 0 {
+				break
+			}
+			d.ClearBit(k)
+		}
+	}
+}
+
+func BenchmarkTimedWordCAS(b *testing.B) {
+	var w TimedWord
+	for i := 0; i < b.N; i++ {
+		raw := w.LoadRaw()
+		idx, stamp := UnpackTimed(raw)
+		w.CompareAndSwap(raw, idx+1, stamp+1)
+	}
+}

@@ -1,0 +1,66 @@
+package xatomic
+
+import "repro/internal/pad"
+
+// AccessCounter counts shared-memory accesses per thread, used to reproduce
+// Table 1 empirically: the theoretical Sim performs O(1) shared accesses per
+// operation, L-Sim O(kw), and Herlihy's classic construction O(n³s)-ish.
+// Counters are padded per thread so the instrumentation itself causes no
+// coherence traffic between threads, and each thread increments only its own
+// slot with a plain atomic add.
+//
+// A nil *AccessCounter is valid and counts nothing, so constructions can be
+// instrumented unconditionally with zero configuration.
+type AccessCounter struct {
+	slots []pad.Uint64
+}
+
+// NewAccessCounter returns a counter for n threads.
+func NewAccessCounter(n int) *AccessCounter {
+	return &AccessCounter{slots: make([]pad.Uint64, n)}
+}
+
+// Add records delta shared accesses by thread id. No-op on a nil receiver.
+func (c *AccessCounter) Add(id int, delta uint64) {
+	if c == nil {
+		return
+	}
+	c.slots[id].V.Add(delta)
+}
+
+// Inc records one shared access by thread id. No-op on a nil receiver.
+func (c *AccessCounter) Inc(id int) { c.Add(id, 1) }
+
+// Total returns the sum over all threads. Zero on a nil receiver.
+func (c *AccessCounter) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for i := range c.slots {
+		t += c.slots[i].V.Load()
+	}
+	return t
+}
+
+// PerThread returns a copy of each thread's count. Nil on a nil receiver.
+func (c *AccessCounter) PerThread() []uint64 {
+	if c == nil {
+		return nil
+	}
+	out := make([]uint64, len(c.slots))
+	for i := range c.slots {
+		out[i] = c.slots[i].V.Load()
+	}
+	return out
+}
+
+// Reset zeroes every slot.
+func (c *AccessCounter) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.slots {
+		c.slots[i].V.Store(0)
+	}
+}

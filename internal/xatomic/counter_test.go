@@ -1,0 +1,64 @@
+package xatomic
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAccessCounterNilSafe(t *testing.T) {
+	var c *AccessCounter
+	c.Inc(0) // must not panic
+	c.Add(3, 10)
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatal("nil counter Total != 0")
+	}
+	if c.PerThread() != nil {
+		t.Fatal("nil counter PerThread != nil")
+	}
+}
+
+func TestAccessCounterAddTotal(t *testing.T) {
+	c := NewAccessCounter(4)
+	c.Inc(0)
+	c.Add(1, 5)
+	c.Add(3, 2)
+	if got := c.Total(); got != 8 {
+		t.Fatalf("Total = %d, want 8", got)
+	}
+	per := c.PerThread()
+	want := []uint64{1, 5, 0, 2}
+	for i := range want {
+		if per[i] != want[i] {
+			t.Fatalf("PerThread = %v, want %v", per, want)
+		}
+	}
+}
+
+func TestAccessCounterReset(t *testing.T) {
+	c := NewAccessCounter(2)
+	c.Add(0, 3)
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatalf("Total after Reset = %d", c.Total())
+	}
+}
+
+func TestAccessCounterConcurrent(t *testing.T) {
+	const n, per = 8, 1000
+	c := NewAccessCounter(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				c.Inc(id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Total(); got != n*per {
+		t.Fatalf("Total = %d, want %d", got, n*per)
+	}
+}

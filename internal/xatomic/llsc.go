@@ -1,0 +1,55 @@
+package xatomic
+
+import "sync/atomic"
+
+// LLSC is a linked-load/store-conditional object holding a value of type T.
+//
+// The paper's theoretical construction (Algorithm 1) stores the whole State
+// struct in one LL/SC object; its practical port (§4) simulates LL with a
+// read and SC with a CAS on a timestamped word. This implementation uses the
+// equivalent Go idiom: the value lives behind an atomic.Pointer to an
+// immutable cell, LL loads the pointer, and SC is a CompareAndSwap that
+// installs a freshly allocated cell. Because every SC installs a cell that
+// did not previously occupy the variable, and the LL holder keeps its cell
+// reachable (so the allocator cannot recycle its address), CAS success is
+// exactly "no successful SC intervened since my LL" — i.e. true LL/SC
+// semantics with no ABA and no spurious failures.
+type LLSC[T any] struct {
+	p atomic.Pointer[llCell[T]]
+}
+
+type llCell[T any] struct{ v T }
+
+// Tag witnesses a linked load; pass it to SC or VL.
+type Tag[T any] struct{ cell *llCell[T] }
+
+// NewLLSC returns an LL/SC object initialized to v.
+func NewLLSC[T any](v T) *LLSC[T] {
+	l := &LLSC[T]{}
+	l.p.Store(&llCell[T]{v: v})
+	return l
+}
+
+// LL performs a linked load: it returns the current value and a tag to be
+// used by a subsequent SC.
+func (l *LLSC[T]) LL() (T, Tag[T]) {
+	c := l.p.Load()
+	return c.v, Tag[T]{cell: c}
+}
+
+// SC performs a store-conditional: it installs v and reports true iff no
+// successful SC has occurred since the LL that produced tag.
+func (l *LLSC[T]) SC(tag Tag[T], v T) bool {
+	return l.p.CompareAndSwap(tag.cell, &llCell[T]{v: v})
+}
+
+// VL (validate-load) reports whether no successful SC has occurred since the
+// LL that produced tag.
+func (l *LLSC[T]) VL(tag Tag[T]) bool {
+	return l.p.Load() == tag.cell
+}
+
+// Read returns the current value without linking.
+func (l *LLSC[T]) Read() T {
+	return l.p.Load().v
+}

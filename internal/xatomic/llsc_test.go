@@ -1,0 +1,144 @@
+package xatomic
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLLSCBasicRoundTrip(t *testing.T) {
+	l := NewLLSC(42)
+	v, tag := l.LL()
+	if v != 42 {
+		t.Fatalf("LL returned %d, want 42", v)
+	}
+	if !l.SC(tag, 43) {
+		t.Fatal("SC with fresh tag failed")
+	}
+	if l.Read() != 43 {
+		t.Fatalf("Read = %d, want 43", l.Read())
+	}
+}
+
+func TestLLSCFailsAfterInterveningSC(t *testing.T) {
+	l := NewLLSC(0)
+	_, tag1 := l.LL()
+	_, tag2 := l.LL()
+	if !l.SC(tag2, 1) {
+		t.Fatal("first SC failed")
+	}
+	if l.SC(tag1, 2) {
+		t.Fatal("SC with stale tag succeeded")
+	}
+	if l.Read() != 1 {
+		t.Fatalf("Read = %d, want 1", l.Read())
+	}
+}
+
+func TestLLSCSecondSCSameTagFails(t *testing.T) {
+	l := NewLLSC(0)
+	_, tag := l.LL()
+	if !l.SC(tag, 1) {
+		t.Fatal("first SC failed")
+	}
+	if l.SC(tag, 2) {
+		t.Fatal("second SC with the same tag succeeded")
+	}
+}
+
+func TestLLSCValidate(t *testing.T) {
+	l := NewLLSC(0)
+	_, tag := l.LL()
+	if !l.VL(tag) {
+		t.Fatal("VL failed with no intervening SC")
+	}
+	_, tag2 := l.LL()
+	l.SC(tag2, 5)
+	if l.VL(tag) {
+		t.Fatal("VL succeeded after an intervening SC")
+	}
+}
+
+// TestLLSCSameValueNoABA: an SC that writes the SAME value still invalidates
+// older tags — the property a plain CAS on the value would lack.
+func TestLLSCSameValueNoABA(t *testing.T) {
+	l := NewLLSC(7)
+	_, old := l.LL()
+	_, mid := l.LL()
+	if !l.SC(mid, 7) { // write the same value
+		t.Fatal("SC failed")
+	}
+	if l.SC(old, 8) {
+		t.Fatal("stale SC succeeded despite intervening same-value SC (ABA)")
+	}
+}
+
+func TestLLSCStructValues(t *testing.T) {
+	type pair struct{ a, b int }
+	l := NewLLSC(pair{1, 2})
+	v, tag := l.LL()
+	v.a = 10
+	if !l.SC(tag, v) {
+		t.Fatal("SC failed")
+	}
+	if got := l.Read(); got != (pair{10, 2}) {
+		t.Fatalf("Read = %+v", got)
+	}
+}
+
+// TestLLSCConcurrentCounter: concurrent LL/SC increments with retry — final
+// value must equal total increments (atomicity) and each success must
+// observe a distinct previous value.
+func TestLLSCConcurrentCounter(t *testing.T) {
+	const workers, per = 8, 300
+	l := NewLLSC(uint64(0))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					v, tag := l.LL()
+					if l.SC(tag, v+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Read(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+// TestLLSCExactlyOneWinner: many concurrent SCs against one LL generation —
+// exactly one must succeed.
+func TestLLSCExactlyOneWinner(t *testing.T) {
+	const workers = 16
+	for round := 0; round < 50; round++ {
+		l := NewLLSC(0)
+		var wins int32
+		var mu sync.Mutex
+		var wg, linked sync.WaitGroup
+		linked.Add(workers) // barrier: every LL completes before any SC
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				_, tag := l.LL()
+				linked.Done()
+				linked.Wait()
+				if l.SC(tag, id+1) {
+					mu.Lock()
+					wins++
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		if wins != 1 {
+			t.Fatalf("round %d: %d SC winners, want exactly 1", round, wins)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package xatomic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cases := []struct {
+		index uint16
+		stamp uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{65535, 0},
+		{0, TimedStampMax},
+		{65535, TimedStampMax},
+		{1234, 0xABCDEF},
+	}
+	for _, c := range cases {
+		i, s := UnpackTimed(PackTimed(c.index, c.stamp))
+		if i != c.index || s != c.stamp {
+			t.Fatalf("round-trip (%d,%d) -> (%d,%d)", c.index, c.stamp, i, s)
+		}
+	}
+}
+
+func TestPackUnpackQuick(t *testing.T) {
+	f := func(index uint16, stamp uint64) bool {
+		stamp &= TimedStampMax
+		i, s := UnpackTimed(PackTimed(index, stamp))
+		return i == index && s == stamp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackStampWraps(t *testing.T) {
+	// A stamp beyond 48 bits wraps silently rather than corrupting the index.
+	w := PackTimed(7, TimedStampMax+1)
+	i, s := UnpackTimed(w)
+	if i != 7 {
+		t.Fatalf("index corrupted by overflowing stamp: %d", i)
+	}
+	if s != 0 {
+		t.Fatalf("stamp = %d, want wrap to 0", s)
+	}
+}
+
+func TestTimedWordStoreLoad(t *testing.T) {
+	var w TimedWord
+	w.Store(12, 34)
+	i, s := w.Load()
+	if i != 12 || s != 34 {
+		t.Fatalf("Load = (%d,%d), want (12,34)", i, s)
+	}
+}
+
+func TestTimedWordCAS(t *testing.T) {
+	var w TimedWord
+	w.Store(1, 10)
+	raw := w.LoadRaw()
+	if !w.CompareAndSwap(raw, 2, 11) {
+		t.Fatal("CAS with current raw failed")
+	}
+	if w.CompareAndSwap(raw, 3, 12) {
+		t.Fatal("CAS with stale raw succeeded")
+	}
+	i, s := w.Load()
+	if i != 2 || s != 11 {
+		t.Fatalf("Load = (%d,%d), want (2,11)", i, s)
+	}
+}
+
+func TestTimedWordCASDistinguishesSameIndexDifferentStamp(t *testing.T) {
+	// The stamp is exactly what makes index reuse ABA-safe: the same index
+	// with a bumped stamp must not satisfy a stale expectation.
+	var w TimedWord
+	w.Store(5, 100)
+	stale := w.LoadRaw()
+	if !w.CompareAndSwap(stale, 5, 101) {
+		t.Fatal("setup CAS failed")
+	}
+	if w.CompareAndSwap(stale, 6, 102) {
+		t.Fatal("stale CAS succeeded against same index, newer stamp")
+	}
+}

@@ -1,0 +1,189 @@
+package simuc_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	simuc "repro"
+)
+
+// Soak tests: long mixed workloads that exercise state-record churn, GC
+// pressure and scheduler interleavings at a scale the unit tests do not.
+// Skipped under -short.
+
+func TestSoakUniversalCounter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const n, per = 16, 20_000
+	u := simuc.NewUniversal(n, uint64(0), func(st *uint64, _ int, d uint64) uint64 {
+		prev := *st
+		*st += d
+		return prev
+	}, nil, simuc.Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, 1)
+				if k%1024 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := u.Read(); got != n*per {
+		t.Fatalf("counter = %d, want %d", got, n*per)
+	}
+	s := u.Stats()
+	if s.Ops != n*per || s.Combined != n*per {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+}
+
+func TestSoakStackMixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const n, per = 12, 10_000
+	s := simuc.NewStack[uint64](n, simuc.Config{})
+	var pushed, popped sync.Map
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			seed := uint64(id) + 1
+			nPush, nPop := 0, 0
+			for k := 0; k < per; k++ {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				if seed%2 == 0 {
+					s.Push(id, uint64(id)<<32|uint64(k))
+					nPush++
+				} else if _, ok := s.Pop(id); ok {
+					nPop++
+				}
+			}
+			pushed.Store(id, nPush)
+			popped.Store(id, nPop)
+		}(i)
+	}
+	wg.Wait()
+	totPush, totPop := 0, 0
+	pushed.Range(func(_, v any) bool { totPush += v.(int); return true })
+	popped.Range(func(_, v any) bool { totPop += v.(int); return true })
+	if got := s.Len(); got != totPush-totPop {
+		t.Fatalf("Len = %d, want pushes-pops = %d", got, totPush-totPop)
+	}
+}
+
+func TestSoakQueueThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const producers, consumers, items = 6, 6, 60_000
+	n := producers + consumers
+	q := simuc.NewQueue[uint64](n, simuc.Config{})
+	var wg sync.WaitGroup
+	var sumIn, sumOut uint64
+	var muIn, muOut sync.Mutex
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := uint64(0)
+			for k := 0; k < items/producers; k++ {
+				v := uint64(id*1_000_000+k) + 1
+				q.Enqueue(id, v)
+				local += v
+			}
+			muIn.Lock()
+			sumIn += local
+			muIn.Unlock()
+		}(p)
+	}
+	var consumedCount atomic.Uint64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			id := producers + idx
+			local := uint64(0)
+			for {
+				v, ok := q.Dequeue(id)
+				if !ok {
+					if consumedCount.Load() >= items {
+						break
+					}
+					runtime.Gosched()
+					continue
+				}
+				local += v
+				consumedCount.Add(1)
+			}
+			muOut.Lock()
+			sumOut += local
+			muOut.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if sumIn != sumOut {
+		t.Fatalf("checksum mismatch: in %d, out %d", sumIn, sumOut)
+	}
+}
+
+func TestSoakMapChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const n, per = 8, 15_000
+	m := simuc.NewMap[uint64, uint64](n, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			seed := uint64(id)*0x9E3779B9 + 5
+			for k := 0; k < per; k++ {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				key := seed % 1024
+				switch seed % 4 {
+				case 0:
+					m.Delete(id, key)
+				case 1:
+					m.Get(key)
+				default:
+					m.Put(id, key, seed)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Post-condition: the map is internally consistent — every ranged key
+	// Gets back to the same value, and Len matches Range's count.
+	count := 0
+	consistent := true
+	m.Range(func(k, v uint64) bool {
+		count++
+		if got, ok := m.Get(k); !ok || got != v {
+			consistent = false
+			return false
+		}
+		return true
+	})
+	if !consistent {
+		t.Fatal("Range and Get disagree at quiescence")
+	}
+	if count != m.Len() {
+		t.Fatalf("Range saw %d entries, Len says %d", count, m.Len())
+	}
+}
