@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench examples experiments check clean
+.PHONY: all build vet test race short bench examples experiments check metrics-demo clean
 
 all: build vet test
 
@@ -46,6 +46,18 @@ check:
 	$(GO) run ./cmd/simcheck -object queue -impl sim -mode linearize
 	$(GO) run ./cmd/simcheck -object fmul -impl psim -mode linearize
 	$(GO) run ./cmd/simcheck -object fmul -impl pool -mode linearize
+
+# Boot simkvd with live metrics, drive a little traffic, scrape /metrics in
+# both formats, then shut the daemon down. Uses bash's /dev/tcp so the demo
+# needs no netcat.
+metrics-demo:
+	$(GO) build -o /tmp/simkvd ./cmd/simkvd
+	bash -c '/tmp/simkvd -addr 127.0.0.1:7070 -metrics-addr 127.0.0.1:9090 & \
+	  trap "kill $$!" EXIT; sleep 0.5; \
+	  exec 3<>/dev/tcp/127.0.0.1/7070; \
+	  printf "PUT a 1\nPUT b 2\nGET a\nDEL b\nSTATS\nQUIT\n" >&3; cat <&3; \
+	  echo "--- prometheus ---"; curl -s http://127.0.0.1:9090/metrics | head -40; \
+	  echo "--- json ---"; curl -s "http://127.0.0.1:9090/metrics?format=json"; echo'
 
 clean:
 	$(GO) clean ./...

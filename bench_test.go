@@ -22,6 +22,7 @@ import (
 	"repro/internal/fmul"
 	"repro/internal/herlihy"
 	"repro/internal/lsim"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/simmap"
 	"repro/internal/stack"
@@ -401,4 +402,79 @@ func BenchmarkAblationQueueInstances(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkObsOverhead: the acceptance gate for the observability plane —
+// the P-Sim Fetch&Multiply benchmark with and without full instrumentation
+// (registered counters plus a SimRecorder at the default sampling rate).
+// The exact counters are the very slots the construction already maintains
+// for Stats, so registering them costs nothing per operation; the "on" rows
+// additionally pay the recorder's sampling gate every op and its clock reads
+// plus histogram stores on one op in 64. The requirement is < 5% throughput
+// loss versus "off".
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, instrumented := range []bool{false, true} {
+		label := "off"
+		if instrumented {
+			label = "on"
+		}
+		for _, n := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", label, n), func(b *testing.B) {
+				o := fmul.NewPSim(n)
+				if instrumented {
+					o.Instrument(obs.NewRegistry(), "bench")
+				}
+				runConcurrent(b, n, func(id int, rng *workload.RNG) {
+					o.Apply(id, uint64(rng.Intn(1000))*2+3)
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkObsPrimitives: raw cost of the wait-free metric primitives — the
+// single-writer counter and histogram stores, the sampled and unsampled
+// recorder paths, and the disabled (nil recorder) path.
+func BenchmarkObsPrimitives(b *testing.B) {
+	b.Run("counter-inc", func(b *testing.B) {
+		c := obs.NewCounter(1)
+		for i := 0; i < b.N; i++ {
+			c.Inc(0)
+		}
+	})
+	b.Run("histogram-record", func(b *testing.B) {
+		h := obs.NewHistogram(1)
+		for i := 0; i < b.N; i++ {
+			h.Record(0, uint64(i))
+		}
+	})
+	b.Run("counter-inc-nil", func(b *testing.B) {
+		var c *obs.Counter
+		for i := 0; i < b.N; i++ {
+			c.Inc(0)
+		}
+	})
+	b.Run("recorder-sampled", func(b *testing.B) {
+		// Every op through the full clock + histogram path.
+		reg := obs.NewRegistry()
+		r := obs.NewSimRecorder(reg, "bench", 1)
+		r.SetSampleEvery(1)
+		for i := 0; i < b.N; i++ {
+			r.OpPublished(0, r.Start(0), 1)
+		}
+	})
+	b.Run("recorder-default", func(b *testing.B) {
+		// The production path: sampling gate every op, clock 1-in-64.
+		reg := obs.NewRegistry()
+		r := obs.NewSimRecorder(reg, "bench", 1)
+		for i := 0; i < b.N; i++ {
+			r.OpPublished(0, r.Start(0), 1)
+		}
+	})
+	b.Run("recorder-nil", func(b *testing.B) {
+		var r *obs.SimRecorder
+		for i := 0; i < b.N; i++ {
+			r.OpPublished(0, r.Start(0), 1)
+		}
+	})
 }

@@ -24,9 +24,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,6 +40,10 @@ func main() {
 		maxWork = flag.Int("maxwork", 512, "max dummy-loop iterations between operations (paper: 512)")
 		csvOut  = flag.Bool("csv", false, "also print CSV series")
 		withMCS = flag.Bool("mcs", false, "include the MCS lock in fig2 (paper footnote 2)")
+		latency = flag.Bool("latency", false,
+			"record per-op latency distributions (p50/p99/max columns); inflates mean times by ~2 clock reads per op")
+		obsEvery = flag.Duration("obs-every", 0,
+			"periodically dump a JSON metrics delta to stderr while experiments run (0 disables)")
 	)
 	flag.Parse()
 
@@ -52,6 +58,28 @@ func main() {
 		MaxWork:  *maxWork,
 		Reps:     *reps,
 		Seed:     1,
+		Latency:  *latency,
+	}
+	if *obsEvery > 0 {
+		// Live observability: the harness records into a registered metric
+		// and a dumper prints per-interval deltas without pausing the runs.
+		reg := obs.NewRegistry()
+		cfg.Registry = reg
+		ticker := time.NewTicker(*obsEvery)
+		defer ticker.Stop()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					fmt.Fprintf(os.Stderr, "# obs delta @ %s\n", time.Now().Format(time.RFC3339))
+					_ = obs.WriteJSON(os.Stderr, reg.Delta())
+				case <-stop:
+					return
+				}
+			}
+		}()
 	}
 
 	run := func(name string) {
@@ -127,6 +155,10 @@ func runSweep(cfg harness.Config, title string, makers []harness.Maker, target s
 		cfg.TotalOps, cfg.Reps, cfg.MaxWork)
 	res := harness.Run(cfg, makers)
 	fmt.Println(harness.Table(res))
+	if cfg.Latency || cfg.Registry != nil {
+		fmt.Println("per-operation latency distribution:")
+		fmt.Println(harness.LatencyTable(res))
+	}
 	fmt.Println(harness.Chart(res, 14))
 	fmt.Println(harness.Speedups(res, target))
 	if csvOut {

@@ -3,7 +3,7 @@
 // compose into a realistic service: no operation ever takes a lock, so one
 // stalled client cannot block another.
 //
-//	simkvd -addr 127.0.0.1:7070 -clients 64 -stripes 16
+//	simkvd -addr 127.0.0.1:7070 -clients 64 -stripes 16 -metrics-addr 127.0.0.1:9090
 //
 // Talk to it with netcat:
 //
@@ -12,37 +12,105 @@
 //	VAL 1
 //	LEN 1
 //	BYE
+//
+// With -metrics-addr set, the wait-free observability plane (internal/obs)
+// is exported live at /metrics: Prometheus text format by default, JSON with
+// ?format=json — op counts per command, publish CAS outcomes, the
+// combining-degree histogram, p50/p99 operation latency, and the open
+// connection gauge.
+//
+//	$ curl -s http://127.0.0.1:9090/metrics?format=json | head
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"repro/internal/kvserver"
+	"repro/internal/obs"
 )
+
+// daemon is a running simkvd: the KV server plus the optional metrics
+// listener. Split from main so tests boot and tear down real instances.
+type daemon struct {
+	srv       *kvserver.Server
+	addr      string
+	metricsLn net.Listener
+	metricsWG chan struct{}
+}
+
+// start boots the KV server on addr and, when metricsAddr is non-empty, the
+// /metrics HTTP endpoint on metricsAddr.
+func start(addr, metricsAddr string, clients, stripes int) (*daemon, error) {
+	srv := kvserver.New(clients, stripes)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{srv: srv, addr: bound}
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(srv.Registry()))
+		d.metricsLn = ln
+		d.metricsWG = make(chan struct{})
+		go func() {
+			defer close(d.metricsWG)
+			_ = http.Serve(ln, mux) // returns when ln closes
+		}()
+	}
+	return d, nil
+}
+
+// metricsAddr returns the bound metrics address, or "" if metrics are off.
+func (d *daemon) metricsAddr() string {
+	if d.metricsLn == nil {
+		return ""
+	}
+	return d.metricsLn.Addr().String()
+}
+
+// close shuts down both listeners and waits for the serve loops to drain.
+func (d *daemon) close() error {
+	err := d.srv.Close()
+	if d.metricsLn != nil {
+		d.metricsLn.Close()
+		<-d.metricsWG
+	}
+	return err
+}
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
-		clients = flag.Int("clients", 64, "max concurrent client connections")
-		stripes = flag.Int("stripes", 16, "map stripes (Sim instances)")
+		addr        = flag.String("addr", "127.0.0.1:7070", "listen address")
+		clients     = flag.Int("clients", 64, "max concurrent client connections")
+		stripes     = flag.Int("stripes", 16, "map stripes (Sim instances)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics on this address (empty disables)")
 	)
 	flag.Parse()
 
-	srv := kvserver.New(*clients, *stripes)
-	bound, err := srv.Listen(*addr)
+	d, err := start(*addr, *metricsAddr, *clients, *stripes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simkvd:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("simkvd listening on %s (%d client slots, %d stripes)\n",
-		bound, *clients, *stripes)
+		d.addr, *clients, *stripes)
+	if ma := d.metricsAddr(); ma != "" {
+		fmt.Printf("simkvd metrics on http://%s/metrics\n", ma)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("simkvd: shutting down")
-	srv.Close()
+	d.close()
 }

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dial connects to the daemon and returns a request/response helper.
+func dial(t *testing.T, addr string) (send func(string) string, conn net.Conn) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	r := bufio.NewReader(conn)
+	send = func(line string) string {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return strings.TrimSpace(resp)
+	}
+	return send, conn
+}
+
+// TestDaemonEndToEnd boots the full daemon on ephemeral ports, exercises the
+// KV protocol over TCP and the /metrics endpoint over HTTP, and verifies a
+// clean shutdown.
+func TestDaemonEndToEnd(t *testing.T) {
+	d, err := start("127.0.0.1:0", "127.0.0.1:0", 4, 4)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+
+	send, conn := dial(t, d.addr)
+	defer conn.Close()
+	for _, c := range [][2]string{
+		{"PUT a 41", "OK NIL"},
+		{"PUT a 42", "OK 41"},
+		{"GET a", "VAL 42"},
+		{"GET missing", "NIL"},
+		{"LEN", "LEN 1"},
+	} {
+		if got := send(c[0]); got != c[1] {
+			t.Fatalf("%q -> %q, want %q", c[0], got, c[1])
+		}
+	}
+	stats := send("STATS")
+	for _, field := range []string{"STATS ops=", "helping=", "cas_fail=", "served_by="} {
+		if !strings.Contains(stats, field) {
+			t.Fatalf("STATS missing %s: %q", field, stats)
+		}
+	}
+
+	// Prometheus text format.
+	promBody := httpGet(t, "http://"+d.metricsAddr()+"/metrics")
+	for _, want := range []string{
+		"# TYPE kv_put_total counter",
+		"# TYPE kv_connections gauge",
+		"# TYPE map_op_latency_ns histogram",
+		"map_op_latency_ns_count",
+		"map_combine_degree_bucket",
+	} {
+		if !strings.Contains(promBody, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, promBody)
+		}
+	}
+
+	// JSON format: live op counts, combining-degree histogram, latency
+	// percentiles.
+	var snap struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Gauges     map[string]int64  `json:"gauges"`
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			P50   uint64  `json:"p50"`
+			P99   uint64  `json:"p99"`
+			Mean  float64 `json:"mean"`
+			Max   uint64  `json:"max"`
+		} `json:"histograms"`
+	}
+	jsonBody := httpGet(t, "http://"+d.metricsAddr()+"/metrics?format=json")
+	if err := json.Unmarshal([]byte(jsonBody), &snap); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, jsonBody)
+	}
+	if snap.Counters["kv_put_total"] != 2 || snap.Counters["kv_get_total"] != 2 {
+		t.Fatalf("command counters wrong: %v", snap.Counters)
+	}
+	if snap.Counters["map_ops_total"] != 2 { // two PUTs mutated the map
+		t.Fatalf("map_ops_total = %d, want 2", snap.Counters["map_ops_total"])
+	}
+	lat := snap.Histograms["map_op_latency_ns"]
+	if lat.Count != 2 || lat.P99 == 0 || lat.P50 > lat.P99 || lat.P99 > lat.Max {
+		t.Fatalf("latency histogram implausible: %+v", lat)
+	}
+	cd := snap.Histograms["map_combine_degree"]
+	if cd.Count == 0 {
+		t.Fatalf("combine-degree histogram empty: %+v", cd)
+	}
+	if snap.Gauges["kv_connections"] != 1 {
+		t.Fatalf("kv_connections = %d, want 1", snap.Gauges["kv_connections"])
+	}
+
+	// Clean shutdown with the client still connected: close must not hang,
+	// and both ports must come free.
+	closed := make(chan error, 1)
+	go func() { closed <- d.close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon close hung")
+	}
+	if _, err := net.Dial("tcp", d.addr); err == nil {
+		t.Fatal("KV port still accepting after close")
+	}
+}
+
+func TestStartRejectsBadMetricsAddr(t *testing.T) {
+	if _, err := start("127.0.0.1:0", "256.0.0.1:bad", 1, 1); err == nil {
+		t.Fatal("start accepted a bad metrics address")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}

@@ -15,6 +15,8 @@ package backoff
 import (
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // spinSink defeats dead-code elimination of the delay loop.
@@ -80,6 +82,9 @@ type Adaptive struct {
 	lower, upper int
 	cur          int
 	enabled      bool
+
+	grows *obs.Counter // optional: counts Grow events (nil = off)
+	obsID int
 }
 
 // NewAdaptive returns an adaptive backoff bounded to [lower, upper]
@@ -126,6 +131,7 @@ func (b *Adaptive) Grow() {
 	if !b.enabled {
 		return
 	}
+	b.grows.Inc(b.obsID) // nil-safe no-op when uninstrumented
 	b.cur *= 2
 	if b.cur > b.upper {
 		b.cur = b.upper
@@ -149,3 +155,11 @@ func (b *Adaptive) Window() int { return b.cur }
 
 // Enabled reports whether the backoff is active.
 func (b *Adaptive) Enabled() bool { return b.enabled }
+
+// Instrument attaches an observability counter that records every Grow
+// event into slot id (a Grow means the thread's publish failed twice — the
+// paper's contention signal). The counter's Inc is a single uncontended
+// store; pass nil to detach.
+func (b *Adaptive) Instrument(c *obs.Counter, id int) {
+	b.grows, b.obsID = c, id
+}

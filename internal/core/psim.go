@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/collect"
+	"repro/internal/obs"
 	"repro/internal/xatomic"
 )
 
@@ -39,8 +40,9 @@ type PSim[S, A, R any] struct {
 	state    atomic.Pointer[psimState[S, R]]
 
 	threads []psimThread
-	stats   []threadStats
+	stats   *StatsPlane
 	counter *xatomic.AccessCounter // optional Table 1 instrumentation
+	rec     *obs.SimRecorder       // optional observability plane (nil = off)
 
 	boLower, boUpper int
 }
@@ -128,7 +130,7 @@ func NewPSim[S, A, R any](n int, init S, apply func(st *S, pid int, arg A) R, op
 		announce: collect.NewAnnounce[A](n),
 		act:      act,
 		threads:  make([]psimThread, n),
-		stats:    make([]threadStats, n),
+		stats:    NewStatsPlane(n),
 		boLower:  o.boLower,
 		boUpper:  o.boUpper,
 	}
@@ -149,6 +151,33 @@ func (u *PSim[S, A, R]) N() int { return u.n }
 // call concurrently with Apply.
 func (u *PSim[S, A, R]) SetAccessCounter(c *xatomic.AccessCounter) { u.counter = c }
 
+// SetRecorder attaches a distribution recorder: sampled per-operation
+// latency, the combining-degree histogram, and backoff growth are recorded
+// into rec's per-thread slots (single-writer, no coherence traffic — see
+// internal/obs). Pass nil to disable; the hot path then pays one predictable
+// branch per call site. Not safe to call concurrently with Apply; call before
+// the first operation.
+func (u *PSim[S, A, R]) SetRecorder(rec *obs.SimRecorder) { u.rec = rec }
+
+// RegisterStats publishes the instance's exact counters in reg under prefix
+// without attaching a recorder (see StatsPlane.Register) — for structures
+// that share one recorder across several instances (internal/simmap).
+func (u *PSim[S, A, R]) RegisterStats(reg *obs.Registry, prefix string) {
+	u.stats.Register(reg, prefix)
+}
+
+// Instrument publishes the instance in reg under prefix: the exact counters
+// the hot path already maintains (see StatsPlane.Register) plus a new
+// SimRecorder for the latency and combining-degree histograms, which is
+// attached and returned (e.g. to adjust its sampling rate). Call before the
+// first operation.
+func (u *PSim[S, A, R]) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorder {
+	u.stats.Register(reg, prefix)
+	rec := obs.NewSimRecorder(reg, prefix, u.n)
+	u.SetRecorder(rec)
+	return rec
+}
+
 // thread lazily initializes and returns thread i's private handle internals.
 // Apply(i, …) must only ever be called by one goroutine per i, which makes
 // the lazy init safe.
@@ -157,6 +186,9 @@ func (u *PSim[S, A, R]) thread(i int) *psimThread {
 	if !t.inited {
 		t.toggler = xatomic.NewToggler(u.act, i)
 		t.bo = backoff.NewAdaptive(u.boLower, u.boUpper)
+		if u.rec != nil {
+			t.bo.Instrument(u.rec.Retries, i)
+		}
 		t.active = xatomic.NewSnapshot(u.n)
 		t.diffs = xatomic.NewSnapshot(u.n)
 		t.inited = true
@@ -172,7 +204,8 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		panic(fmt.Sprintf("core: process id %d out of range [0,%d)", i, u.n))
 	}
 	t := u.thread(i)
-	st := &u.stats[i]
+	st := u.stats
+	t0 := u.rec.Start(i) // stamp 0 (no clock read) unless this op is sampled
 
 	u.announce.Write(i, &arg) // line 1: announce the operation
 	t.toggler.Toggle()        // lines 2–3: toggle pi's bit in Act (one F&A)
@@ -192,8 +225,9 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		// line 12: if pi's bit agrees, its operation has been applied; the
 		// response is already in ls.rvals (immutable record — safe to read).
 		if t.diffs[myWord]&myMask == 0 {
-			st.ops.V.Add(1)
-			st.servedBy.V.Add(1)
+			st.Ops.Inc(i)
+			st.ServedBy.Inc(i)
+			u.rec.OpDone(i, t0)
 			return ls.rvals[i]
 		}
 
@@ -221,15 +255,16 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		// the CAS on the timestamped pool index.
 		u.counter.Inc(i)
 		if u.state.CompareAndSwap(ls, ns) {
-			st.ops.V.Add(1)
-			st.casSuccess.V.Add(1)
-			st.combined.V.Add(combined)
+			st.Ops.Inc(i)
+			st.CASSuccess.Inc(i)
+			st.Combined.Add(i, combined)
+			u.rec.OpPublished(i, t0, combined)
 			if j == 0 {
 				t.bo.Shrink() // low contention: waiting was wasted
 			}
 			return ns.rvals[i]
 		}
-		st.casFail.V.Add(1)
+		st.CASFail.Inc(i)
 		if j == 0 {
 			t.bo.Grow() // line 13: contention detected — widen the window
 			t.bo.Wait()
@@ -241,8 +276,9 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 	// Lemma 3.3 carried to the practical algorithm). Read and return.
 	u.counter.Inc(i)
 	ls := u.state.Load()
-	st.ops.V.Add(1)
-	st.servedBy.V.Add(1)
+	st.Ops.Inc(i)
+	st.ServedBy.Inc(i)
+	u.rec.OpDone(i, t0)
 	return ls.rvals[i]
 }
 
@@ -254,7 +290,7 @@ func (u *PSim[S, A, R]) Read() S {
 
 // Stats returns aggregated combining statistics (Figure 2 right: the average
 // degree of helping is Stats().AvgHelping).
-func (u *PSim[S, A, R]) Stats() Stats { return aggregate(u.stats) }
+func (u *PSim[S, A, R]) Stats() Stats { return u.stats.Aggregate() }
 
 // ResetStats zeroes the statistics counters.
-func (u *PSim[S, A, R]) ResetStats() { resetStats(u.stats) }
+func (u *PSim[S, A, R]) ResetStats() { u.stats.Reset() }

@@ -42,7 +42,7 @@ type PSimWord struct {
 	p        xatomic.TimedWord
 
 	threads []wordThread
-	stats   []threadStats
+	stats   *StatsPlane
 
 	boLower, boUpper int
 }
@@ -100,7 +100,7 @@ func NewPSimWord(n, c int, init uint64, apply func(st, arg uint64) (uint64, uint
 		act:      xatomic.NewSharedBits(n),
 		pool:     make([]wordState, n*c+1),
 		threads:  make([]wordThread, n),
-		stats:    make([]threadStats, n),
+		stats:    NewStatsPlane(n),
 		boLower:  1,
 		boUpper:  DefaultBackoffUpper,
 	}
@@ -154,7 +154,7 @@ func (u *PSimWord) copyState(src *wordState, t *wordThread) (st uint64, ok bool)
 // Each process id must be driven by a single goroutine.
 func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 	t := u.thread(i)
-	st := &u.stats[i]
+	st := u.stats
 
 	u.announce[i].V.Store(arg) // line 1: announce
 	t.toggler.Toggle()         // lines 2–3: toggle pi's bit in Act
@@ -178,8 +178,8 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 
 		// line 12: already applied? return the recorded response.
 		if t.diffs[myWord]&myMask == 0 {
-			st.ops.V.Add(1)
-			st.servedBy.V.Add(1)
+			st.Ops.Inc(i)
+			st.ServedBy.Inc(i)
 			return t.rvals[i]
 		}
 
@@ -212,15 +212,15 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 		// lines 22–25: CAS P to ⟨our record, stamp+1⟩.
 		if u.p.CompareAndSwap(lpRaw, uint16(i*u.c+t.poolIndex), lpStamp+1) {
 			t.poolIndex = (t.poolIndex + 1) % u.c // line 26
-			st.ops.V.Add(1)
-			st.casSuccess.V.Add(1)
-			st.combined.V.Add(combined)
+			st.Ops.Inc(i)
+			st.CASSuccess.Inc(i)
+			st.Combined.Add(i, combined)
 			if j == 0 {
 				t.bo.Shrink()
 			}
 			return t.rvals[i]
 		}
-		st.casFail.V.Add(1)
+		st.CASFail.Inc(i)
 		if j == 0 { // line 13's compute_backoff, applied on failure
 			t.bo.Grow()
 			t.bo.Wait()
@@ -233,8 +233,8 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 	// first (the unchecked read is only unsafe if the record is recycled
 	// mid-read, which needs C further publishes by one thread — the same
 	// window the paper's unchecked read tolerates).
-	st.ops.V.Add(1)
-	st.servedBy.V.Add(1)
+	st.Ops.Inc(i)
+	st.ServedBy.Inc(i)
 	for tries := 0; tries < 64; tries++ {
 		lpIdx, _ := u.p.Load()
 		src := &u.pool[lpIdx]
@@ -263,7 +263,7 @@ func (u *PSimWord) Read() uint64 {
 }
 
 // Stats returns aggregated combining statistics.
-func (u *PSimWord) Stats() Stats { return aggregate(u.stats) }
+func (u *PSimWord) Stats() Stats { return u.stats.Aggregate() }
 
 // ResetStats zeroes the statistics counters.
-func (u *PSimWord) ResetStats() { resetStats(u.stats) }
+func (u *PSimWord) ResetStats() { u.stats.Reset() }

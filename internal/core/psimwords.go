@@ -29,7 +29,7 @@ type PSimWords struct {
 	p        xatomic.TimedWord
 
 	threads []wordsThread
-	stats   []threadStats
+	stats   *StatsPlane
 
 	boLower, boUpper int
 }
@@ -85,7 +85,7 @@ func NewPSimWords(n, c int, init []uint64, apply func(st []uint64, pid int, arg 
 		act:      xatomic.NewSharedBits(n),
 		pool:     make([]wordsState, n*c+1),
 		threads:  make([]wordsThread, n),
-		stats:    make([]threadStats, n),
+		stats:    NewStatsPlane(n),
 		boLower:  1,
 		boUpper:  DefaultBackoffUpper,
 	}
@@ -145,7 +145,7 @@ func (u *PSimWords) copyState(src *wordsState, t *wordsThread) bool {
 // Apply announces arg for process i and returns the operation's response.
 func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 	t := u.thread(i)
-	st := &u.stats[i]
+	st := u.stats
 
 	u.announce[i].V.Store(arg)
 	t.toggler.Toggle()
@@ -163,8 +163,8 @@ func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 		t.applied.XorInto(t.active, t.diffs)
 
 		if t.diffs[myWord]&myMask == 0 {
-			st.ops.V.Add(1)
-			st.servedBy.V.Add(1)
+			st.Ops.Inc(i)
+			st.ServedBy.Inc(i)
 			return t.rvals[i]
 		}
 
@@ -194,23 +194,23 @@ func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 
 		if u.p.CompareAndSwap(lpRaw, uint16(i*u.c+t.poolIndex), lpStamp+1) {
 			t.poolIndex = (t.poolIndex + 1) % u.c
-			st.ops.V.Add(1)
-			st.casSuccess.V.Add(1)
-			st.combined.V.Add(combined)
+			st.Ops.Inc(i)
+			st.CASSuccess.Inc(i)
+			st.Combined.Add(i, combined)
 			if j == 0 {
 				t.bo.Shrink()
 			}
 			return t.rvals[i]
 		}
-		st.casFail.V.Add(1)
+		st.CASFail.Inc(i)
 		if j == 0 {
 			t.bo.Grow()
 			t.bo.Wait()
 		}
 	}
 
-	st.ops.V.Add(1)
-	st.servedBy.V.Add(1)
+	st.Ops.Inc(i)
+	st.ServedBy.Inc(i)
 	for tries := 0; tries < 64; tries++ {
 		lpIdx, _ := u.p.Load()
 		if u.copyState(&u.pool[lpIdx], t) {
@@ -238,7 +238,7 @@ func (u *PSimWords) ReadInto(dst []uint64) {
 }
 
 // Stats returns aggregated combining statistics.
-func (u *PSimWords) Stats() Stats { return aggregate(u.stats) }
+func (u *PSimWords) Stats() Stats { return u.stats.Aggregate() }
 
 // ResetStats zeroes the statistics counters.
-func (u *PSimWords) ResetStats() { resetStats(u.stats) }
+func (u *PSimWords) ResetStats() { u.stats.Reset() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/collect"
+	"repro/internal/obs"
 	"repro/internal/xatomic"
 )
 
@@ -35,7 +36,8 @@ type Sim[S, R any] struct {
 	s        *xatomic.LLSC[simState[S, R]]
 
 	counter *xatomic.AccessCounter // optional shared-access instrumentation
-	stats   []threadStats
+	rec     *obs.SimRecorder       // optional observability plane (nil = off)
+	stats   *StatsPlane
 }
 
 // simState is the contents of the LL/SC object (struct State of §3).
@@ -58,7 +60,7 @@ func NewSim[S, R any](n, d int, init S, apply func(st S, pid int, op uint64) (S,
 		apply:    apply,
 		col:      collect.NewSimCollect(n, d),
 		updaters: make([]*collect.Updater, n),
-		stats:    make([]threadStats, n),
+		stats:    NewStatsPlane(n),
 	}
 	u.s = xatomic.NewLLSC(simState[S, R]{
 		applied: make([]bool, n),
@@ -72,6 +74,19 @@ func NewSim[S, R any](n, d int, init S, apply func(st S, pid int, op uint64) (S,
 // instrumentation). Pass nil to detach. Not safe to call concurrently with
 // ApplyOp.
 func (u *Sim[S, R]) SetAccessCounter(c *xatomic.AccessCounter) { u.counter = c }
+
+// SetRecorder attaches a distribution recorder (see PSim's SetRecorder).
+// Not safe to call concurrently with ApplyOp.
+func (u *Sim[S, R]) SetRecorder(rec *obs.SimRecorder) { u.rec = rec }
+
+// Instrument publishes the instance in reg under prefix (see PSim's
+// Instrument). Call before the first operation.
+func (u *Sim[S, R]) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorder {
+	u.stats.Register(reg, prefix)
+	rec := obs.NewSimRecorder(reg, prefix, u.n)
+	u.SetRecorder(rec)
+	return rec
+}
 
 // N returns the number of processes.
 func (u *Sim[S, R]) N() int { return u.n }
@@ -98,6 +113,7 @@ func (u *Sim[S, R]) ApplyOp(i int, op uint64) R {
 		panic(fmt.Sprintf("core: opcode %#x exceeds %d bits", op, u.d))
 	}
 	upd := u.updater(i)
+	t0 := u.rec.Start(i)
 
 	upd.Update(op) // line 1: announce op
 	u.countAccess(i, 1)
@@ -109,14 +125,15 @@ func (u *Sim[S, R]) ApplyOp(i int, op uint64) R {
 
 	rv := u.s.Read().rvals[i] // line 5
 	u.countAccess(i, 1)
-	u.stats[i].ops.V.Add(1)
+	u.stats.Ops.Inc(i)
+	u.rec.OpDone(i, t0)
 	return rv
 }
 
 // attempt is Algorithm 1's Attempt: run the LL/collect/apply/SC round
 // exactly twice (Observation 3.2 rests on both rounds executing).
 func (u *Sim[S, R]) attempt(i int) {
-	st := &u.stats[i]
+	st := u.stats
 	ops := make([]uint64, u.n)
 	for j := 0; j < 2; j++ {
 		ls, tag := u.s.LL() // line 7
@@ -141,10 +158,11 @@ func (u *Sim[S, R]) attempt(i int) {
 		}
 
 		if u.s.SC(tag, ns) { // line 14
-			st.casSuccess.V.Add(1)
-			st.combined.V.Add(combined)
+			st.CASSuccess.Inc(i)
+			st.Combined.Add(i, combined)
+			u.rec.CombineObserved(i, combined)
 		} else {
-			st.casFail.V.Add(1)
+			st.CASFail.Inc(i)
 		}
 		u.countAccess(i, 1)
 	}
@@ -159,7 +177,7 @@ func (u *Sim[S, R]) countAccess(i int, n uint64) {
 func (u *Sim[S, R]) Read() S { return u.s.Read().st }
 
 // Stats returns aggregated combining statistics.
-func (u *Sim[S, R]) Stats() Stats { return aggregate(u.stats) }
+func (u *Sim[S, R]) Stats() Stats { return u.stats.Aggregate() }
 
 // ResetStats zeroes the statistics counters.
-func (u *Sim[S, R]) ResetStats() { resetStats(u.stats) }
+func (u *Sim[S, R]) ResetStats() { u.stats.Reset() }

@@ -1,15 +1,68 @@
 package core
 
-import "repro/internal/pad"
+import "repro/internal/obs"
 
-// threadStats is one thread's padded counter block. Threads only ever write
-// their own block, so the instrumentation adds no coherence traffic.
-type threadStats struct {
-	ops        pad.Uint64 // operations completed by this thread
-	casSuccess pad.Uint64 // successful state-publish CAS/SC by this thread
-	casFail    pad.Uint64 // failed state-publish CAS/SC
-	combined   pad.Uint64 // operations this thread applied while combining
-	servedBy   pad.Uint64 // own ops completed by another thread's combine
+// StatsPlane holds a construction instance's per-thread combining counters,
+// built directly on the observability primitives (internal/obs): one padded
+// single-writer slot per process id per counter, so the instrumentation adds
+// no coherence traffic. Because these ARE obs counters, attaching an instance
+// to a metrics registry (Register) publishes the very counters the hot path
+// already maintains — enabling observability never adds a second accounting
+// plane to the operation path.
+type StatsPlane struct {
+	Ops        *obs.Counter // operations completed, by owning thread
+	CASSuccess *obs.Counter // successful state-publish CAS/SC
+	CASFail    *obs.Counter // failed state-publish CAS/SC
+	Combined   *obs.Counter // operations applied while combining
+	ServedBy   *obs.Counter // own ops completed by another thread's combine
+}
+
+// NewStatsPlane returns a zeroed plane for n process ids.
+func NewStatsPlane(n int) *StatsPlane {
+	return &StatsPlane{
+		Ops:        obs.NewCounter(n),
+		CASSuccess: obs.NewCounter(n),
+		CASFail:    obs.NewCounter(n),
+		Combined:   obs.NewCounter(n),
+		ServedBy:   obs.NewCounter(n),
+	}
+}
+
+// Register publishes the plane's counters in reg under prefix:
+// <prefix>_ops_total, <prefix>_cas_success_total, <prefix>_cas_fail_total,
+// <prefix>_combined_total, <prefix>_served_by_total. Several planes may
+// register under one prefix (striped structures, a queue's two ends); the
+// registry sums them.
+func (p *StatsPlane) Register(reg *obs.Registry, prefix string) {
+	reg.AttachCounter(prefix+"_ops_total", p.Ops)
+	reg.AttachCounter(prefix+"_cas_success_total", p.CASSuccess)
+	reg.AttachCounter(prefix+"_cas_fail_total", p.CASFail)
+	reg.AttachCounter(prefix+"_combined_total", p.Combined)
+	reg.AttachCounter(prefix+"_served_by_total", p.ServedBy)
+}
+
+// Aggregate sums the per-thread slots into a Stats.
+func (p *StatsPlane) Aggregate() Stats {
+	s := Stats{
+		Ops:           p.Ops.Total(),
+		CASSuccesses:  p.CASSuccess.Total(),
+		CASFailures:   p.CASFail.Total(),
+		Combined:      p.Combined.Total(),
+		ServedByOther: p.ServedBy.Total(),
+	}
+	if s.CASSuccesses > 0 {
+		s.AvgHelping = float64(s.Combined) / float64(s.CASSuccesses)
+	}
+	return s
+}
+
+// Reset zeroes every counter. Not safe concurrently with operations.
+func (p *StatsPlane) Reset() {
+	p.Ops.Reset()
+	p.CASSuccess.Reset()
+	p.CASFail.Reset()
+	p.Combined.Reset()
+	p.ServedBy.Reset()
 }
 
 // Stats aggregates the combining behaviour of a construction instance. The
@@ -25,27 +78,18 @@ type Stats struct {
 	AvgHelping    float64 // Combined / CASSuccesses
 }
 
-func aggregate(ts []threadStats) Stats {
-	var s Stats
-	for i := range ts {
-		s.Ops += ts[i].ops.V.Load()
-		s.CASSuccesses += ts[i].casSuccess.V.Load()
-		s.CASFailures += ts[i].casFail.V.Load()
-		s.Combined += ts[i].combined.V.Load()
-		s.ServedByOther += ts[i].servedBy.V.Load()
+// Add returns the element-wise sum of two Stats (AvgHelping recomputed), for
+// structures built from several instances.
+func (s Stats) Add(o Stats) Stats {
+	r := Stats{
+		Ops:           s.Ops + o.Ops,
+		CASSuccesses:  s.CASSuccesses + o.CASSuccesses,
+		CASFailures:   s.CASFailures + o.CASFailures,
+		Combined:      s.Combined + o.Combined,
+		ServedByOther: s.ServedByOther + o.ServedByOther,
 	}
-	if s.CASSuccesses > 0 {
-		s.AvgHelping = float64(s.Combined) / float64(s.CASSuccesses)
+	if r.CASSuccesses > 0 {
+		r.AvgHelping = float64(r.Combined) / float64(r.CASSuccesses)
 	}
-	return s
-}
-
-func resetStats(ts []threadStats) {
-	for i := range ts {
-		ts[i].ops.V.Store(0)
-		ts[i].casSuccess.V.Store(0)
-		ts[i].casFail.V.Store(0)
-		ts[i].combined.V.Store(0)
-		ts[i].servedBy.V.Store(0)
-	}
+	return r
 }

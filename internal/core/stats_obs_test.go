@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestConcurrentStatsReads exercises the two stats planes — the aggregate
+// core.Stats and the obs registry snapshots — while worker goroutines run
+// (meant for -race): readers must see monotone counters, and after
+// quiescence the planes must agree with each other and with the accounting
+// invariant Ops == CASSuccesses + ServedByOther (every Apply completes
+// either by winning its publish CAS or by being helped).
+func TestConcurrentStatsReads(t *testing.T) {
+	const n, perThread = 4, 2000
+	reg := obs.NewRegistry()
+	u := NewPSim(n, uint64(1), func(st *uint64, _ int, f uint64) uint64 {
+		prev := *st
+		*st *= f
+		return prev
+	}, WithBackoff[uint64](1, 64))
+	// Sample every op so the histograms must agree exactly with the counters.
+	u.Instrument(reg, "psim").SetSampleEvery(1)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last Stats
+			var lastObsOps uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := u.Stats()
+				if s.Ops < last.Ops || s.CASSuccesses < last.CASSuccesses ||
+					s.CASFailures < last.CASFailures || s.Combined < last.Combined ||
+					s.ServedByOther < last.ServedByOther {
+					t.Errorf("core stats went backwards: %+v -> %+v", last, s)
+					return
+				}
+				last = s
+				snap := reg.Snapshot()
+				if ops := snap.Counters["psim_ops_total"]; ops < lastObsOps {
+					t.Errorf("obs ops went backwards: %d -> %d", lastObsOps, ops)
+					return
+				} else {
+					lastObsOps = ops
+				}
+			}
+		}()
+	}
+
+	var workers sync.WaitGroup
+	for i := 0; i < n; i++ {
+		workers.Add(1)
+		go func(id int) {
+			defer workers.Done()
+			for k := 0; k < perThread; k++ {
+				u.Apply(id, uint64(2*k+3))
+			}
+		}(i)
+	}
+	workers.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := u.Stats()
+	if s.Ops != n*perThread {
+		t.Fatalf("Ops = %d, want %d", s.Ops, n*perThread)
+	}
+	if s.Ops != s.CASSuccesses+s.ServedByOther {
+		t.Fatalf("Ops (%d) != CASSuccesses (%d) + ServedByOther (%d)",
+			s.Ops, s.CASSuccesses, s.ServedByOther)
+	}
+	// Every operation was applied exactly once, by someone.
+	if s.Combined+s.ServedByOther < s.Ops || s.Combined > s.Ops {
+		t.Fatalf("combine accounting implausible: %+v", s)
+	}
+
+	// The obs plane agrees with the core plane.
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"psim_ops_total":         s.Ops,
+		"psim_cas_success_total": s.CASSuccesses,
+		"psim_cas_fail_total":    s.CASFailures,
+		"psim_combined_total":    s.Combined,
+		"psim_served_by_total":   s.ServedByOther,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Fatalf("%s = %d, core says %d", name, got, want)
+		}
+	}
+	lat := snap.Histograms["psim_op_latency_ns"]
+	if lat.Count != s.Ops {
+		t.Fatalf("latency samples = %d, want one per op (%d)", lat.Count, s.Ops)
+	}
+	cd := snap.Histograms["psim_combine_degree"]
+	if cd.Count != s.CASSuccesses || cd.Sum != s.Combined {
+		t.Fatalf("combine histogram (count=%d sum=%d) disagrees with core (%d, %d)",
+			cd.Count, cd.Sum, s.CASSuccesses, s.Combined)
+	}
+}
+
+// TestSimRecorder: the theoretical Sim reports through the same plane.
+func TestSimRecorder(t *testing.T) {
+	const n, perThread = 3, 200
+	reg := obs.NewRegistry()
+	u := NewSim(n, 8, uint64(0), func(st uint64, _ int, op uint64) (uint64, uint64) {
+		return st + op, st
+	})
+	u.Instrument(reg, "sim").SetSampleEvery(1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < perThread; k++ {
+				u.ApplyOp(id, uint64(k%255)+1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	s := u.Stats()
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim_ops_total"]; got != s.Ops || got != n*perThread {
+		t.Fatalf("sim_ops_total = %d, core %d, want %d", got, s.Ops, n*perThread)
+	}
+	if got := snap.Counters["sim_cas_success_total"]; got != s.CASSuccesses {
+		t.Fatalf("sim_cas_success_total = %d, core %d", got, s.CASSuccesses)
+	}
+	if got := snap.Histograms["sim_combine_degree"]; got.Sum != s.Combined {
+		t.Fatalf("combine sum = %d, core %d", got.Sum, s.Combined)
+	}
+	if got := snap.Histograms["sim_op_latency_ns"]; got.Count != s.Ops {
+		t.Fatalf("latency samples = %d, want %d", got.Count, s.Ops)
+	}
+}
+
+// TestRecorderDefaultSampling: with the default 1-in-64 sampling the counters
+// stay exact while the distributions see a thin uniform sample.
+func TestRecorderDefaultSampling(t *testing.T) {
+	const n, perThread = 2, 1000
+	reg := obs.NewRegistry()
+	u := NewPSim(n, uint64(0), func(st *uint64, _ int, d uint64) uint64 {
+		*st += d
+		return *st
+	})
+	u.Instrument(reg, "psim")
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < perThread; k++ {
+				u.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	s := u.Stats()
+	snap := reg.Snapshot()
+	if s.Ops != n*perThread || snap.Counters["psim_ops_total"] != s.Ops {
+		t.Fatalf("counters not exact under sampling: core %d, obs %d",
+			s.Ops, snap.Counters["psim_ops_total"])
+	}
+	lat := snap.Histograms["psim_op_latency_ns"]
+	if lat.Count == 0 || lat.Count > s.Ops/16 {
+		t.Fatalf("latency samples = %d, want a sparse non-empty sample of %d ops",
+			lat.Count, s.Ops)
+	}
+}

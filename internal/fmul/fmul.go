@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flatcombining"
 	"repro/internal/herlihy"
+	"repro/internal/obs"
 	"repro/internal/pad"
 	"repro/internal/spin"
 )
@@ -61,6 +62,16 @@ func (o *PSim) Name() string { return "P-Sim" }
 
 // Stats exposes combining statistics (Figure 2 right).
 func (o *PSim) Stats() core.Stats { return o.u.Stats() }
+
+// SetRecorder attaches a distribution recorder to the underlying P-Sim
+// (used by BenchmarkObsOverhead). Call before any operation.
+func (o *PSim) SetRecorder(rec *obs.SimRecorder) { o.u.SetRecorder(rec) }
+
+// Instrument publishes the instance in reg under prefix (see
+// core.PSim.Instrument). Call before any operation.
+func (o *PSim) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorder {
+	return o.u.Instrument(reg, prefix)
+}
 
 // --- P-Sim (pooled, faithful layout) ---
 

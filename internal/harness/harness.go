@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -25,6 +26,19 @@ type Config struct {
 	MaxWork  int   // max dummy-loop iterations between operations (§4: 512)
 	Reps     int   // repetitions per configuration (paper: 10)
 	Seed     uint64
+
+	// Latency enables per-operation latency recording into a wait-free
+	// per-thread histogram (internal/obs): Result gains the p50/p99/max
+	// distribution the figures' mean throughput hides. Off by default: the
+	// two monotonic clock reads per operation are comparable to a wait-free
+	// operation itself, so recording visibly inflates the mean times the
+	// harness exists to measure.
+	Latency bool
+
+	// Registry, when non-nil, makes the latency histogram a live registered
+	// metric ("harness_op_latency_ns") so an external dumper (simbench's
+	// -obs-every) can watch a run in flight. Implies latency recording.
+	Registry *obs.Registry
 }
 
 // DefaultConfig mirrors the paper's setup scaled to CI-sized runs: the
@@ -67,6 +81,11 @@ type Result struct {
 	MaxSec     float64
 	Throughput float64 // ops per second at the mean
 	AvgHelping float64 // NaN if not applicable
+
+	// Latency is the per-operation latency distribution over all reps
+	// (empty when Config.Latency is off). P50/P99 come from
+	// Latency.Quantile; Max is exact.
+	Latency obs.HistSnapshot
 }
 
 // Run executes the sweep and returns one Result per (maker, thread count).
@@ -80,14 +99,36 @@ func Run(cfg Config, makers []Maker) []Result {
 	return results
 }
 
+// latencyHist returns the histogram a run should record into: a registered
+// live metric when cfg.Registry is set, a private one when only cfg.Latency
+// is, nil (recording off) otherwise. Registered histograms are sized to the
+// sweep's max thread count because runs of every width share them.
+func latencyHist(cfg Config, n int) *obs.Histogram {
+	if cfg.Registry != nil {
+		maxN := n
+		for _, t := range cfg.Threads {
+			if t > maxN {
+				maxN = t
+			}
+		}
+		return cfg.Registry.Histogram("harness_op_latency_ns", maxN)
+	}
+	if cfg.Latency {
+		return obs.NewHistogram(n)
+	}
+	return nil
+}
+
 func runOne(cfg Config, maker Maker, n int) Result {
 	times := make([]float64, 0, cfg.Reps)
 	helping := math.NaN()
 	var name string
+	hist := latencyHist(cfg, n)
+	before := hist.Snapshot() // shared registry metric: delta out other runs
 	for rep := 0; rep < cfg.Reps; rep++ {
 		inst := maker(n)
 		name = inst.Name
-		times = append(times, timeRun(cfg, inst, n, uint64(rep)+cfg.Seed))
+		times = append(times, timeRun(cfg, inst, n, uint64(rep)+cfg.Seed, hist))
 		if rep == cfg.Reps-1 && inst.Helping != nil {
 			helping = inst.Helping()
 		}
@@ -100,6 +141,10 @@ func runOne(cfg Config, maker Maker, n int) Result {
 		MinSec: minOf(times), MaxSec: maxOf(times),
 		AvgHelping: helping,
 	}
+	if hist != nil {
+		r.Latency = hist.Snapshot()
+		r.Latency.Sub(before)
+	}
 	if mean > 0 {
 		r.Throughput = float64(cfg.TotalOps) / mean
 	}
@@ -107,8 +152,9 @@ func runOne(cfg Config, maker Maker, n int) Result {
 }
 
 // timeRun measures one run: n goroutines, TotalOps/n operations each, with
-// random local work between operations.
-func timeRun(cfg Config, inst Instance, n int, seed uint64) float64 {
+// random local work between operations. A non-nil hist additionally records
+// each operation's latency into the goroutine's private slot.
+func timeRun(cfg Config, inst Instance, n int, seed uint64, hist *obs.Histogram) float64 {
 	opsPer := cfg.TotalOps / n
 	if opsPer == 0 {
 		opsPer = 1
@@ -121,6 +167,15 @@ func timeRun(cfg Config, inst Instance, n int, seed uint64) float64 {
 			defer done.Done()
 			rng := workload.NewRNG(seed*0x1000193 + uint64(id) + 1)
 			start.Wait()
+			if hist != nil {
+				for k := 0; k < opsPer; k++ {
+					o0 := time.Now()
+					inst.Op(id, rng)
+					hist.Record(id, uint64(time.Since(o0)))
+					rng.RandomWork(cfg.MaxWork)
+				}
+				return
+			}
 			for k := 0; k < opsPer; k++ {
 				inst.Op(id, rng)
 				rng.RandomWork(cfg.MaxWork)
@@ -224,18 +279,55 @@ func HelpingTable(results []Result) string {
 	return b.String()
 }
 
+// LatencyTable renders the per-operation latency distribution per
+// (impl, threads): p50 / p99 / max microseconds. Implementations without
+// recorded latency show "-".
+func LatencyTable(results []Result) string {
+	impls, threads := axes(results)
+	cell := index(results)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "threads")
+	for _, im := range impls {
+		fmt.Fprintf(&b, " %24s", im+" p50/p99/max µs")
+	}
+	b.WriteByte('\n')
+	for _, n := range threads {
+		fmt.Fprintf(&b, "%-8d", n)
+		for _, im := range impls {
+			r, ok := cell[key{im, n}]
+			if !ok || r.Latency.Count == 0 {
+				fmt.Fprintf(&b, " %24s", "-")
+			} else {
+				fmt.Fprintf(&b, " %24s", fmt.Sprintf("%.1f / %.1f / %.1f",
+					float64(r.Latency.Quantile(0.50))/1e3,
+					float64(r.Latency.Quantile(0.99))/1e3,
+					float64(r.Latency.Max)/1e3))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // CSV renders the results as comma-separated series for external plotting.
+// The latency columns are empty when recording was off.
 func CSV(results []Result) string {
 	var b strings.Builder
-	b.WriteString("impl,threads,total_ops,reps,mean_sec,stdev_sec,min_sec,max_sec,throughput_ops_per_sec,avg_helping\n")
+	b.WriteString("impl,threads,total_ops,reps,mean_sec,stdev_sec,min_sec,max_sec,throughput_ops_per_sec,avg_helping,p50_ns,p99_ns,max_ns\n")
 	for _, r := range results {
 		help := ""
 		if !math.IsNaN(r.AvgHelping) {
 			help = fmt.Sprintf("%.4f", r.AvgHelping)
 		}
-		fmt.Fprintf(&b, "%s,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.1f,%s\n",
+		lat := ",,"
+		if r.Latency.Count > 0 {
+			lat = fmt.Sprintf("%d,%d,%d",
+				r.Latency.Quantile(0.50), r.Latency.Quantile(0.99), r.Latency.Max)
+		}
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.1f,%s,%s\n",
 			r.Impl, r.Threads, r.TotalOps, r.Reps,
-			r.MeanSec, r.StdevSec, r.MinSec, r.MaxSec, r.Throughput, help)
+			r.MeanSec, r.StdevSec, r.MinSec, r.MaxSec, r.Throughput, help, lat)
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -72,6 +73,46 @@ func TestRunExecutesConfiguredVolume(t *testing.T) {
 		}
 		if r.MinSec > r.MeanSec || r.MeanSec > r.MaxSec {
 			t.Fatalf("min/mean/max inconsistent: %+v", r)
+		}
+	}
+}
+
+func TestLatencyRecording(t *testing.T) {
+	var total atomic.Uint64
+	cfg := Config{Threads: []int{2}, TotalOps: 100, MaxWork: 0, Reps: 2, Seed: 1, Latency: true}
+	res := Run(cfg, []Maker{countingMaker("x", &total)})
+	r := res[0]
+	if r.Latency.Count != 200 { // 2 reps × 100 ops
+		t.Fatalf("latency samples = %d, want 200", r.Latency.Count)
+	}
+	p50, p99 := r.Latency.Quantile(0.50), r.Latency.Quantile(0.99)
+	if p50 > p99 || p99 > r.Latency.Max {
+		t.Fatalf("quantiles out of order: p50=%d p99=%d max=%d", p50, p99, r.Latency.Max)
+	}
+	out := LatencyTable(res)
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "x p50/p99/max") {
+		t.Fatalf("latency table malformed:\n%s", out)
+	}
+	csv := CSV(res)
+	if !strings.Contains(csv, "p50_ns,p99_ns,max_ns") {
+		t.Fatalf("CSV missing latency columns:\n%s", csv)
+	}
+}
+
+func TestLatencyViaRegistry(t *testing.T) {
+	var total atomic.Uint64
+	reg := obs.NewRegistry()
+	cfg := Config{Threads: []int{1, 2}, TotalOps: 50, MaxWork: 0, Reps: 1, Seed: 1, Registry: reg}
+	res := Run(cfg, []Maker{countingMaker("x", &total)})
+	// The registered metric accumulates across runs; each Result carries its
+	// own delta.
+	snap := reg.Snapshot()
+	if got := snap.Histograms["harness_op_latency_ns"].Count; got != 100 {
+		t.Fatalf("registry histogram count = %d, want 100", got)
+	}
+	for _, r := range res {
+		if r.Latency.Count != 50 {
+			t.Fatalf("per-run delta = %d, want 50", r.Latency.Count)
 		}
 	}
 }

@@ -10,10 +10,16 @@
 //	GET <key>           -> VAL <value>|NIL
 //	DEL <key>           -> OK <previous>|OK NIL
 //	LEN                 -> LEN <count>
-//	STATS               -> STATS ops=<n> helping=<avg>
+//	STATS               -> STATS ops=<n> helping=<avg> cas_fail=<n> served_by=<n>
 //	QUIT                -> BYE (closes the connection)
 //
 // Malformed requests get "ERR <reason>" and the connection stays open.
+//
+// Every server carries an obs.Registry (see internal/obs): the striped map's
+// Sim recorders (map_* metrics: op latency, combining degree, CAS outcomes)
+// plus per-command counters (kv_put_total, …) and a connection gauge
+// (kv_connections). Export it over HTTP with obs.Handler(srv.Registry()) —
+// cmd/simkvd's -metrics-addr does exactly that.
 package kvserver
 
 import (
@@ -24,6 +30,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/simmap"
 )
 
@@ -36,8 +43,15 @@ type Server struct {
 	ln      net.Listener
 	mu      sync.Mutex
 	closed  bool
+	conns   map[net.Conn]struct{} // in-flight connections, closed by Close
 	wg      sync.WaitGroup
 	maxConn int
+
+	reg *obs.Registry
+	// per-command counters, indexed by client slot (single writer per slot:
+	// a slot serves one connection at a time).
+	cPut, cGet, cDel, cLen, cStats, cErr *obs.Counter
+	gConns                               *obs.Gauge
 }
 
 // New returns a server allowing maxClients concurrent connections, with the
@@ -49,16 +63,33 @@ func New(maxClients, stripes int) *Server {
 	if stripes <= 0 {
 		stripes = maxClients
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		m:       simmap.New[string, uint64](maxClients, stripes),
 		ids:     make(chan int, maxClients),
+		conns:   map[net.Conn]struct{}{},
 		maxConn: maxClients,
+		reg:     reg,
+		cPut:    reg.Counter("kv_put_total", maxClients),
+		cGet:    reg.Counter("kv_get_total", maxClients),
+		cDel:    reg.Counter("kv_del_total", maxClients),
+		cLen:    reg.Counter("kv_len_total", maxClients),
+		cStats:  reg.Counter("kv_stats_total", maxClients),
+		cErr:    reg.Counter("kv_err_total", maxClients),
+		gConns:  reg.Gauge("kv_connections"),
 	}
+	// Record every operation's latency: map mutations sit behind network
+	// round-trips here, so the default distribution sampling would only thin
+	// out an already low-rate signal.
+	s.m.Instrument(reg, "map").SetSampleEvery(1)
 	for i := 0; i < maxClients; i++ {
 		s.ids <- i
 	}
 	return s
 }
+
+// Registry returns the server's metrics registry, for HTTP export.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serve loops run in background goroutines until
@@ -83,26 +114,62 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		// Track before blocking on a free slot: Close closes tracked
+		// connections, which both unblocks their ServeConn loops and recycles
+		// their ids, so this receive cannot deadlock a shutdown.
+		if !s.track(conn) {
+			conn.Close() // racing with Close: refuse
+			continue
+		}
 		id := <-s.ids // waits if all client slots are busy
 		s.wg.Add(1)
+		s.gConns.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.gConns.Add(-1)
 			defer func() { s.ids <- id }()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.ServeConn(id, conn)
 		}()
 	}
 }
 
-// Close stops the listener and waits for in-flight connections to finish.
+// track registers an in-flight connection; false if the server is closed.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Close stops the listener, closes every in-flight connection (so a slow or
+// idle client cannot stall shutdown or leak its serve goroutine), and waits
+// for all serve loops to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	ln := s.ln
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
 	return err
@@ -136,12 +203,15 @@ func (s *Server) handle(id int, line string) (resp string, quit bool) {
 	switch cmd {
 	case "PUT":
 		if len(fields) != 3 {
+			s.cErr.Inc(id)
 			return "ERR usage: PUT <key> <value>", false
 		}
 		v, err := strconv.ParseUint(fields[2], 10, 64)
 		if err != nil {
+			s.cErr.Inc(id)
 			return "ERR value must be a uint64", false
 		}
+		s.cPut.Inc(id)
 		prev, existed := s.m.Put(id, fields[1], v)
 		if !existed {
 			return "OK NIL", false
@@ -149,8 +219,10 @@ func (s *Server) handle(id int, line string) (resp string, quit bool) {
 		return fmt.Sprintf("OK %d", prev), false
 	case "GET":
 		if len(fields) != 2 {
+			s.cErr.Inc(id)
 			return "ERR usage: GET <key>", false
 		}
+		s.cGet.Inc(id)
 		v, ok := s.m.Get(fields[1])
 		if !ok {
 			return "NIL", false
@@ -158,21 +230,27 @@ func (s *Server) handle(id int, line string) (resp string, quit bool) {
 		return fmt.Sprintf("VAL %d", v), false
 	case "DEL":
 		if len(fields) != 2 {
+			s.cErr.Inc(id)
 			return "ERR usage: DEL <key>", false
 		}
+		s.cDel.Inc(id)
 		prev, existed := s.m.Delete(id, fields[1])
 		if !existed {
 			return "OK NIL", false
 		}
 		return fmt.Sprintf("OK %d", prev), false
 	case "LEN":
+		s.cLen.Inc(id)
 		return fmt.Sprintf("LEN %d", s.m.Len()), false
 	case "STATS":
+		s.cStats.Inc(id)
 		st := s.m.Stats()
-		return fmt.Sprintf("STATS ops=%d helping=%.2f", st.Ops, st.AvgHelping), false
+		return fmt.Sprintf("STATS ops=%d helping=%.2f cas_fail=%d served_by=%d",
+			st.Ops, st.AvgHelping, st.CASFailures, st.ServedByOther), false
 	case "QUIT":
 		return "BYE", true
 	}
+	s.cErr.Inc(id)
 	return "ERR unknown command " + cmd, false
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // dialPipe wires a client to ServeConn over an in-memory pipe.
@@ -92,8 +93,97 @@ func TestProtocolStats(t *testing.T) {
 	send, done := dialPipe(t, s, 0)
 	defer done()
 	send("PUT x 1")
-	if got := send("STATS"); !strings.HasPrefix(got, "STATS ops=") {
+	got := send("STATS")
+	if !strings.HasPrefix(got, "STATS ops=") {
 		t.Fatalf("STATS -> %q", got)
+	}
+	// Extended fields: publish failures and helped completions.
+	for _, field := range []string{"cas_fail=", "served_by="} {
+		if !strings.Contains(got, field) {
+			t.Fatalf("STATS missing %s: %q", field, got)
+		}
+	}
+}
+
+// TestCommandMetrics: the per-command counters and the map recorder see the
+// traffic.
+func TestCommandMetrics(t *testing.T) {
+	s := New(2, 2)
+	send, done := dialPipe(t, s, 0)
+	defer done()
+	send("PUT a 1")
+	send("PUT b 2")
+	send("GET a")
+	send("DEL b")
+	send("BOGUS")
+
+	snap := s.Registry().Snapshot()
+	for name, want := range map[string]uint64{
+		"kv_put_total": 2,
+		"kv_get_total": 1,
+		"kv_del_total": 1,
+		"kv_err_total": 1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// 3 mutations went through the instrumented map.
+	if got := snap.Counters["map_ops_total"]; got != 3 {
+		t.Fatalf("map_ops_total = %d, want 3", got)
+	}
+	lat, ok := snap.Histograms["map_op_latency_ns"]
+	if !ok || lat.Count != 3 {
+		t.Fatalf("map_op_latency_ns count = %d (present=%v), want 3", lat.Count, ok)
+	}
+	if lat.Quantile(0.99) == 0 || lat.Max == 0 {
+		t.Fatalf("latency histogram recorded no time: %+v", lat)
+	}
+}
+
+// TestCloseUnblocksInFlightConnections: Close must not wait for (or leak)
+// serve goroutines stuck reading from idle clients — it closes their
+// connections and drains.
+func TestCloseUnblocksInFlightConnections(t *testing.T) {
+	s := New(2, 2)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+
+	// Two clients connect, speak once, then go idle holding the connection.
+	var conns []net.Conn
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conns = append(conns, conn)
+		r := bufio.NewReader(conn)
+		fmt.Fprintf(conn, "PUT k%d 1\n", i)
+		if resp, _ := r.ReadString('\n'); !strings.HasPrefix(resp, "OK") {
+			t.Fatalf("PUT -> %q", resp)
+		}
+	}
+	if got := s.Registry().Snapshot().Gauges["kv_connections"]; got != 2 {
+		t.Fatalf("kv_connections = %d, want 2", got)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on in-flight idle connections")
+	}
+	if got := s.Registry().Snapshot().Gauges["kv_connections"]; got != 0 {
+		t.Fatalf("kv_connections after close = %d, want 0", got)
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 }
 

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// histJSON is the JSON shape of one histogram: the derived statistics the
+// acceptance dashboards want (p50/p99/mean/max) plus the non-empty buckets,
+// keyed by inclusive upper bound.
+type histJSON struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Mean    float64           `json:"mean"`
+	Max     uint64            `json:"max"`
+	P50     uint64            `json:"p50"`
+	P90     uint64            `json:"p90"`
+	P99     uint64            `json:"p99"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+type snapshotJSON struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms map[string]histJSON `json:"histograms"`
+}
+
+// WriteJSON writes the snapshot as one indented JSON document: counters and
+// gauges as flat name→value maps, histograms with precomputed p50/p90/p99,
+// mean, max, and the non-empty log buckets.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	out := snapshotJSON{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: map[string]histJSON{},
+	}
+	for name, h := range s.Histograms {
+		hj := histJSON{
+			Count: h.Count,
+			Sum:   h.Sum,
+			Mean:  h.Mean(),
+			Max:   h.Max,
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+		for i, c := range h.Buckets {
+			if c != 0 {
+				if hj.Buckets == nil {
+					hj.Buckets = map[string]uint64{}
+				}
+				hj.Buckets[fmt.Sprintf("%d", BucketUpper(i))] = c
+			}
+		}
+		out.Histograms[name] = hj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// promName sanitizes a metric name to the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format:
+// counters and gauges as single samples, histograms as cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count` (the standard
+// histogram convention, so PromQL's histogram_quantile works unchanged).
+func WriteProm(w io.Writer, s Snapshot) error {
+	counters, gauges, hists := s.Names()
+	for _, name := range counters {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range gauges {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range hists {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, c := range h.Buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, BucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry over HTTP: Prometheus text format by default,
+// JSON with `?format=json` (or an Accept: application/json header), and the
+// delta-since-last-scrape view with `?delta=1`. Mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var snap Snapshot
+		if req.URL.Query().Get("delta") == "1" {
+			snap = r.Delta()
+		} else {
+			snap = r.Snapshot()
+		}
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, snap)
+	})
+}

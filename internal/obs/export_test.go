@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func exampleRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.Counter("sim_ops_total", 2)
+	c.Add(0, 10)
+	c.Add(1, 5)
+	reg.Gauge("conns").Set(2)
+	h := reg.Histogram("op latency (ns)", 2) // name needs sanitizing
+	h.Record(0, 100)
+	h.Record(0, 200)
+	h.Record(1, 1<<20)
+	return reg
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, exampleRegistry().Snapshot()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Gauges     map[string]int64  `json:"gauges"`
+		Histograms map[string]struct {
+			Count   uint64            `json:"count"`
+			P50     uint64            `json:"p50"`
+			P99     uint64            `json:"p99"`
+			Max     uint64            `json:"max"`
+			Buckets map[string]uint64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if out.Counters["sim_ops_total"] != 15 || out.Gauges["conns"] != 2 {
+		t.Fatalf("scalar metrics wrong: %+v", out)
+	}
+	h := out.Histograms["op latency (ns)"]
+	if h.Count != 3 || h.P50 != 255 || h.Max != 1<<20 {
+		t.Fatalf("histogram stats wrong: %+v", h)
+	}
+	if len(h.Buckets) != 3 { // buckets 7 (100), 8 (200), 21 (1<<20)
+		t.Fatalf("expected 3 non-empty buckets: %v", h.Buckets)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, exampleRegistry().Snapshot()); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sim_ops_total counter",
+		"sim_ops_total 15",
+		"# TYPE conns gauge",
+		"conns 2",
+		"# TYPE op_latency__ns_ histogram",
+		"op_latency__ns__bucket{le=\"+Inf\"} 3",
+		"op_latency__ns__sum 1048876",
+		"op_latency__ns__count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the final non-Inf bucket equals the count.
+	if !strings.Contains(out, "op_latency__ns__bucket{le=\"2097151\"} 3") {
+		t.Fatalf("cumulative bucket wrong:\n%s", out)
+	}
+}
+
+func TestPromNameSanitizing(t *testing.T) {
+	if got := promName("9a-b.c"); got != "_a_b_c" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("ok_name:x0"); got != "ok_name:x0" {
+		t.Fatalf("promName mangled a valid name: %q", got)
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	reg := exampleRegistry()
+	h := Handler(reg)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default content type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "sim_ops_total 15") {
+		t.Fatalf("prom body wrong:\n%s", rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json content type = %q", ct)
+	}
+	if !json.Valid(rr.Body.Bytes()) {
+		t.Fatalf("json body invalid:\n%s", rr.Body.String())
+	}
+
+	// Accept-header negotiation.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if !json.Valid(rr.Body.Bytes()) {
+		t.Fatal("Accept: application/json not honoured")
+	}
+
+	// Delta scrapes: the second sees only what happened in between.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics?delta=1", nil))
+	reg.Counter("sim_ops_total", 2).Add(0, 1)
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics?delta=1", nil))
+	if !strings.Contains(rr.Body.String(), "sim_ops_total 1") {
+		t.Fatalf("delta scrape wrong:\n%s", rr.Body.String())
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a named-metric directory. Registration (the get-or-create
+// accessors and Attach methods) takes a mutex — it happens at setup time, not
+// on hot paths — while the returned primitives are the wait-free per-thread
+// structures. Snapshot and Delta read every registered metric with atomic
+// loads.
+//
+// A name may hold SEVERAL counters or histograms: Attach lets code that
+// already maintains its own per-thread counters (core.StatsPlane, one per
+// Sim instance) publish them under a shared name, and snapshots sum the
+// collection — e.g. every stripe of a simmap attaches its plane to the same
+// "map_ops_total".
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string][]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string][]*Histogram
+
+	lastCounters map[string]uint64
+	lastHists    map[string]HistSnapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:     map[string][]*Counter{},
+		gauges:       map[string]*Gauge{},
+		hists:        map[string][]*Histogram{},
+		lastCounters: map[string]uint64{},
+		lastHists:    map[string]HistSnapshot{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it with n
+// per-thread slots on first use. Later calls ignore n (first registration
+// wins), so pass the maximum process count the metric will ever see.
+func (r *Registry) Counter(name string, n int) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l := r.counters[name]; len(l) > 0 {
+		return l[0]
+	}
+	c := NewCounter(n)
+	r.counters[name] = []*Counter{c}
+	return c
+}
+
+// AttachCounter publishes an externally owned counter under name; snapshots
+// report the sum of every counter attached to the name. Attaching the same
+// counter twice double-counts it — don't.
+func (r *Registry) AttachCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = append(r.counters[name], c)
+}
+
+// AttachHistogram publishes an externally owned histogram under name;
+// snapshots report the merge of every histogram attached to the name.
+func (r *Registry) AttachHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = append(r.hists[name], h)
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = NewGauge()
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with n
+// per-thread slots on first use. Later calls ignore n (first registration
+// wins).
+func (r *Registry) Histogram(name string, n int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l := r.hists[name]; len(l) > 0 {
+		return l[0]
+	}
+	h := NewHistogram(n)
+	r.hists[name] = []*Histogram{h}
+	return h
+}
+
+// Snapshot is a point-in-time aggregated view of every registered metric.
+// Maps are keyed by metric name; histogram values are aggregated across
+// threads. Not a linearizable cross-metric cut (see package doc).
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Names returns all metric names of the snapshot, sorted, for stable export.
+func (s Snapshot) Names() (counters, gauges, hists []string) {
+	for k := range s.Counters {
+		counters = append(counters, k)
+	}
+	for k := range s.Gauges {
+		gauges = append(gauges, k)
+	}
+	for k := range s.Histograms {
+		hists = append(hists, k)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}
+
+// Snapshot reads every registered metric. Nil-safe (returns empty maps).
+func (r *Registry) Snapshot() Snapshot {
+	out := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	counters := make(map[string][]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = append([]*Counter(nil), v...)
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string][]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = append([]*Histogram(nil), v...)
+	}
+	r.mu.Unlock()
+
+	for k, l := range counters {
+		var t uint64
+		for _, c := range l {
+			t += c.Total()
+		}
+		out.Counters[k] = t
+	}
+	for k, g := range gauges {
+		out.Gauges[k] = g.Value()
+	}
+	for k, l := range hists {
+		var s HistSnapshot
+		for _, h := range l {
+			s.Merge(h.Snapshot())
+		}
+		out.Histograms[k] = s
+	}
+	return out
+}
+
+// Delta returns the change in every counter and histogram since the previous
+// Delta call (or since registry creation on the first call). Gauges are
+// reported at their absolute value — a delta of a level is meaningless.
+// Delta is what a periodic dumper wants: per-interval rates instead of
+// lifetime totals. Serialized internally; concurrent callers see disjoint
+// intervals.
+func (r *Registry) Delta() Snapshot {
+	snap := r.Snapshot()
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range snap.Counters {
+		prev := r.lastCounters[k]
+		r.lastCounters[k] = v
+		snap.Counters[k] = subClamp(v, prev)
+	}
+	for k, v := range snap.Histograms {
+		prev := r.lastHists[k]
+		r.lastHists[k] = v
+		v.Sub(prev)
+		snap.Histograms[k] = v
+	}
+	return snap
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xatomic"
 )
 
@@ -38,8 +39,10 @@ type SimQueue[V any] struct {
 
 	enqThreads []sqThread
 	deqThreads []sqThread
-	enqStats   []sqStats
-	deqStats   []sqStats
+	enqStats   *core.StatsPlane
+	deqStats   *core.StatsPlane
+
+	rec *obs.SimRecorder // optional observability plane, shared by both ends
 
 	boLower, boUpper int
 }
@@ -79,14 +82,6 @@ type sqThread struct {
 	inited  bool
 }
 
-type sqStats = psimLikeStats
-
-// psimLikeStats mirrors core's per-thread counters for the two instances.
-type psimLikeStats struct {
-	ops, casSuccess, casFail, combined, servedBy atomic.Uint64
-	_                                            [24]byte
-}
-
 // NewSimQueue returns an empty wait-free queue shared by n processes.
 func NewSimQueue[V any](n int) *SimQueue[V] {
 	sentinel := &qnode[V]{}
@@ -97,8 +92,8 @@ func NewSimQueue[V any](n int) *SimQueue[V] {
 		deqAct:      xatomic.NewSharedBits(n),
 		enqThreads:  make([]sqThread, n),
 		deqThreads:  make([]sqThread, n),
-		enqStats:    make([]sqStats, n),
-		deqStats:    make([]sqStats, n),
+		enqStats:    core.NewStatsPlane(n),
+		deqStats:    core.NewStatsPlane(n),
 		boLower:     1,
 		boUpper:     core.DefaultBackoffUpper,
 	}
@@ -118,11 +113,30 @@ func NewSimQueue[V any](n int) *SimQueue[V] {
 // Call before any operation.
 func (q *SimQueue[V]) SetBackoff(lower, upper int) { q.boLower, q.boUpper = lower, upper }
 
+// SetRecorder attaches a distribution recorder shared by the enqueue and
+// dequeue instances (see core.PSim.SetRecorder). Call before any operation.
+func (q *SimQueue[V]) SetRecorder(rec *obs.SimRecorder) { q.rec = rec }
+
+// Instrument publishes the queue in reg under prefix: both ends' exact
+// counters attach to the same metric names (the registry sums them, matching
+// Stats) plus one shared SimRecorder for the latency and combining-degree
+// histograms, which is attached and returned. Call before any operation.
+func (q *SimQueue[V]) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorder {
+	q.enqStats.Register(reg, prefix)
+	q.deqStats.Register(reg, prefix)
+	rec := obs.NewSimRecorder(reg, prefix, q.n)
+	q.SetRecorder(rec)
+	return rec
+}
+
 func (q *SimQueue[V]) thread(ts []sqThread, act *xatomic.SharedBits, i int) *sqThread {
 	t := &ts[i]
 	if !t.inited {
 		t.toggler = xatomic.NewToggler(act, i)
 		t.bo = backoff.NewAdaptive(q.boLower, q.boUpper)
+		if q.rec != nil {
+			t.bo.Instrument(q.rec.Retries, i)
+		}
 		t.active = xatomic.NewSnapshot(q.n)
 		t.diffs = xatomic.NewSnapshot(q.n)
 		t.inited = true
@@ -141,7 +155,8 @@ func splice[V any](es *enqState[V]) {
 // Enqueue appends v on behalf of process id (Algorithm 5).
 func (q *SimQueue[V]) Enqueue(id int, v V) {
 	t := q.thread(q.enqThreads, q.enqAct, id)
-	st := &q.enqStats[id]
+	st := q.enqStats
+	t0 := q.rec.Start(id)
 
 	q.enqAnnounce.Write(id, &v) // line 1: announce
 	t.toggler.Toggle()          // lines 2–3
@@ -154,8 +169,9 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 		q.enqAct.LoadInto(t.active)
 		ls.applied.XorInto(t.active, t.diffs)
 		if t.diffs[myWord]&myMask == 0 { // line 11: already applied
-			st.ops.Add(1)
-			st.servedBy.Add(1)
+			st.Ops.Inc(id)
+			st.ServedBy.Inc(id)
+			q.rec.OpDone(id, t0)
 			return
 		}
 		splice(ls) // line 18: help link the previous batch
@@ -186,30 +202,33 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 		}
 		if q.enqP.CompareAndSwap(ls, ns) { // line 35
 			splice(ns) // line 36: link our own batch
-			st.ops.Add(1)
-			st.casSuccess.Add(1)
-			st.combined.Add(combined)
+			st.Ops.Inc(id)
+			st.CASSuccess.Inc(id)
+			st.Combined.Add(id, combined)
+			q.rec.OpPublished(id, t0, combined)
 			if j == 0 {
 				t.bo.Shrink()
 			}
 			return
 		}
-		st.casFail.Add(1)
+		st.CASFail.Inc(id)
 		if j == 0 {
 			t.bo.Grow()
 			t.bo.Wait()
 		}
 	}
 	// line 38: two failed CASes ⇒ a helper applied our enqueue.
-	st.ops.Add(1)
-	st.servedBy.Add(1)
+	st.Ops.Inc(id)
+	st.ServedBy.Inc(id)
+	q.rec.OpDone(id, t0)
 }
 
 // Dequeue removes and returns the front value on behalf of process id
 // (Algorithm 6); ok is false if the queue was empty.
 func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 	t := q.thread(q.deqThreads, q.deqAct, id)
-	st := &q.deqStats[id]
+	st := q.deqStats
+	t0 := q.rec.Start(id)
 
 	t.toggler.Toggle() // lines 39–40 (dequeue carries no argument)
 	t.bo.Wait()        // line 41
@@ -221,8 +240,9 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 		q.deqAct.LoadInto(t.active)
 		ls.applied.XorInto(t.active, t.diffs)
 		if t.diffs[myWord]&myMask == 0 { // line 48: already applied
-			st.ops.Add(1)
-			st.servedBy.Add(1)
+			st.Ops.Inc(id)
+			st.ServedBy.Inc(id)
+			q.rec.OpDone(id, t0)
 			r := ls.rvals[id]
 			return r.v, r.ok
 		}
@@ -251,24 +271,26 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 
 		ns := &deqState[V]{applied: t.active.Clone(), head: head, rvals: rvals}
 		if q.deqP.CompareAndSwap(ls, ns) { // line 67
-			st.ops.Add(1)
-			st.casSuccess.Add(1)
-			st.combined.Add(combined)
+			st.Ops.Inc(id)
+			st.CASSuccess.Inc(id)
+			st.Combined.Add(id, combined)
+			q.rec.OpPublished(id, t0, combined)
 			if j == 0 {
 				t.bo.Shrink()
 			}
 			r := ns.rvals[id]
 			return r.v, r.ok
 		}
-		st.casFail.Add(1)
+		st.CASFail.Inc(id)
 		if j == 0 {
 			t.bo.Grow()
 			t.bo.Wait()
 		}
 	}
 	// lines 70–72: a helper served us; read the published record.
-	st.ops.Add(1)
-	st.servedBy.Add(1)
+	st.Ops.Inc(id)
+	st.ServedBy.Inc(id)
+	q.rec.OpDone(id, t0)
 	ls := q.deqP.Load()
 	r := ls.rvals[id]
 	return r.v, r.ok
@@ -277,20 +299,7 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 // Stats aggregates both instances' combining statistics into a core.Stats
 // (enqueue and dequeue sides summed).
 func (q *SimQueue[V]) Stats() core.Stats {
-	var s core.Stats
-	for _, side := range [][]sqStats{q.enqStats, q.deqStats} {
-		for i := range side {
-			s.Ops += side[i].ops.Load()
-			s.CASSuccesses += side[i].casSuccess.Load()
-			s.CASFailures += side[i].casFail.Load()
-			s.Combined += side[i].combined.Load()
-			s.ServedByOther += side[i].servedBy.Load()
-		}
-	}
-	if s.CASSuccesses > 0 {
-		s.AvgHelping = float64(s.Combined) / float64(s.CASSuccesses)
-	}
-	return s
+	return q.enqStats.Aggregate().Add(q.deqStats.Aggregate())
 }
 
 // Name implements Interface.

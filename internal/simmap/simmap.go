@@ -17,6 +17,7 @@ import (
 	"hash/maphash"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // entry is one immutable node of a stripe's entry list. Nodes are never
@@ -167,6 +168,25 @@ func (m *Map[K, V]) Range(f func(k K, v V) bool) {
 
 // Stripes returns the stripe count.
 func (m *Map[K, V]) Stripes() int { return len(m.stripes) }
+
+// Instrument publishes the map in reg under prefix: every stripe's exact
+// counters attach to the same metric names (the registry sums them, matching
+// Stats), and one SimRecorder — returned, e.g. to adjust its sampling rate —
+// is shared by all stripes for the latency and combining-degree histograms.
+// Sharing one recorder across stripes is safe: process id i is driven by one
+// goroutine at a time, so slot i keeps a single writer no matter which stripe
+// the operation lands on. Call before any mutation.
+func (m *Map[K, V]) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorder {
+	if len(m.stripes) == 0 {
+		return nil
+	}
+	rec := obs.NewSimRecorder(reg, prefix, m.stripes[0].N())
+	for _, s := range m.stripes {
+		s.RegisterStats(reg, prefix)
+		s.SetRecorder(rec)
+	}
+	return rec
+}
 
 // Stats aggregates combining statistics across all stripes.
 func (m *Map[K, V]) Stats() core.Stats {

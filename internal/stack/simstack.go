@@ -1,6 +1,9 @@
 package stack
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
 
 // SimStack is the paper's wait-free stack (§5): P-Sim employed "to
 // atomically manipulate just the top of the stack". The simulated state is
@@ -92,6 +95,16 @@ func (s *SimStack[V]) Len() int {
 
 // Stats exposes the underlying P-Sim combining statistics.
 func (s *SimStack[V]) Stats() core.Stats { return s.u.Stats() }
+
+// SetRecorder attaches a distribution recorder to the underlying P-Sim
+// instance. Call before any operation.
+func (s *SimStack[V]) SetRecorder(rec *obs.SimRecorder) { s.u.SetRecorder(rec) }
+
+// Instrument publishes the stack in reg under prefix (see
+// core.PSim.Instrument). Call before any operation.
+func (s *SimStack[V]) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorder {
+	return s.u.Instrument(reg, prefix)
+}
 
 // Name implements Interface.
 func (s *SimStack[V]) Name() string { return "SimStack" }
