@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench examples experiments check metrics-demo clean
+.PHONY: all build vet test race short bench bench-json examples experiments check metrics-demo clean
 
 all: build vet test
 
@@ -29,6 +29,12 @@ OPS ?= 200000
 REPS ?= 3
 experiments:
 	$(GO) run ./cmd/simbench -experiment all -ops $(OPS) -reps $(REPS)
+
+# Refresh the machine-readable perf trajectory (ns/op, allocs/op, helping
+# degree for the fig2/fig3 families) checked in as BENCH_psim.json.
+bench-json:
+	$(GO) run ./cmd/simbench -experiment fig2,fig2help,fig3stack,fig3queue \
+		-ops $(OPS) -reps $(REPS) -json BENCH_psim.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,183 @@
+// Allocation-regression tests for the zero-allocation hot path: after a
+// warm-up phase that fills the per-thread recycling rings and free-lists,
+// the P-Sim constructions must run without steady-state heap allocation
+// (single remaining source at n > 1: the announce box — Apply's argument
+// escapes into the announce array, one allocation per operation; SimStack
+// additionally allocates the pushed node itself, SimQueue the enqueued one).
+//
+// testing.AllocsPerRun is single-goroutine, so the n=4 cases drive the ids
+// round-robin from one goroutine — every Apply still takes the full
+// announce/toggle/combine/CAS path, only without CAS contention. A separate
+// concurrent check bounds the amortized rate under real contention.
+package simuc_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+	"repro/internal/stack"
+)
+
+// steadyAllocs warms the structure up, then measures allocations per op.
+func steadyAllocs(warmup int, op func()) float64 {
+	for i := 0; i < warmup; i++ {
+		op()
+	}
+	return testing.AllocsPerRun(200, op)
+}
+
+func TestApplyAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on its own; bounds only hold without it")
+	}
+
+	t.Run("PSim/n=1", func(t *testing.T) {
+		u := core.NewPSim(1, uint64(0), func(st *uint64, _ int, d uint64) uint64 {
+			old := *st
+			*st += d
+			return old
+		})
+		got := steadyAllocs(256, func() { u.Apply(0, 1) })
+		if got != 0 {
+			t.Errorf("PSim n=1 allocs/op = %v, want 0", got)
+		}
+	})
+
+	t.Run("PSim/n=4", func(t *testing.T) {
+		u := core.NewPSim(4, uint64(0), func(st *uint64, _ int, d uint64) uint64 {
+			old := *st
+			*st += d
+			return old
+		})
+		id := 0
+		got := steadyAllocs(256, func() {
+			u.Apply(id, 1)
+			id = (id + 1) % 4
+		})
+		if got > 1 {
+			t.Errorf("PSim n=4 allocs/op = %v, want <= 1 (announce box)", got)
+		}
+	})
+
+	t.Run("PSimWord/n=1", func(t *testing.T) {
+		u := core.NewPSimWord(1, 0, 1, func(st, f uint64) (uint64, uint64) {
+			return st * f, st
+		})
+		got := steadyAllocs(256, func() { u.Apply(0, 3) })
+		if got != 0 {
+			t.Errorf("PSimWord n=1 allocs/op = %v, want 0", got)
+		}
+	})
+
+	t.Run("PSimWord/n=4", func(t *testing.T) {
+		u := core.NewPSimWord(4, 0, 1, func(st, f uint64) (uint64, uint64) {
+			return st * f, st
+		})
+		id := 0
+		got := steadyAllocs(256, func() {
+			u.Apply(id, 3)
+			id = (id + 1) % 4
+		})
+		if got != 0 {
+			t.Errorf("PSimWord n=4 allocs/op = %v, want 0 (word-register announce)", got)
+		}
+	})
+
+	t.Run("SimQueue/n=1", func(t *testing.T) {
+		q := queue.NewSimQueue[uint64](1)
+		var i uint64
+		got := steadyAllocs(256, func() {
+			q.Enqueue(0, i)
+			q.Dequeue(0)
+			i++
+		})
+		if got != 0 {
+			t.Errorf("SimQueue n=1 allocs per enq+deq pair = %v, want 0", got)
+		}
+	})
+
+	t.Run("SimQueue/n=4", func(t *testing.T) {
+		q := queue.NewSimQueue[uint64](4)
+		id := 0
+		var i uint64
+		got := steadyAllocs(256, func() {
+			q.Enqueue(id, i)
+			q.Dequeue(id)
+			id = (id + 1) % 4
+			i++
+		})
+		if got > 2 {
+			t.Errorf("SimQueue n=4 allocs per enq+deq pair = %v, want <= 2 (announce box + node)", got)
+		}
+	})
+
+	t.Run("SimStack/n=1", func(t *testing.T) {
+		s := stack.NewSimStack[uint64](1)
+		var i uint64
+		got := steadyAllocs(256, func() {
+			s.Push(0, i)
+			s.Pop(0)
+			i++
+		})
+		if got > 1 {
+			t.Errorf("SimStack n=1 allocs per push+pop pair = %v, want <= 1 (pushed node)", got)
+		}
+	})
+
+	t.Run("SimStack/n=4", func(t *testing.T) {
+		s := stack.NewSimStack[uint64](4)
+		id := 0
+		var i uint64
+		got := steadyAllocs(256, func() {
+			s.Push(id, i)
+			s.Pop(id)
+			id = (id + 1) % 4
+			i++
+		})
+		if got > 3 {
+			t.Errorf("SimStack n=4 allocs per push+pop pair = %v, want <= 3 (2 announce boxes + node)", got)
+		}
+	})
+}
+
+// TestApplyAllocsContended bounds the amortized allocation rate under real
+// CAS contention, where losing rounds rebuild records and every thread's
+// ring must absorb the churn. The bound is looser than the sequential one
+// only by the goroutine-scheduling noise MemStats cannot exclude.
+func TestApplyAllocsContended(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on its own; bounds only hold without it")
+	}
+	const n, per = 4, 50_000
+	u := core.NewPSim(n, uint64(0), func(st *uint64, _ int, d uint64) uint64 {
+		old := *st
+		*st += d
+		return old
+	})
+	run := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for k := 0; k < per; k++ {
+					u.Apply(id, 1)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	run() // warm-up: fill rings, grow goroutine stacks
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0 := ms.Mallocs
+	run()
+	runtime.ReadMemStats(&ms)
+	got := float64(ms.Mallocs-m0) / float64(n*per)
+	if got > 2 {
+		t.Errorf("PSim n=%d contended allocs/op = %v, want <= 2 amortized", n, got)
+	}
+}

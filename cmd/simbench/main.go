@@ -14,6 +14,10 @@
 //	simbench -experiment ablation-act
 //	simbench -experiment all
 //
+// -experiment also accepts a comma-separated list, and -json FILE writes
+// machine-readable results (ns/op, allocs/op, helping degree) for whatever
+// ran — `make bench-json` uses this to refresh BENCH_psim.json.
+//
 // Flags -ops, -reps, -threads and -maxwork rescale the runs; the paper's
 // full-size configuration is -ops 1000000 -reps 10.
 package main
@@ -44,6 +48,8 @@ func main() {
 			"record per-op latency distributions (p50/p99/max columns); inflates mean times by ~2 clock reads per op")
 		obsEvery = flag.Duration("obs-every", 0,
 			"periodically dump a JSON metrics delta to stderr while experiments run (0 disables)")
+		jsonOut = flag.String("json", "",
+			"write machine-readable results (ns/op, allocs/op, helping) for the experiments run to this file")
 	)
 	flag.Parse()
 
@@ -82,20 +88,22 @@ func main() {
 		}()
 	}
 
+	collected := map[string][]harness.Result{}
 	run := func(name string) {
 		switch name {
 		case "fig2":
-			runSweep(cfg, "Figure 2 (left): Fetch&Multiply, time for total ops",
+			collected[name] = runSweep(cfg, "Figure 2 (left): Fetch&Multiply, time for total ops",
 				experiments.Fig2Makers(*withMCS), "P-Sim", *csvOut)
 		case "fig2help":
 			fmt.Println("== Figure 2 (right): average degree of helping ==")
 			res := harness.Run(cfg, experiments.Fig2Makers(*withMCS))
+			collected[name] = res
 			fmt.Println(harness.HelpingTable(res))
 		case "fig3stack":
-			runSweep(cfg, "Figure 3 (left): stacks, time for total push+pop pairs",
+			collected[name] = runSweep(cfg, "Figure 3 (left): stacks, time for total push+pop pairs",
 				experiments.Fig3StackMakers(), "SimStack", *csvOut)
 		case "fig3queue":
-			runSweep(cfg, "Figure 3 (right): queues, time for total enq+deq pairs",
+			collected[name] = runSweep(cfg, "Figure 3 (right): queues, time for total enq+deq pairs",
 				experiments.Fig3QueueMakers(), "SimQueue", *csvOut)
 		case "table1":
 			fmt.Println("== Table 1: shared-memory accesses per operation ==")
@@ -114,21 +122,22 @@ func main() {
 				small.TotalOps = 1000
 			}
 			res := experiments.LargeObjectSweep(small, []int{16, 256, 4096})
+			collected[name] = res
 			fmt.Println(harness.Table(res))
 			if *csvOut {
 				fmt.Println(harness.CSV(res))
 			}
 		case "map":
-			runSweep(cfg, "Striped map: multiple Sim instances vs one",
+			collected[name] = runSweep(cfg, "Striped map: multiple Sim instances vs one",
 				experiments.MapContentionMakers(8), "Map(8-stripes)", *csvOut)
 		case "ablation-backoff":
-			runSweep(cfg, "Ablation: adaptive backoff vs none",
+			collected[name] = runSweep(cfg, "Ablation: adaptive backoff vs none",
 				experiments.AblationBackoffMakers(), "P-Sim(backoff)", *csvOut)
 		case "ablation-publication":
-			runSweep(cfg, "Ablation: GC state publication vs paper-exact pool/seqlock",
+			collected[name] = runSweep(cfg, "Ablation: GC state publication vs paper-exact pool/seqlock",
 				experiments.AblationPublicationMakers(), "P-Sim(GC)", *csvOut)
 		case "ablation-act":
-			runSweep(cfg, "Ablation: dense vs padded Act bit-vector layout",
+			collected[name] = runSweep(cfg, "Ablation: dense vs padded Act bit-vector layout",
 				experiments.AblationActLayoutMakers(), "Act-dense", *csvOut)
 		default:
 			fmt.Fprintf(os.Stderr, "simbench: unknown experiment %q\n", name)
@@ -136,20 +145,34 @@ func main() {
 		}
 	}
 
+	names := strings.Split(*exp, ",")
 	if *exp == "all" {
-		for _, name := range []string{
+		names = []string{
 			"fig2", "fig2help", "fig3stack", "fig3queue", "table1", "lsim", "map",
 			"ablation-backoff", "ablation-publication", "ablation-act",
-		} {
-			run(name)
+		}
+	}
+	for _, name := range names {
+		run(strings.TrimSpace(name))
+		if len(names) > 1 {
 			fmt.Println()
 		}
-		return
 	}
-	run(*exp)
+
+	if *jsonOut != "" {
+		data, err := harness.BenchJSON(collected)
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: writing json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonOut, len(collected))
+	}
 }
 
-func runSweep(cfg harness.Config, title string, makers []harness.Maker, target string, csvOut bool) {
+func runSweep(cfg harness.Config, title string, makers []harness.Maker, target string, csvOut bool) []harness.Result {
 	fmt.Printf("== %s ==\n", title)
 	fmt.Printf("   total ops %d, reps %d, max inter-op work %d iters\n\n",
 		cfg.TotalOps, cfg.Reps, cfg.MaxWork)
@@ -164,6 +187,7 @@ func runSweep(cfg harness.Config, title string, makers []harness.Maker, target s
 	if csvOut {
 		fmt.Println(harness.CSV(res))
 	}
+	return res
 }
 
 func parseThreads(s string) ([]int, error) {

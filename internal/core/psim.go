@@ -24,22 +24,31 @@ import (
 // rounds, falling back to reading the published state (which by then must
 // contain its result — the two-successful-CAS argument of Observation 3.2).
 //
-// Deviation from the paper's memory layout: instead of the pool of State
-// records recycled under seq1/seq2 stamps, each round publishes a freshly
-// allocated immutable state record via CompareAndSwap on an atomic pointer,
-// and the garbage collector reclaims superseded records. This removes ABA
-// (every CAS installs a never-before-present pointer) and the need for the
-// consistency check; PSimWord implements the faithful pooled layout.
+// Memory discipline: like the paper's pool of State records, the hot path is
+// allocation-free in steady state. Each thread keeps a Ring of 2n+2 retired
+// State records (the paper's own pool bound carried to the GC variant) and
+// rebuilds the next round's record into the oldest one no reader holds;
+// readers protect the record they are reading with a hazard slot (one store
+// plus one validating re-load — see recycle.go for why Observation 3.2 alone
+// cannot license reuse under arbitrary preemption). A CAS still installs a
+// pointer that is not the current one, and a protected record is never
+// rewritten, so there is no ABA and no torn read; the race detector agrees.
+// When every retired record is still protected, the thread allocates a fresh
+// record instead of waiting — recycling is an optimization, never a wait.
 type PSim[S, A, R any] struct {
 	n     int
 	apply func(st *S, pid int, arg A) R
 	clone func(S) S
+	// cloneInto, when set, rebuilds dst from src reusing dst's buffers (the
+	// recycled record's previous state) instead of allocating via clone.
+	cloneInto func(dst, src *S)
 
 	announce *collect.Announce[A]
 	act      *xatomic.SharedBits
 	state    atomic.Pointer[psimState[S, R]]
+	haz      *Hazards[psimState[S, R]]
 
-	threads []psimThread
+	threads []psimThread[S, R]
 	stats   *StatsPlane
 	counter *xatomic.AccessCounter // optional Table 1 instrumentation
 	rec     *obs.SimRecorder       // optional observability plane (nil = off)
@@ -47,10 +56,11 @@ type PSim[S, A, R any] struct {
 	boLower, boUpper int
 }
 
-// psimState is one immutable published state record: the simulated state, the
-// applied bit vector, and the per-process return values (struct State of
-// Algorithm 2 minus the seq stamps, which pointer-publication makes
-// unnecessary).
+// psimState is one published state record: the simulated state, the applied
+// bit vector, and the per-process return values (struct State of Algorithm 2
+// minus the seq stamps — hazard-protected recycling makes torn reads
+// impossible rather than merely detectable). A record is immutable from the
+// moment it is published until its retirement ring owner reuses it.
 type psimState[S, R any] struct {
 	applied xatomic.Snapshot
 	rvals   []R
@@ -58,11 +68,12 @@ type psimState[S, R any] struct {
 }
 
 // psimThread is a thread's private handle internals.
-type psimThread struct {
+type psimThread[S, R any] struct {
 	toggler *xatomic.Toggler
 	bo      *backoff.Adaptive
-	active  xatomic.Snapshot // scratch: last read of Act
-	diffs   xatomic.Snapshot // scratch: applied XOR active
+	active  xatomic.Snapshot          // scratch: last read of Act
+	diffs   xatomic.Snapshot          // scratch: applied XOR active
+	ring    *Ring[psimState[S, R]]    // retired records awaiting reuse
 	inited  bool
 }
 
@@ -71,6 +82,7 @@ type PSimOption[S any] func(*psimOptions[S])
 
 type psimOptions[S any] struct {
 	clone            func(S) S
+	cloneInto        func(dst, src *S)
 	boLower, boUpper int
 	padActWords      bool
 }
@@ -80,6 +92,19 @@ type psimOptions[S any] struct {
 // mutate in place.
 func WithClone[S any](clone func(S) S) PSimOption[S] {
 	return func(o *psimOptions[S]) { o.clone = clone }
+}
+
+// WithCloneInto supplies an in-place deep-copy: rebuild *dst from *src,
+// reusing dst's existing buffers where possible. dst is either the state
+// left in a recycled record (same shape as src) or the zero S (a fresh
+// record), so the function must handle both, e.g. for a slice state:
+//
+//	func(dst, src *[]uint64) { *dst = append((*dst)[:0], *src...) }
+//
+// When set it replaces WithClone on the hot path, making combining rounds
+// allocation-free for states whose buffers can be reused.
+func WithCloneInto[S any](cloneInto func(dst, src *S)) PSimOption[S] {
+	return func(o *psimOptions[S]) { o.cloneInto = cloneInto }
 }
 
 // WithBackoff bounds the adaptive backoff window to [lower, upper] spin
@@ -99,6 +124,18 @@ func WithPaddedAct[S any]() PSimOption[S] {
 // iterations. It is deliberately modest: the right value is machine
 // dependent and the harness sweeps it.
 const DefaultBackoffUpper = 4096
+
+// hazardAttempts bounds the per-round hazard acquisition loop. A failed
+// attempt means a successful CAS intervened, so attempts failures imply that
+// many publishes since the round began — enough for the Observation 3.2
+// fallback argument — and the round is simply consumed, exactly like a
+// failed seq1/seq2 consistency check in the pooled variant.
+const hazardAttempts = 8
+
+// anonReadSlots is the number of claimable hazard slots Read() draws from,
+// on top of one slot per process id; more concurrent anonymous readers than
+// this briefly queue on the claim words.
+const anonReadSlots = 4
 
 // NewPSim builds a P-Sim instance for n threads simulating a sequential
 // object with initial state init and sequential operation apply. apply is
@@ -124,15 +161,17 @@ func NewPSim[S, A, R any](n int, init S, apply func(st *S, pid int, arg A) R, op
 		act = xatomic.NewSharedBits(n)
 	}
 	u := &PSim[S, A, R]{
-		n:        n,
-		apply:    apply,
-		clone:    clone,
-		announce: collect.NewAnnounce[A](n),
-		act:      act,
-		threads:  make([]psimThread, n),
-		stats:    NewStatsPlane(n),
-		boLower:  o.boLower,
-		boUpper:  o.boUpper,
+		n:         n,
+		apply:     apply,
+		clone:     clone,
+		cloneInto: o.cloneInto,
+		announce:  collect.NewAnnounce[A](n),
+		act:       act,
+		haz:       NewHazards[psimState[S, R]](n, anonReadSlots),
+		threads:   make([]psimThread[S, R], n),
+		stats:     NewStatsPlane(n),
+		boLower:   o.boLower,
+		boUpper:   o.boUpper,
 	}
 	u.state.Store(&psimState[S, R]{
 		applied: xatomic.NewSnapshot(n),
@@ -181,7 +220,7 @@ func (u *PSim[S, A, R]) Instrument(reg *obs.Registry, prefix string) *obs.SimRec
 // thread lazily initializes and returns thread i's private handle internals.
 // Apply(i, …) must only ever be called by one goroutine per i, which makes
 // the lazy init safe.
-func (u *PSim[S, A, R]) thread(i int) *psimThread {
+func (u *PSim[S, A, R]) thread(i int) *psimThread[S, R] {
 	t := &u.threads[i]
 	if !t.inited {
 		t.toggler = xatomic.NewToggler(u.act, i)
@@ -191,9 +230,33 @@ func (u *PSim[S, A, R]) thread(i int) *psimThread {
 		}
 		t.active = xatomic.NewSnapshot(u.n)
 		t.diffs = xatomic.NewSnapshot(u.n)
+		t.ring = NewRing[psimState[S, R]](2*u.n + 2)
 		t.inited = true
 	}
 	return t
+}
+
+// record returns a State record to build the next round into: the oldest
+// retired record no reader holds, or a freshly allocated one when every
+// retired record is still protected (or the ring is still warming up).
+func (u *PSim[S, A, R]) record(t *psimThread[S, R]) *psimState[S, R] {
+	if ns := t.ring.PopFree(u.haz); ns != nil {
+		return ns
+	}
+	return &psimState[S, R]{
+		applied: xatomic.NewSnapshot(u.n),
+		rvals:   make([]R, u.n),
+	}
+}
+
+// cloneStateInto rebuilds ns.st from ls.st, reusing ns's previous state
+// buffers when a CloneInto was supplied.
+func (u *PSim[S, A, R]) cloneStateInto(ns, ls *psimState[S, R]) {
+	if u.cloneInto != nil {
+		u.cloneInto(&ns.st, &ls.st)
+		return
+	}
+	ns.st = u.clone(ls.st)
 }
 
 // Apply announces operation arg on behalf of process i, participates in
@@ -207,7 +270,17 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 	st := u.stats
 	t0 := u.rec.Start(i) // stamp 0 (no clock read) unless this op is sampled
 
-	u.announce.Write(i, &arg) // line 1: announce the operation
+	if u.n == 1 {
+		// Uncontended fast path: no helper can exist, so skip the announce
+		// (nobody reads it), the Act toggle, and the backoff wait, and
+		// publish with a plain store (process 0 is the only writer).
+		return u.applySolo(t, t0, arg)
+	}
+
+	// Announce a copy declared on this path only: taking &arg directly would
+	// make the parameter escape — and cost one heap box — even at n == 1.
+	a := arg
+	u.announce.Write(i, &a) // line 1: announce the operation
 	t.toggler.Toggle()        // lines 2–3: toggle pi's bit in Act (one F&A)
 	u.counter.Add(i, 2)
 	t.bo.Wait() // line 4: back off so helpers accumulate work
@@ -215,28 +288,40 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ { // lines 5–27: at most two Attempt rounds
-		ls := u.state.Load()     // line 6: "LL" — read the state reference
+		// line 6: "LL" — read the state reference, hazard-protected so the
+		// record cannot be recycled under us. A failed acquisition means
+		// hazardAttempts publishes succeeded meanwhile; the round is consumed
+		// like a failed seq-stamp check in the pooled variant.
+		ls, ok := u.haz.Acquire(i, &u.state, hazardAttempts)
+		u.counter.Add(i, 2)
+		if !ok {
+			st.CASFail.Inc(i)
+			continue
+		}
 		u.act.LoadInto(t.active) // line 9: read Act
-		u.counter.Add(i, 1+uint64(u.act.Words()))
+		u.counter.Add(i, uint64(u.act.Words()))
 		// line 10: diffs = applied XOR active — the set of processes whose
 		// announced operation has not been applied to ls.
 		ls.applied.XorInto(t.active, t.diffs)
 
 		// line 12: if pi's bit agrees, its operation has been applied; the
-		// response is already in ls.rvals (immutable record — safe to read).
+		// response is already in ls.rvals (record protected — safe to read).
 		if t.diffs[myWord]&myMask == 0 {
+			r := ls.rvals[i]
 			st.Ops.Inc(i)
 			st.ServedBy.Inc(i)
 			u.rec.OpDone(i, t0)
-			return ls.rvals[i]
+			return r
 		}
+		solo := t.diffs.IsOnlyBit(myWord, myMask)
 
-		// Build the successor record: lines 8/14–21 work on a private copy.
-		ns := &psimState[S, R]{
-			applied: t.active.Clone(),
-			rvals:   append([]R(nil), ls.rvals...),
-			st:      u.clone(ls.st),
-		}
+		// Build the successor record: lines 8/14–21 work on a private copy
+		// rebuilt into a recycled record — applied and rvals buffers are
+		// reused, and the state clone reuses buffers too under CloneInto.
+		ns := u.record(t)
+		ns.applied.CopyFrom(t.active)
+		copy(ns.rvals, ls.rvals)
+		u.cloneStateInto(ns, ls)
 		combined := uint64(0)
 		d := t.diffs
 		for { // lines 15–19: help every process in diffs
@@ -250,20 +335,25 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 			d.ClearBit(k)
 			combined++
 		}
+		// Read the response BEFORE publishing: once published, ns may be
+		// retired and recycled by any later winner.
+		rv := ns.rvals[i]
 
 		// lines 22–25: try to publish. CAS on the pointer plays the role of
 		// the CAS on the timestamped pool index.
 		u.counter.Inc(i)
 		if u.state.CompareAndSwap(ls, ns) {
+			t.ring.Push(ls) // line 26's pool rotation: retire the old record
 			st.Ops.Inc(i)
 			st.CASSuccess.Inc(i)
 			st.Combined.Add(i, combined)
 			u.rec.OpPublished(i, t0, combined)
-			if j == 0 {
+			if j == 0 || solo {
 				t.bo.Shrink() // low contention: waiting was wasted
 			}
-			return ns.rvals[i]
+			return rv
 		}
+		t.ring.Push(ns) // never published — immediately reusable
 		st.CASFail.Inc(i)
 		if j == 0 {
 			t.bo.Grow() // line 13: contention detected — widen the window
@@ -273,19 +363,53 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 
 	// Lines 28–30: both rounds failed, so two successful CASes intervened;
 	// the second one must have applied our operation (Observation 3.2 /
-	// Lemma 3.3 carried to the practical algorithm). Read and return.
+	// Lemma 3.3 carried to the practical algorithm). Read and return under
+	// hazard protection; each failed acquisition implies yet another
+	// concurrent publish, so the unbounded form is lock-free.
 	u.counter.Inc(i)
-	ls := u.state.Load()
+	ls, _ := u.haz.Acquire(i, &u.state, 0)
+	r := ls.rvals[i]
 	st.Ops.Inc(i)
 	st.ServedBy.Inc(i)
 	u.rec.OpDone(i, t0)
-	return ls.rvals[i]
+	return r
+}
+
+// applySolo is Apply for n == 1: the announce array, Act toggle, backoff
+// wait, and CAS all exist to coordinate with helpers, and a single-thread
+// instance can never have one. Records still rotate through the ring with a
+// hazard scan so concurrent Read()ers stay safe.
+func (u *PSim[S, A, R]) applySolo(t *psimThread[S, R], t0 obs.Stamp, arg A) R {
+	ls := u.state.Load() // current record: never in the ring, safe to read
+	ns := u.record(t)
+	// applied stays all-zero (Act is never toggled on this path), but copy
+	// it anyway so the record is well-formed if n==1 invariants ever change.
+	ns.applied.CopyFrom(ls.applied)
+	copy(ns.rvals, ls.rvals)
+	u.cloneStateInto(ns, ls)
+	rv := u.apply(&ns.st, 0, arg)
+	ns.rvals[0] = rv
+	u.state.Store(ns) // sole writer: plain atomic publish
+	t.ring.Push(ls)
+	u.counter.Add(0, 2)
+	st := u.stats
+	st.Ops.Inc(0)
+	st.CASSuccess.Inc(0)
+	st.Combined.Add(0, 1)
+	u.rec.OpPublished(0, t0, 1)
+	return rv
 }
 
 // Read returns the current simulated state without announcing an operation.
-// The returned value must be treated as immutable.
+// It may be called from any goroutine; the record is protected by a
+// claimable hazard slot for the duration of the copy, so the returned value
+// is a consistent snapshot even while records recycle. The returned value
+// must be treated as immutable.
 func (u *PSim[S, A, R]) Read() S {
-	return u.state.Load().st
+	ls, slot := u.haz.AcquireAnon(&u.state)
+	s := ls.st
+	u.haz.ReleaseAnon(slot)
+	return s
 }
 
 // Stats returns aggregated combining statistics (Figure 2 right: the average

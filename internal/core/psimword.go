@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/backoff"
@@ -45,6 +46,8 @@ type PSimWord struct {
 	stats   *StatsPlane
 
 	boLower, boUpper int
+
+	readScratch sync.Pool // *wordThread scratch for anonymous Read()ers
 }
 
 // wordState is one pool record: struct State of Algorithm 2 for a word-sized
@@ -125,7 +128,11 @@ func (u *PSimWord) thread(i int) *wordThread {
 	t := &u.threads[i]
 	if !t.inited {
 		t.toggler = xatomic.NewToggler(u.act, i)
-		t.bo = backoff.NewAdaptive(u.boLower, u.boUpper)
+		upper := u.boUpper
+		if u.n == 1 {
+			upper = 0 // no helper can exist: waiting is pure overhead
+		}
+		t.bo = backoff.NewAdaptive(u.boLower, upper)
 		t.applied = xatomic.NewSnapshot(u.n)
 		t.active = xatomic.NewSnapshot(u.n)
 		t.diffs = xatomic.NewSnapshot(u.n)
@@ -249,14 +256,20 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 // Read returns the current simulated state word. Unlike Apply it may be
 // called from any goroutine; it is lock-free (it retries if it observes a
 // record mid-rewrite, which requires concurrent successful publishes).
+// Scratch buffers for the seqlock copy come from a sync.Pool, so steady-state
+// reads allocate nothing.
 func (u *PSimWord) Read() uint64 {
-	scratch := &wordThread{
-		applied: xatomic.NewSnapshot(u.n),
-		rvals:   make([]uint64, u.n),
+	scratch, _ := u.readScratch.Get().(*wordThread)
+	if scratch == nil {
+		scratch = &wordThread{
+			applied: xatomic.NewSnapshot(u.n),
+			rvals:   make([]uint64, u.n),
+		}
 	}
 	for {
 		lpIdx, _ := u.p.Load()
 		if st, ok := u.copyState(&u.pool[lpIdx], scratch); ok {
+			u.readScratch.Put(scratch)
 			return st
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/backoff"
@@ -32,6 +33,8 @@ type PSimWords struct {
 	stats   *StatsPlane
 
 	boLower, boUpper int
+
+	readScratch sync.Pool // *wordsThread scratch for anonymous readers
 }
 
 // wordsState is one pool record with a multi-word state vector.
@@ -116,7 +119,11 @@ func (u *PSimWords) thread(i int) *wordsThread {
 	t := &u.threads[i]
 	if !t.inited {
 		t.toggler = xatomic.NewToggler(u.act, i)
-		t.bo = backoff.NewAdaptive(u.boLower, u.boUpper)
+		upper := u.boUpper
+		if u.n == 1 {
+			upper = 0 // no helper can exist: waiting is pure overhead
+		}
+		t.bo = backoff.NewAdaptive(u.boLower, upper)
 		t.applied = xatomic.NewSnapshot(u.n)
 		t.active = xatomic.NewSnapshot(u.n)
 		t.diffs = xatomic.NewSnapshot(u.n)
@@ -222,16 +229,22 @@ func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 }
 
 // ReadInto copies the current state into dst (len ≥ StateWords). Lock-free.
+// Scratch buffers for the seqlock copy come from a sync.Pool, so steady-state
+// reads allocate nothing.
 func (u *PSimWords) ReadInto(dst []uint64) {
-	scratch := &wordsThread{
-		applied: xatomic.NewSnapshot(u.n),
-		st:      make([]uint64, u.sWords),
-		rvals:   make([]uint64, u.n),
+	scratch, _ := u.readScratch.Get().(*wordsThread)
+	if scratch == nil {
+		scratch = &wordsThread{
+			applied: xatomic.NewSnapshot(u.n),
+			st:      make([]uint64, u.sWords),
+			rvals:   make([]uint64, u.n),
+		}
 	}
 	for {
 		lpIdx, _ := u.p.Load()
 		if u.copyState(&u.pool[lpIdx], scratch) {
 			copy(dst, scratch.st)
+			u.readScratch.Put(scratch)
 			return
 		}
 	}

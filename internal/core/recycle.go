@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// This file carries the state-record recycling discipline of the GC-based
+// P-Sim variants: a per-thread Ring of retired records plus a Hazards table
+// that tells recyclers which retired records are still being read.
+//
+// The paper's pooled layout (PSimWord) recycles records under seq1/seq2
+// stamps and lets readers *detect* a torn copy after the fact. That is not
+// available to the generic PSim: its State records hold arbitrary Go values
+// (pointers, slices), so a reader overlapping a recycler's in-place rewrite
+// would be a data race under the Go memory model no matter how it is
+// validated afterwards. Observation 3.2's "retired two successful CASes ago"
+// bound is likewise not enough on its own — a goroutine preempted mid-round
+// can hold a record reference across arbitrarily many publishes.
+//
+// Hazard slots close that gap while keeping the paper's cost profile: a
+// reader protects the record it is about to read with one store and one
+// validating re-load (both on its own cache-line-padded slot / the single
+// shared pointer), and a recycler reuses a retired record only after a scan
+// of the slots finds no reader holding it. Because Go's sync/atomic
+// operations are sequentially consistent, the classic hazard-pointer
+// argument applies verbatim: if the scan misses a reader's slot store, that
+// reader's validating re-load is ordered after the record's retirement and
+// therefore fails, so the reader never touches the record.
+
+// Hazards is a table of hazard-pointer slots guarding records of type T.
+// Slots [0, fixed) are single-writer: slot i belongs to the goroutine
+// driving process i (stored on every protected read, never cleared — a
+// stale slot merely pins one retired record until the owner's next read).
+// Slots [fixed, fixed+anon) are claimable by anonymous readers (Read paths
+// with no process id) with a CAS on the slot's claim word.
+type Hazards[T any] struct {
+	fixed []pad.Pointer[T]
+	anon  []anonSlot[T]
+}
+
+// anonSlot is one claimable hazard slot; claim word and pointer sit on the
+// same (padded) line because they are always touched together.
+type anonSlot[T any] struct {
+	claimed atomic.Uint32
+	ptr     atomic.Pointer[T]
+	_       pad.CacheLinePad
+}
+
+// NewHazards returns a table with `fixed` per-process slots and `anon`
+// claimable reader slots.
+func NewHazards[T any](fixed, anon int) *Hazards[T] {
+	if fixed < 0 {
+		fixed = 0
+	}
+	if anon < 0 {
+		anon = 0
+	}
+	return &Hazards[T]{
+		fixed: make([]pad.Pointer[T], fixed),
+		anon:  make([]anonSlot[T], anon),
+	}
+}
+
+// Acquire loads src and protects the loaded record in fixed slot `slot`:
+// store the pointer, re-load src, and accept only if the pointer is still
+// current (at which point the record cannot be retired-and-recycled under
+// the reader — see the package comment). It retries up to `attempts` times
+// (attempts <= 0 means retry until success; every failed attempt implies a
+// concurrent successful publish, so the unbounded form is lock-free).
+// Returns the protected record and whether protection was established.
+func (h *Hazards[T]) Acquire(slot int, src *atomic.Pointer[T], attempts int) (*T, bool) {
+	s := &h.fixed[slot].P
+	for try := 0; attempts <= 0 || try < attempts; try++ {
+		p := src.Load()
+		s.Store(p)
+		if src.Load() == p {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// AcquireAnon claims an anonymous slot, then runs the Acquire protocol in it
+// until it succeeds. It returns the protected record and the claimed slot
+// index, which the caller must pass to ReleaseAnon when done with the
+// record. Both loops are lock-free: a claim failure means another reader
+// holds the slot for an O(1) critical section, and a validation failure
+// means a concurrent publish succeeded.
+func (h *Hazards[T]) AcquireAnon(src *atomic.Pointer[T]) (*T, int) {
+	for {
+		for i := range h.anon {
+			s := &h.anon[i]
+			if s.claimed.Load() != 0 || !s.claimed.CompareAndSwap(0, 1) {
+				continue
+			}
+			for {
+				p := src.Load()
+				s.ptr.Store(p)
+				if src.Load() == p {
+					return p, i
+				}
+			}
+		}
+	}
+}
+
+// ReleaseAnon returns an anonymous slot claimed by AcquireAnon.
+func (h *Hazards[T]) ReleaseAnon(slot int) {
+	s := &h.anon[slot]
+	s.ptr.Store(nil)
+	s.claimed.Store(0)
+}
+
+// Hazarded reports whether p is protected by any slot. Recyclers call it on
+// retired records before overwriting them.
+func (h *Hazards[T]) Hazarded(p *T) bool {
+	for i := range h.fixed {
+		if h.fixed[i].P.Load() == p {
+			return true
+		}
+	}
+	for i := range h.anon {
+		if h.anon[i].ptr.Load() == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Ring is a single-owner FIFO of retired records awaiting reuse — the GC
+// variant's analogue of the paper's per-thread pool of C State records. A
+// thread pushes the record its successful CAS retired (or a record it built
+// but failed to publish) and pops the oldest record no reader holds. The
+// ring is not safe for concurrent use; each thread owns one.
+type Ring[T any] struct {
+	buf  []*T
+	head int // index of the oldest resident
+	n    int // residents
+}
+
+// NewRing returns a ring holding at most capacity retired records.
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]*T, capacity)}
+}
+
+// Len returns the number of resident records.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Push retires x into the ring. When the ring is full x is dropped and the
+// garbage collector reclaims it — capacity bounds the recycling working set,
+// not correctness.
+func (r *Ring[T]) Push(x *T) {
+	if r.n == len(r.buf) {
+		return
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = x
+	r.n++
+}
+
+// PopFree removes and returns the oldest resident no hazard slot protects,
+// probing each resident at most once (hazarded residents rotate to the
+// back). It returns nil when every resident is protected — the caller then
+// allocates a fresh record, which keeps the hot path wait-free: recycling is
+// an optimization, never a wait.
+func (r *Ring[T]) PopFree(h *Hazards[T]) *T {
+	for probes := r.n; probes > 0; probes-- {
+		x := r.buf[r.head]
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		if !h.Hazarded(x) {
+			return x
+		}
+		r.Push(x)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestHazardsAcquireValidates(t *testing.T) {
+	h := NewHazards[int](2, 1)
+	var src atomic.Pointer[int]
+	x := new(int)
+	src.Store(x)
+
+	p, ok := h.Acquire(0, &src, 4)
+	if !ok || p != x {
+		t.Fatalf("Acquire = (%p, %v), want (%p, true)", p, ok, x)
+	}
+	if !h.Hazarded(x) {
+		t.Fatal("acquired record not reported hazarded")
+	}
+	if h.Hazarded(new(int)) {
+		t.Fatal("unrelated record reported hazarded")
+	}
+}
+
+func TestHazardsAnonClaimRelease(t *testing.T) {
+	h := NewHazards[int](0, 2)
+	var src atomic.Pointer[int]
+	x := new(int)
+	src.Store(x)
+
+	p, slot := h.AcquireAnon(&src)
+	if p != x {
+		t.Fatalf("AcquireAnon = %p, want %p", p, x)
+	}
+	if !h.Hazarded(x) {
+		t.Fatal("anon-acquired record not reported hazarded")
+	}
+	h.ReleaseAnon(slot)
+	if h.Hazarded(x) {
+		t.Fatal("record still hazarded after ReleaseAnon")
+	}
+	// The released slot must be claimable again.
+	if _, slot2 := h.AcquireAnon(&src); slot2 != slot {
+		h.ReleaseAnon(slot2)
+	} else {
+		h.ReleaseAnon(slot2)
+	}
+}
+
+func TestRingPushPopFIFO(t *testing.T) {
+	h := NewHazards[int](1, 0)
+	r := NewRing[int](4)
+	a, b := new(int), new(int)
+	r.Push(a)
+	r.Push(b)
+	if got := r.PopFree(h); got != a {
+		t.Fatalf("PopFree = %p, want oldest %p", got, a)
+	}
+	if got := r.PopFree(h); got != b {
+		t.Fatalf("PopFree = %p, want %p", got, b)
+	}
+	if got := r.PopFree(h); got != nil {
+		t.Fatalf("PopFree on empty ring = %p, want nil", got)
+	}
+}
+
+func TestRingPopFreeSkipsHazarded(t *testing.T) {
+	h := NewHazards[int](1, 0)
+	r := NewRing[int](4)
+	a, b := new(int), new(int)
+	var src atomic.Pointer[int]
+	src.Store(a)
+	if _, ok := h.Acquire(0, &src, 1); !ok {
+		t.Fatal("acquire failed")
+	}
+	r.Push(a) // protected: must be skipped
+	r.Push(b)
+	if got := r.PopFree(h); got != b {
+		t.Fatalf("PopFree = %p, want unprotected %p", got, b)
+	}
+	// a rotated to the back and stays resident while protected.
+	if got := r.PopFree(h); got != nil {
+		t.Fatalf("PopFree = %p, want nil (sole resident is hazarded)", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	// Dropping protection frees it.
+	src.Store(nil)
+	h.Acquire(0, &src, 1)
+	if got := r.PopFree(h); got != a {
+		t.Fatalf("PopFree after release = %p, want %p", got, a)
+	}
+}
+
+func TestRingDropsWhenFull(t *testing.T) {
+	r := NewRing[int](2)
+	a, b, c := new(int), new(int), new(int)
+	r.Push(a)
+	r.Push(b)
+	r.Push(c) // dropped: capacity bounds the working set
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	h := NewHazards[int](0, 0)
+	if got := r.PopFree(h); got != a {
+		t.Fatalf("PopFree = %p, want %p (c was dropped)", got, a)
+	}
+}

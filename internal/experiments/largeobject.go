@@ -41,7 +41,9 @@ func LargeObjectMakers(size int) []harness.Maker {
 }
 
 // newArrayPSim builds the array object over plain P-Sim: the state is the
-// whole []uint64 and the clone copies every word each combining round.
+// whole []uint64 and each combining round copies every word — but into the
+// recycled record's existing buffer (CloneInto), so the O(s) cost is a
+// memcpy, not an allocation.
 func newArrayPSim(n, size int) *core.PSim[[]uint64, [2]uint64, uint64] {
 	return core.NewPSim(n, make([]uint64, size),
 		func(st *[]uint64, _ int, arg [2]uint64) uint64 {
@@ -50,8 +52,8 @@ func newArrayPSim(n, size int) *core.PSim[[]uint64, [2]uint64, uint64] {
 			(*st)[arg[1]] ^= va
 			return va
 		},
-		core.WithClone[[]uint64](func(s []uint64) []uint64 {
-			return append([]uint64(nil), s...)
+		core.WithCloneInto[[]uint64](func(dst, src *[]uint64) {
+			*dst = append((*dst)[:0], *src...)
 		}))
 }
 

@@ -8,8 +8,10 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -82,6 +84,13 @@ type Result struct {
 	Throughput float64 // ops per second at the mean
 	AvgHelping float64 // NaN if not applicable
 
+	// AllocsPerOp is the heap-allocation count per operation, taken as the
+	// minimum over repetitions of the runtime.MemStats.Mallocs delta around
+	// the timed section divided by TotalOps. The minimum is the steady-state
+	// figure: early reps pay one-time warm-up (rings, pools, goroutine
+	// stacks) that later reps amortize away.
+	AllocsPerOp float64
+
 	// Latency is the per-operation latency distribution over all reps
 	// (empty when Config.Latency is off). P50/P99 come from
 	// Latency.Quantile; Max is exact.
@@ -122,13 +131,21 @@ func latencyHist(cfg Config, n int) *obs.Histogram {
 func runOne(cfg Config, maker Maker, n int) Result {
 	times := make([]float64, 0, cfg.Reps)
 	helping := math.NaN()
+	allocs := math.Inf(1)
 	var name string
 	hist := latencyHist(cfg, n)
 	before := hist.Snapshot() // shared registry metric: delta out other runs
+	var ms runtime.MemStats
 	for rep := 0; rep < cfg.Reps; rep++ {
 		inst := maker(n)
 		name = inst.Name
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
 		times = append(times, timeRun(cfg, inst, n, uint64(rep)+cfg.Seed, hist))
+		runtime.ReadMemStats(&ms)
+		if a := float64(ms.Mallocs-m0) / float64(cfg.TotalOps); a < allocs {
+			allocs = a
+		}
 		if rep == cfg.Reps-1 && inst.Helping != nil {
 			helping = inst.Helping()
 		}
@@ -139,7 +156,8 @@ func runOne(cfg Config, maker Maker, n int) Result {
 		TotalOps: cfg.TotalOps, Reps: cfg.Reps,
 		MeanSec: mean, StdevSec: stdev,
 		MinSec: minOf(times), MaxSec: maxOf(times),
-		AvgHelping: helping,
+		AvgHelping:  helping,
+		AllocsPerOp: allocs,
 	}
 	if hist != nil {
 		r.Latency = hist.Snapshot()
@@ -330,6 +348,65 @@ func CSV(results []Result) string {
 			r.MeanSec, r.StdevSec, r.MinSec, r.MaxSec, r.Throughput, help, lat)
 	}
 	return b.String()
+}
+
+// benchRecord is one (impl, threads) cell in the machine-readable output.
+type benchRecord struct {
+	Impl        string  `json:"impl"`
+	Threads     int     `json:"threads"`
+	TotalOps    int     `json:"total_ops"`
+	Reps        int     `json:"reps"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Throughput  float64 `json:"throughput_ops_per_sec"`
+	AvgHelping  float64 `json:"avg_helping,omitempty"`
+	P50Ns       uint64  `json:"p50_ns,omitempty"`
+	P99Ns       uint64  `json:"p99_ns,omitempty"`
+	MaxNs       uint64  `json:"max_ns,omitempty"`
+}
+
+type benchFile struct {
+	GeneratedUnix int64                    `json:"generated_unix"`
+	GOMAXPROCS    int                      `json:"gomaxprocs"`
+	Experiments   map[string][]benchRecord `json:"experiments"`
+}
+
+// BenchJSON renders a map of experiment name → results as the indented JSON
+// document `make bench-json` writes to BENCH_psim.json, so the performance
+// trajectory (ns/op, allocs/op, helping degree) is tracked across commits.
+func BenchJSON(experiments map[string][]Result) ([]byte, error) {
+	f := benchFile{
+		GeneratedUnix: time.Now().Unix(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Experiments:   make(map[string][]benchRecord, len(experiments)),
+	}
+	for name, results := range experiments {
+		recs := make([]benchRecord, 0, len(results))
+		for _, r := range results {
+			rec := benchRecord{
+				Impl:        r.Impl,
+				Threads:     r.Threads,
+				TotalOps:    r.TotalOps,
+				Reps:        r.Reps,
+				AllocsPerOp: r.AllocsPerOp,
+				Throughput:  r.Throughput,
+			}
+			if r.TotalOps > 0 {
+				rec.NsPerOp = r.MeanSec * 1e9 / float64(r.TotalOps)
+			}
+			if !math.IsNaN(r.AvgHelping) {
+				rec.AvgHelping = r.AvgHelping
+			}
+			if r.Latency.Count > 0 {
+				rec.P50Ns = r.Latency.Quantile(0.50)
+				rec.P99Ns = r.Latency.Quantile(0.99)
+				rec.MaxNs = r.Latency.Max
+			}
+			recs = append(recs, rec)
+		}
+		f.Experiments[name] = recs
+	}
+	return json.MarshalIndent(f, "", "  ")
 }
 
 // Speedups reports, for each baseline implementation, the maximum over

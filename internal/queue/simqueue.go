@@ -19,26 +19,41 @@ import (
 // An enqueue combiner builds a PRIVATE linked list with one node per helped
 // enqueuer, then publishes an EnqState carrying ⟨old tail, first node of the
 // list, new tail⟩; the list is spliced onto the shared queue with a separate
-// CAS on the old tail's next pointer (Algorithm 5 lines 18/34). Any
-// subsequent enqueuer — and any dequeuer (Algorithm 6 lines 49–51) — helps
-// perform that splice, so a crash between publishing EnqState and splicing
-// cannot lose the batch.
+// CAS on the old tail's next pointer (Algorithm 5 lines 18/34). Every
+// enqueue splices the batch containing its operation before returning, so a
+// completed enqueue is always visible to traversals; dequeuers additionally
+// help splice the latest batch (Algorithm 6 lines 49–51) so in-flight
+// batches become visible promptly.
 //
-// Like core.PSim, this implementation publishes immutable state records via
-// CAS on an atomic pointer (GC-based reclamation) instead of the paper's
-// pooled records with seq stamps; see DESIGN.md.
+// Memory discipline: like core.PSim, state records publish via CAS on an
+// atomic pointer, and the hot path recycles them — each thread keeps a ring
+// of retired EnqState/DeqState records guarded by hazard slots (see
+// internal/core/recycle.go), and failed combining rounds return their
+// private node lists to a thread-local free-list instead of dropping them.
+// Queue nodes that were PUBLISHED are never recycled when n > 1 (a stalled
+// combiner may still traverse them); single-thread instances also recycle
+// consumed nodes, making the enqueue+dequeue pair allocation-free in steady
+// state.
 type SimQueue[V any] struct {
 	n int
 
 	enqAnnounce *collect.Announce[V]
 	enqAct      *xatomic.SharedBits
 	enqP        atomic.Pointer[enqState[V]]
+	// enqHaz slots [0,n) protect enqueuers' combining reads; slots [n,2n)
+	// protect dequeuers' splice-help reads of enqP.
+	enqHaz *core.Hazards[enqState[V]]
 
 	deqAct *xatomic.SharedBits
 	deqP   atomic.Pointer[deqState[V]]
+	deqHaz *core.Hazards[deqState[V]]
 
-	enqThreads []sqThread
-	deqThreads []sqThread
+	// spare hands one consumed node from the dequeue end back to the enqueue
+	// end when n == 1 (single-slot exchange: Store overwrites, Swap takes).
+	spare atomic.Pointer[qnode[V]]
+
+	enqThreads []sqThread[V]
+	deqThreads []sqThread[V]
 	enqStats   *core.StatsPlane
 	deqStats   *core.StatsPlane
 
@@ -48,7 +63,8 @@ type SimQueue[V any] struct {
 }
 
 // qnode is a queue node; next is written once with CAS when the node's
-// batch is spliced onto the shared list.
+// batch is spliced onto the shared list (and doubles as the free-list link
+// while the node is retired).
 type qnode[V any] struct {
 	v    V
 	next atomic.Pointer[qnode[V]]
@@ -74,13 +90,21 @@ type deqRes[V any] struct {
 	ok bool
 }
 
-type sqThread struct {
+type sqThread[V any] struct {
 	toggler *xatomic.Toggler
 	bo      *backoff.Adaptive
 	active  xatomic.Snapshot
 	diffs   xatomic.Snapshot
+	ering   *core.Ring[enqState[V]] // retired EnqState records (enq threads)
+	dring   *core.Ring[deqState[V]] // retired DeqState records (deq threads)
+	free    *qnode[V]               // node free-list, linked through next
 	inited  bool
 }
+
+// hazardAttempts mirrors core.PSim's bound: a failed hazard acquisition
+// implies a concurrent successful publish, so a bounded number of attempts
+// consumes the round the same way a failed CAS does.
+const hazardAttempts = 8
 
 // NewSimQueue returns an empty wait-free queue shared by n processes.
 func NewSimQueue[V any](n int) *SimQueue[V] {
@@ -89,9 +113,11 @@ func NewSimQueue[V any](n int) *SimQueue[V] {
 		n:           n,
 		enqAnnounce: collect.NewAnnounce[V](n),
 		enqAct:      xatomic.NewSharedBits(n),
+		enqHaz:      core.NewHazards[enqState[V]](2*n, 0),
 		deqAct:      xatomic.NewSharedBits(n),
-		enqThreads:  make([]sqThread, n),
-		deqThreads:  make([]sqThread, n),
+		deqHaz:      core.NewHazards[deqState[V]](n, 0),
+		enqThreads:  make([]sqThread[V], n),
+		deqThreads:  make([]sqThread[V], n),
 		enqStats:    core.NewStatsPlane(n),
 		deqStats:    core.NewStatsPlane(n),
 		boLower:     1,
@@ -129,23 +155,89 @@ func (q *SimQueue[V]) Instrument(reg *obs.Registry, prefix string) *obs.SimRecor
 	return rec
 }
 
-func (q *SimQueue[V]) thread(ts []sqThread, act *xatomic.SharedBits, i int) *sqThread {
+func (q *SimQueue[V]) thread(ts []sqThread[V], act *xatomic.SharedBits, i int) *sqThread[V] {
 	t := &ts[i]
 	if !t.inited {
 		t.toggler = xatomic.NewToggler(act, i)
-		t.bo = backoff.NewAdaptive(q.boLower, q.boUpper)
+		upper := q.boUpper
+		if q.n == 1 {
+			upper = 0 // no helper can exist: waiting is pure overhead
+		}
+		t.bo = backoff.NewAdaptive(q.boLower, upper)
 		if q.rec != nil {
 			t.bo.Instrument(q.rec.Retries, i)
 		}
 		t.active = xatomic.NewSnapshot(q.n)
 		t.diffs = xatomic.NewSnapshot(q.n)
+		if &ts[0] == &q.enqThreads[0] {
+			t.ering = core.NewRing[enqState[V]](2*q.n + 2)
+		} else {
+			t.dring = core.NewRing[deqState[V]](2*q.n + 2)
+		}
 		t.inited = true
 	}
 	return t
 }
 
-// splice links batch es onto the shared queue if not already done. Both
-// enqueuers and dequeuers call it to help (lines 18, 34 and 49–51).
+// node returns a queue node holding v: from the thread's free-list, from the
+// cross-end spare slot (n == 1 only), or freshly allocated.
+func (q *SimQueue[V]) node(t *sqThread[V], v V) *qnode[V] {
+	nd := t.free
+	if nd != nil {
+		t.free = nd.next.Load()
+		nd.next.Store(nil)
+	} else if q.n == 1 {
+		nd = q.spare.Swap(nil)
+	}
+	if nd == nil {
+		nd = &qnode[V]{}
+	}
+	nd.v = v
+	return nd
+}
+
+// freeNodes returns the private list first..last (never published — its CAS
+// lost) to the thread's free-list.
+func (t *sqThread[V]) freeNodes(first, last *qnode[V]) {
+	for nd := first; ; {
+		nx := nd.next.Load()
+		end := nd == last
+		nd.next.Store(t.free)
+		t.free = nd
+		if end {
+			return
+		}
+		nd = nx
+	}
+}
+
+// enqRecord returns an EnqState record to build the next batch into.
+func (q *SimQueue[V]) enqRecord(t *sqThread[V]) *enqState[V] {
+	if ns := t.ering.PopFree(q.enqHaz); ns != nil {
+		return ns
+	}
+	return &enqState[V]{applied: xatomic.NewSnapshot(q.n)}
+}
+
+// deqRecord returns a DeqState record to build the next batch into.
+func (q *SimQueue[V]) deqRecord(t *sqThread[V]) *deqState[V] {
+	if ns := t.dring.PopFree(q.deqHaz); ns != nil {
+		return ns
+	}
+	return &deqState[V]{
+		applied: xatomic.NewSnapshot(q.n),
+		rvals:   make([]deqRes[V], q.n),
+	}
+}
+
+// splice links batch es onto the shared queue if not already done
+// (Algorithm 5 lines 18/34, Algorithm 6 lines 49–51). es must be protected
+// by a hazard slot (or be unreachable by recyclers, as on the solo paths).
+//
+// Invariant relied on throughout: a record is spliced before it is replaced
+// — every combining round splices the record it loaded before attempting to
+// CAS it away — so only the CURRENT record can be unspliced, and every
+// return path of Enqueue splices the record covering its own operation.
 func splice[V any](es *enqState[V]) {
 	if es.oldTail != nil && es.lfirst != nil {
 		es.oldTail.next.CompareAndSwap(nil, es.lfirst)
@@ -158,27 +250,44 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 	st := q.enqStats
 	t0 := q.rec.Start(id)
 
-	q.enqAnnounce.Write(id, &v) // line 1: announce
+	if q.n == 1 {
+		q.enqueueSolo(t, t0, v)
+		return
+	}
+
+	// Announce a copy declared on this path only: taking &v directly would
+	// make the parameter escape — and cost one heap box — even at n == 1.
+	a := v
+	q.enqAnnounce.Write(id, &a) // line 1: announce
 	t.toggler.Toggle()          // lines 2–3
 	t.bo.Wait()                 // line 4
 
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ {
-		ls := q.enqP.Load() // lines 6–7
+		// lines 6–7: read the state reference under hazard protection so the
+		// record cannot be recycled while we use it.
+		ls, ok := q.enqHaz.Acquire(id, &q.enqP, hazardAttempts)
+		if !ok {
+			st.CASFail.Inc(id)
+			continue
+		}
+		splice(ls) // line 18: help link the current batch (before any return)
 		q.enqAct.LoadInto(t.active)
 		ls.applied.XorInto(t.active, t.diffs)
 		if t.diffs[myWord]&myMask == 0 { // line 11: already applied
+			// Our batch B ≤ ls: if B < ls it was spliced before being
+			// replaced, and splice(ls) above covers B == ls.
 			st.Ops.Inc(id)
 			st.ServedBy.Inc(id)
 			q.rec.OpDone(id, t0)
 			return
 		}
-		splice(ls) // line 18: help link the previous batch
 
 		// lines 12–27: build the private list — own node first (lines
-		// 13–17), then one node per remaining enqueuer in diffs.
-		first := &qnode[V]{v: v}
+		// 13–17), then one node per remaining enqueuer in diffs. Nodes come
+		// from the free-list of previously failed rounds.
+		first := q.node(t, v)
 		last := first
 		t.diffs.ClearBit(id) // line 17: exclude self
 		combined := uint64(1)
@@ -187,21 +296,24 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 			if k < 0 {
 				break
 			}
-			nn := &qnode[V]{v: *q.enqAnnounce.Read(k)} // lines 21–24
+			nn := q.node(t, *q.enqAnnounce.Read(k)) // lines 21–24
 			last.next.Store(nn)
 			last = nn
 			t.diffs.ClearBit(k)
 			combined++
 		}
 
-		ns := &enqState[V]{ // lines 28–31
-			applied: t.active.Clone(),
-			oldTail: ls.newTail,
-			lfirst:  first,
-			newTail: last,
-		}
+		oldTail := ls.newTail // capture before CAS: ls may recycle after it
+		ns := q.enqRecord(t)  // lines 28–31, into a recycled record
+		ns.applied.CopyFrom(t.active)
+		ns.oldTail = oldTail
+		ns.lfirst = first
+		ns.newTail = last
 		if q.enqP.CompareAndSwap(ls, ns) { // line 35
-			splice(ns) // line 36: link our own batch
+			// line 36: link our own batch. Splice from the locals — once
+			// published, ns may be retired and recycled by a later winner.
+			oldTail.next.CompareAndSwap(nil, first)
+			t.ering.Push(ls) // retire the replaced record for reuse
 			st.Ops.Inc(id)
 			st.CASSuccess.Inc(id)
 			st.Combined.Add(id, combined)
@@ -211,16 +323,48 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 			}
 			return
 		}
+		t.freeNodes(first, last) // the list was never published: reuse it
+		t.ering.Push(ns)         // likewise the record
 		st.CASFail.Inc(id)
 		if j == 0 {
 			t.bo.Grow()
 			t.bo.Wait()
 		}
 	}
-	// line 38: two failed CASes ⇒ a helper applied our enqueue.
+	// line 38: two failed CASes ⇒ a helper applied our enqueue in batch B.
+	// Ensure B is spliced before returning: one hazard attempt either
+	// protects the current record (splice covers B ≤ current) or fails
+	// because the current record was replaced — and replaced ⇒ spliced.
+	if es, ok := q.enqHaz.Acquire(id, &q.enqP, 1); ok {
+		splice(es)
+	}
 	st.Ops.Inc(id)
 	st.ServedBy.Inc(id)
 	q.rec.OpDone(id, t0)
+}
+
+// enqueueSolo is Enqueue for n == 1: no helper can exist, so skip announce,
+// toggle, backoff, and CAS (process 0's enqueuer is the sole writer of
+// enqP). Records rotate through the ring and nodes through the free-list /
+// spare slot, so the steady-state path allocates nothing.
+func (q *SimQueue[V]) enqueueSolo(t *sqThread[V], t0 obs.Stamp, v V) {
+	ls := q.enqP.Load() // current record: never in the ring, safe to read
+	nd := q.node(t, v)
+	ns := q.enqRecord(t)
+	ns.applied.CopyFrom(ls.applied)
+	ns.oldTail = ls.newTail
+	ns.lfirst = nd
+	ns.newTail = nd
+	q.enqP.Store(ns)
+	// Splice before returning; prior batches were spliced by their own
+	// enqueues, so the tail's next is nil until this CAS.
+	ns.oldTail.next.CompareAndSwap(nil, nd)
+	t.ering.Push(ls)
+	st := q.enqStats
+	st.Ops.Inc(0)
+	st.CASSuccess.Inc(0)
+	st.Combined.Add(0, 1)
+	q.rec.OpPublished(0, t0, 1)
 }
 
 // Dequeue removes and returns the front value on behalf of process id
@@ -230,29 +374,44 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 	st := q.deqStats
 	t0 := q.rec.Start(id)
 
+	if q.n == 1 {
+		return q.dequeueSolo(t, t0)
+	}
+
 	t.toggler.Toggle() // lines 39–40 (dequeue carries no argument)
 	t.bo.Wait()        // line 41
 
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ {
-		ls := q.deqP.Load() // lines 43–44
+		ls, ok := q.deqHaz.Acquire(id, &q.deqP, hazardAttempts) // lines 43–44
+		if !ok {
+			st.CASFail.Inc(id)
+			continue
+		}
 		q.deqAct.LoadInto(t.active)
 		ls.applied.XorInto(t.active, t.diffs)
 		if t.diffs[myWord]&myMask == 0 { // line 48: already applied
+			r := ls.rvals[id] // record hazard-protected: safe to read
 			st.Ops.Inc(id)
 			st.ServedBy.Inc(id)
 			q.rec.OpDone(id, t0)
-			r := ls.rvals[id]
 			return r.v, r.ok
 		}
 
-		// lines 49–51: help enqueuers splice their latest batch, so every
-		// completed enqueue is visible to the traversal below.
-		splice(q.enqP.Load())
+		// lines 49–51: help enqueuers splice their latest batch. Best
+		// effort under a bounded hazard acquire: a failure means enqueuers
+		// are actively publishing, and since every COMPLETED enqueue splices
+		// its batch before returning, an unspliced batch can only contain
+		// in-flight operations — missing those is linearizable.
+		if es, ok := q.enqHaz.Acquire(q.n+id, &q.enqP, hazardAttempts); ok {
+			splice(es)
+		}
 
 		head := ls.head
-		rvals := append([]deqRes[V](nil), ls.rvals...)
+		ns := q.deqRecord(t) // recycled record: reuse applied and rvals
+		ns.applied.CopyFrom(t.active)
+		copy(ns.rvals, ls.rvals)
 		combined := uint64(0)
 		for { // lines 53–61: serve every dequeuer in diffs
 			k := t.diffs.BitSearchFirst()
@@ -260,17 +419,20 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 				break
 			}
 			if next := head.next.Load(); next != nil {
-				rvals[k] = deqRes[V]{v: next.v, ok: true}
+				ns.rvals[k] = deqRes[V]{v: next.v, ok: true}
 				head = next
 			} else {
-				rvals[k] = deqRes[V]{}
+				ns.rvals[k] = deqRes[V]{}
 			}
 			t.diffs.ClearBit(k)
 			combined++
 		}
-
-		ns := &deqState[V]{applied: t.active.Clone(), head: head, rvals: rvals}
+		ns.head = head
+		// Read the response BEFORE publishing: once published, ns may be
+		// retired and recycled by any later winner.
+		r := ns.rvals[id]
 		if q.deqP.CompareAndSwap(ls, ns) { // line 67
+			t.dring.Push(ls)
 			st.Ops.Inc(id)
 			st.CASSuccess.Inc(id)
 			st.Combined.Add(id, combined)
@@ -278,21 +440,60 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 			if j == 0 {
 				t.bo.Shrink()
 			}
-			r := ns.rvals[id]
 			return r.v, r.ok
 		}
+		t.dring.Push(ns) // never published — immediately reusable
 		st.CASFail.Inc(id)
 		if j == 0 {
 			t.bo.Grow()
 			t.bo.Wait()
 		}
 	}
-	// lines 70–72: a helper served us; read the published record.
+	// lines 70–72: a helper served us; read the published record under
+	// hazard protection (unbounded form is lock-free: each failure implies
+	// a concurrent successful publish).
 	st.Ops.Inc(id)
 	st.ServedBy.Inc(id)
 	q.rec.OpDone(id, t0)
-	ls := q.deqP.Load()
+	ls, _ := q.deqHaz.Acquire(id, &q.deqP, 0)
 	r := ls.rvals[id]
+	return r.v, r.ok
+}
+
+// dequeueSolo is Dequeue for n == 1. The consumed node is handed back to
+// the enqueue end through the spare slot — nodes strictly before the head
+// are unreachable from every record still in use, and with one process per
+// end no stalled combiner can be traversing them.
+func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0 obs.Stamp) (V, bool) {
+	ls := q.deqP.Load()
+	head := ls.head
+	next := head.next.Load()
+	ns := q.deqRecord(t)
+	ns.applied.CopyFrom(ls.applied)
+	copy(ns.rvals, ls.rvals)
+	if next != nil {
+		ns.rvals[0] = deqRes[V]{v: next.v, ok: true}
+		ns.head = next
+	} else {
+		ns.rvals[0] = deqRes[V]{}
+		ns.head = head
+	}
+	r := ns.rvals[0]
+	q.deqP.Store(ns)
+	t.dring.Push(ls)
+	if next != nil {
+		// head was consumed: recycle it. Clear the value so recycled nodes
+		// do not retain references, and the link so a splice CAS can hit it.
+		var zero V
+		head.v = zero
+		head.next.Store(nil)
+		q.spare.Store(head)
+	}
+	st := q.deqStats
+	st.Ops.Inc(0)
+	st.CASSuccess.Inc(0)
+	st.Combined.Add(0, 1)
+	q.rec.OpPublished(0, t0, 1)
 	return r.v, r.ok
 }
 

@@ -8,9 +8,14 @@
 // parallel; operations within a stripe combine.
 //
 // Gets do not announce at all: a stripe's state is an immutable list behind
-// one atomic pointer, so a single load IS a linearizable wait-free read —
+// one atomic pointer, so reading that pointer is the linearization point —
 // the structural analogue of the paper's observation that reads of the
-// simulated state need no helping.
+// simulated state need no helping. Since core.PSim recycles its state
+// records, the read costs a handful of atomic operations (claim an
+// anonymous hazard slot, validate, release — see internal/core/recycle.go)
+// rather than a bare load, but the entry NODES are immutable and never
+// recycled, so a fetched list stays valid for as long as the caller holds
+// it.
 package simmap
 
 import (
@@ -129,8 +134,8 @@ func (m *Map[K, V]) Delete(id int, k K) (prev V, existed bool) {
 }
 
 // Get returns k's binding. It is wait-free and linearizable WITHOUT
-// announcing: the stripe state is immutable behind one atomic pointer, so
-// the load is the linearization point.
+// announcing: the stripe state is immutable behind one atomic pointer, and
+// the hazard-protected load of that pointer is the linearization point.
 func (m *Map[K, V]) Get(k K) (V, bool) {
 	for e := m.stripe(k).Read(); e != nil; e = e.next {
 		if e.k == k {

@@ -99,6 +99,23 @@ func (s Snapshot) BitSearchFirst() int {
 	return -1
 }
 
+// IsOnlyBit reports whether the snapshot's only set bits are exactly mask in
+// word — i.e. the vector is the singleton {the caller}. P-Sim's uncontended
+// fast path uses it on diffs: a singleton means no helper work accumulated,
+// so the backoff window was wasted and should shrink fast.
+func (s Snapshot) IsOnlyBit(word int, mask uint64) bool {
+	for i, w := range s {
+		if i == word {
+			if w != mask {
+				return false
+			}
+		} else if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // PopCount returns the number of set bits — used by the helping-degree
 // statistic of Figure 2 (right).
 func (s Snapshot) PopCount() int {

@@ -102,6 +102,31 @@ func TestSnapshotXorInto(t *testing.T) {
 	}
 }
 
+func TestSnapshotIsOnlyBit(t *testing.T) {
+	s := NewSnapshot(128)
+	s.SetBit(70)
+	word, mask := 1, uint64(1)<<(70-64)
+	if !s.IsOnlyBit(word, mask) {
+		t.Fatal("singleton {70} not recognized")
+	}
+	if s.IsOnlyBit(0, 1) {
+		t.Fatal("wrong word/mask accepted")
+	}
+	s.SetBit(5) // second bit in another word
+	if s.IsOnlyBit(word, mask) {
+		t.Fatal("extra bit in another word accepted")
+	}
+	s.ClearBit(5)
+	s.SetBit(71) // second bit in the same word
+	if s.IsOnlyBit(word, mask) {
+		t.Fatal("extra bit in the same word accepted")
+	}
+	var empty Snapshot = NewSnapshot(64)
+	if empty.IsOnlyBit(0, 1) {
+		t.Fatal("empty snapshot accepted as singleton")
+	}
+}
+
 func TestSnapshotEqualCloneCopy(t *testing.T) {
 	a := NewSnapshot(100)
 	a.SetBit(42)
