@@ -20,9 +20,15 @@ import (
 //   - A: the argument type announced with each operation.
 //   - R: the operation return type.
 //
-// The construction is wait-free: Apply finishes after at most two combining
-// rounds, falling back to reading the published state (which by then must
-// contain its result — the two-successful-CAS argument of Observation 3.2).
+// Progress: Apply performs at most two combining rounds, then falls back to
+// reading the published state, which by then must contain its result (the
+// two-successful-CAS argument of Observation 3.2). With recycled records
+// that terminal read needs hazard protection, and a protection attempt
+// fails only when a concurrent CAS publishes meanwhile — so the fallback is
+// lock-free (every retry is paid for by another operation completing)
+// rather than strictly bounded; the same holds for Read(). Everything
+// before the fallback is bounded. The theoretical variant (sim.go), which
+// never recycles, keeps the paper's unqualified wait-freedom.
 //
 // Memory discipline: like the paper's pool of State records, the hot path is
 // allocation-free in steady state. Each thread keeps a Ring of 2n+2 retired
@@ -71,9 +77,9 @@ type psimState[S, R any] struct {
 type psimThread[S, R any] struct {
 	toggler *xatomic.Toggler
 	bo      *backoff.Adaptive
-	active  xatomic.Snapshot          // scratch: last read of Act
-	diffs   xatomic.Snapshot          // scratch: applied XOR active
-	ring    *Ring[psimState[S, R]]    // retired records awaiting reuse
+	active  xatomic.Snapshot       // scratch: last read of Act
+	diffs   xatomic.Snapshot       // scratch: applied XOR active
+	ring    *Ring[psimState[S, R]] // retired records awaiting reuse
 	inited  bool
 }
 
@@ -281,7 +287,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 	// make the parameter escape — and cost one heap box — even at n == 1.
 	a := arg
 	u.announce.Write(i, &a) // line 1: announce the operation
-	t.toggler.Toggle()        // lines 2–3: toggle pi's bit in Act (one F&A)
+	t.toggler.Toggle()      // lines 2–3: toggle pi's bit in Act (one F&A)
 	u.counter.Add(i, 2)
 	t.bo.Wait() // line 4: back off so helpers accumulate work
 
@@ -308,6 +314,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		// response is already in ls.rvals (record protected — safe to read).
 		if t.diffs[myWord]&myMask == 0 {
 			r := ls.rvals[i]
+			u.haz.Clear(i) // don't pin ls while parked outside Apply
 			st.Ops.Inc(i)
 			st.ServedBy.Inc(i)
 			u.rec.OpDone(i, t0)
@@ -344,6 +351,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		u.counter.Inc(i)
 		if u.state.CompareAndSwap(ls, ns) {
 			t.ring.Push(ls) // line 26's pool rotation: retire the old record
+			u.haz.Clear(i)  // unpin ls so its ring slot can recycle it
 			st.Ops.Inc(i)
 			st.CASSuccess.Inc(i)
 			st.Combined.Add(i, combined)
@@ -369,6 +377,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 	u.counter.Inc(i)
 	ls, _ := u.haz.Acquire(i, &u.state, 0)
 	r := ls.rvals[i]
+	u.haz.Clear(i)
 	st.Ops.Inc(i)
 	st.ServedBy.Inc(i)
 	u.rec.OpDone(i, t0)
@@ -400,14 +409,23 @@ func (u *PSim[S, A, R]) applySolo(t *psimThread[S, R], t0 obs.Stamp, arg A) R {
 	return rv
 }
 
-// Read returns the current simulated state without announcing an operation.
-// It may be called from any goroutine; the record is protected by a
-// claimable hazard slot for the duration of the copy, so the returned value
-// is a consistent snapshot even while records recycle. The returned value
-// must be treated as immutable.
+// Read returns a snapshot of the current simulated state without announcing
+// an operation. It may be called from any goroutine. The record is protected
+// by a claimable hazard slot while the snapshot is taken, and the snapshot
+// is produced with the instance's clone function — under WithCloneInto the
+// in-place copy runs into a zero S — so it shares no buffers that record
+// recycling would later rewrite. Under the default shallow clone the
+// returned value may alias the live state and must be treated as immutable
+// (the same condition under which the shallow clone is correct at all).
+// Lock-free: a Read retries only when a concurrent Apply publishes.
 func (u *PSim[S, A, R]) Read() S {
 	ls, slot := u.haz.AcquireAnon(&u.state)
-	s := ls.st
+	var s S
+	if u.cloneInto != nil {
+		u.cloneInto(&s, &ls.st)
+	} else {
+		s = u.clone(ls.st)
+	}
 	u.haz.ReleaseAnon(slot)
 	return s
 }

@@ -100,6 +100,88 @@ func TestPSimRecyclingSoloInterleavedReads(t *testing.T) {
 	readers.Wait()
 }
 
+// TestPSimReadSnapshotSurvivesRecycling pins the Read() contract under
+// WithCloneInto: the snapshot must be deep-copied while hazard-protected, so
+// later operations — which rebuild recycled records' state buffers IN PLACE
+// — can never rewrite a snapshot already handed to a caller.
+func TestPSimReadSnapshotSurvivesRecycling(t *testing.T) {
+	u := NewPSim(1, []uint64{0, 0, 0, 0},
+		func(st *[]uint64, _ int, d uint64) uint64 {
+			for i := range *st {
+				(*st)[i] += d
+			}
+			return (*st)[0]
+		},
+		WithCloneInto[[]uint64](func(dst, src *[]uint64) {
+			*dst = append((*dst)[:0], *src...)
+		}))
+	u.Apply(0, 1)
+	snap := u.Read() // every cell is 1
+	// Drive enough operations that the record snap was taken from is retired,
+	// recycled, and its state buffer rewritten several times over.
+	for k := 0; k < 64; k++ {
+		u.Apply(0, 1)
+	}
+	for i, v := range snap {
+		if v != 1 {
+			t.Fatalf("snapshot[%d] = %d, want 1 — Read() aliased a recycled buffer", i, v)
+		}
+	}
+}
+
+// TestPSimReadersRaceCloneIntoRecycling races anonymous Read()ers against
+// combining rounds that rebuild recycled state buffers in place (the
+// largeobject CloneInto shape). Both invariants the review race found are
+// checked: -race must stay silent (the copy happens under protection) and
+// no reader may observe a torn or later-mutated snapshot (both cells of the
+// state always advance together).
+func TestPSimReadersRaceCloneIntoRecycling(t *testing.T) {
+	const n, per = 2, 10_000
+	u := NewPSim(n, []uint64{0, 0}, func(st *[]uint64, _ int, d uint64) uint64 {
+		(*st)[0] += d
+		(*st)[1] += d
+		return (*st)[0]
+	}, WithCloneInto[[]uint64](func(dst, src *[]uint64) {
+		*dst = append((*dst)[:0], *src...)
+	}))
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if s := u.Read(); s[0] != s[1] {
+					t.Errorf("torn snapshot: %v", s)
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				u.Apply(id, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if s := u.Read(); s[0] != n*per {
+		t.Fatalf("final state = %v, want [%d %d]", s, n*per, n*per)
+	}
+}
+
 // TestPSimRecyclingLinearizable records a concurrent history against the
 // recycled-record PSim and runs the linearizability checker with the
 // counter spec — the spot-check the alloc-free rewrite must not regress.

@@ -28,24 +28,49 @@ import (
 // argument applies verbatim: if the scan misses a reader's slot store, that
 // reader's validating re-load is ordered after the record's retirement and
 // therefore fails, so the reader never touches the record.
+//
+// Progress guarantees. Recyclers never wait: PopFree skips protected
+// records and the caller allocates fresh when every resident is protected.
+// Readers are lock-free, not wait-free: a protection attempt fails only
+// when a concurrent CAS publishes a new record between the two loads, so
+// every retry is paid for by another operation's success, but a bounded
+// number of steps cannot be guaranteed (the classic hazard-pointer bound).
+// Acquire with attempts > 0 IS bounded — the caller treats exhaustion like
+// a failed CAS. Anonymous readers additionally never wait on each other: a
+// claim sweep that finds every slot held by other (possibly preempted)
+// readers allocates an overflow slot instead of spinning.
 
 // Hazards is a table of hazard-pointer slots guarding records of type T.
 // Slots [0, fixed) are single-writer: slot i belongs to the goroutine
 // driving process i (stored on every protected read, never cleared — a
 // stale slot merely pins one retired record until the owner's next read).
 // Slots [fixed, fixed+anon) are claimable by anonymous readers (Read paths
-// with no process id) with a CAS on the slot's claim word.
+// with no process id) with a CAS on the slot's claim word; when every
+// claimable slot is held, readers grow an overflow list rather than wait.
 type Hazards[T any] struct {
 	fixed []pad.Pointer[T]
 	anon  []anonSlot[T]
+	// extra is a grow-only list of overflow anonymous slots, pushed when a
+	// claim sweep finds every slot (preallocated and overflow) held — so a
+	// preempted reader never blocks new readers. Its length is bounded by
+	// the historical maximum number of simultaneous anonymous readers.
+	extra atomic.Pointer[anonSlot[T]]
 }
 
 // anonSlot is one claimable hazard slot; claim word and pointer sit on the
-// same (padded) line because they are always touched together.
+// same (padded) line because they are always touched together. next links
+// overflow slots (nil for the preallocated array; immutable once pushed).
 type anonSlot[T any] struct {
 	claimed atomic.Uint32
 	ptr     atomic.Pointer[T]
+	next    *anonSlot[T]
 	_       pad.CacheLinePad
+}
+
+// tryClaim claims a free slot; the load filters the common held case so the
+// sweep stays read-only until a free slot is actually seen.
+func (s *anonSlot[T]) tryClaim() bool {
+	return s.claimed.Load() == 0 && s.claimed.CompareAndSwap(0, 1)
 }
 
 // NewHazards returns a table with `fixed` per-process slots and `anon`
@@ -82,35 +107,68 @@ func (h *Hazards[T]) Acquire(slot int, src *atomic.Pointer[T], attempts int) (*T
 	return nil, false
 }
 
-// AcquireAnon claims an anonymous slot, then runs the Acquire protocol in it
-// until it succeeds. It returns the protected record and the claimed slot
-// index, which the caller must pass to ReleaseAnon when done with the
-// record. Both loops are lock-free: a claim failure means another reader
-// holds the slot for an O(1) critical section, and a validation failure
-// means a concurrent publish succeeded.
-func (h *Hazards[T]) AcquireAnon(src *atomic.Pointer[T]) (*T, int) {
-	for {
+// anonClaimSweeps bounds how many times AcquireAnon rescans the claimable
+// slots before allocating an overflow slot of its own. Claim failures mean
+// other READERS hold the slots; unlike validation failures they imply no
+// publisher progress, so spinning on them would let one preempted reader
+// block every new reader indefinitely.
+const anonClaimSweeps = 2
+
+// AcquireAnon claims an anonymous slot — a preallocated one, an overflow
+// one, or (when a bounded number of sweeps finds all of them held) a freshly
+// pushed overflow slot — then runs the Acquire protocol in it until it
+// succeeds. It returns the protected record and the claimed slot, which the
+// caller must pass to ReleaseAnon when done with the record. Lock-free: the
+// only unbounded loops are the protection validation (each failure means a
+// concurrent publish succeeded) and the overflow push CAS (each failure
+// means another reader pushed a slot).
+func (h *Hazards[T]) AcquireAnon(src *atomic.Pointer[T]) (*T, *anonSlot[T]) {
+	for sweep := 0; sweep < anonClaimSweeps; sweep++ {
 		for i := range h.anon {
-			s := &h.anon[i]
-			if s.claimed.Load() != 0 || !s.claimed.CompareAndSwap(0, 1) {
-				continue
+			if s := &h.anon[i]; s.tryClaim() {
+				return h.protect(s, src), s
 			}
-			for {
-				p := src.Load()
-				s.ptr.Store(p)
-				if src.Load() == p {
-					return p, i
-				}
+		}
+		for s := h.extra.Load(); s != nil; s = s.next {
+			if s.tryClaim() {
+				return h.protect(s, src), s
 			}
+		}
+	}
+	s := &anonSlot[T]{}
+	s.claimed.Store(1)
+	for {
+		s.next = h.extra.Load()
+		if h.extra.CompareAndSwap(s.next, s) {
+			return h.protect(s, src), s
+		}
+	}
+}
+
+// protect runs the Acquire protocol in slot s until it succeeds.
+func (h *Hazards[T]) protect(s *anonSlot[T], src *atomic.Pointer[T]) *T {
+	for {
+		p := src.Load()
+		s.ptr.Store(p)
+		if src.Load() == p {
+			return p
 		}
 	}
 }
 
 // ReleaseAnon returns an anonymous slot claimed by AcquireAnon.
-func (h *Hazards[T]) ReleaseAnon(slot int) {
-	s := &h.anon[slot]
+func (h *Hazards[T]) ReleaseAnon(s *anonSlot[T]) {
 	s.ptr.Store(nil)
 	s.claimed.Store(0)
+}
+
+// Clear resets fixed slot `slot`. Operations clear their slot when they
+// return so a thread that goes quiet does not permanently pin the last
+// record it protected (pinning retains that record's rvals and state
+// references for reference-typed objects, and keeps it out of its owner's
+// recycling ring).
+func (h *Hazards[T]) Clear(slot int) {
+	h.fixed[slot].P.Store(nil)
 }
 
 // Hazarded reports whether p is protected by any slot. Recyclers call it on
@@ -123,6 +181,11 @@ func (h *Hazards[T]) Hazarded(p *T) bool {
 	}
 	for i := range h.anon {
 		if h.anon[i].ptr.Load() == p {
+			return true
+		}
+	}
+	for s := h.extra.Load(); s != nil; s = s.next {
+		if s.ptr.Load() == p {
 			return true
 		}
 	}

@@ -48,6 +48,35 @@ func TestHazardsAnonClaimRelease(t *testing.T) {
 	}
 }
 
+// TestHazardsAnonOverflow: when every claimable slot is held (e.g. by
+// preempted readers), AcquireAnon must not wait — it grows the overflow
+// list, and the overflow slot participates in Hazarded scans and is
+// reclaimable for later readers.
+func TestHazardsAnonOverflow(t *testing.T) {
+	h := NewHazards[int](0, 1)
+	var src atomic.Pointer[int]
+	x := new(int)
+	src.Store(x)
+
+	_, held := h.AcquireAnon(&src) // occupy the only preallocated slot
+	p, over := h.AcquireAnon(&src) // must succeed via an overflow slot
+	if p != x || over == held {
+		t.Fatalf("overflow AcquireAnon = (%p, %p), want fresh slot for %p", p, over, x)
+	}
+	h.ReleaseAnon(held)
+	if !h.Hazarded(x) {
+		t.Fatal("record protected only by the overflow slot not reported hazarded")
+	}
+	h.ReleaseAnon(over)
+	if h.Hazarded(x) {
+		t.Fatal("record still hazarded after both releases")
+	}
+	// A released overflow slot is claimable again without further growth.
+	if _, s := h.AcquireAnon(&src); s != held && s != over {
+		t.Fatalf("slot %p is neither released slot (%p, %p)", s, held, over)
+	}
+}
+
 func TestRingPushPopFIFO(t *testing.T) {
 	h := NewHazards[int](1, 0)
 	r := NewRing[int](4)

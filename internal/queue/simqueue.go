@@ -34,6 +34,11 @@ import (
 // combiner may still traverse them); single-thread instances also recycle
 // consumed nodes, making the enqueue+dequeue pair allocation-free in steady
 // state.
+//
+// Progress: as in core.PSim, everything up to the Observation-3.2 fallback
+// is bounded, but the fallback's hazard-protected read retries only when a
+// concurrent publish succeeds — lock-free rather than strictly bounded
+// (see internal/core/recycle.go).
 type SimQueue[V any] struct {
 	n int
 
@@ -278,6 +283,7 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 		if t.diffs[myWord]&myMask == 0 { // line 11: already applied
 			// Our batch B ≤ ls: if B < ls it was spliced before being
 			// replaced, and splice(ls) above covers B == ls.
+			q.enqHaz.Clear(id) // don't pin ls while parked outside Enqueue
 			st.Ops.Inc(id)
 			st.ServedBy.Inc(id)
 			q.rec.OpDone(id, t0)
@@ -313,7 +319,8 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 			// line 36: link our own batch. Splice from the locals — once
 			// published, ns may be retired and recycled by a later winner.
 			oldTail.next.CompareAndSwap(nil, first)
-			t.ering.Push(ls) // retire the replaced record for reuse
+			t.ering.Push(ls)   // retire the replaced record for reuse
+			q.enqHaz.Clear(id) // unpin ls so its ring slot can recycle it
 			st.Ops.Inc(id)
 			st.CASSuccess.Inc(id)
 			st.Combined.Add(id, combined)
@@ -338,6 +345,7 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 	if es, ok := q.enqHaz.Acquire(id, &q.enqP, 1); ok {
 		splice(es)
 	}
+	q.enqHaz.Clear(id)
 	st.Ops.Inc(id)
 	st.ServedBy.Inc(id)
 	q.rec.OpDone(id, t0)
@@ -392,7 +400,8 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 		q.deqAct.LoadInto(t.active)
 		ls.applied.XorInto(t.active, t.diffs)
 		if t.diffs[myWord]&myMask == 0 { // line 48: already applied
-			r := ls.rvals[id] // record hazard-protected: safe to read
+			r := ls.rvals[id]  // record hazard-protected: safe to read
+			q.deqHaz.Clear(id) // don't pin ls while parked outside Dequeue
 			st.Ops.Inc(id)
 			st.ServedBy.Inc(id)
 			q.rec.OpDone(id, t0)
@@ -407,6 +416,7 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 		if es, ok := q.enqHaz.Acquire(q.n+id, &q.enqP, hazardAttempts); ok {
 			splice(es)
 		}
+		q.enqHaz.Clear(q.n + id) // help slot done: never leave it set
 
 		head := ls.head
 		ns := q.deqRecord(t) // recycled record: reuse applied and rvals
@@ -433,6 +443,7 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 		r := ns.rvals[id]
 		if q.deqP.CompareAndSwap(ls, ns) { // line 67
 			t.dring.Push(ls)
+			q.deqHaz.Clear(id) // unpin ls so its ring slot can recycle it
 			st.Ops.Inc(id)
 			st.CASSuccess.Inc(id)
 			st.Combined.Add(id, combined)
@@ -457,6 +468,7 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 	q.rec.OpDone(id, t0)
 	ls, _ := q.deqHaz.Acquire(id, &q.deqP, 0)
 	r := ls.rvals[id]
+	q.deqHaz.Clear(id)
 	return r.v, r.ok
 }
 

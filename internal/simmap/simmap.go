@@ -15,7 +15,9 @@
 // anonymous hazard slot, validate, release — see internal/core/recycle.go)
 // rather than a bare load, but the entry NODES are immutable and never
 // recycled, so a fetched list stays valid for as long as the caller holds
-// it.
+// it. Under recycling a Get is lock-free rather than wait-free: the hazard
+// validation retries only when a concurrent mutation publishes, so it never
+// waits on a lock holder, but its step count is not bounded.
 package simmap
 
 import (
@@ -133,9 +135,12 @@ func (m *Map[K, V]) Delete(id int, k K) (prev V, existed bool) {
 	return r.prev, r.existed
 }
 
-// Get returns k's binding. It is wait-free and linearizable WITHOUT
-// announcing: the stripe state is immutable behind one atomic pointer, and
-// the hazard-protected load of that pointer is the linearization point.
+// Get returns k's binding. It is linearizable WITHOUT announcing: the
+// stripe state is immutable behind one atomic pointer, and the
+// hazard-protected load of that pointer is the linearization point. It is
+// lock-free under record recycling — a Get retries only when a concurrent
+// Put/Delete on the same stripe publishes, never waiting on any thread
+// (see the package comment).
 func (m *Map[K, V]) Get(k K) (V, bool) {
 	for e := m.stripe(k).Read(); e != nil; e = e.next {
 		if e.k == k {
