@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json examples experiments check metrics-demo clean
+.PHONY: all build vet test race short bench bench-json examples experiments check metrics-demo flight-demo clean
 
 all: build vet test
 
@@ -64,6 +64,18 @@ metrics-demo:
 	  printf "PUT a 1\nPUT b 2\nGET a\nDEL b\nSTATS\nQUIT\n" >&3; cat <&3; \
 	  echo "--- prometheus ---"; curl -s http://127.0.0.1:9090/metrics | head -40; \
 	  echo "--- json ---"; curl -s "http://127.0.0.1:9090/metrics?format=json"; echo'
+
+flight-demo:
+	$(GO) build -o /tmp/simkvd ./cmd/simkvd
+	bash -c '/tmp/simkvd -addr 127.0.0.1:7071 -metrics-addr 127.0.0.1:9091 -flight 256 -watchdog 64 & \
+	  trap "kill $$!" EXIT; sleep 0.5; \
+	  exec 3<>/dev/tcp/127.0.0.1/7071; \
+	  printf "PUT a 1\nPUT b 2\nPUT a 3\nDEL b\nGET a\nQUIT\n" >&3; cat <&3; \
+	  echo "--- flight recorder (newest 20 events) ---"; \
+	  curl -s "http://127.0.0.1:9091/debug/flight?format=text&last=20"; \
+	  echo "--- chrome trace -> /tmp/flight.json (open in Perfetto) ---"; \
+	  curl -s "http://127.0.0.1:9091/debug/flight" -o /tmp/flight.json; \
+	  wc -c /tmp/flight.json'
 
 clean:
 	$(GO) clean ./...

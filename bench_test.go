@@ -23,6 +23,7 @@ import (
 	"repro/internal/herlihy"
 	"repro/internal/lsim"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/queue"
 	"repro/internal/simmap"
 	"repro/internal/stack"
@@ -423,6 +424,30 @@ func BenchmarkObsOverhead(b *testing.B) {
 				o := fmul.NewPSim(n)
 				if instrumented {
 					o.Instrument(obs.NewRegistry(), "bench")
+				}
+				runConcurrent(b, n, func(id int, rng *workload.RNG) {
+					o.Apply(id, uint64(rng.Intn(1000))*2+3)
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkTraceOverhead: the acceptance gate for the flight recorder —
+// the same P-Sim Fetch&Multiply benchmark with tracing disabled (nil
+// tracer: one predictable branch per event site), enabled at the default
+// 1-in-64 sampling (CI comparison target: within noise of "off"), and
+// enabled at sample=1 (the worst case, every op writes ring events).
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		label  string
+		sample int // 0 = tracing off
+	}{{"off", 0}, {"sampled", obs.DefaultSampleEvery}, {"every-op", 1}} {
+		for _, n := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", mode.label, n), func(b *testing.B) {
+				o := fmul.NewPSim(n)
+				if mode.sample > 0 {
+					o.SetTracer(trace.New(n, trace.WithSampleEvery(mode.sample)))
 				}
 				runConcurrent(b, n, func(id int, rng *workload.RNG) {
 					o.Apply(id, uint64(rng.Intn(1000))*2+3)

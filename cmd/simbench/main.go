@@ -20,6 +20,12 @@
 //
 // Flags -ops, -reps, -threads and -maxwork rescale the runs; the paper's
 // full-size configuration is -ops 1000000 -reps 10.
+//
+// -flight FILE attaches the wait-free flight recorder to every Sim-family
+// instance and writes a Chrome trace_event JSON of the newest
+// combining-round events (one track per process id, round duration and
+// degree of combining as args) — open it in chrome://tracing or Perfetto.
+// -flight-sample N thins recording to one in N operations per thread.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func main() {
@@ -50,6 +57,10 @@ func main() {
 			"periodically dump a JSON metrics delta to stderr while experiments run (0 disables)")
 		jsonOut = flag.String("json", "",
 			"write machine-readable results (ns/op, allocs/op, helping) for the experiments run to this file")
+		flightOut = flag.String("flight", "",
+			"attach the flight recorder to Sim-family instances and write a Chrome trace_event JSON of the newest round events to this file")
+		flightSample = flag.Int("flight-sample", 1,
+			"with -flight, record one in N operations per thread (1 = every op)")
 	)
 	flag.Parse()
 
@@ -65,6 +76,17 @@ func main() {
 		Reps:     *reps,
 		Seed:     1,
 		Latency:  *latency,
+	}
+	var flight *trace.Tracer
+	if *flightOut != "" {
+		maxN := 1
+		for _, n := range tc {
+			if n > maxN {
+				maxN = n
+			}
+		}
+		flight = trace.New(maxN, trace.WithSampleEvery(*flightSample))
+		cfg.Tracer = flight
 	}
 	if *obsEvery > 0 {
 		// Live observability: the harness records into a registered metric
@@ -157,6 +179,22 @@ func main() {
 		if len(names) > 1 {
 			fmt.Println()
 		}
+	}
+
+	if flight != nil {
+		f, err := os.Create(*flightOut)
+		if err == nil {
+			err = trace.WriteChrome(f, flight.Snapshot())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: writing flight trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events; open in chrome://tracing or Perfetto)\n",
+			*flightOut, len(flight.Snapshot()))
 	}
 
 	if *jsonOut != "" {

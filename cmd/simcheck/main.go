@@ -12,6 +12,12 @@
 //	simcheck -object queue -impl ms -mode linearize -rounds 200
 //
 // Exit status 0 means every check passed.
+//
+// Sim-family implementations run with the wait-free flight recorder
+// attached: when a check FAILs, the newest combining-round events (round
+// commits with their degree, CAS publish failures, recycling misses, …)
+// are dumped to stderr — the post-mortem view of what the combiners were
+// doing when the invariant broke. -flight-last bounds the dump.
 package main
 
 import (
@@ -22,9 +28,40 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/fmul"
+	"repro/internal/obs/trace"
 	"repro/internal/queue"
 	"repro/internal/stack"
 )
+
+// flight is the flight recorder shared by every Sim-family instance the
+// checker builds (attached via attachFlight); nil for untraced impls.
+var flight *trace.Tracer
+
+// flightLast bounds the number of events dumped on failure.
+var flightLast int
+
+// attachFlight hooks the flight recorder onto implementations that support
+// it and returns the object for inline use.
+func attachFlight[T any](o T) T {
+	if t, ok := any(o).(interface{ SetTracer(*trace.Tracer) }); ok {
+		t.SetTracer(flight)
+	}
+	return o
+}
+
+// dumpFlight writes the newest recorded events to stderr after a failure.
+func dumpFlight() {
+	if flight == nil {
+		return
+	}
+	evs := flight.Snapshot()
+	if len(evs) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "--- flight recorder: newest %d of %d events ---\n",
+		min(flightLast, len(evs)), len(evs))
+	_ = trace.WriteText(os.Stderr, trace.Tail(evs, flightLast))
+}
 
 func main() {
 	var (
@@ -34,8 +71,19 @@ func main() {
 		threads = flag.Int("threads", 8, "concurrent processes")
 		ops     = flag.Int("ops", 5000, "operations per process (stress mode)")
 		rounds  = flag.Int("rounds", 100, "histories to check (linearize mode)")
+		last    = flag.Int("flight-last", 64, "max flight-recorder events dumped to stderr on failure")
 	)
 	flag.Parse()
+
+	// Linearize mode always runs 3-process histories; size the rings for
+	// whichever mode needs more. Every operation is recorded (no sampling):
+	// a post-mortem with holes is not a post-mortem.
+	n := *threads
+	if n < 3 {
+		n = 3
+	}
+	flight = trace.New(n, trace.WithSampleEvery(1))
+	flightLast = *last
 
 	ok := false
 	switch *object {
@@ -50,6 +98,7 @@ func main() {
 		os.Exit(2)
 	}
 	if !ok {
+		dumpFlight()
 		fmt.Println("FAIL")
 		os.Exit(1)
 	}
@@ -117,14 +166,14 @@ func newFMul(impl string, n int) fmul.Interface {
 func checkStack(impl, mode string, threads, ops, rounds int) bool {
 	switch mode {
 	case "stress":
-		s := newStack(impl, threads)
+		s := attachFlight(newStack(impl, threads))
 		popped := concurrentPairs(threads, ops,
 			func(id int, v uint64) { s.Push(id, v) },
 			func(id int) (uint64, bool) { return s.Pop(id) })
 		return verifyConservation(popped, threads*ops, func() (uint64, bool) { return s.Pop(0) })
 	case "linearize":
 		for r := 0; r < rounds; r++ {
-			s := newStack(impl, 3)
+			s := attachFlight(newStack(impl, 3))
 			h := recordHistory(3, 3,
 				check.OpPush, func(id int, v uint64) { s.Push(id, v) },
 				check.OpPop, func(id int) (uint64, bool) { return s.Pop(id) })
@@ -146,14 +195,14 @@ func checkStack(impl, mode string, threads, ops, rounds int) bool {
 func checkQueue(impl, mode string, threads, ops, rounds int) bool {
 	switch mode {
 	case "stress":
-		q := newQueue(impl, threads)
+		q := attachFlight(newQueue(impl, threads))
 		got := concurrentPairs(threads, ops,
 			func(id int, v uint64) { q.Enqueue(id, v) },
 			func(id int) (uint64, bool) { return q.Dequeue(id) })
 		return verifyConservation(got, threads*ops, func() (uint64, bool) { return q.Dequeue(0) })
 	case "linearize":
 		for r := 0; r < rounds; r++ {
-			q := newQueue(impl, 3)
+			q := attachFlight(newQueue(impl, 3))
 			h := recordHistory(3, 3,
 				check.OpEnqueue, func(id int, v uint64) { q.Enqueue(id, v) },
 				check.OpDequeue, func(id int) (uint64, bool) { return q.Dequeue(id) })
@@ -175,7 +224,7 @@ func checkQueue(impl, mode string, threads, ops, rounds int) bool {
 func checkFMul(impl, mode string, threads, ops, rounds int) bool {
 	switch mode {
 	case "stress":
-		o := newFMul(impl, threads)
+		o := attachFlight(newFMul(impl, threads))
 		var want uint64 = 1
 		for i := 0; i < threads*ops; i++ {
 			want *= 3
@@ -198,7 +247,7 @@ func checkFMul(impl, mode string, threads, ops, rounds int) bool {
 		return true
 	case "linearize":
 		for r := 0; r < rounds; r++ {
-			o := newFMul(impl, 3)
+			o := attachFlight(newFMul(impl, 3))
 			rec := check.NewRecorder(9)
 			var wg sync.WaitGroup
 			for i := 0; i < 3; i++ {

@@ -20,6 +20,21 @@
 // connection gauge.
 //
 //	$ curl -s http://127.0.0.1:9090/metrics?format=json | head
+//
+// The same listener carries the debug surface:
+//
+//	/debug/pprof/*       standard pprof endpoints; samples are labeled with
+//	                     pid (map process id) and object, so a CPU profile
+//	                     attributes combiner time to the announcing slot
+//	/debug/trace?sec=N   a runtime/trace capture of the next N seconds
+//	/debug/flight        the flight-recorder snapshot (-flight enables it):
+//	                     ?format=chrome (default; open in Perfetto) or
+//	                     ?format=text, &last=N to trim to the newest N events
+//
+// -watchdog BUDGET additionally starts a progress watchdog that reports (to
+// stderr) any client slot whose announced map operation has not committed
+// within BUDGET system-wide committed rounds — the wait-freedom bound made
+// observable. It implies -flight.
 package main
 
 import (
@@ -27,39 +42,68 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/trace"
+	"strconv"
+	"time"
 
 	"repro/internal/kvserver"
 	"repro/internal/obs"
+	obstrace "repro/internal/obs/trace"
 )
 
 // daemon is a running simkvd: the KV server plus the optional metrics
-// listener. Split from main so tests boot and tear down real instances.
+// listener and progress watchdog. Split from main so tests boot and tear
+// down real instances.
 type daemon struct {
 	srv       *kvserver.Server
 	addr      string
 	metricsLn net.Listener
 	metricsWG chan struct{}
+	watchdog  *obstrace.Watchdog
+}
+
+// options carries the observability knobs from flags to start.
+type options struct {
+	flight       int // flight-recorder ring capacity; 0 disables
+	flightSample int // record 1 in N operations
+	watchdog     int // stall budget in committed rounds; 0 disables
 }
 
 // start boots the KV server on addr and, when metricsAddr is non-empty, the
-// /metrics HTTP endpoint on metricsAddr.
-func start(addr, metricsAddr string, clients, stripes int) (*daemon, error) {
+// /metrics + /debug HTTP surface on metricsAddr.
+func start(addr, metricsAddr string, clients, stripes int, opt options) (*daemon, error) {
 	srv := kvserver.New(clients, stripes)
+	if opt.watchdog > 0 && opt.flight == 0 {
+		opt.flight = obstrace.DefaultCapacity // watchdog needs the tracer's progress counters
+	}
+	if opt.flight > 0 {
+		srv.EnableFlightRecorder(opt.flight, opt.flightSample)
+	}
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return nil, err
 	}
 	d := &daemon{srv: srv, addr: bound}
+	if opt.watchdog > 0 {
+		d.watchdog = obstrace.NewWatchdog(srv.Tracer(), uint64(opt.watchdog), func(s obstrace.Stall) {
+			fmt.Fprintf(os.Stderr, "simkvd: watchdog: pid %d stalled: %d announced op(s) uncommitted for %d rounds (%s)\n",
+				s.Pid, s.Pending, s.Rounds, s.Since)
+		})
+		d.watchdog.Start(100 * time.Millisecond)
+	}
 	if metricsAddr != "" {
 		ln, err := net.Listen("tcp", metricsAddr)
 		if err != nil {
+			d.stopWatchdog()
 			srv.Close()
 			return nil, fmt.Errorf("metrics listener: %w", err)
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(srv.Registry()))
+		registerDebug(mux, srv.Tracer())
 		d.metricsLn = ln
 		d.metricsWG = make(chan struct{})
 		go func() {
@@ -70,6 +114,75 @@ func start(addr, metricsAddr string, clients, stripes int) (*daemon, error) {
 	return d, nil
 }
 
+// registerDebug wires the pprof, runtime-trace, and flight-recorder
+// endpoints onto the metrics mux.
+func registerDebug(mux *http.ServeMux, tr *obstrace.Tracer) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", handleRuntimeTrace)
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		handleFlight(w, r, tr)
+	})
+}
+
+// handleRuntimeTrace streams a runtime/trace capture of the next ?sec=N
+// seconds (default 1, capped at 60). Only one capture can run at a time;
+// concurrent requests get 503 from trace.Start.
+func handleRuntimeTrace(w http.ResponseWriter, r *http.Request) {
+	sec := 1
+	if s := r.URL.Query().Get("sec"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, "sec must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		sec = n
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.out"`)
+	if err := trace.Start(w); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	time.Sleep(time.Duration(sec) * time.Second)
+	trace.Stop()
+}
+
+// handleFlight serves the flight-recorder snapshot: Chrome trace_event JSON
+// by default (?format=chrome), a plain-text dump with ?format=text, trimmed
+// to the newest ?last=N events.
+func handleFlight(w http.ResponseWriter, r *http.Request, tr *obstrace.Tracer) {
+	if tr == nil {
+		http.Error(w, "flight recorder disabled (start simkvd with -flight)", http.StatusNotFound)
+		return
+	}
+	evs := tr.Snapshot()
+	if s := r.URL.Query().Get("last"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, "last must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		evs = obstrace.Tail(evs, n)
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obstrace.WriteChrome(w, evs)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = obstrace.WriteText(w, evs)
+	default:
+		http.Error(w, "format must be chrome or text", http.StatusBadRequest)
+	}
+}
+
 // metricsAddr returns the bound metrics address, or "" if metrics are off.
 func (d *daemon) metricsAddr() string {
 	if d.metricsLn == nil {
@@ -78,8 +191,15 @@ func (d *daemon) metricsAddr() string {
 	return d.metricsLn.Addr().String()
 }
 
+func (d *daemon) stopWatchdog() {
+	if d.watchdog != nil {
+		d.watchdog.Stop()
+	}
+}
+
 // close shuts down both listeners and waits for the serve loops to drain.
 func (d *daemon) close() error {
+	d.stopWatchdog()
 	err := d.srv.Close()
 	if d.metricsLn != nil {
 		d.metricsLn.Close()
@@ -93,11 +213,18 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:7070", "listen address")
 		clients     = flag.Int("clients", 64, "max concurrent client connections")
 		stripes     = flag.Int("stripes", 16, "map stripes (Sim instances)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics on this address (empty disables)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug on this address (empty disables)")
+		flight      = flag.Int("flight", 0,
+			"flight-recorder events per client slot (rounded up to a power of two; 0 disables)")
+		flightSample = flag.Int("flight-sample", 1,
+			"with -flight, record one in N operations per slot (1 = every op)")
+		watchdog = flag.Int("watchdog", 0,
+			"report client slots whose announced op hasn't committed within N system-wide rounds (0 disables; implies -flight)")
 	)
 	flag.Parse()
 
-	d, err := start(*addr, *metricsAddr, *clients, *stripes)
+	d, err := start(*addr, *metricsAddr, *clients, *stripes,
+		options{flight: *flight, flightSample: *flightSample, watchdog: *watchdog})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simkvd:", err)
 		os.Exit(1)
@@ -106,6 +233,12 @@ func main() {
 		d.addr, *clients, *stripes)
 	if ma := d.metricsAddr(); ma != "" {
 		fmt.Printf("simkvd metrics on http://%s/metrics\n", ma)
+		if d.srv.Tracer() != nil {
+			fmt.Printf("simkvd flight recorder on http://%s/debug/flight (pprof under /debug/pprof/)\n", ma)
+		}
+	}
+	if d.watchdog != nil {
+		fmt.Printf("simkvd progress watchdog armed: budget %d rounds\n", *watchdog)
 	}
 
 	sig := make(chan os.Signal, 1)

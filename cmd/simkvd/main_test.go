@@ -37,7 +37,7 @@ func dial(t *testing.T, addr string) (send func(string) string, conn net.Conn) {
 // KV protocol over TCP and the /metrics endpoint over HTTP, and verifies a
 // clean shutdown.
 func TestDaemonEndToEnd(t *testing.T) {
-	d, err := start("127.0.0.1:0", "127.0.0.1:0", 4, 4)
+	d, err := start("127.0.0.1:0", "127.0.0.1:0", 4, 4, options{})
 	if err != nil {
 		t.Fatalf("start: %v", err)
 	}
@@ -129,8 +129,82 @@ func TestDaemonEndToEnd(t *testing.T) {
 }
 
 func TestStartRejectsBadMetricsAddr(t *testing.T) {
-	if _, err := start("127.0.0.1:0", "256.0.0.1:bad", 1, 1); err == nil {
+	if _, err := start("127.0.0.1:0", "256.0.0.1:bad", 1, 1, options{}); err == nil {
 		t.Fatal("start accepted a bad metrics address")
+	}
+}
+
+// TestDebugSurface boots the daemon with the flight recorder on, drives some
+// mutations, and checks the /debug endpoints: the flight snapshot in both
+// formats, last=N trimming, and the pprof index.
+func TestDebugSurface(t *testing.T) {
+	d, err := start("127.0.0.1:0", "127.0.0.1:0", 2, 2,
+		options{flight: 64, flightSample: 1})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer d.close()
+
+	send, conn := dial(t, d.addr)
+	defer conn.Close()
+	for i := 0; i < 8; i++ {
+		if got := send(fmt.Sprintf("PUT k%d %d", i, i)); !strings.HasPrefix(got, "OK") {
+			t.Fatalf("PUT -> %q", got)
+		}
+	}
+
+	base := "http://" + d.metricsAddr()
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	body := httpGet(t, base+"/debug/flight")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("flight chrome export invalid JSON: %v\n%s", err, body)
+	}
+	rounds := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "round" {
+			rounds++
+		}
+	}
+	if rounds == 0 {
+		t.Fatalf("flight snapshot has no round events:\n%s", body)
+	}
+
+	text := httpGet(t, base+"/debug/flight?format=text&last=3")
+	if !strings.Contains(text, "round") {
+		t.Fatalf("text flight dump missing round events:\n%s", text)
+	}
+	if n := strings.Count(text, "\n"); n > 3 {
+		t.Fatalf("last=3 returned %d lines:\n%s", n, text)
+	}
+
+	if idx := httpGet(t, base+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Fatalf("pprof index implausible:\n%.200s", idx)
+	}
+
+	if resp, err := http.Get(base + "/debug/flight?format=nope"); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format: err=%v status=%v", err, resp.Status)
+	}
+}
+
+// TestFlightDisabledEndpoint checks /debug/flight 404s when -flight is off.
+func TestFlightDisabledEndpoint(t *testing.T) {
+	d, err := start("127.0.0.1:0", "127.0.0.1:0", 1, 1, options{})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer d.close()
+	resp, err := http.Get("http://" + d.metricsAddr() + "/debug/flight")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
 	}
 }
 

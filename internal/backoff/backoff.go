@@ -83,8 +83,9 @@ type Adaptive struct {
 	cur          int
 	enabled      bool
 
-	grows *obs.Counter // optional: counts Grow events (nil = off)
-	obsID int
+	grows  *obs.Counter // optional: counts Grow events (nil = off)
+	obsID  int
+	onGrow func(window int) // optional flight-recorder hook (nil = off)
 }
 
 // NewAdaptive returns an adaptive backoff bounded to [lower, upper]
@@ -136,6 +137,9 @@ func (b *Adaptive) Grow() {
 	if b.cur > b.upper {
 		b.cur = b.upper
 	}
+	if b.onGrow != nil {
+		b.onGrow(b.cur)
+	}
 }
 
 // Shrink narrows the window; call when the first CAS succeeded (contention
@@ -163,3 +167,9 @@ func (b *Adaptive) Enabled() bool { return b.enabled }
 func (b *Adaptive) Instrument(c *obs.Counter, id int) {
 	b.grows, b.obsID = c, id
 }
+
+// OnGrow attaches a hook invoked after every Grow with the new window size
+// (the flight recorder records it as a backoff_grow event). Grow already
+// sits off the hot path — it runs only after two failed publishes — so the
+// indirect call costs nothing that matters. Pass nil to detach.
+func (b *Adaptive) OnGrow(f func(window int)) { b.onGrow = f }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/collect"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/xatomic"
 )
 
@@ -204,6 +205,22 @@ func (u *PSim[S, A, R]) SetAccessCounter(c *xatomic.AccessCounter) { u.counter =
 // the first operation.
 func (u *PSim[S, A, R]) SetRecorder(rec *obs.SimRecorder) { u.rec = rec }
 
+// SetTracer attaches a flight recorder (see internal/obs/trace): committed
+// rounds, publish failures, recycling hits/misses, backoff growth, and
+// hazard-overflow events are recorded into tr's per-thread rings. Pass nil
+// to disable (the hot path then pays one predictable branch per site, and
+// the allocation-free steady state is preserved — event slots are
+// preallocated, so it is preserved with tracing enabled too). Not safe to
+// call concurrently with Apply; call before the first operation.
+func (u *PSim[S, A, R]) SetTracer(tr *trace.Tracer) {
+	u.stats.Trace = tr
+	if tr != nil {
+		u.haz.SetOverflowHook(func() { tr.AnonInstant(trace.KindHazardOverflow, 0, 0) })
+	} else {
+		u.haz.SetOverflowHook(nil)
+	}
+}
+
 // RegisterStats publishes the instance's exact counters in reg under prefix
 // without attaching a recorder (see StatsPlane.Register) — for structures
 // that share one recorder across several instances (internal/simmap).
@@ -234,6 +251,10 @@ func (u *PSim[S, A, R]) thread(i int) *psimThread[S, R] {
 		if u.rec != nil {
 			t.bo.Instrument(u.rec.Retries, i)
 		}
+		if tr := u.stats.Trace; tr != nil {
+			id := i
+			t.bo.OnGrow(func(w int) { tr.Rare(id, trace.KindBackoffGrow, uint64(w), 0) })
+		}
 		t.active = xatomic.NewSnapshot(u.n)
 		t.diffs = xatomic.NewSnapshot(u.n)
 		t.ring = NewRing[psimState[S, R]](2*u.n + 2)
@@ -242,13 +263,18 @@ func (u *PSim[S, A, R]) thread(i int) *psimThread[S, R] {
 	return t
 }
 
-// record returns a State record to build the next round into: the oldest
-// retired record no reader holds, or a freshly allocated one when every
-// retired record is still protected (or the ring is still warming up).
-func (u *PSim[S, A, R]) record(t *psimThread[S, R]) *psimState[S, R] {
+// record returns a State record for process i to build the next round into:
+// the oldest retired record no reader holds, or a freshly allocated one when
+// every retired record is still protected (or the ring is still warming up).
+func (u *PSim[S, A, R]) record(i int, t *psimThread[S, R]) *psimState[S, R] {
+	tr := u.stats.Trace
 	if ns := t.ring.PopFree(u.haz); ns != nil {
+		tr.Instant(i, trace.KindRecycleHit, uint64(t.ring.Len()), 0)
 		return ns
 	}
+	// A miss pays a fresh allocation, so the unconditional event is free by
+	// comparison — and warmup misses make ring fill visible in the trace.
+	tr.Rare(i, trace.KindRecycleMiss, uint64(t.ring.Len()), 0)
 	return &psimState[S, R]{
 		applied: xatomic.NewSnapshot(u.n),
 		rvals:   make([]R, u.n),
@@ -274,13 +300,15 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 	}
 	t := u.thread(i)
 	st := u.stats
+	tr := st.Trace
 	t0 := u.rec.Start(i) // stamp 0 (no clock read) unless this op is sampled
+	tt := tr.OpStart(i)  // flight-recorder stamp, same sampling discipline
 
 	if u.n == 1 {
 		// Uncontended fast path: no helper can exist, so skip the announce
 		// (nobody reads it), the Act toggle, and the backoff wait, and
 		// publish with a plain store (process 0 is the only writer).
-		return u.applySolo(t, t0, arg)
+		return u.applySolo(t, t0, tt, arg)
 	}
 
 	// Announce a copy declared on this path only: taking &arg directly would
@@ -302,6 +330,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		u.counter.Add(i, 2)
 		if !ok {
 			st.CASFail.Inc(i)
+			tr.Instant(i, trace.KindCASFail, uint64(j), 1)
 			continue
 		}
 		u.act.LoadInto(t.active) // line 9: read Act
@@ -318,6 +347,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 			st.Ops.Inc(i)
 			st.ServedBy.Inc(i)
 			u.rec.OpDone(i, t0)
+			tr.OpServed(i, tt)
 			return r
 		}
 		solo := t.diffs.IsOnlyBit(myWord, myMask)
@@ -325,7 +355,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		// Build the successor record: lines 8/14–21 work on a private copy
 		// rebuilt into a recycled record — applied and rvals buffers are
 		// reused, and the state clone reuses buffers too under CloneInto.
-		ns := u.record(t)
+		ns := u.record(i, t)
 		ns.applied.CopyFrom(t.active)
 		copy(ns.rvals, ls.rvals)
 		u.cloneStateInto(ns, ls)
@@ -356,6 +386,11 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 			st.CASSuccess.Inc(i)
 			st.Combined.Add(i, combined)
 			u.rec.OpPublished(i, t0, combined)
+			var act uint64
+			if tt != 0 {
+				act = uint64(t.active.PopCount()) // sampled rounds only
+			}
+			tr.OpCommit(i, tt, combined, act)
 			if j == 0 || solo {
 				t.bo.Shrink() // low contention: waiting was wasted
 			}
@@ -363,6 +398,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		}
 		t.ring.Push(ns) // never published — immediately reusable
 		st.CASFail.Inc(i)
+		tr.Instant(i, trace.KindCASFail, uint64(j), 0)
 		if j == 0 {
 			t.bo.Grow() // line 13: contention detected — widen the window
 			t.bo.Wait()
@@ -381,6 +417,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 	st.Ops.Inc(i)
 	st.ServedBy.Inc(i)
 	u.rec.OpDone(i, t0)
+	tr.OpServed(i, tt)
 	return r
 }
 
@@ -388,9 +425,9 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 // wait, and CAS all exist to coordinate with helpers, and a single-thread
 // instance can never have one. Records still rotate through the ring with a
 // hazard scan so concurrent Read()ers stay safe.
-func (u *PSim[S, A, R]) applySolo(t *psimThread[S, R], t0 obs.Stamp, arg A) R {
+func (u *PSim[S, A, R]) applySolo(t *psimThread[S, R], t0 obs.Stamp, tt obs.Stamp, arg A) R {
 	ls := u.state.Load() // current record: never in the ring, safe to read
-	ns := u.record(t)
+	ns := u.record(0, t)
 	// applied stays all-zero (Act is never toggled on this path), but copy
 	// it anyway so the record is well-formed if n==1 invariants ever change.
 	ns.applied.CopyFrom(ls.applied)
@@ -406,6 +443,7 @@ func (u *PSim[S, A, R]) applySolo(t *psimThread[S, R], t0 obs.Stamp, arg A) R {
 	st.CASSuccess.Inc(0)
 	st.Combined.Add(0, 1)
 	u.rec.OpPublished(0, t0, 1)
+	st.Trace.OpCommit(0, tt, 1, 1)
 	return rv
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/backoff"
+	"repro/internal/obs/trace"
 	"repro/internal/pad"
 	"repro/internal/xatomic"
 )
@@ -121,6 +122,12 @@ func NewPSimWord(n, c int, init uint64, apply func(st, arg uint64) (uint64, uint
 // Call before any Apply.
 func (u *PSimWord) SetBackoff(lower, upper int) { u.boLower, u.boUpper = lower, upper }
 
+// SetTracer attaches a flight recorder (see PSim's SetTracer). The pooled
+// variant recycles through its fixed pool rather than a ring, so recycling
+// events do not appear; rounds, serves, publish failures, and backoff
+// growth do. Call before the first operation.
+func (u *PSimWord) SetTracer(tr *trace.Tracer) { u.stats.Trace = tr }
+
 // N returns the number of threads.
 func (u *PSimWord) N() int { return u.n }
 
@@ -133,6 +140,10 @@ func (u *PSimWord) thread(i int) *wordThread {
 			upper = 0 // no helper can exist: waiting is pure overhead
 		}
 		t.bo = backoff.NewAdaptive(u.boLower, upper)
+		if tr := u.stats.Trace; tr != nil {
+			id := i
+			t.bo.OnGrow(func(w int) { tr.Rare(id, trace.KindBackoffGrow, uint64(w), 0) })
+		}
 		t.applied = xatomic.NewSnapshot(u.n)
 		t.active = xatomic.NewSnapshot(u.n)
 		t.diffs = xatomic.NewSnapshot(u.n)
@@ -162,6 +173,8 @@ func (u *PSimWord) copyState(src *wordState, t *wordThread) (st uint64, ok bool)
 func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 	t := u.thread(i)
 	st := u.stats
+	tr := st.Trace
+	tt := tr.OpStart(i)
 
 	u.announce[i].V.Store(arg) // line 1: announce
 	t.toggler.Toggle()         // lines 2–3: toggle pi's bit in Act
@@ -187,6 +200,7 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 		if t.diffs[myWord]&myMask == 0 {
 			st.Ops.Inc(i)
 			st.ServedBy.Inc(i)
+			tr.OpServed(i, tt)
 			return t.rvals[i]
 		}
 
@@ -222,12 +236,18 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 			st.Ops.Inc(i)
 			st.CASSuccess.Inc(i)
 			st.Combined.Add(i, combined)
+			var act uint64
+			if tt != 0 {
+				act = uint64(t.active.PopCount()) // sampled rounds only
+			}
+			tr.OpCommit(i, tt, combined, act)
 			if j == 0 {
 				t.bo.Shrink()
 			}
 			return t.rvals[i]
 		}
 		st.CASFail.Inc(i)
+		tr.Instant(i, trace.KindCASFail, uint64(j), 0)
 		if j == 0 { // line 13's compute_backoff, applied on failure
 			t.bo.Grow()
 			t.bo.Wait()
@@ -242,6 +262,7 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 	// window the paper's unchecked read tolerates).
 	st.Ops.Inc(i)
 	st.ServedBy.Inc(i)
+	tr.OpServed(i, tt)
 	for tries := 0; tries < 64; tries++ {
 		lpIdx, _ := u.p.Load()
 		src := &u.pool[lpIdx]

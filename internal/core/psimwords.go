@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/backoff"
+	"repro/internal/obs/trace"
 	"repro/internal/pad"
 	"repro/internal/xatomic"
 )
@@ -109,6 +110,10 @@ func NewPSimWords(n, c int, init []uint64, apply func(st []uint64, pid int, arg 
 // Call before any Apply.
 func (u *PSimWords) SetBackoff(lower, upper int) { u.boLower, u.boUpper = lower, upper }
 
+// SetTracer attaches a flight recorder (see PSimWord's SetTracer). Call
+// before the first operation.
+func (u *PSimWords) SetTracer(tr *trace.Tracer) { u.stats.Trace = tr }
+
 // N returns the number of threads.
 func (u *PSimWords) N() int { return u.n }
 
@@ -124,6 +129,10 @@ func (u *PSimWords) thread(i int) *wordsThread {
 			upper = 0 // no helper can exist: waiting is pure overhead
 		}
 		t.bo = backoff.NewAdaptive(u.boLower, upper)
+		if tr := u.stats.Trace; tr != nil {
+			id := i
+			t.bo.OnGrow(func(w int) { tr.Rare(id, trace.KindBackoffGrow, uint64(w), 0) })
+		}
 		t.applied = xatomic.NewSnapshot(u.n)
 		t.active = xatomic.NewSnapshot(u.n)
 		t.diffs = xatomic.NewSnapshot(u.n)
@@ -153,6 +162,8 @@ func (u *PSimWords) copyState(src *wordsState, t *wordsThread) bool {
 func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 	t := u.thread(i)
 	st := u.stats
+	tr := st.Trace
+	tt := tr.OpStart(i)
 
 	u.announce[i].V.Store(arg)
 	t.toggler.Toggle()
@@ -172,6 +183,7 @@ func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 		if t.diffs[myWord]&myMask == 0 {
 			st.Ops.Inc(i)
 			st.ServedBy.Inc(i)
+			tr.OpServed(i, tt)
 			return t.rvals[i]
 		}
 
@@ -204,12 +216,18 @@ func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 			st.Ops.Inc(i)
 			st.CASSuccess.Inc(i)
 			st.Combined.Add(i, combined)
+			var act uint64
+			if tt != 0 {
+				act = uint64(t.active.PopCount()) // sampled rounds only
+			}
+			tr.OpCommit(i, tt, combined, act)
 			if j == 0 {
 				t.bo.Shrink()
 			}
 			return t.rvals[i]
 		}
 		st.CASFail.Inc(i)
+		tr.Instant(i, trace.KindCASFail, uint64(j), 0)
 		if j == 0 {
 			t.bo.Grow()
 			t.bo.Wait()
@@ -218,6 +236,7 @@ func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 
 	st.Ops.Inc(i)
 	st.ServedBy.Inc(i)
+	tr.OpServed(i, tt)
 	for tries := 0; tries < 64; tries++ {
 		lpIdx, _ := u.p.Load()
 		if u.copyState(&u.pool[lpIdx], t) {

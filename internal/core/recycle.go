@@ -55,7 +55,18 @@ type Hazards[T any] struct {
 	// preempted reader never blocks new readers. Its length is bounded by
 	// the historical maximum number of simultaneous anonymous readers.
 	extra atomic.Pointer[anonSlot[T]]
+
+	// onOverflow, when set, is invoked each time a reader is about to push an
+	// overflow slot (the flight recorder counts these growth events). Called
+	// from arbitrary reader goroutines concurrently; the hook must be safe for
+	// that, and must never block — it sits on a path that exists precisely so
+	// readers never wait.
+	onOverflow func()
 }
+
+// SetOverflowHook attaches the overflow notification hook (nil detaches).
+// Not safe to call concurrently with readers; set it before operations start.
+func (h *Hazards[T]) SetOverflowHook(f func()) { h.onOverflow = f }
 
 // anonSlot is one claimable hazard slot; claim word and pointer sit on the
 // same (padded) line because they are always touched together. next links
@@ -134,6 +145,9 @@ func (h *Hazards[T]) AcquireAnon(src *atomic.Pointer[T]) (*T, *anonSlot[T]) {
 				return h.protect(s, src), s
 			}
 		}
+	}
+	if h.onOverflow != nil {
+		h.onOverflow()
 	}
 	s := &anonSlot[T]{}
 	s.claimed.Store(1)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/collect"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/xatomic"
 )
 
@@ -79,6 +80,12 @@ func (u *Sim[S, R]) SetAccessCounter(c *xatomic.AccessCounter) { u.counter = c }
 // Not safe to call concurrently with ApplyOp.
 func (u *Sim[S, R]) SetRecorder(rec *obs.SimRecorder) { u.rec = rec }
 
+// SetTracer attaches a flight recorder (see PSim's SetTracer). Sim never
+// recycles records, so only round, served and cas_fail events appear; each
+// ApplyOp traces as one round event whose degree sums its (up to four) SC
+// rounds. Not safe to call concurrently with ApplyOp.
+func (u *Sim[S, R]) SetTracer(tr *trace.Tracer) { u.stats.Trace = tr }
+
 // Instrument publishes the instance in reg under prefix (see PSim's
 // Instrument). Call before the first operation.
 func (u *Sim[S, R]) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorder {
@@ -114,26 +121,36 @@ func (u *Sim[S, R]) ApplyOp(i int, op uint64) R {
 	}
 	upd := u.updater(i)
 	t0 := u.rec.Start(i)
+	tr := u.stats.Trace
+	tt := tr.OpStart(i)
 
 	upd.Update(op) // line 1: announce op
 	u.countAccess(i, 1)
-	u.attempt(i) // line 2
+	combined := u.attempt(i) // line 2
 
 	upd.Update(OpBottom) // line 3: withdraw the announcement
 	u.countAccess(i, 1)
-	u.attempt(i) // line 4: eliminate the evidence of op
+	combined += u.attempt(i) // line 4: eliminate the evidence of op
 
 	rv := u.s.Read().rvals[i] // line 5
 	u.countAccess(i, 1)
 	u.stats.Ops.Inc(i)
 	u.rec.OpDone(i, t0)
+	if combined > 0 {
+		tr.OpCommit(i, tt, combined, 0) // at least one SC of ours published
+	} else {
+		tr.OpServed(i, tt) // every SC lost: a helper applied our op
+	}
 	return rv
 }
 
 // attempt is Algorithm 1's Attempt: run the LL/collect/apply/SC round
-// exactly twice (Observation 3.2 rests on both rounds executing).
-func (u *Sim[S, R]) attempt(i int) {
+// exactly twice (Observation 3.2 rests on both rounds executing). It
+// returns the total combining degree of its successful SC rounds.
+func (u *Sim[S, R]) attempt(i int) uint64 {
 	st := u.stats
+	tr := st.Trace
+	total := uint64(0)
 	ops := make([]uint64, u.n)
 	for j := 0; j < 2; j++ {
 		ls, tag := u.s.LL() // line 7
@@ -161,11 +178,14 @@ func (u *Sim[S, R]) attempt(i int) {
 			st.CASSuccess.Inc(i)
 			st.Combined.Add(i, combined)
 			u.rec.CombineObserved(i, combined)
+			total += combined
 		} else {
 			st.CASFail.Inc(i)
+			tr.Instant(i, trace.KindCASFail, uint64(j), 0)
 		}
 		u.countAccess(i, 1)
 	}
+	return total
 }
 
 func (u *Sim[S, R]) countAccess(i int, n uint64) {

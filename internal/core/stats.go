@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
 
 // StatsPlane holds a construction instance's per-thread combining counters,
 // built directly on the observability primitives (internal/obs): one padded
@@ -9,12 +12,22 @@ import "repro/internal/obs"
 // to a metrics registry (Register) publishes the very counters the hot path
 // already maintains — enabling observability never adds a second accounting
 // plane to the operation path.
+//
+// The plane is also the carrier for the flight recorder: hot paths that
+// already hold the plane pointer nil-check its Trace field, so event tracing
+// rides the instrumentation channel that is already wired through every
+// construction — no second plumbing layer, no build tags, zero cost when
+// disabled beyond one predictable branch.
 type StatsPlane struct {
 	Ops        *obs.Counter // operations completed, by owning thread
 	CASSuccess *obs.Counter // successful state-publish CAS/SC
 	CASFail    *obs.Counter // failed state-publish CAS/SC
 	Combined   *obs.Counter // operations applied while combining
 	ServedBy   *obs.Counter // own ops completed by another thread's combine
+
+	// Trace is the optional flight recorder (nil = tracing disabled). Set it
+	// through the owning construction's SetTracer, before operations start.
+	Trace *trace.Tracer
 }
 
 // NewStatsPlane returns a zeroed plane for n process ids.
@@ -42,6 +55,15 @@ func (p *StatsPlane) Register(reg *obs.Registry, prefix string) {
 }
 
 // Aggregate sums the per-thread slots into a Stats.
+//
+// Snapshot-only contract: Aggregate may run at any time — every slot read is
+// an atomic load — but the result is a statistical snapshot, not a
+// linearizable cut. Counters are summed one after another while writers keep
+// writing, so derived identities (Ops == CASSuccess + ServedBy, say) can be
+// transiently off by in-flight operations. Consumers that difference two
+// snapshots must clamp at zero (obs.Registry.Delta already does): a Reset
+// racing the window, or a slot read before/after a neighbour's update, can
+// make an interval appear to shrink.
 func (p *StatsPlane) Aggregate() Stats {
 	s := Stats{
 		Ops:           p.Ops.Total(),
@@ -56,7 +78,15 @@ func (p *StatsPlane) Aggregate() Stats {
 	return s
 }
 
-// Reset zeroes every counter. Not safe concurrently with operations.
+// Reset zeroes every counter with atomic stores. Memory-safe at any time
+// (concurrent Aggregate reads either the old value or zero, never a torn
+// word), but NOT atomic with respect to writers: the hot path's
+// single-writer increment is a load+store pair, so an increment in flight
+// during Reset can resurrect its pre-reset value, and a reset landing
+// between two of Aggregate's counter reads yields a mixed-epoch snapshot.
+// Treat Reset as a quiescent-point operation; for live windows, difference
+// successive Aggregate/Snapshot values instead (obs.Registry.Delta clamps
+// at zero, so a racing reset can never produce a negative rate).
 func (p *StatsPlane) Reset() {
 	p.Ops.Reset()
 	p.CASSuccess.Reset()

@@ -108,6 +108,94 @@ func TestConcurrentStatsReads(t *testing.T) {
 	}
 }
 
+// TestStatsResetAggregateRace pins the snapshot-only contract of
+// StatsPlane.Reset and Aggregate (meant for -race): with per-slot writers,
+// concurrent Aggregate calls, periodic Resets, and a registry Delta reader
+// all running, every read must be memory-safe (atomic, never torn) and no
+// aggregate or delta may exceed the number of increments ever performed —
+// a reset racing a delta window must clamp at zero (obs.Registry.Delta's
+// subClamp), never wrap negative.
+func TestStatsResetAggregateRace(t *testing.T) {
+	const n, perThread = 4, 5000
+	p := NewStatsPlane(n)
+	reg := obs.NewRegistry()
+	p.Register(reg, "plane")
+
+	// ceiling bounds what any counter can ever have seen (Combined gets
+	// +2 per iteration, the rest +1).
+	const ceiling = 2 * n * perThread
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(3)
+	go func() { // aggregate reader
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := p.Aggregate()
+			if s.Ops > ceiling || s.CASSuccesses > ceiling || s.Combined > ceiling {
+				t.Errorf("aggregate exceeds increments performed: %+v", s)
+				return
+			}
+		}
+	}()
+	go func() { // delta reader: clamped, so never a wrapped "negative"
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := reg.Delta()
+			for name, v := range d.Counters {
+				if v > ceiling {
+					t.Errorf("delta %s = %d: reset race wrapped negative", name, v)
+					return
+				}
+			}
+		}
+	}()
+	go func() { // periodic resetter
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Reset()
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for i := 0; i < n; i++ {
+		writers.Add(1)
+		go func(id int) {
+			defer writers.Done()
+			for k := 0; k < perThread; k++ {
+				p.Ops.Inc(id)
+				p.CASSuccess.Inc(id)
+				p.Combined.Add(id, 2)
+			}
+		}(i)
+	}
+	writers.Wait()
+	close(stop)
+	aux.Wait()
+
+	// Quiescent reset, then quiescent writes: the plane accounts exactly.
+	p.Reset()
+	p.Ops.Add(0, 7)
+	if s := p.Aggregate(); s.Ops != 7 || s.CASSuccesses != 0 {
+		t.Fatalf("post-quiescent-reset aggregate = %+v", s)
+	}
+}
+
 // TestSimRecorder: the theoretical Sim reports through the same plane.
 func TestSimRecorder(t *testing.T) {
 	const n, perThread = 3, 200

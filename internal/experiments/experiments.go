@@ -21,11 +21,22 @@ import (
 	"repro/internal/harness"
 	"repro/internal/herlihy"
 	"repro/internal/lsim"
+	"repro/internal/obs/trace"
 	"repro/internal/queue"
 	"repro/internal/stack"
 	"repro/internal/workload"
 	"repro/internal/xatomic"
 )
+
+// traceHook returns the implementation's SetTracer method when it has one,
+// so the harness can attach a flight recorder; implementations without
+// tracing hooks (locks, plain CAS loops, …) return nil and run untraced.
+func traceHook(o any) func(*trace.Tracer) {
+	if t, ok := o.(interface{ SetTracer(*trace.Tracer) }); ok {
+		return t.SetTracer
+	}
+	return nil
+}
 
 // fmulMaker adapts a fmul implementation constructor into a harness.Maker.
 // Each operation multiplies by a small random odd factor (odd keeps the
@@ -38,6 +49,7 @@ func fmulMaker(name string, build func(n int) fmul.Interface, helping func(fmul.
 			Op: func(id int, rng *workload.RNG) {
 				o.Apply(id, uint64(rng.Intn(1000))*2+3)
 			},
+			Trace: traceHook(o),
 		}
 		if helping != nil {
 			inst.Helping = func() float64 { return helping(o) }
@@ -85,6 +97,7 @@ func stackMaker(build func(n int) stack.Interface[uint64], helping func(stack.In
 				rng.RandomWork(workload.DefaultMaxWork)
 				s.Pop(id)
 			},
+			Trace: traceHook(s),
 		}
 		if helping != nil {
 			inst.Helping = func() float64 { return helping(s) }
@@ -118,6 +131,7 @@ func queueMaker(build func(n int) queue.Interface[uint64], helping func(queue.In
 				rng.RandomWork(workload.DefaultMaxWork)
 				q.Dequeue(id)
 			},
+			Trace: traceHook(q),
 		}
 		if helping != nil {
 			inst.Helping = func() float64 { return helping(q) }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/flatcombining"
 	"repro/internal/herlihy"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pad"
 	"repro/internal/spin"
 )
@@ -67,6 +68,10 @@ func (o *PSim) Stats() core.Stats { return o.u.Stats() }
 // (used by BenchmarkObsOverhead). Call before any operation.
 func (o *PSim) SetRecorder(rec *obs.SimRecorder) { o.u.SetRecorder(rec) }
 
+// SetTracer attaches a flight recorder to the underlying P-Sim (see
+// core.PSim.SetTracer). Call before any operation.
+func (o *PSim) SetTracer(tr *trace.Tracer) { o.u.SetTracer(tr) }
+
 // Instrument publishes the instance in reg under prefix (see
 // core.PSim.Instrument). Call before any operation.
 func (o *PSim) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorder {
@@ -97,6 +102,10 @@ func (o *PSimPooled) Name() string { return "P-Sim(pool)" }
 
 // Stats exposes combining statistics.
 func (o *PSimPooled) Stats() core.Stats { return o.u.Stats() }
+
+// SetTracer attaches a flight recorder to the underlying pooled P-Sim.
+// Call before any operation.
+func (o *PSimPooled) SetTracer(tr *trace.Tracer) { o.u.SetTracer(tr) }
 
 // --- CLH / MCS spin locks ---
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,13 @@ type Config struct {
 	// metric ("harness_op_latency_ns") so an external dumper (simbench's
 	// -obs-every) can watch a run in flight. Implies latency recording.
 	Registry *obs.Registry
+
+	// Tracer, when non-nil, is attached to every instance that supports
+	// flight recording (Instance.Trace non-nil) before its run starts.
+	// Runs of every width share the tracer, so size it to the sweep's max
+	// thread count. Instances rebuilt each rep re-attach to the same rings;
+	// the recorder keeps only the newest events anyway (overwrite-oldest).
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig mirrors the paper's setup scaled to CI-sized runs: the
@@ -64,6 +72,11 @@ type Instance struct {
 	Name    string
 	Op      func(id int, rng *workload.RNG)
 	Helping func() float64
+
+	// Trace, when non-nil, attaches a flight recorder to the instance
+	// (called once before the run when Config.Tracer is set). Makers for
+	// implementations without tracing hooks leave it nil.
+	Trace func(tr *trace.Tracer)
 }
 
 // Maker builds a fresh Instance for a run with n threads. A fresh instance
@@ -139,6 +152,9 @@ func runOne(cfg Config, maker Maker, n int) Result {
 	for rep := 0; rep < cfg.Reps; rep++ {
 		inst := maker(n)
 		name = inst.Name
+		if cfg.Tracer != nil && inst.Trace != nil {
+			inst.Trace(cfg.Tracer)
+		}
 		runtime.ReadMemStats(&ms)
 		m0 := ms.Mallocs
 		times = append(times, timeRun(cfg, inst, n, uint64(rep)+cfg.Seed, hist))

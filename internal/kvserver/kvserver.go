@@ -24,13 +24,16 @@ package kvserver
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/simmap"
 )
 
@@ -47,7 +50,8 @@ type Server struct {
 	wg      sync.WaitGroup
 	maxConn int
 
-	reg *obs.Registry
+	reg    *obs.Registry
+	tracer *trace.Tracer // nil until EnableFlightRecorder
 	// per-command counters, indexed by client slot (single writer per slot:
 	// a slot serves one connection at a time).
 	cPut, cGet, cDel, cLen, cStats, cErr *obs.Counter
@@ -90,6 +94,28 @@ func New(maxClients, stripes int) *Server {
 
 // Registry returns the server's metrics registry, for HTTP export.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// EnableFlightRecorder attaches a wait-free flight recorder to the striped
+// map: one event ring per client slot, capacity events each (0 selects the
+// default), recording one in sampleEvery operations (min 1). Call before
+// Listen — attaching while operations run is not supported. Returns the
+// tracer for snapshotting (cmd/simkvd's /debug/flight endpoint).
+func (s *Server) EnableFlightRecorder(capacity, sampleEvery int) *trace.Tracer {
+	opts := []trace.Option{}
+	if capacity > 0 {
+		opts = append(opts, trace.WithCapacity(capacity))
+	}
+	if sampleEvery > 1 {
+		opts = append(opts, trace.WithSampleEvery(sampleEvery))
+	}
+	s.tracer = trace.New(s.maxConn, opts...)
+	s.m.SetTracer(s.tracer)
+	return s.tracer
+}
+
+// Tracer returns the flight recorder, or nil when EnableFlightRecorder was
+// never called.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serve loops run in background goroutines until
@@ -177,23 +203,32 @@ func (s *Server) Close() error {
 
 // ServeConn handles one client connection with map process id. Exposed so
 // tests (and in-process embedders) can drive the protocol over net.Pipe.
+//
+// The whole connection runs under pprof labels ("pid" = the map process id,
+// "object" = "simmap"), so CPU profiles and runtime traces captured through
+// cmd/simkvd's /debug endpoints attribute combiner time to the announcing
+// slot. Labeling once per connection keeps the per-operation path free of
+// the context plumbing and allocation pprof.Do would otherwise add.
 func (s *Server) ServeConn(id int, conn net.Conn) {
-	sc := bufio.NewScanner(conn)
-	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	labels := pprof.Labels("pid", strconv.Itoa(id), "object", "simmap")
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		sc := bufio.NewScanner(conn)
+		w := bufio.NewWriter(conn)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			resp, quit := s.handle(id, line)
+			fmt.Fprintln(w, resp)
+			if err := w.Flush(); err != nil {
+				return
+			}
+			if quit {
+				return
+			}
 		}
-		resp, quit := s.handle(id, line)
-		fmt.Fprintln(w, resp)
-		if err := w.Flush(); err != nil {
-			return
-		}
-		if quit {
-			return
-		}
-	}
+	})
 }
 
 // handle executes one request line and returns the response line.

@@ -2,7 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"flag"
 	"net/http/httptest"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -74,6 +77,62 @@ func TestWriteProm(t *testing.T) {
 	// Cumulative buckets: the final non-Inf bucket equals the count.
 	if !strings.Contains(out, "op_latency__ns__bucket{le=\"2097151\"} 3") {
 		t.Fatalf("cumulative bucket wrong:\n%s", out)
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestWritePromGolden pins the exact Prometheus text exposition: bucket
+// series must carry ascending `le` bounds ending in `+Inf`, each histogram
+// must close with `_sum` and `_count`, and the layout must stay byte-stable
+// so scrape configs and recording rules written against it keep working.
+// Regenerate deliberately with `go test ./internal/obs -run Golden -update`.
+func TestWritePromGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, exampleRegistry().Snapshot()); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	got := b.String()
+
+	const golden = "testdata/prom.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("prometheus output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+
+	// Structural guard on top of the byte comparison: every histogram's
+	// `le` bounds ascend strictly and the series closes with +Inf.
+	var prevLe, inInf = int64(-1), false
+	for _, line := range strings.Split(got, "\n") {
+		i := strings.Index(line, "_bucket{le=\"")
+		if i < 0 {
+			continue
+		}
+		rest := line[i+len("_bucket{le=\""):]
+		le := rest[:strings.Index(rest, "\"")]
+		if le == "+Inf" {
+			prevLe, inInf = -1, true
+			continue
+		}
+		n, err := strconv.ParseInt(le, 10, 64)
+		if err != nil {
+			t.Fatalf("non-numeric le %q in %q", le, line)
+		}
+		if n <= prevLe {
+			t.Fatalf("le bounds not ascending: %d after %d in %q", n, prevLe, line)
+		}
+		prevLe = n
+	}
+	if !inInf {
+		t.Fatal("no +Inf bucket in prometheus output")
 	}
 }
 

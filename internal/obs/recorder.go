@@ -89,6 +89,11 @@ func now() Stamp {
 	return 1
 }
 
+// Now returns the current monotonic stamp on the shared obs clock. The
+// flight recorder (obs/trace) stamps its events with it so trace timestamps
+// and recorder latencies are directly comparable.
+func Now() Stamp { return now() }
+
 // Start opens an operation for process id and returns its start stamp — 0
 // when this operation is not sampled (or the recorder is nil), in which case
 // no clock was read and the matching OpDone/OpPublished is a no-op.

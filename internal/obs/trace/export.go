@@ -1,0 +1,133 @@
+// Chrome trace_event and plain-text exporters for flight-recorder
+// snapshots. The Chrome format is the Trace Event Format consumed by
+// chrome://tracing and Perfetto: one track (tid) per process id, committed
+// combining rounds as complete ("X") events whose duration spans
+// announce → commit and whose args carry the degree of combining, and
+// everything else as instant ("i") events.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// chromeEvent is one Trace Event Format record. Ts/Dur are microseconds
+// (floats, so nanosecond stamps keep sub-microsecond precision).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeProcessID is the constant "pid" of the Chrome export; the
+// construction's process ids map to trace threads, which is what renders
+// them as stacked per-pid tracks.
+const chromeProcessID = 1
+
+// WriteChrome writes events as Chrome trace_event JSON
+// ({"traceEvents": [...]}) loadable in chrome://tracing or
+// https://ui.perfetto.dev. Events should come from Tracer.Snapshot (already
+// start-ordered; the format does not require ordering, but viewers load
+// ordered files faster).
+func WriteChrome(w io.Writer, evs []Event) error {
+	out := make([]chromeEvent, 0, len(evs)+8)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromeProcessID,
+		Args: map[string]any{"name": "sim flight recorder"},
+	})
+	seen := map[int]bool{}
+	for _, ev := range evs {
+		if !seen[ev.Pid] {
+			seen[ev.Pid] = true
+			name := fmt.Sprintf("pid %d", ev.Pid)
+			if ev.Pid == AnonPid {
+				name = "anonymous"
+			}
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: chromeProcessID, Tid: ev.Pid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Pid:  chromeProcessID,
+			Tid:  ev.Pid,
+			Ts:   float64(ev.Start) / 1e3,
+			Args: map[string]any{"seq": ev.Seq},
+		}
+		an, bn := ev.Kind.argNames()
+		if an != "" {
+			ce.Args[an] = ev.A
+		}
+		if bn != "" {
+			ce.Args[bn] = ev.B
+		}
+		switch ev.Kind {
+		case KindRound, KindServed:
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		default:
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped instant
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// WriteText writes events as an aligned human-readable dump, one line per
+// event, timestamps relative to the first event.
+func WriteText(w io.Writer, evs []Event) error {
+	if len(evs) == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	base := evs[0].Start
+	for _, ev := range evs {
+		pid := fmt.Sprintf("p%02d", ev.Pid)
+		if ev.Pid == AnonPid {
+			pid = "p??"
+		}
+		dur := ""
+		if ev.Dur > 0 {
+			dur = " dur=" + time.Duration(ev.Dur).String()
+		}
+		args := ""
+		an, bn := ev.Kind.argNames()
+		if an != "" {
+			args += fmt.Sprintf(" %s=%d", an, ev.A)
+		}
+		if bn != "" {
+			args += fmt.Sprintf(" %s=%d", bn, ev.B)
+		}
+		_, err := fmt.Fprintf(w, "%12s %s #%-6d %-15s%s%s\n",
+			"+"+time.Duration(ev.Start-base).String(), pid, ev.Seq, ev.Kind, dur, args)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tail returns the last n events of evs (all of them when n <= 0 or evs is
+// shorter) — the usual shape for a trace-on-failure dump or a demo.
+func Tail(evs []Event, n int) []Event {
+	if n > 0 && len(evs) > n {
+		return evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// compile-time check that obs.Stamp stays an integer nanosecond count; the
+// exporters convert it to microseconds assuming so.
+var _ = int64(obs.Stamp(0))

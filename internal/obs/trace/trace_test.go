@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// payloadMagic ties each event's B word to its A word so a mixed (torn)
+// payload is detectable: every writer maintains B = A ^ payloadMagic.
+const payloadMagic = 0x9E3779B97F4A7C15
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tt := tr.OpStart(0); tt != 0 {
+		t.Fatalf("nil OpStart = %d, want 0", tt)
+	}
+	tr.OpCommit(0, 1, 2, 3)
+	tr.OpServed(0, 1)
+	tr.Instant(0, KindCASFail, 1, 2)
+	tr.Rare(0, KindBackoffGrow, 1, 2)
+	tr.AnonInstant(KindHazardOverflow, 1, 2)
+	if evs := tr.Snapshot(); evs != nil {
+		t.Fatalf("nil Snapshot = %v, want nil", evs)
+	}
+	if s, c := tr.Progress(0); s != 0 || c != 0 {
+		t.Fatalf("nil Progress = %d,%d", s, c)
+	}
+	if tr.N() != 0 || tr.Capacity() != 0 || tr.TotalCommitted() != 0 {
+		t.Fatal("nil accessors not zero")
+	}
+}
+
+func TestRoundEventRecorded(t *testing.T) {
+	tr := New(2, WithSampleEvery(1))
+	t0 := tr.OpStart(1)
+	if t0 == 0 {
+		t.Fatal("sampled OpStart returned 0")
+	}
+	tr.OpCommit(1, t0, 5, 3)
+	evs := tr.Snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Pid != 1 || ev.Kind != KindRound || ev.A != 5 || ev.B != 3 {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+	if ev.Start != t0 || ev.Dur < 0 {
+		t.Fatalf("bad stamps: start=%d t0=%d dur=%d", ev.Start, t0, ev.Dur)
+	}
+	if s, c := tr.Progress(1); s != 1 || c != 1 {
+		t.Fatalf("progress = %d,%d, want 1,1", s, c)
+	}
+}
+
+func TestSamplingGatesRoundEvents(t *testing.T) {
+	tr := New(1, WithSampleEvery(4))
+	for i := 0; i < 16; i++ {
+		t0 := tr.OpStart(0)
+		wantSampled := i%4 == 0
+		if (t0 != 0) != wantSampled {
+			t.Fatalf("op %d: sampled=%v, want %v", i, t0 != 0, wantSampled)
+		}
+		tr.Instant(0, KindCASFail, uint64(i), 0)
+		tr.OpCommit(0, t0, 1, 1)
+	}
+	var rounds, instants int
+	for _, ev := range tr.Snapshot() {
+		switch ev.Kind {
+		case KindRound:
+			rounds++
+		case KindCASFail:
+			instants++
+		}
+	}
+	if rounds != 4 || instants != 4 {
+		t.Fatalf("rounds=%d instants=%d, want 4,4", rounds, instants)
+	}
+	// Progress counters are never sampled.
+	if s, c := tr.Progress(0); s != 16 || c != 16 {
+		t.Fatalf("progress = %d,%d, want 16,16", s, c)
+	}
+}
+
+func TestRareBypassesSampling(t *testing.T) {
+	tr := New(1, WithSampleEvery(1024))
+	tr.OpStart(0) // op 0 sampled; subsequent ops are not
+	tr.OpCommit(0, 0, 1, 1)
+	tr.OpStart(0)
+	tr.Rare(0, KindBackoffGrow, 512, 0)
+	tr.OpCommit(0, 0, 1, 1)
+	var grows int
+	for _, ev := range tr.Snapshot() {
+		if ev.Kind == KindBackoffGrow && ev.A == 512 {
+			grows++
+		}
+	}
+	if grows != 1 {
+		t.Fatalf("grow events = %d, want 1", grows)
+	}
+}
+
+func TestOverwriteOldest(t *testing.T) {
+	tr := New(1, WithCapacity(16), WithSampleEvery(1))
+	const total = 100
+	for i := 0; i < total; i++ {
+		tr.Rare(0, KindRecycleMiss, uint64(i), 0)
+	}
+	evs := tr.SnapshotPid(0)
+	if len(evs) != 16 {
+		t.Fatalf("got %d events, want capacity 16", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(total - 16 + i)
+		if ev.Seq != wantSeq || ev.A != wantSeq {
+			t.Fatalf("event %d: seq=%d a=%d, want %d (newest survive)", i, ev.Seq, ev.A, wantSeq)
+		}
+	}
+}
+
+func TestAnonInstant(t *testing.T) {
+	tr := New(1)
+	tr.AnonInstant(KindHazardOverflow, 7, 0)
+	evs := tr.Snapshot()
+	if len(evs) != 1 || evs[0].Pid != AnonPid || evs[0].Kind != KindHazardOverflow || evs[0].A != 7 {
+		t.Fatalf("unexpected anon events %+v", evs)
+	}
+}
+
+// TestConcurrentWritersSnapshotRace is the -race torn-event test: per-pid
+// writers hammer small rings (maximizing overwrites) while readers snapshot
+// concurrently. Every returned event must be internally consistent
+// (B == A ^ payloadMagic) and per-pid sequence stamps strictly monotone.
+func TestConcurrentWritersSnapshotRace(t *testing.T) {
+	const (
+		pids  = 4
+		ops   = 20000
+		snaps = 200
+	)
+	tr := New(pids, WithCapacity(16), WithSampleEvery(1))
+	var wg sync.WaitGroup
+	for pid := 0; pid < pids; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				t0 := tr.OpStart(pid)
+				a := uint64(pid)<<32 | uint64(i)
+				tr.Instant(pid, KindCASFail, a, a^payloadMagic)
+				tr.OpCommit(pid, t0, a, a^payloadMagic)
+				tr.AnonInstant(KindHazardOverflow, a, a^payloadMagic)
+			}
+		}(pid)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for s := 0; s < snaps; s++ {
+				// Every event in the global snapshot — including the shared
+				// anon ring's — must be internally consistent.
+				for _, ev := range tr.Snapshot() {
+					if ev.B != ev.A^payloadMagic {
+						t.Errorf("torn event returned: %+v", ev)
+						return
+					}
+				}
+				// Per-pid sequence stamps must be strictly monotone (in
+				// particular unique: a torn slot reuse would duplicate one).
+				for pid := 0; pid < pids; pid++ {
+					evs := tr.SnapshotPid(pid)
+					for i := 1; i < len(evs); i++ {
+						if evs[i].Seq <= evs[i-1].Seq {
+							t.Errorf("pid %d seq not monotone: %d after %d", pid, evs[i].Seq, evs[i-1].Seq)
+							return
+						}
+					}
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	wg.Wait()
+	readers.Wait()
+	for pid := 0; pid < pids; pid++ {
+		if s, c := tr.Progress(pid); s != ops || c != ops {
+			t.Fatalf("pid %d progress = %d,%d, want %d,%d", pid, s, c, ops, ops)
+		}
+	}
+	if got := tr.TotalCommitted(); got != pids*ops {
+		t.Fatalf("TotalCommitted = %d, want %d", got, pids*ops)
+	}
+}
+
+func TestSnapshotOrderedByStart(t *testing.T) {
+	tr := New(3, WithSampleEvery(1))
+	for i := 0; i < 30; i++ {
+		pid := i % 3
+		t0 := tr.OpStart(pid)
+		tr.OpCommit(pid, t0, 1, 1)
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 30 {
+		t.Fatalf("got %d events, want 30", len(evs))
+	}
+	var last obs.Stamp
+	for _, ev := range evs {
+		if ev.Start < last {
+			t.Fatalf("snapshot not ordered by start: %d after %d", ev.Start, last)
+		}
+		last = ev.Start
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if got := New(1, WithCapacity(100)).Capacity(); got != 128 {
+		t.Fatalf("capacity = %d, want 128", got)
+	}
+	if got := New(1, WithCapacity(1)).Capacity(); got != 16 {
+		t.Fatalf("capacity = %d, want min 16", got)
+	}
+	if got := New(2).Capacity(); got != DefaultCapacity {
+		t.Fatalf("capacity = %d, want default %d", got, DefaultCapacity)
+	}
+}

@@ -1,0 +1,158 @@
+// Progress watchdog: the observable counterpart of the wait-freedom bound.
+//
+// The construction guarantees every announced operation completes within
+// O(1) combining rounds of the whole system (each round's combiner applies
+// EVERY announced operation it observes). The watchdog turns that theorem
+// into a runtime check: it scans each process's started/committed progress
+// counters, and a process that has an announced-but-uncommitted operation
+// while the rest of the system commits more than `budget` operations is
+// reported as stalled. A correct, live system never trips it; a lost
+// wakeup, a deadlocked applier function, or a helping bug shows up as a
+// named pid with a round count attached.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Stall describes one process whose announced operation exceeded the
+// round budget without completing.
+type Stall struct {
+	Pid     int           // the stalled process id
+	Pending uint64        // announced-but-uncommitted operations (1 under the API contract)
+	Rounds  uint64        // operations the REST of the system committed since the stall was first observed
+	Since   time.Duration // wall time since the stall was first observed
+}
+
+// wdState is the watchdog's per-pid tracking state (watchdog-private; only
+// Scan touches it, under mu).
+type wdState struct {
+	committed uint64    // committed counter at the last scan
+	baseTotal uint64    // system-wide committed total when the stall was first observed
+	since     time.Time // when the stall was first observed
+	tracking  bool      // an uncommitted op has been observed across >= 1 scan
+	reported  bool      // onStall already fired for this stall episode
+}
+
+// Watchdog periodically scans a Tracer's progress counters for processes
+// whose announced operation has not committed within a configurable budget
+// of system-wide commits. Create with NewWatchdog; drive either with
+// Start/Stop (background goroutine) or by calling Scan directly.
+type Watchdog struct {
+	t       *Tracer
+	budget  uint64
+	onStall func(Stall)
+
+	mu    sync.Mutex
+	state []wdState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewWatchdog returns a watchdog over t. budget is the number of
+// system-wide commits an announced operation may be outlived by before its
+// process is reported (values below the process count are rounded up to
+// it — one full round can legitimately commit n operations). onStall, if
+// non-nil, is invoked once per stall episode from the scanning goroutine
+// (or Scan caller).
+func NewWatchdog(t *Tracer, budget uint64, onStall func(Stall)) *Watchdog {
+	if n := uint64(t.N()); budget < n {
+		budget = n
+	}
+	return &Watchdog{
+		t:       t,
+		budget:  budget,
+		onStall: onStall,
+		state:   make([]wdState, t.N()),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Scan performs one pass over the progress counters and returns the
+// processes currently stalled beyond the budget. A stall is counted from
+// the first scan that observes the uncommitted operation, so detection
+// needs two scans: one to arm, one to measure — call it at an interval
+// shorter than the timescale you care about. Safe for concurrent use.
+func (w *Watchdog) Scan() []Stall {
+	n := w.t.N()
+	started := make([]uint64, n)
+	committed := make([]uint64, n)
+	var total uint64
+	for i := 0; i < n; i++ {
+		started[i], committed[i] = w.t.Progress(i)
+		total += committed[i]
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var stalls []Stall
+	for i := 0; i < n; i++ {
+		s := &w.state[i]
+		if committed[i] > s.committed || started[i] == committed[i] {
+			// Progress since the last scan, or idle: not stalled.
+			s.committed = committed[i]
+			s.tracking = false
+			s.reported = false
+			continue
+		}
+		// started > committed and no commit since the last scan.
+		if !s.tracking {
+			s.tracking = true
+			s.baseTotal = total
+			s.since = time.Now()
+			continue
+		}
+		// Every commit since baseTotal is someone else's: pid i has not
+		// committed, or the first branch would have caught it.
+		elapsed := total - s.baseTotal
+		if elapsed <= w.budget {
+			continue
+		}
+		st := Stall{
+			Pid:     i,
+			Pending: started[i] - committed[i],
+			Rounds:  elapsed,
+			Since:   time.Since(s.since),
+		}
+		stalls = append(stalls, st)
+		if !s.reported {
+			s.reported = true
+			if w.onStall != nil {
+				w.onStall(st)
+			}
+		}
+	}
+	return stalls
+}
+
+// Start launches the scanning goroutine at the given interval. Stop halts
+// it. Start may be called once.
+func (w *Watchdog) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				w.Scan()
+			}
+		}
+	}()
+}
+
+// Stop halts the scanning goroutine and waits for it to exit. Safe to call
+// multiple times; a Watchdog that was never Started must not be Stopped.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}

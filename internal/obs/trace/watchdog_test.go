@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWatchdogDetectsStalledPid is the acceptance test for the progress
+// watchdog: pid 1 announces an operation that never commits (an artificially
+// stalled / never-helped thread) while pid 0 keeps committing rounds. Once
+// the rest of the system has committed more than the budget, Scan must
+// report pid 1 — and only pid 1.
+func TestWatchdogDetectsStalledPid(t *testing.T) {
+	tr := New(2, WithSampleEvery(1))
+	var reported []Stall
+	wd := NewWatchdog(tr, 10, func(s Stall) { reported = append(reported, s) })
+
+	tr.OpStart(1) // pid 1 announces and stalls forever
+
+	if stalls := wd.Scan(); len(stalls) != 0 {
+		t.Fatalf("first scan (arming) reported %v, want none", stalls)
+	}
+
+	// The rest of the system commits well past the budget.
+	for i := 0; i < 25; i++ {
+		t0 := tr.OpStart(0)
+		tr.OpCommit(0, t0, 1, 1)
+	}
+
+	stalls := wd.Scan()
+	if len(stalls) != 1 {
+		t.Fatalf("got %d stalls (%v), want 1", len(stalls), stalls)
+	}
+	s := stalls[0]
+	if s.Pid != 1 || s.Pending != 1 {
+		t.Fatalf("unexpected stall %+v", s)
+	}
+	if s.Rounds < 25 {
+		t.Fatalf("stall rounds = %d, want >= 25", s.Rounds)
+	}
+	if len(reported) != 1 || reported[0].Pid != 1 {
+		t.Fatalf("onStall reports = %v, want one for pid 1", reported)
+	}
+
+	// Re-scanning reports the ongoing stall but does not re-fire the callback.
+	if stalls := wd.Scan(); len(stalls) != 1 {
+		t.Fatalf("repeat scan got %v, want the ongoing stall", stalls)
+	}
+	if len(reported) != 1 {
+		t.Fatalf("callback re-fired: %v", reported)
+	}
+
+	// The stalled operation finally commits: the stall clears.
+	tr.OpCommit(1, 0, 1, 1)
+	if stalls := wd.Scan(); len(stalls) != 0 {
+		t.Fatalf("after commit got %v, want none", stalls)
+	}
+}
+
+func TestWatchdogIdleThreadsNotReported(t *testing.T) {
+	tr := New(3, WithSampleEvery(1))
+	wd := NewWatchdog(tr, 5, nil)
+	// Pids 1 and 2 never announce anything; pid 0 runs alone.
+	wd.Scan()
+	for i := 0; i < 50; i++ {
+		t0 := tr.OpStart(0)
+		tr.OpCommit(0, t0, 1, 1)
+	}
+	if stalls := wd.Scan(); len(stalls) != 0 {
+		t.Fatalf("idle pids reported as stalled: %v", stalls)
+	}
+}
+
+func TestWatchdogProgressResetsTracking(t *testing.T) {
+	tr := New(2, WithSampleEvery(1))
+	wd := NewWatchdog(tr, 8, nil)
+	// pid 1 always has an op in flight but keeps committing — never a stall.
+	tr.OpStart(1)
+	wd.Scan()
+	for i := 0; i < 30; i++ {
+		t0 := tr.OpStart(0)
+		tr.OpCommit(0, t0, 1, 1)
+		tr.OpCommit(1, 0, 1, 1) // commit the in-flight op...
+		tr.OpStart(1)           // ...and immediately announce the next
+		if stalls := wd.Scan(); len(stalls) != 0 {
+			t.Fatalf("progressing pid reported stalled: %v", stalls)
+		}
+	}
+}
+
+func TestWatchdogBudgetFloorsAtN(t *testing.T) {
+	tr := New(8)
+	wd := NewWatchdog(tr, 1, nil)
+	if wd.budget != 8 {
+		t.Fatalf("budget = %d, want floored to n=8", wd.budget)
+	}
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	tr := New(2, WithSampleEvery(1))
+	fired := make(chan Stall, 1)
+	wd := NewWatchdog(tr, 2, func(s Stall) {
+		select {
+		case fired <- s:
+		default:
+		}
+	})
+	tr.OpStart(1)
+	wd.Start(time.Millisecond)
+	deadline := time.After(2 * time.Second)
+	for {
+		t0 := tr.OpStart(0)
+		tr.OpCommit(0, t0, 1, 1)
+		select {
+		case s := <-fired:
+			if s.Pid != 1 {
+				t.Fatalf("stall pid = %d, want 1", s.Pid)
+			}
+			wd.Stop()
+			wd.Stop() // idempotent
+			return
+		case <-deadline:
+			t.Fatal("watchdog goroutine never reported the stall")
+		default:
+		}
+	}
+}

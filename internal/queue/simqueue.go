@@ -7,6 +7,7 @@ import (
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/xatomic"
 )
 
@@ -148,6 +149,17 @@ func (q *SimQueue[V]) SetBackoff(lower, upper int) { q.boLower, q.boUpper = lowe
 // dequeue instances (see core.PSim.SetRecorder). Call before any operation.
 func (q *SimQueue[V]) SetRecorder(rec *obs.SimRecorder) { q.rec = rec }
 
+// SetTracer attaches a flight recorder shared by the enqueue and dequeue
+// instances (see core.PSim.SetTracer); batch hand-offs additionally appear
+// as splice events. Sharing one tracer across both ends is safe for the
+// same reason sharing the recorder is: process id i is driven by one
+// goroutine at a time, whichever end it operates on. Call before any
+// operation.
+func (q *SimQueue[V]) SetTracer(tr *trace.Tracer) {
+	q.enqStats.Trace = tr
+	q.deqStats.Trace = tr
+}
+
 // Instrument publishes the queue in reg under prefix: both ends' exact
 // counters attach to the same metric names (the registry sums them, matching
 // Stats) plus one shared SimRecorder for the latency and combining-degree
@@ -171,6 +183,10 @@ func (q *SimQueue[V]) thread(ts []sqThread[V], act *xatomic.SharedBits, i int) *
 		t.bo = backoff.NewAdaptive(q.boLower, upper)
 		if q.rec != nil {
 			t.bo.Instrument(q.rec.Retries, i)
+		}
+		if tr := q.enqStats.Trace; tr != nil {
+			id := i
+			t.bo.OnGrow(func(w int) { tr.Rare(id, trace.KindBackoffGrow, uint64(w), 0) })
 		}
 		t.active = xatomic.NewSnapshot(q.n)
 		t.diffs = xatomic.NewSnapshot(q.n)
@@ -216,19 +232,27 @@ func (t *sqThread[V]) freeNodes(first, last *qnode[V]) {
 	}
 }
 
-// enqRecord returns an EnqState record to build the next batch into.
-func (q *SimQueue[V]) enqRecord(t *sqThread[V]) *enqState[V] {
+// enqRecord returns an EnqState record for process id to build the next
+// batch into.
+func (q *SimQueue[V]) enqRecord(id int, t *sqThread[V]) *enqState[V] {
+	tr := q.enqStats.Trace
 	if ns := t.ering.PopFree(q.enqHaz); ns != nil {
+		tr.Instant(id, trace.KindRecycleHit, uint64(t.ering.Len()), 0)
 		return ns
 	}
+	tr.Rare(id, trace.KindRecycleMiss, uint64(t.ering.Len()), 0)
 	return &enqState[V]{applied: xatomic.NewSnapshot(q.n)}
 }
 
-// deqRecord returns a DeqState record to build the next batch into.
-func (q *SimQueue[V]) deqRecord(t *sqThread[V]) *deqState[V] {
+// deqRecord returns a DeqState record for process id to build the next
+// batch into.
+func (q *SimQueue[V]) deqRecord(id int, t *sqThread[V]) *deqState[V] {
+	tr := q.deqStats.Trace
 	if ns := t.dring.PopFree(q.deqHaz); ns != nil {
+		tr.Instant(id, trace.KindRecycleHit, uint64(t.dring.Len()), 0)
 		return ns
 	}
+	tr.Rare(id, trace.KindRecycleMiss, uint64(t.dring.Len()), 0)
 	return &deqState[V]{
 		applied: xatomic.NewSnapshot(q.n),
 		rvals:   make([]deqRes[V], q.n),
@@ -253,10 +277,12 @@ func splice[V any](es *enqState[V]) {
 func (q *SimQueue[V]) Enqueue(id int, v V) {
 	t := q.thread(q.enqThreads, q.enqAct, id)
 	st := q.enqStats
+	tr := st.Trace
 	t0 := q.rec.Start(id)
+	tt := tr.OpStart(id)
 
 	if q.n == 1 {
-		q.enqueueSolo(t, t0, v)
+		q.enqueueSolo(t, t0, tt, v)
 		return
 	}
 
@@ -275,6 +301,7 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 		ls, ok := q.enqHaz.Acquire(id, &q.enqP, hazardAttempts)
 		if !ok {
 			st.CASFail.Inc(id)
+			tr.Instant(id, trace.KindCASFail, uint64(j), 1)
 			continue
 		}
 		splice(ls) // line 18: help link the current batch (before any return)
@@ -287,6 +314,7 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 			st.Ops.Inc(id)
 			st.ServedBy.Inc(id)
 			q.rec.OpDone(id, t0)
+			tr.OpServed(id, tt)
 			return
 		}
 
@@ -309,8 +337,8 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 			combined++
 		}
 
-		oldTail := ls.newTail // capture before CAS: ls may recycle after it
-		ns := q.enqRecord(t)  // lines 28–31, into a recycled record
+		oldTail := ls.newTail    // capture before CAS: ls may recycle after it
+		ns := q.enqRecord(id, t) // lines 28–31, into a recycled record
 		ns.applied.CopyFrom(t.active)
 		ns.oldTail = oldTail
 		ns.lfirst = first
@@ -325,6 +353,12 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 			st.CASSuccess.Inc(id)
 			st.Combined.Add(id, combined)
 			q.rec.OpPublished(id, t0, combined)
+			var act uint64
+			if tt != 0 {
+				act = uint64(t.active.PopCount()) // sampled rounds only
+			}
+			tr.Instant(id, trace.KindSplice, 0, 0) // own-batch hand-off
+			tr.OpCommit(id, tt, combined, act)
 			if j == 0 {
 				t.bo.Shrink()
 			}
@@ -333,6 +367,7 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 		t.freeNodes(first, last) // the list was never published: reuse it
 		t.ering.Push(ns)         // likewise the record
 		st.CASFail.Inc(id)
+		tr.Instant(id, trace.KindCASFail, uint64(j), 0)
 		if j == 0 {
 			t.bo.Grow()
 			t.bo.Wait()
@@ -349,16 +384,17 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 	st.Ops.Inc(id)
 	st.ServedBy.Inc(id)
 	q.rec.OpDone(id, t0)
+	tr.OpServed(id, tt)
 }
 
 // enqueueSolo is Enqueue for n == 1: no helper can exist, so skip announce,
 // toggle, backoff, and CAS (process 0's enqueuer is the sole writer of
 // enqP). Records rotate through the ring and nodes through the free-list /
 // spare slot, so the steady-state path allocates nothing.
-func (q *SimQueue[V]) enqueueSolo(t *sqThread[V], t0 obs.Stamp, v V) {
+func (q *SimQueue[V]) enqueueSolo(t *sqThread[V], t0, tt obs.Stamp, v V) {
 	ls := q.enqP.Load() // current record: never in the ring, safe to read
 	nd := q.node(t, v)
-	ns := q.enqRecord(t)
+	ns := q.enqRecord(0, t)
 	ns.applied.CopyFrom(ls.applied)
 	ns.oldTail = ls.newTail
 	ns.lfirst = nd
@@ -373,6 +409,7 @@ func (q *SimQueue[V]) enqueueSolo(t *sqThread[V], t0 obs.Stamp, v V) {
 	st.CASSuccess.Inc(0)
 	st.Combined.Add(0, 1)
 	q.rec.OpPublished(0, t0, 1)
+	st.Trace.OpCommit(0, tt, 1, 1)
 }
 
 // Dequeue removes and returns the front value on behalf of process id
@@ -380,10 +417,12 @@ func (q *SimQueue[V]) enqueueSolo(t *sqThread[V], t0 obs.Stamp, v V) {
 func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 	t := q.thread(q.deqThreads, q.deqAct, id)
 	st := q.deqStats
+	tr := st.Trace
 	t0 := q.rec.Start(id)
+	tt := tr.OpStart(id)
 
 	if q.n == 1 {
-		return q.dequeueSolo(t, t0)
+		return q.dequeueSolo(t, t0, tt)
 	}
 
 	t.toggler.Toggle() // lines 39–40 (dequeue carries no argument)
@@ -395,6 +434,7 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 		ls, ok := q.deqHaz.Acquire(id, &q.deqP, hazardAttempts) // lines 43–44
 		if !ok {
 			st.CASFail.Inc(id)
+			tr.Instant(id, trace.KindCASFail, uint64(j), 1)
 			continue
 		}
 		q.deqAct.LoadInto(t.active)
@@ -405,6 +445,7 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 			st.Ops.Inc(id)
 			st.ServedBy.Inc(id)
 			q.rec.OpDone(id, t0)
+			tr.OpServed(id, tt)
 			return r.v, r.ok
 		}
 
@@ -415,11 +456,12 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 		// in-flight operations — missing those is linearizable.
 		if es, ok := q.enqHaz.Acquire(q.n+id, &q.enqP, hazardAttempts); ok {
 			splice(es)
+			tr.Instant(id, trace.KindSplice, 1, 0) // dequeuer helped the hand-off
 		}
 		q.enqHaz.Clear(q.n + id) // help slot done: never leave it set
 
 		head := ls.head
-		ns := q.deqRecord(t) // recycled record: reuse applied and rvals
+		ns := q.deqRecord(id, t) // recycled record: reuse applied and rvals
 		ns.applied.CopyFrom(t.active)
 		copy(ns.rvals, ls.rvals)
 		combined := uint64(0)
@@ -448,6 +490,11 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 			st.CASSuccess.Inc(id)
 			st.Combined.Add(id, combined)
 			q.rec.OpPublished(id, t0, combined)
+			var act uint64
+			if tt != 0 {
+				act = uint64(t.active.PopCount()) // sampled rounds only
+			}
+			tr.OpCommit(id, tt, combined, act)
 			if j == 0 {
 				t.bo.Shrink()
 			}
@@ -455,6 +502,7 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 		}
 		t.dring.Push(ns) // never published — immediately reusable
 		st.CASFail.Inc(id)
+		tr.Instant(id, trace.KindCASFail, uint64(j), 0)
 		if j == 0 {
 			t.bo.Grow()
 			t.bo.Wait()
@@ -466,6 +514,7 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 	st.Ops.Inc(id)
 	st.ServedBy.Inc(id)
 	q.rec.OpDone(id, t0)
+	tr.OpServed(id, tt)
 	ls, _ := q.deqHaz.Acquire(id, &q.deqP, 0)
 	r := ls.rvals[id]
 	q.deqHaz.Clear(id)
@@ -476,11 +525,11 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 // the enqueue end through the spare slot — nodes strictly before the head
 // are unreachable from every record still in use, and with one process per
 // end no stalled combiner can be traversing them.
-func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0 obs.Stamp) (V, bool) {
+func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0, tt obs.Stamp) (V, bool) {
 	ls := q.deqP.Load()
 	head := ls.head
 	next := head.next.Load()
-	ns := q.deqRecord(t)
+	ns := q.deqRecord(0, t)
 	ns.applied.CopyFrom(ls.applied)
 	copy(ns.rvals, ls.rvals)
 	if next != nil {
@@ -506,6 +555,7 @@ func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0 obs.Stamp) (V, bool) {
 	st.CASSuccess.Inc(0)
 	st.Combined.Add(0, 1)
 	q.rec.OpPublished(0, t0, 1)
+	st.Trace.OpCommit(0, tt, 1, 1)
 	return r.v, r.ok
 }
 

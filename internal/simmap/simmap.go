@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // entry is one immutable node of a stripe's entry list. Nodes are never
@@ -196,6 +197,18 @@ func (m *Map[K, V]) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorde
 		s.SetRecorder(rec)
 	}
 	return rec
+}
+
+// SetTracer attaches one flight recorder to every stripe. Sharing a tracer
+// across stripes is safe for the same reason sharing the recorder is:
+// process id i is driven by one goroutine at a time, so ring i keeps a
+// single writer no matter which stripe the operation lands on. Events from
+// different stripes interleave on one per-pid track, which is exactly the
+// thread's-eye view a flight recorder is for. Call before any mutation.
+func (m *Map[K, V]) SetTracer(tr *trace.Tracer) {
+	for _, s := range m.stripes {
+		s.SetTracer(tr)
+	}
 }
 
 // Stats aggregates combining statistics across all stripes.

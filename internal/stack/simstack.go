@@ -3,6 +3,7 @@ package stack
 import (
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // SimStack is the paper's wait-free stack (§5): P-Sim employed "to
@@ -99,6 +100,10 @@ func (s *SimStack[V]) Stats() core.Stats { return s.u.Stats() }
 // SetRecorder attaches a distribution recorder to the underlying P-Sim
 // instance. Call before any operation.
 func (s *SimStack[V]) SetRecorder(rec *obs.SimRecorder) { s.u.SetRecorder(rec) }
+
+// SetTracer attaches a flight recorder to the underlying P-Sim instance
+// (see core.PSim.SetTracer). Call before any operation.
+func (s *SimStack[V]) SetTracer(tr *trace.Tracer) { s.u.SetTracer(tr) }
 
 // Instrument publishes the stack in reg under prefix (see
 // core.PSim.Instrument). Call before any operation.
