@@ -33,7 +33,7 @@ experiments:
 # Refresh the machine-readable perf trajectory (ns/op, allocs/op, helping
 # degree for the fig2/fig3 families) checked in as BENCH_psim.json.
 bench-json:
-	$(GO) run ./cmd/simbench -experiment fig2,fig2help,fig3stack,fig3queue \
+	$(GO) run ./cmd/simbench -experiment fig2,fig2help,fig3stack,fig3queue,fig2-batch,map-sharded \
 		-ops $(OPS) -reps $(REPS) -json BENCH_psim.json
 
 examples:
@@ -52,6 +52,12 @@ check:
 	$(GO) run ./cmd/simcheck -object queue -impl sim -mode linearize
 	$(GO) run ./cmd/simcheck -object fmul -impl psim -mode linearize
 	$(GO) run ./cmd/simcheck -object fmul -impl pool -mode linearize
+	$(GO) run ./cmd/simcheck -object queue -impl sim -batch 8
+	$(GO) run ./cmd/simcheck -object queue -impl sim -batch 4 -mode linearize
+	$(GO) run ./cmd/simcheck -object stack -impl sim -batch 8
+	$(GO) run ./cmd/simcheck -object fmul -impl psim -batch 8 -mode linearize
+	$(GO) run ./cmd/simcheck -object map
+	$(GO) run ./cmd/simcheck -object map -batch 4 -mode linearize
 
 # Boot simkvd with live metrics, drive a little traffic, scrape /metrics in
 # both formats, then shut the daemon down. Uses bash's /dev/tcp so the demo

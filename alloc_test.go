@@ -1,9 +1,13 @@
 // Allocation-regression tests for the zero-allocation hot path: after a
 // warm-up phase that fills the per-thread recycling rings and free-lists,
-// the P-Sim constructions must run without steady-state heap allocation
-// (single remaining source at n > 1: the announce box — Apply's argument
-// escapes into the announce array, one allocation per operation; SimStack
-// additionally allocates the pushed node itself, SimQueue the enqueued one).
+// the P-Sim constructions must run without steady-state heap allocation.
+// The announce box — formerly one allocation per operation at n > 1 — is
+// gone: announce slots recycle owner-pooled vector boxes (collect.
+// BatchAnnounce), so Apply and ApplyBatch both pin at 0 allocs/op. The only
+// remaining per-operation source is the linked-list node the stack and
+// queue objects themselves allocate per pushed/enqueued element at n > 1
+// (at n = 1 the solo paths recycle whole node chains through the spare
+// slot, so even batches are allocation-free for the queue).
 //
 // testing.AllocsPerRun is single-goroutine, so the n=4 cases drive the ids
 // round-robin from one goroutine — every Apply still takes the full
@@ -57,8 +61,8 @@ func TestApplyAllocsSteadyState(t *testing.T) {
 			u.Apply(id, 1)
 			id = (id + 1) % 4
 		})
-		if got > 1 {
-			t.Errorf("PSim n=4 allocs/op = %v, want <= 1 (announce box)", got)
+		if got != 0 {
+			t.Errorf("PSim n=4 allocs/op = %v, want 0 (announce boxes recycle)", got)
 		}
 	})
 
@@ -109,8 +113,8 @@ func TestApplyAllocsSteadyState(t *testing.T) {
 			id = (id + 1) % 4
 			i++
 		})
-		if got > 2 {
-			t.Errorf("SimQueue n=4 allocs per enq+deq pair = %v, want <= 2 (announce box + node)", got)
+		if got > 1 {
+			t.Errorf("SimQueue n=4 allocs per enq+deq pair = %v, want <= 1 (enqueued node)", got)
 		}
 	})
 
@@ -137,8 +141,102 @@ func TestApplyAllocsSteadyState(t *testing.T) {
 			id = (id + 1) % 4
 			i++
 		})
-		if got > 3 {
-			t.Errorf("SimStack n=4 allocs per push+pop pair = %v, want <= 3 (2 announce boxes + node)", got)
+		if got > 1 {
+			t.Errorf("SimStack n=4 allocs per push+pop pair = %v, want <= 1 (pushed node)", got)
+		}
+	})
+}
+
+// TestApplyAllocsBatch pins the batched entry points: ApplyBatch combines a
+// whole op-vector per announce slot and must not allocate at all in steady
+// state — neither on the n=1 solo path (chain recycling) nor round-robin at
+// n=4 (results live in the published record's brvals rows, the caller's res
+// buffer is reused, boxes recycle). The queue's batched pair is also 0 at
+// n=1 (consumed chains hand back through the spare slot) and one node per
+// element at n=4; the stack pays its usual node per pushed element.
+func TestApplyAllocsBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on its own; bounds only hold without it")
+	}
+	const b = 8
+	args := make([]uint64, b)
+	res := make([]uint64, 0, b)
+	out := make([]uint64, 0, b)
+	add := func(st *uint64, _ int, d uint64) uint64 {
+		old := *st
+		*st += d
+		return old
+	}
+
+	t.Run("PSim/n=1", func(t *testing.T) {
+		u := core.NewPSim(1, uint64(0), add)
+		got := steadyAllocs(256, func() { res = u.ApplyBatch(0, args, res[:0]) })
+		if got != 0 {
+			t.Errorf("PSim n=1 allocs per %d-op batch = %v, want 0", b, got)
+		}
+	})
+
+	t.Run("PSim/n=4", func(t *testing.T) {
+		u := core.NewPSim(4, uint64(0), add)
+		id := 0
+		got := steadyAllocs(256, func() {
+			res = u.ApplyBatch(id, args, res[:0])
+			id = (id + 1) % 4
+		})
+		if got != 0 {
+			t.Errorf("PSim n=4 allocs per %d-op batch = %v, want 0", b, got)
+		}
+	})
+
+	t.Run("PSimWord/n=4", func(t *testing.T) {
+		u := core.NewPSimWord(4, 0, 1, func(st, f uint64) (uint64, uint64) {
+			return st * f, st
+		})
+		wargs := []uint64{3, 3, 3, 3} // WordBatchBudget caps vectors at 8
+		id := 0
+		got := steadyAllocs(256, func() {
+			res = u.ApplyBatch(id, wargs, res[:0])
+			id = (id + 1) % 4
+		})
+		if got != 0 {
+			t.Errorf("PSimWord n=4 allocs per 4-op batch = %v, want 0", got)
+		}
+	})
+
+	t.Run("SimQueue/n=1", func(t *testing.T) {
+		q := queue.NewSimQueue[uint64](1)
+		got := steadyAllocs(256, func() {
+			q.EnqueueBatch(0, args)
+			out = q.DequeueBatch(0, b, out[:0])
+		})
+		if got != 0 {
+			t.Errorf("SimQueue n=1 allocs per %d-element batch pair = %v, want 0 (chain recycling)", b, got)
+		}
+	})
+
+	t.Run("SimQueue/n=4", func(t *testing.T) {
+		q := queue.NewSimQueue[uint64](4)
+		id := 0
+		got := steadyAllocs(256, func() {
+			q.EnqueueBatch(id, args)
+			out = q.DequeueBatch(id, b, out[:0])
+			id = (id + 1) % 4
+		})
+		if got > b {
+			t.Errorf("SimQueue n=4 allocs per %d-element batch pair = %v, want <= %d (one node per element)", b, got, b)
+		}
+	})
+
+	t.Run("SimStack/n=4", func(t *testing.T) {
+		s := stack.NewSimStack[uint64](4)
+		id := 0
+		got := steadyAllocs(256, func() {
+			s.PushBatch(id, args)
+			out = s.PopBatch(id, b, out[:0])
+			id = (id + 1) % 4
+		})
+		if got > b {
+			t.Errorf("SimStack n=4 allocs per %d-element batch pair = %v, want <= %d (one node per element)", b, got, b)
 		}
 	})
 }
@@ -179,5 +277,46 @@ func TestApplyAllocsContended(t *testing.T) {
 	got := float64(ms.Mallocs-m0) / float64(n*per)
 	if got > 2 {
 		t.Errorf("PSim n=%d contended allocs/op = %v, want <= 2 amortized", n, got)
+	}
+}
+
+// TestApplyAllocsContendedBatch is the contended bound for the batched
+// entry point: 4 threads ApplyBatch 16-op vectors against each other.
+// Per LOGICAL op the rate must round to zero — batching amortizes even the
+// record churn of lost CAS races across the whole vector.
+func TestApplyAllocsContendedBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on its own; bounds only hold without it")
+	}
+	const n, calls, b = 4, 3_000, 16
+	u := core.NewPSim(n, uint64(0), func(st *uint64, _ int, d uint64) uint64 {
+		old := *st
+		*st += d
+		return old
+	})
+	run := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				args := make([]uint64, b)
+				res := make([]uint64, 0, b)
+				for k := 0; k < calls; k++ {
+					res = u.ApplyBatch(id, args, res[:0])
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	run() // warm-up: fill rings, grow goroutine stacks
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0 := ms.Mallocs
+	run()
+	runtime.ReadMemStats(&ms)
+	got := float64(ms.Mallocs-m0) / float64(n*calls*b)
+	if got > 0.25 {
+		t.Errorf("PSim n=%d contended batched allocs per logical op = %v, want <= 0.25 amortized", n, got)
 	}
 }

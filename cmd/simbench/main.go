@@ -5,6 +5,8 @@
 // Usage:
 //
 //	simbench -experiment fig2        # Figure 2 left: Fetch&Multiply sweep
+//	simbench -experiment fig2-batch  # batched ApplyBatch throughput (-batch 1,16)
+//	simbench -experiment map-sharded # sharded map sweep (-shards 1,4)
 //	simbench -experiment fig2help    # Figure 2 right: helping degree
 //	simbench -experiment fig3stack   # Figure 3 left: stacks
 //	simbench -experiment fig3queue   # Figure 3 right: queues
@@ -44,7 +46,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment to run (fig2, fig2help, fig3stack, fig3queue, table1, lsim, map, ablation-backoff, ablation-publication, ablation-act, all)")
+		exp     = flag.String("experiment", "all", "which experiment to run (fig2, fig2-batch, fig2help, fig3stack, fig3queue, table1, lsim, map, map-sharded, ablation-backoff, ablation-publication, ablation-act, all)")
 		ops     = flag.Int("ops", 100_000, "total operations per run (paper: 1000000)")
 		reps    = flag.Int("reps", 3, "repetitions per configuration (paper: 10)")
 		threads = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
@@ -61,12 +63,26 @@ func main() {
 			"attach the flight recorder to Sim-family instances and write a Chrome trace_event JSON of the newest round events to this file")
 		flightSample = flag.Int("flight-sample", 1,
 			"with -flight, record one in N operations per thread (1 = every op)")
+		batches = flag.String("batch", "1,16",
+			"comma-separated batch sizes for fig2-batch (ops per ApplyBatch call; 1 = plain Apply)")
+		shards = flag.String("shards", "1,4",
+			"comma-separated shard counts for map-sharded (rounded up to powers of two)")
 	)
 	flag.Parse()
 
 	tc, err := parseThreads(*threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(2)
+	}
+	bc, err := parseThreads(*batches)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: -batch:", err)
+		os.Exit(2)
+	}
+	shc, err := parseThreads(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: -shards:", err)
 		os.Exit(2)
 	}
 	cfg := harness.Config{
@@ -116,6 +132,15 @@ func main() {
 		case "fig2":
 			collected[name] = runSweep(cfg, "Figure 2 (left): Fetch&Multiply, time for total ops",
 				experiments.Fig2Makers(*withMCS), "P-Sim", *csvOut)
+		case "fig2-batch":
+			collected[name] = runSweep(cfg, fmt.Sprintf(
+				"Figure 2 batch sweep: ApplyBatch op-vectors (batch sizes %v)", bc),
+				experiments.Fig2BatchMakers(bc), "P-Sim b=1", *csvOut)
+		case "map-sharded":
+			b := bc[len(bc)-1]
+			collected[name] = runSweep(cfg, fmt.Sprintf(
+				"Sharded map sweep: shard counts %v, MSet batch %d", shc, b),
+				experiments.ShardedMapMakers(shc, b), fmt.Sprintf("Sharded(%d) b=%d", shc[len(shc)-1], b), *csvOut)
 		case "fig2help":
 			fmt.Println("== Figure 2 (right): average degree of helping ==")
 			res := harness.Run(cfg, experiments.Fig2Makers(*withMCS))
@@ -170,8 +195,8 @@ func main() {
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = []string{
-			"fig2", "fig2help", "fig3stack", "fig3queue", "table1", "lsim", "map",
-			"ablation-backoff", "ablation-publication", "ablation-act",
+			"fig2", "fig2-batch", "fig2help", "fig3stack", "fig3queue", "table1", "lsim", "map",
+			"map-sharded", "ablation-backoff", "ablation-publication", "ablation-act",
 		}
 	}
 	for _, name := range names {

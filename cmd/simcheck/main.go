@@ -10,6 +10,20 @@
 //
 //	simcheck -object stack -impl sim -threads 8 -ops 10000
 //	simcheck -object queue -impl ms -mode linearize -rounds 200
+//	simcheck -object queue -impl sim -batch 4 -mode linearize
+//	simcheck -object map -mode linearize -batch 4
+//
+// -batch B drives the Sim-family batched entry points (ApplyBatch,
+// EnqueueBatch/DequeueBatch, PushBatch/PopBatch, MSet/MGet/MDelete): stress
+// mode produces and consumes in B-sized batches, linearize mode records
+// each batched call as B per-element operations sharing the call's
+// invoke/return window (a batch promises each element a linearization
+// point inside the call, not elementwise atomic separation) and checks the
+// history as usual. For fmul the batch is additionally checked for internal
+// consistency (res[j+1] = res[j]*f[j]) and collapsed to one Fetch&Multiply
+// of the factors' product. -object map checks the SHARDED map per key with
+// the partitioned checker — per-key linearizability is exactly the
+// guarantee a sharded map makes.
 //
 // Exit status 0 means every check passed.
 //
@@ -25,11 +39,13 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/check"
 	"repro/internal/fmul"
 	"repro/internal/obs/trace"
 	"repro/internal/queue"
+	"repro/internal/simmap"
 	"repro/internal/stack"
 )
 
@@ -65,13 +81,14 @@ func dumpFlight() {
 
 func main() {
 	var (
-		object  = flag.String("object", "stack", "object to check: stack, queue, fmul")
+		object  = flag.String("object", "stack", "object to check: stack, queue, fmul, map (sharded)")
 		impl    = flag.String("impl", "sim", "implementation (stack: sim|treiber|elimination|clh|fc; queue: sim|ms|twolock|fc; fmul: psim|pool|clh|mcs|lockfree|fc|herlihy|combtree)")
 		mode    = flag.String("mode", "stress", "check mode: stress or linearize")
 		threads = flag.Int("threads", 8, "concurrent processes")
 		ops     = flag.Int("ops", 5000, "operations per process (stress mode)")
 		rounds  = flag.Int("rounds", 100, "histories to check (linearize mode)")
 		last    = flag.Int("flight-last", 64, "max flight-recorder events dumped to stderr on failure")
+		batch   = flag.Int("batch", 1, "drive batched entry points with vectors of this size (1 = single-op paths)")
 	)
 	flag.Parse()
 
@@ -88,11 +105,13 @@ func main() {
 	ok := false
 	switch *object {
 	case "stack":
-		ok = checkStack(*impl, *mode, *threads, *ops, *rounds)
+		ok = checkStack(*impl, *mode, *threads, *ops, *rounds, *batch)
 	case "queue":
-		ok = checkQueue(*impl, *mode, *threads, *ops, *rounds)
+		ok = checkQueue(*impl, *mode, *threads, *ops, *rounds, *batch)
 	case "fmul":
-		ok = checkFMul(*impl, *mode, *threads, *ops, *rounds)
+		ok = checkFMul(*impl, *mode, *threads, *ops, *rounds, *batch)
+	case "map":
+		ok = checkMap(*mode, *threads, *ops, *rounds, *batch)
 	default:
 		fmt.Fprintf(os.Stderr, "simcheck: unknown object %q\n", *object)
 		os.Exit(2)
@@ -163,20 +182,68 @@ func newFMul(impl string, n int) fmul.Interface {
 	return nil
 }
 
-func checkStack(impl, mode string, threads, ops, rounds int) bool {
+// batched is the batched produce/consume surface shared by SimStack
+// (PushBatch/PopBatch) and SimQueue (EnqueueBatch/DequeueBatch) once the
+// method names are adapted by the callers below.
+type batched struct {
+	produce func(id int, vals []uint64)
+	consume func(id, want int, out []uint64) []uint64
+}
+
+// asBatchedStack adapts a stack to the batched surface, exiting if the
+// implementation has no vector entry points.
+func asBatchedStack(s stack.Interface[uint64], impl string) batched {
+	type sb interface {
+		PushBatch(id int, vals []uint64)
+		PopBatch(id, want int, out []uint64) []uint64
+	}
+	b, ok := any(s).(sb)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simcheck: stack impl %q has no batched entry points (-batch needs sim)\n", impl)
+		os.Exit(2)
+	}
+	return batched{produce: b.PushBatch, consume: b.PopBatch}
+}
+
+// asBatchedQueue adapts a queue to the batched surface.
+func asBatchedQueue(q queue.Interface[uint64], impl string) batched {
+	type qb interface {
+		EnqueueBatch(id int, vals []uint64)
+		DequeueBatch(id, want int, out []uint64) []uint64
+	}
+	b, ok := any(q).(qb)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simcheck: queue impl %q has no batched entry points (-batch needs sim)\n", impl)
+		os.Exit(2)
+	}
+	return batched{produce: b.EnqueueBatch, consume: b.DequeueBatch}
+}
+
+func checkStack(impl, mode string, threads, ops, rounds, batch int) bool {
 	switch mode {
 	case "stress":
 		s := attachFlight(newStack(impl, threads))
-		popped := concurrentPairs(threads, ops,
-			func(id int, v uint64) { s.Push(id, v) },
-			func(id int) (uint64, bool) { return s.Pop(id) })
+		var popped map[uint64]int
+		if batch > 1 {
+			b := asBatchedStack(s, impl)
+			popped = concurrentBatchPairs(threads, ops, batch, b)
+		} else {
+			popped = concurrentPairs(threads, ops,
+				func(id int, v uint64) { s.Push(id, v) },
+				func(id int) (uint64, bool) { return s.Pop(id) })
+		}
 		return verifyConservation(popped, threads*ops, func() (uint64, bool) { return s.Pop(0) })
 	case "linearize":
 		for r := 0; r < rounds; r++ {
 			s := attachFlight(newStack(impl, 3))
-			h := recordHistory(3, 3,
-				check.OpPush, func(id int, v uint64) { s.Push(id, v) },
-				check.OpPop, func(id int) (uint64, bool) { return s.Pop(id) })
+			var h []check.Operation
+			if batch > 1 {
+				h = recordBatchHistory(3, linBatch(batch), check.OpPush, check.OpPop, asBatchedStack(s, impl))
+			} else {
+				h = recordHistory(3, 3,
+					check.OpPush, func(id int, v uint64) { s.Push(id, v) },
+					check.OpPop, func(id int) (uint64, bool) { return s.Pop(id) })
+			}
 			if !check.Linearizable(h, check.StackSpec()) {
 				fmt.Printf("round %d: non-linearizable stack history:\n", r)
 				for _, op := range h {
@@ -192,20 +259,31 @@ func checkStack(impl, mode string, threads, ops, rounds int) bool {
 	return false
 }
 
-func checkQueue(impl, mode string, threads, ops, rounds int) bool {
+func checkQueue(impl, mode string, threads, ops, rounds, batch int) bool {
 	switch mode {
 	case "stress":
 		q := attachFlight(newQueue(impl, threads))
-		got := concurrentPairs(threads, ops,
-			func(id int, v uint64) { q.Enqueue(id, v) },
-			func(id int) (uint64, bool) { return q.Dequeue(id) })
+		var got map[uint64]int
+		if batch > 1 {
+			b := asBatchedQueue(q, impl)
+			got = concurrentBatchPairs(threads, ops, batch, b)
+		} else {
+			got = concurrentPairs(threads, ops,
+				func(id int, v uint64) { q.Enqueue(id, v) },
+				func(id int) (uint64, bool) { return q.Dequeue(id) })
+		}
 		return verifyConservation(got, threads*ops, func() (uint64, bool) { return q.Dequeue(0) })
 	case "linearize":
 		for r := 0; r < rounds; r++ {
 			q := attachFlight(newQueue(impl, 3))
-			h := recordHistory(3, 3,
-				check.OpEnqueue, func(id int, v uint64) { q.Enqueue(id, v) },
-				check.OpDequeue, func(id int) (uint64, bool) { return q.Dequeue(id) })
+			var h []check.Operation
+			if batch > 1 {
+				h = recordBatchHistory(3, linBatch(batch), check.OpEnqueue, check.OpDequeue, asBatchedQueue(q, impl))
+			} else {
+				h = recordHistory(3, 3,
+					check.OpEnqueue, func(id int, v uint64) { q.Enqueue(id, v) },
+					check.OpDequeue, func(id int) (uint64, bool) { return q.Dequeue(id) })
+			}
 			if !check.Linearizable(h, check.QueueSpec()) {
 				fmt.Printf("round %d: non-linearizable queue history:\n", r)
 				for _, op := range h {
@@ -221,7 +299,35 @@ func checkQueue(impl, mode string, threads, ops, rounds int) bool {
 	return false
 }
 
-func checkFMul(impl, mode string, threads, ops, rounds int) bool {
+// fmulBatcher is the vector entry point of the P-Sim Fetch&Multiply
+// variants.
+type fmulBatcher interface {
+	ApplyBatch(id int, fs, res []uint64) []uint64
+}
+
+// asBatchedFMul asserts the vector entry point, exiting if absent.
+func asBatchedFMul(o fmul.Interface, impl string) fmulBatcher {
+	b, ok := any(o).(fmulBatcher)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simcheck: fmul impl %q has no ApplyBatch (-batch needs psim or pool)\n", impl)
+		os.Exit(2)
+	}
+	return b
+}
+
+// chainConsistent verifies the internal promise of a Fetch&Multiply batch:
+// element j+1 observes exactly the state element j left behind, i.e. the
+// vector was applied contiguously at one linearization point.
+func chainConsistent(fs, res []uint64) bool {
+	for j := 1; j < len(res); j++ {
+		if res[j] != res[j-1]*fs[j-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFMul(impl, mode string, threads, ops, rounds, batch int) bool {
 	switch mode {
 	case "stress":
 		o := attachFlight(newFMul(impl, threads))
@@ -229,17 +335,40 @@ func checkFMul(impl, mode string, threads, ops, rounds int) bool {
 		for i := 0; i < threads*ops; i++ {
 			want *= 3
 		}
+		var bad atomic.Bool
 		var wg sync.WaitGroup
 		for i := 0; i < threads; i++ {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
+				if batch > 1 {
+					b := asBatchedFMul(o, impl)
+					fs := make([]uint64, batch)
+					res := make([]uint64, 0, batch)
+					for k := 0; k < ops; k += len(fs) {
+						if rem := ops - k; rem < len(fs) {
+							fs = fs[:rem]
+						}
+						for j := range fs {
+							fs[j] = 3
+						}
+						res = b.ApplyBatch(id, fs, res[:0])
+						if !chainConsistent(fs, res) {
+							bad.Store(true)
+						}
+					}
+					return
+				}
 				for k := 0; k < ops; k++ {
 					o.Apply(id, 3)
 				}
 			}(i)
 		}
 		wg.Wait()
+		if bad.Load() {
+			fmt.Println("batch chain inconsistency: res[j+1] != res[j]*f[j] inside one ApplyBatch")
+			return false
+		}
 		if got := o.Read(); got != want {
 			fmt.Printf("product mismatch: got %#x want %#x\n", got, want)
 			return false
@@ -249,11 +378,36 @@ func checkFMul(impl, mode string, threads, ops, rounds int) bool {
 		for r := 0; r < rounds; r++ {
 			o := attachFlight(newFMul(impl, 3))
 			rec := check.NewRecorder(9)
+			chainBad := make([]bool, 3)
 			var wg sync.WaitGroup
 			for i := 0; i < 3; i++ {
 				wg.Add(1)
 				go func(id int) {
 					defer wg.Done()
+					if batch > 1 {
+						// Each batched call is checked for internal chain
+						// consistency, then collapsed to ONE Fetch&Multiply
+						// of the factors' product returning res[0]: if the
+						// chain holds, the vector is indistinguishable from
+						// that single operation to every other process.
+						b := asBatchedFMul(o, impl)
+						fs := make([]uint64, batch)
+						res := make([]uint64, 0, batch)
+						for k := 0; k < 3; k++ {
+							prod := uint64(1)
+							for j := range fs {
+								fs[j] = uint64(2*(id*batch+j)+3) | 1
+								prod *= fs[j]
+							}
+							slot := rec.Invoke(id, check.OpMul, prod)
+							res = b.ApplyBatch(id, fs, res[:0])
+							if !chainConsistent(fs, res) {
+								chainBad[id] = true
+							}
+							rec.Return(slot, res[0], false)
+						}
+						return
+					}
 					for k := 0; k < 3; k++ {
 						slot := rec.Invoke(id, check.OpMul, 3)
 						prev := o.Apply(id, 3)
@@ -262,6 +416,12 @@ func checkFMul(impl, mode string, threads, ops, rounds int) bool {
 				}(i)
 			}
 			wg.Wait()
+			for id, b := range chainBad {
+				if b {
+					fmt.Printf("round %d: process %d saw an inconsistent batch chain\n", r, id)
+					return false
+				}
+			}
 			if !check.Linearizable(rec.Operations(), check.FMulSpec(1)) {
 				fmt.Printf("round %d: non-linearizable Fetch&Multiply history\n", r)
 				return false
@@ -342,6 +502,253 @@ func recordHistory(threads, per int, prodOp string, produce func(int, uint64), c
 				slot = rec.Invoke(id, consOp, 0)
 				cv, ok := consume(id)
 				rec.Return(slot, cv, ok)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return rec.Operations()
+}
+
+// newSharded builds a sharded map wired to the flight recorder (every shard
+// shares the one ring — multi-key calls touch shards sequentially, so the
+// single-writer-per-lane discipline holds).
+func newSharded(n, shards, stripes int) *simmap.Sharded[uint64, uint64] {
+	m := simmap.NewSharded[uint64, uint64](n, shards, stripes)
+	trs := make([]*trace.Tracer, m.Shards())
+	for i := range trs {
+		trs[i] = flight
+	}
+	m.SetTracer(trs)
+	return m
+}
+
+// checkMap validates the sharded map. Stress mode: every thread owns a
+// DISJOINT key range on one shared Sharded instance (shards and stripes stay
+// contended even though keys are not) and hammers it with batched
+// MSet/MDelete; because each key has a single writer, its final binding is
+// deterministic and verified with MGet afterwards. Linearize mode: small
+// adversarial histories on a 4-key space, each batched call recorded as
+// per-key operations spanning the call's window, checked per key with the
+// partitioned Wing–Gong checker — per-key linearizability being exactly the
+// guarantee a sharded map makes.
+func checkMap(mode string, threads, ops, rounds, batch int) bool {
+	if batch < 1 {
+		batch = 1
+	}
+	switch mode {
+	case "stress":
+		const keysPerThread = 64
+		m := newSharded(threads, 4, 4)
+		var wg sync.WaitGroup
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				base := uint64(id * keysPerThread)
+				keys := make([]uint64, 0, batch)
+				vals := make([]uint64, 0, batch)
+				for k := 0; k < ops; k += batch {
+					keys, vals = keys[:0], vals[:0]
+					for j := 0; j < batch && k+j < ops; j++ {
+						key := base + uint64((k+j)%keysPerThread)
+						keys = append(keys, key)
+						vals = append(vals, uint64(k+j)<<16|key)
+					}
+					m.MSet(id, keys, vals)
+					if k%3 == 0 {
+						m.MDelete(id, keys)
+					}
+				}
+				// Deterministic final pass: bind every owned key, then
+				// delete the multiples of three.
+				keys, vals = keys[:0], vals[:0]
+				for j := 0; j < keysPerThread; j++ {
+					keys = append(keys, base+uint64(j))
+					vals = append(vals, (base+uint64(j))^0xabcdef)
+				}
+				m.MSet(id, keys, vals)
+				keys = keys[:0]
+				for j := 0; j < keysPerThread; j++ {
+					if key := base + uint64(j); key%3 == 0 {
+						keys = append(keys, key)
+					}
+				}
+				m.MDelete(id, keys)
+			}(i)
+		}
+		wg.Wait()
+		keys := make([]uint64, 0, keysPerThread)
+		for id := 0; id < threads; id++ {
+			keys = keys[:0]
+			for j := 0; j < keysPerThread; j++ {
+				keys = append(keys, uint64(id*keysPerThread+j))
+			}
+			vals, ok := m.MGet(0, keys)
+			for j, key := range keys {
+				wantOK := key%3 != 0
+				if ok[j] != wantOK || (wantOK && vals[j] != key^0xabcdef) {
+					fmt.Printf("key %d: got (%d,%v) want present=%v val=%d\n",
+						key, vals[j], ok[j], wantOK, key^0xabcdef)
+					return false
+				}
+			}
+		}
+		return true
+	case "linearize":
+		b := linBatch(batch)
+		for r := 0; r < rounds; r++ {
+			m := newSharded(3, 2, 1)
+			rec := check.NewRecorder(2 * 3 * b)
+			var wg sync.WaitGroup
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					// Tiny deterministic PRNG so failures replay.
+					seed := uint64(r*3+id)*2654435761 + 1
+					next := func() uint64 {
+						seed = seed*6364136223846793005 + 1442695040888963407
+						return seed >> 33
+					}
+					keys := make([]uint64, b)
+					vals := make([]uint64, b)
+					slots := make([]int, b)
+					// Call 1: a batched MSet on random keys of 0..3.
+					for j := range keys {
+						keys[j] = next() % 4
+						vals[j] = next()%1000 + 1
+					}
+					for j := range keys {
+						slots[j] = rec.Invoke(id, check.OpMapPut, keys[j]<<32|vals[j])
+					}
+					prevs, existed := m.MSet(id, keys, vals)
+					for j := range slots {
+						rec.Return(slots[j], prevs[j], existed[j])
+					}
+					// Call 2: a batched MGet or MDelete, alternating.
+					for j := range keys {
+						keys[j] = next() % 4
+					}
+					if (r+id)%2 == 0 {
+						for j := range keys {
+							slots[j] = rec.Invoke(id, check.OpMapGet, keys[j]<<32)
+						}
+						gv, gok := m.MGet(id, keys)
+						for j := range slots {
+							rec.Return(slots[j], gv[j], gok[j])
+						}
+					} else {
+						for j := range keys {
+							slots[j] = rec.Invoke(id, check.OpMapDel, keys[j]<<32)
+						}
+						prevs, existed := m.MDelete(id, keys)
+						for j := range slots {
+							rec.Return(slots[j], prevs[j], existed[j])
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			h := rec.Operations()
+			lin := check.LinearizablePartitioned(h, check.MapPartOf,
+				func(string) check.Spec { return check.MapKeySpec() })
+			if !lin {
+				fmt.Printf("round %d: non-per-key-linearizable map history:\n", r)
+				for _, op := range h {
+					fmt.Println(" ", op)
+				}
+				return false
+			}
+		}
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "simcheck: unknown mode %q\n", mode)
+	os.Exit(2)
+	return false
+}
+
+// linBatch caps the linearize-mode batch so each 3-process history stays
+// within the Wing–Gong checker's 64-operation budget.
+func linBatch(batch int) int {
+	if batch > 8 {
+		return 8
+	}
+	return batch
+}
+
+// concurrentBatchPairs is concurrentPairs over vector entry points: each
+// iteration produces a batch of unique tagged values and then consumes a
+// batch, returning the multiset of consumed values.
+func concurrentBatchPairs(threads, ops, batch int, b batched) map[uint64]int {
+	var mu sync.Mutex
+	got := make(map[uint64]int)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := map[uint64]int{}
+			vals := make([]uint64, 0, batch)
+			out := make([]uint64, 0, batch)
+			for k := 0; k < ops; k += batch {
+				vals = vals[:0]
+				for j := 0; j < batch && k+j < ops; j++ {
+					vals = append(vals, uint64(id*ops+k+j)+1)
+				}
+				b.produce(id, vals)
+				out = b.consume(id, len(vals), out[:0])
+				for _, v := range out {
+					local[v]++
+				}
+			}
+			mu.Lock()
+			for v, c := range local {
+				got[v] += c
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return got
+}
+
+// recordBatchHistory runs one produce-batch + consume-batch round per
+// process and records every element as its own operation sharing the batch
+// call's invoke/return window: a batched call guarantees each element a
+// linearization point inside the call (in fact the whole vector applies at
+// one point), so the per-element history must still linearize. Consume
+// batches report hits first (at most one chunk is involved at these sizes,
+// and within a chunk misses are a suffix).
+func recordBatchHistory(threads, batch int, prodOp, consOp string, b batched) []check.Operation {
+	rec := check.NewRecorder(2 * threads * batch)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			vals := make([]uint64, batch)
+			out := make([]uint64, 0, batch)
+			slots := make([]int, batch)
+			for j := range vals {
+				vals[j] = uint64(id*batch+j) + 1
+			}
+			for j, v := range vals {
+				slots[j] = rec.Invoke(id, prodOp, v)
+			}
+			b.produce(id, vals)
+			for _, sl := range slots {
+				rec.Return(sl, 0, false)
+			}
+			for j := range slots {
+				slots[j] = rec.Invoke(id, consOp, 0)
+			}
+			out = b.consume(id, batch, out[:0])
+			for j, sl := range slots {
+				if j < len(out) {
+					rec.Return(sl, out[j], true)
+				} else {
+					rec.Return(sl, 0, false)
+				}
 			}
 		}(i)
 	}

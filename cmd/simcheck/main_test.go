@@ -4,39 +4,80 @@ import "testing"
 
 func TestCheckStackStress(t *testing.T) {
 	for _, impl := range []string{"sim", "treiber", "elimination", "clh", "fc"} {
-		if !checkStack(impl, "stress", 4, 200, 0) {
+		if !checkStack(impl, "stress", 4, 200, 0, 1) {
 			t.Fatalf("stack %s failed stress check", impl)
 		}
 	}
 }
 
 func TestCheckStackLinearize(t *testing.T) {
-	if !checkStack("sim", "linearize", 3, 0, 10) {
+	if !checkStack("sim", "linearize", 3, 0, 10, 1) {
 		t.Fatal("SimStack failed linearizability check")
+	}
+}
+
+func TestCheckStackBatched(t *testing.T) {
+	if !checkStack("sim", "stress", 4, 200, 0, 4) {
+		t.Fatal("SimStack failed batched stress check")
+	}
+	if !checkStack("sim", "linearize", 3, 0, 10, 4) {
+		t.Fatal("SimStack failed batched linearizability check")
 	}
 }
 
 func TestCheckQueueStress(t *testing.T) {
 	for _, impl := range []string{"sim", "ms", "twolock", "fc"} {
-		if !checkQueue(impl, "stress", 4, 200, 0) {
+		if !checkQueue(impl, "stress", 4, 200, 0, 1) {
 			t.Fatalf("queue %s failed stress check", impl)
 		}
 	}
 }
 
 func TestCheckQueueLinearize(t *testing.T) {
-	if !checkQueue("ms", "linearize", 3, 0, 10) {
+	if !checkQueue("ms", "linearize", 3, 0, 10, 1) {
 		t.Fatal("MS queue failed linearizability check")
+	}
+}
+
+func TestCheckQueueBatched(t *testing.T) {
+	if !checkQueue("sim", "stress", 4, 200, 0, 4) {
+		t.Fatal("SimQueue failed batched stress check")
+	}
+	if !checkQueue("sim", "linearize", 3, 0, 10, 4) {
+		t.Fatal("SimQueue failed batched linearizability check")
 	}
 }
 
 func TestCheckFMul(t *testing.T) {
 	for _, impl := range []string{"psim", "pool", "lockfree", "combtree"} {
-		if !checkFMul(impl, "stress", 4, 200, 0) {
+		if !checkFMul(impl, "stress", 4, 200, 0, 1) {
 			t.Fatalf("fmul %s failed stress check", impl)
 		}
 	}
-	if !checkFMul("psim", "linearize", 3, 0, 10) {
+	if !checkFMul("psim", "linearize", 3, 0, 10, 1) {
 		t.Fatal("P-Sim failed linearizability check")
+	}
+}
+
+func TestCheckFMulBatched(t *testing.T) {
+	for _, impl := range []string{"psim", "pool"} {
+		if !checkFMul(impl, "stress", 4, 200, 0, 4) {
+			t.Fatalf("fmul %s failed batched stress check", impl)
+		}
+		if !checkFMul(impl, "linearize", 3, 0, 10, 4) {
+			t.Fatalf("fmul %s failed batched linearizability check", impl)
+		}
+	}
+}
+
+func TestCheckMap(t *testing.T) {
+	if !checkMap("stress", 4, 200, 0, 1) {
+		t.Fatal("sharded map failed stress check")
+	}
+	if !checkMap("stress", 4, 200, 0, 4) {
+		t.Fatal("sharded map failed batched stress check")
+	}
+	if !checkMap("linearize", 3, 0, 10, 4) {
+		t.Fatal("sharded map failed batched per-key linearizability check")
 	}
 }

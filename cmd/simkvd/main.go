@@ -70,12 +70,15 @@ type options struct {
 	flight       int // flight-recorder ring capacity; 0 disables
 	flightSample int // record 1 in N operations
 	watchdog     int // stall budget in committed rounds; 0 disables
+	shards       int // sharded store; <=1 keeps the single striped map
+	pipeline     int // pipelined protocol batch depth; <=1 disables
 }
 
 // start boots the KV server on addr and, when metricsAddr is non-empty, the
 // /metrics + /debug HTTP surface on metricsAddr.
 func start(addr, metricsAddr string, clients, stripes int, opt options) (*daemon, error) {
-	srv := kvserver.New(clients, stripes)
+	srv := kvserver.New(clients, stripes,
+		kvserver.WithShards(opt.shards), kvserver.WithPipeline(opt.pipeline))
 	if opt.watchdog > 0 && opt.flight == 0 {
 		opt.flight = obstrace.DefaultCapacity // watchdog needs the tracer's progress counters
 	}
@@ -220,17 +223,22 @@ func main() {
 			"with -flight, record one in N operations per slot (1 = every op)")
 		watchdog = flag.Int("watchdog", 0,
 			"report client slots whose announced op hasn't committed within N system-wide rounds (0 disables; implies -flight)")
+		shards = flag.Int("shards", 1,
+			"independent map shards (rounded up to a power of two; 1 = single striped map)")
+		pipeline = flag.Int("pipeline", 1,
+			"pipelined protocol batch depth: execute up to N queued requests per wakeup as batched map ops (1 = request-at-a-time)")
 	)
 	flag.Parse()
 
 	d, err := start(*addr, *metricsAddr, *clients, *stripes,
-		options{flight: *flight, flightSample: *flightSample, watchdog: *watchdog})
+		options{flight: *flight, flightSample: *flightSample, watchdog: *watchdog,
+			shards: *shards, pipeline: *pipeline})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simkvd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("simkvd listening on %s (%d client slots, %d stripes)\n",
-		d.addr, *clients, *stripes)
+	fmt.Printf("simkvd listening on %s (%d client slots, %d stripes, %d shard(s), pipeline %d)\n",
+		d.addr, *clients, *stripes, *shards, *pipeline)
 	if ma := d.metricsAddr(); ma != "" {
 		fmt.Printf("simkvd metrics on http://%s/metrics\n", ma)
 		if d.srv.Tracer() != nil {

@@ -192,6 +192,55 @@ func SetSpec() Spec {
 	}
 }
 
+// Map operation names. All three pack the key into the high half of Arg so
+// one partition function covers them (values are the low half; get/del
+// leave it zero).
+const (
+	OpMapPut = "mput" // Arg = key<<32 | value; Ret = previous value; RetOK = existed
+	OpMapDel = "mdel" // Arg = key<<32; Ret = previous value; RetOK = existed
+	OpMapGet = "mget" // Arg = key<<32; Ret = value; RetOK = found
+)
+
+// MapPartOf partitions map operations by key, for use with
+// LinearizablePartitioned and MapKeySpec: operations on independent keys of
+// a hash map never interact, so each key's subhistory is checked against
+// the single-binding spec — this is exactly the consistency a sharded map
+// guarantees (per-key linearizability, no cross-key atomicity).
+func MapPartOf(op Operation) string { return fmt.Sprintf("%d", op.Arg>>32) }
+
+// MapKeySpec is the sequential specification of ONE map key: a binding
+// that put overwrites (returning the previous value), del clears, and get
+// reads. State packs presence into bit 63 (values must fit 32 bits, which
+// the OpMap encodings already require).
+func MapKeySpec() Spec {
+	const present = uint64(1) << 63
+	return Spec{
+		Init: func() any { return uint64(0) },
+		Step: func(state any, op Operation) (any, bool) {
+			s := state.(uint64)
+			exists := s&present != 0
+			cur := s &^ present
+			prevOK := op.RetOK == exists && (!exists || op.Ret == cur)
+			switch op.Op {
+			case OpMapPut:
+				if !prevOK {
+					return s, false
+				}
+				return present | (op.Arg & 0xffffffff), true
+			case OpMapDel:
+				if !prevOK {
+					return s, false
+				}
+				return uint64(0), true
+			case OpMapGet:
+				return s, prevOK
+			}
+			return s, false
+		},
+		Key: func(state any) string { return fmt.Sprintf("%d", state.(uint64)) },
+	}
+}
+
 // sortKeys is a tiny insertion sort (sets in checked histories are small).
 func sortKeys(ks []uint64) {
 	for i := 1; i < len(ks); i++ {

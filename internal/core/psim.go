@@ -31,6 +31,18 @@ import (
 // before the fallback is bounded. The theoretical variant (sim.go), which
 // never recycles, keeps the paper's unqualified wait-freedom.
 //
+// Batching: each announce slot carries a VECTOR of operations
+// (collect.BatchAnnounce); a combining round applies every announced
+// process's whole pending vector in announce order, so one Fetch&Add + CAS
+// cycle completes up to n×budget logical operations. ApplyBatch announces a
+// caller's vector directly; Apply announces a vector of one. The two-round +
+// fallback progress argument is unchanged — a round is bounded by
+// n×DefaultBatchBudget sequential applications, still a constant for a given
+// instance. Announce boxes are recycled with the same hazard discipline as
+// state records; a box-protection failure means the announcing process
+// re-announced, which requires an intervening successful publish, so the
+// round is abandoned exactly like a failed CAS (see collect/batch.go).
+//
 // Memory discipline: like the paper's pool of State records, the hot path is
 // allocation-free in steady state. Each thread keeps a Ring of 2n+2 retired
 // State records (the paper's own pool bound carried to the GC variant) and
@@ -50,7 +62,7 @@ type PSim[S, A, R any] struct {
 	// recycled record's previous state) instead of allocating via clone.
 	cloneInto func(dst, src *S)
 
-	announce *collect.Announce[A]
+	announce *collect.BatchAnnounce[A]
 	act      *xatomic.SharedBits
 	state    atomic.Pointer[psimState[S, R]]
 	haz      *Hazards[psimState[S, R]]
@@ -61,16 +73,22 @@ type PSim[S, A, R any] struct {
 	rec     *obs.SimRecorder       // optional observability plane (nil = off)
 
 	boLower, boUpper int
+	batchBudget      int
 }
 
 // psimState is one published state record: the simulated state, the applied
-// bit vector, and the per-process return values (struct State of Algorithm 2
+// bit vector, the per-process return values (struct State of Algorithm 2
 // minus the seq stamps — hazard-protected recycling makes torn reads
-// impossible rather than merely detectable). A record is immutable from the
-// moment it is published until its retirement ring owner reuses it.
+// impossible rather than merely detectable), and the per-process BATCH
+// return vectors. brvals[k] holds the responses of k's last served vector
+// when it had more than one element (a single-element vector answers through
+// rvals[k] alone, so vector-free workloads only pay an empty-row copy per
+// round). A record is immutable from the moment it is published until its
+// retirement ring owner reuses it.
 type psimState[S, R any] struct {
 	applied xatomic.Snapshot
 	rvals   []R
+	brvals  [][]R
 	st      S
 }
 
@@ -92,6 +110,7 @@ type psimOptions[S any] struct {
 	cloneInto        func(dst, src *S)
 	boLower, boUpper int
 	padActWords      bool
+	batchBudget      int
 }
 
 // WithClone supplies a deep-copy function for the state, required when S
@@ -127,10 +146,26 @@ func WithPaddedAct[S any]() PSimOption[S] {
 	return func(o *psimOptions[S]) { o.padActWords = true }
 }
 
+// WithBatchBudget bounds how many operations one announcement may carry;
+// ApplyBatch splits longer vectors into budget-sized chunks, each its own
+// announce/toggle round. The budget times n bounds the sequential work one
+// combining round performs — the constant in the wait-freedom bound.
+func WithBatchBudget[S any](b int) PSimOption[S] {
+	return func(o *psimOptions[S]) {
+		if b > 0 {
+			o.batchBudget = b
+		}
+	}
+}
+
 // DefaultBackoffUpper is the default adaptive-backoff ceiling, in delay-loop
 // iterations. It is deliberately modest: the right value is machine
 // dependent and the harness sweeps it.
 const DefaultBackoffUpper = 4096
+
+// DefaultBatchBudget is the default per-announcement vector budget (see
+// WithBatchBudget).
+const DefaultBatchBudget = 64
 
 // hazardAttempts bounds the per-round hazard acquisition loop. A failed
 // attempt means a successful CAS intervened, so attempts failures imply that
@@ -153,7 +188,7 @@ func NewPSim[S, A, R any](n int, init S, apply func(st *S, pid int, arg A) R, op
 	if n < 1 {
 		panic("core: PSim needs n >= 1")
 	}
-	o := &psimOptions[S]{boLower: 1, boUpper: DefaultBackoffUpper}
+	o := &psimOptions[S]{boLower: 1, boUpper: DefaultBackoffUpper, batchBudget: DefaultBatchBudget}
 	for _, f := range opts {
 		f(o)
 	}
@@ -168,21 +203,23 @@ func NewPSim[S, A, R any](n int, init S, apply func(st *S, pid int, arg A) R, op
 		act = xatomic.NewSharedBits(n)
 	}
 	u := &PSim[S, A, R]{
-		n:         n,
-		apply:     apply,
-		clone:     clone,
-		cloneInto: o.cloneInto,
-		announce:  collect.NewAnnounce[A](n),
-		act:       act,
-		haz:       NewHazards[psimState[S, R]](n, anonReadSlots),
-		threads:   make([]psimThread[S, R], n),
-		stats:     NewStatsPlane(n),
-		boLower:   o.boLower,
-		boUpper:   o.boUpper,
+		n:           n,
+		apply:       apply,
+		clone:       clone,
+		cloneInto:   o.cloneInto,
+		announce:    collect.NewBatchAnnounce[A](n),
+		act:         act,
+		haz:         NewHazards[psimState[S, R]](n, anonReadSlots),
+		threads:     make([]psimThread[S, R], n),
+		stats:       NewStatsPlane(n),
+		boLower:     o.boLower,
+		boUpper:     o.boUpper,
+		batchBudget: o.batchBudget,
 	}
 	u.state.Store(&psimState[S, R]{
 		applied: xatomic.NewSnapshot(n),
 		rvals:   make([]R, n),
+		brvals:  make([][]R, n),
 		st:      init,
 	})
 	return u
@@ -278,6 +315,7 @@ func (u *PSim[S, A, R]) record(i int, t *psimThread[S, R]) *psimState[S, R] {
 	return &psimState[S, R]{
 		applied: xatomic.NewSnapshot(u.n),
 		rvals:   make([]R, u.n),
+		brvals:  make([][]R, u.n),
 	}
 }
 
@@ -291,6 +329,22 @@ func (u *PSim[S, A, R]) cloneStateInto(ns, ls *psimState[S, R]) {
 	ns.st = u.clone(ls.st)
 }
 
+// forwardBatchResults carries every process's pending batch-result row from
+// ls into ns: a process served several rounds ago must still find its
+// responses in whatever record is current when it looks. Rows are copied by
+// content into ns-owned storage (rows are never shared between records), and
+// empty rows — every process that only ever announces single operations —
+// cost one length check each.
+func (u *PSim[S, A, R]) forwardBatchResults(ns, ls *psimState[S, R]) {
+	for k := 0; k < u.n; k++ {
+		if len(ls.brvals[k]) == 0 {
+			ns.brvals[k] = ns.brvals[k][:0]
+			continue
+		}
+		ns.brvals[k] = append(ns.brvals[k][:0], ls.brvals[k]...)
+	}
+}
+
 // Apply announces operation arg on behalf of process i, participates in
 // combining until the operation has been applied, and returns its response.
 // Each process id must be driven by a single goroutine at a time.
@@ -299,26 +353,85 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		panic(fmt.Sprintf("core: process id %d out of range [0,%d)", i, u.n))
 	}
 	t := u.thread(i)
-	st := u.stats
-	tr := st.Trace
-	t0 := u.rec.Start(i) // stamp 0 (no clock read) unless this op is sampled
-	tt := tr.OpStart(i)  // flight-recorder stamp, same sampling discipline
+	t0 := u.rec.Start(i)          // stamp 0 (no clock read) unless this op is sampled
+	tt := u.stats.Trace.OpStart(i) // flight-recorder stamp, same sampling discipline
 
 	if u.n == 1 {
 		// Uncontended fast path: no helper can exist, so skip the announce
 		// (nobody reads it), the Act toggle, and the backoff wait, and
 		// publish with a plain store (process 0 is the only writer).
-		return u.applySolo(t, t0, tt, arg)
+		var res []R
+		r, _ := u.applySoloVec(t, t0, tt, arg, nil, res)
+		return r
 	}
 
-	// Announce a copy declared on this path only: taking &arg directly would
-	// make the parameter escape — and cost one heap box — even at n == 1.
-	a := arg
-	u.announce.Write(i, &a) // line 1: announce the operation
-	t.toggler.Toggle()      // lines 2–3: toggle pi's bit in Act (one F&A)
+	// line 1: announce the operation — a vector of one, copied into a
+	// recycled announce box (no heap box per call; see collect/batch.go).
+	u.announce.PublishOne(i, arg)
+	t.toggler.Toggle() // lines 2–3: toggle pi's bit in Act (one F&A)
 	u.counter.Add(i, 2)
 	t.bo.Wait() // line 4: back off so helpers accumulate work
 
+	r, _ := u.applyAnnounced(i, t, t0, tt, 1, nil)
+	return r
+}
+
+// ApplyBatch announces the operation vector args on behalf of process i and
+// returns the responses in args order, appended to res[:0] (pass a slice
+// kept across calls for an allocation-free steady state; nil allocates).
+// The whole vector is applied contiguously at one linearization point per
+// budget-sized chunk: no other process's operation is interleaved within a
+// chunk. Progress is Apply's: at most two combining rounds per chunk, then
+// the lock-free hazard-protected fallback read. An empty args returns res
+// truncated to zero length.
+func (u *PSim[S, A, R]) ApplyBatch(i int, args []A, res []R) []R {
+	if i < 0 || i >= u.n {
+		panic(fmt.Sprintf("core: process id %d out of range [0,%d)", i, u.n))
+	}
+	res = res[:0]
+	if len(args) == 0 {
+		return res
+	}
+	t := u.thread(i)
+	for len(args) > 0 {
+		c := len(args)
+		if c > u.batchBudget {
+			c = u.batchBudget
+		}
+		chunk := args[:c]
+		args = args[c:]
+
+		t0 := u.rec.Start(i)
+		tt := u.stats.Trace.OpStart(i)
+		if u.n == 1 {
+			var zero A
+			_, res = u.applySoloVec(t, t0, tt, zero, chunk, res)
+			continue
+		}
+		u.announce.Publish(i, chunk)
+		t.toggler.Toggle()
+		u.counter.Add(i, 2)
+		t.bo.Wait()
+		if c == 1 {
+			var r R
+			r, res = u.applyAnnounced(i, t, t0, tt, 1, res)
+			res = append(res, r)
+		} else {
+			_, res = u.applyAnnounced(i, t, t0, tt, c, res)
+		}
+	}
+	return res
+}
+
+// applyAnnounced runs the two-round combining protocol plus the Observation
+// 3.2 fallback for process i's just-published announcement of m operations.
+// For m == 1 the response is returned directly (res is untouched and may be
+// nil); for m > 1 the m responses are appended to res. The caller has
+// already announced, toggled, and backed off.
+func (u *PSim[S, A, R]) applyAnnounced(i int, t *psimThread[S, R], t0, tt obs.Stamp, m int, res []R) (R, []R) {
+	st := u.stats
+	tr := st.Trace
+	um := uint64(m)
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ { // lines 5–27: at most two Attempt rounds
@@ -336,65 +449,112 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		u.act.LoadInto(t.active) // line 9: read Act
 		u.counter.Add(i, uint64(u.act.Words()))
 		// line 10: diffs = applied XOR active — the set of processes whose
-		// announced operation has not been applied to ls.
+		// announced operations have not been applied to ls.
 		ls.applied.XorInto(t.active, t.diffs)
 
-		// line 12: if pi's bit agrees, its operation has been applied; the
-		// response is already in ls.rvals (record protected — safe to read).
+		// line 12: if pi's bit agrees, its vector has been applied; the
+		// responses are already in ls (record protected — safe to read).
 		if t.diffs[myWord]&myMask == 0 {
-			r := ls.rvals[i]
+			var r R
+			if m == 1 {
+				r = ls.rvals[i]
+			} else {
+				res = append(res, ls.brvals[i]...)
+			}
 			u.haz.Clear(i) // don't pin ls while parked outside Apply
-			st.Ops.Inc(i)
-			st.ServedBy.Inc(i)
+			st.Ops.Add(i, um)
+			st.ServedBy.Add(i, um)
 			u.rec.OpDone(i, t0)
 			tr.OpServed(i, tt)
-			return r
+			return r, res
 		}
 		solo := t.diffs.IsOnlyBit(myWord, myMask)
 
 		// Build the successor record: lines 8/14–21 work on a private copy
-		// rebuilt into a recycled record — applied and rvals buffers are
-		// reused, and the state clone reuses buffers too under CloneInto.
+		// rebuilt into a recycled record — applied, rvals, and batch-result
+		// buffers are reused, and the state clone reuses buffers too under
+		// CloneInto.
 		ns := u.record(i, t)
 		ns.applied.CopyFrom(t.active)
 		copy(ns.rvals, ls.rvals)
+		u.forwardBatchResults(ns, ls)
 		u.cloneStateInto(ns, ls)
-		combined := uint64(0)
+		slots, ops := uint64(0), uint64(0)
+		abandoned := false
 		d := t.diffs
 		for { // lines 15–19: help every process in diffs
 			k := d.BitSearchFirst()
 			if k < 0 {
 				break
 			}
-			arg := u.announce.Read(k) // line 17: discover its operation
-			u.counter.Inc(i)          // the O(k) announce reads of P-Sim
-			ns.rvals[k] = u.apply(&ns.st, k, *arg)
 			d.ClearBit(k)
-			combined++
+			var vec []A
+			if k == i {
+				// Our own box is stable for the duration of the operation —
+				// no protection needed.
+				vec = u.announce.OwnVec(i)
+			} else {
+				// line 17: discover k's operation vector, hazard-protected so
+				// k's box pool cannot rewrite it under us. A validation
+				// failure means k re-announced — its previous vector
+				// completed, so a publish succeeded after we loaded ls and
+				// our CAS below is doomed: abandon the round like a failed
+				// CAS (the staleness argument in collect/batch.go).
+				b, bok := u.announce.Protect(i, k)
+				if !bok {
+					abandoned = true
+					break
+				}
+				vec = b.Vec()
+			}
+			u.counter.Inc(i) // the O(k) announce reads of P-Sim
+			if len(vec) == 1 {
+				ns.rvals[k] = u.apply(&ns.st, k, vec[0])
+				ns.brvals[k] = ns.brvals[k][:0]
+			} else {
+				row := ns.brvals[k][:0]
+				for _, a := range vec {
+					row = append(row, u.apply(&ns.st, k, a))
+				}
+				ns.brvals[k] = row
+				ns.rvals[k] = row[len(row)-1]
+			}
+			slots++
+			ops += uint64(len(vec))
 		}
-		// Read the response BEFORE publishing: once published, ns may be
-		// retired and recycled by any later winner.
-		rv := ns.rvals[i]
+		u.announce.Clear(i) // done reading other processes' boxes
+		if !abandoned {
+			// Read our responses BEFORE publishing: once published, ns may
+			// be retired and recycled by any later winner.
+			var rv R
+			base := len(res)
+			if m == 1 {
+				rv = ns.rvals[i]
+			} else {
+				res = append(res, ns.brvals[i]...)
+			}
 
-		// lines 22–25: try to publish. CAS on the pointer plays the role of
-		// the CAS on the timestamped pool index.
-		u.counter.Inc(i)
-		if u.state.CompareAndSwap(ls, ns) {
-			t.ring.Push(ls) // line 26's pool rotation: retire the old record
-			u.haz.Clear(i)  // unpin ls so its ring slot can recycle it
-			st.Ops.Inc(i)
-			st.CASSuccess.Inc(i)
-			st.Combined.Add(i, combined)
-			u.rec.OpPublished(i, t0, combined)
-			var act uint64
-			if tt != 0 {
-				act = uint64(t.active.PopCount()) // sampled rounds only
+			// lines 22–25: try to publish. CAS on the pointer plays the role
+			// of the CAS on the timestamped pool index.
+			u.counter.Inc(i)
+			if u.state.CompareAndSwap(ls, ns) {
+				t.ring.Push(ls) // line 26's pool rotation: retire the old record
+				u.haz.Clear(i)  // unpin ls so its ring slot can recycle it
+				st.Ops.Add(i, um)
+				st.CASSuccess.Inc(i)
+				st.Combined.Add(i, ops)
+				u.rec.OpPublished(i, t0, slots)
+				var act uint64
+				if tt != 0 {
+					act = uint64(t.active.PopCount()) // sampled rounds only
+				}
+				tr.OpCommit(i, tt, slots, act, ops)
+				if j == 0 || solo {
+					t.bo.Shrink() // low contention: waiting was wasted
+				}
+				return rv, res
 			}
-			tr.OpCommit(i, tt, combined, act)
-			if j == 0 || solo {
-				t.bo.Shrink() // low contention: waiting was wasted
-			}
-			return rv
+			res = res[:base] // speculative copies die with the failed round
 		}
 		t.ring.Push(ns) // never published — immediately reusable
 		st.CASFail.Inc(i)
@@ -406,45 +566,67 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 	}
 
 	// Lines 28–30: both rounds failed, so two successful CASes intervened;
-	// the second one must have applied our operation (Observation 3.2 /
-	// Lemma 3.3 carried to the practical algorithm). Read and return under
-	// hazard protection; each failed acquisition implies yet another
-	// concurrent publish, so the unbounded form is lock-free.
+	// the second one must have applied our operations (Observation 3.2 /
+	// Lemma 3.3 carried to the practical algorithm — an abandoned round also
+	// witnesses an intervening publish). Read and return under hazard
+	// protection; each failed acquisition implies yet another concurrent
+	// publish, so the unbounded form is lock-free.
 	u.counter.Inc(i)
 	ls, _ := u.haz.Acquire(i, &u.state, 0)
-	r := ls.rvals[i]
+	var r R
+	if m == 1 {
+		r = ls.rvals[i]
+	} else {
+		res = append(res, ls.brvals[i]...)
+	}
 	u.haz.Clear(i)
-	st.Ops.Inc(i)
-	st.ServedBy.Inc(i)
+	st.Ops.Add(i, um)
+	st.ServedBy.Add(i, um)
 	u.rec.OpDone(i, t0)
 	tr.OpServed(i, tt)
-	return r
+	return r, res
 }
 
-// applySolo is Apply for n == 1: the announce array, Act toggle, backoff
-// wait, and CAS all exist to coordinate with helpers, and a single-thread
-// instance can never have one. Records still rotate through the ring with a
-// hazard scan so concurrent Read()ers stay safe.
-func (u *PSim[S, A, R]) applySolo(t *psimThread[S, R], t0 obs.Stamp, tt obs.Stamp, arg A) R {
+// applySoloVec is Apply/ApplyBatch for n == 1: the announce array, Act
+// toggle, backoff wait, and CAS all exist to coordinate with helpers, and a
+// single-thread instance can never have one. When batch is nil the single
+// operation arg is applied and its response returned; otherwise every
+// operation of batch is applied in order and the responses appended to res.
+// Records still rotate through the ring with a hazard scan so concurrent
+// Read()ers stay safe.
+func (u *PSim[S, A, R]) applySoloVec(t *psimThread[S, R], t0, tt obs.Stamp, arg A, batch []A, res []R) (R, []R) {
 	ls := u.state.Load() // current record: never in the ring, safe to read
 	ns := u.record(0, t)
 	// applied stays all-zero (Act is never toggled on this path), but copy
 	// it anyway so the record is well-formed if n==1 invariants ever change.
 	ns.applied.CopyFrom(ls.applied)
 	copy(ns.rvals, ls.rvals)
+	// No helper ever reads a solo instance's batch rows; keep them empty.
+	ns.brvals[0] = ns.brvals[0][:0]
 	u.cloneStateInto(ns, ls)
-	rv := u.apply(&ns.st, 0, arg)
-	ns.rvals[0] = rv
+	var rv R
+	ops := uint64(1)
+	if batch == nil {
+		rv = u.apply(&ns.st, 0, arg)
+		ns.rvals[0] = rv
+	} else {
+		ops = uint64(len(batch))
+		for _, a := range batch {
+			rv = u.apply(&ns.st, 0, a)
+			res = append(res, rv)
+		}
+		ns.rvals[0] = rv
+	}
 	u.state.Store(ns) // sole writer: plain atomic publish
 	t.ring.Push(ls)
 	u.counter.Add(0, 2)
 	st := u.stats
-	st.Ops.Inc(0)
+	st.Ops.Add(0, ops)
 	st.CASSuccess.Inc(0)
-	st.Combined.Add(0, 1)
+	st.Combined.Add(0, ops)
 	u.rec.OpPublished(0, t0, 1)
-	st.Trace.OpCommit(0, tt, 1, 1)
-	return rv
+	st.Trace.OpCommit(0, tt, 1, 1, ops)
+	return rv, res
 }
 
 // Read returns a snapshot of the current simulated state without announcing

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/backoff"
+	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/pad"
 	"repro/internal/xatomic"
@@ -30,6 +31,19 @@ import (
 //     record reused by its owner can never reproduce an already-seen pair
 //     and a torn copy is always detected.
 //
+// Batching: each announce register is a fixed vector of WordBatchBudget
+// argument words plus a count; ApplyBatch announces up to a budget's worth of
+// operations per toggle and a combining round applies every announced
+// process's whole vector in announce order. Unlike the generic variant's
+// announce boxes, the fixed registers need no protection protocol at all: a
+// combiner racing an owner's re-announcement may copy a torn mixture of two
+// vectors, but a re-announcement implies the owner's previous vector
+// completed, which implies an intervening successful publish — the
+// combiner's CAS is already doomed and the garbage round is discarded, the
+// same staleness argument that lets the paper read announce words unchecked.
+// The per-process batch-response rows ride inside the pool records under the
+// existing seq1/seq2 stamps.
+//
 // Every shared field is accessed through sync/atomic, which makes the
 // seqlock race-detector-clean while keeping the exact access pattern of the
 // paper's C code.
@@ -38,7 +52,7 @@ type PSimWord struct {
 	words int // bit-vector words for n bits
 	apply func(st, arg uint64) (newSt, rv uint64)
 
-	announce []pad.Uint64 // Announce[i]: single-writer argument registers
+	announce []wordAnnounce // Announce[i]: single-writer argument vectors
 	act      *xatomic.SharedBits
 	pool     []wordState
 	p        xatomic.TimedWord
@@ -51,14 +65,35 @@ type PSimWord struct {
 	readScratch sync.Pool // *wordThread scratch for anonymous Read()ers
 }
 
+// WordBatchBudget is the announce-vector capacity of the word-specialised
+// variants: ApplyBatch splits longer vectors into budget-sized chunks. Fixed
+// (unlike PSim's WithBatchBudget) because the argument registers and the
+// batch-response rows in every pool record are statically sized by it.
+const WordBatchBudget = 8
+
+// wordAnnounce is one process's announce register: a count and up to
+// WordBatchBudget argument words, padded so announcing processes do not
+// share lines. Single-writer; combiners read it unchecked (see the type
+// comment for why torn reads are harmless).
+type wordAnnounce struct {
+	cnt  atomic.Uint64
+	args [WordBatchBudget]atomic.Uint64
+	_    pad.CacheLinePad
+}
+
 // wordState is one pool record: struct State of Algorithm 2 for a word-sized
 // object. seq1/seq2 bracket the payload exactly as in the paper; the record
-// is padded so distinct threads' records do not share lines.
+// is padded so distinct threads' records do not share lines. bn[k]/brv rows
+// carry process k's batch responses when its last served vector had more
+// than one element (bn[k] = 0 otherwise — single-op traffic answers through
+// rvals and pays only the n count words per copy).
 type wordState struct {
 	seq1    atomic.Uint64
 	applied []atomic.Uint64 // the applied bit vector, WordsFor(n) words
 	st      atomic.Uint64   // the simulated object's state
 	rvals   []atomic.Uint64 // per-process return values
+	bn      []atomic.Uint64 // per-process batch-response counts
+	brv     []atomic.Uint64 // batch responses, flat n×WordBatchBudget rows
 	seq2    atomic.Uint64
 	_       pad.CacheLinePad
 }
@@ -73,6 +108,8 @@ type wordThread struct {
 	active  xatomic.Snapshot
 	diffs   xatomic.Snapshot
 	rvals   []uint64
+	bn      []uint64
+	brv     []uint64 // flat n×WordBatchBudget rows
 }
 
 // DefaultPoolPerThread is the paper's "small constant C > 1" — the number of
@@ -100,7 +137,7 @@ func NewPSimWord(n, c int, init uint64, apply func(st, arg uint64) (uint64, uint
 	u := &PSimWord{
 		n: n, c: c, words: w,
 		apply:    apply,
-		announce: make([]pad.Uint64, n),
+		announce: make([]wordAnnounce, n),
 		act:      xatomic.NewSharedBits(n),
 		pool:     make([]wordState, n*c+1),
 		threads:  make([]wordThread, n),
@@ -111,6 +148,8 @@ func NewPSimWord(n, c int, init uint64, apply func(st, arg uint64) (uint64, uint
 	for i := range u.pool {
 		u.pool[i].applied = make([]atomic.Uint64, w)
 		u.pool[i].rvals = make([]atomic.Uint64, n)
+		u.pool[i].bn = make([]atomic.Uint64, n)
+		u.pool[i].brv = make([]atomic.Uint64, n*WordBatchBudget)
 	}
 	// Record n·C carries the initial state (P = {n·C, 0} in Algorithm 2).
 	u.pool[n*c].st.Store(init)
@@ -148,13 +187,17 @@ func (u *PSimWord) thread(i int) *wordThread {
 		t.active = xatomic.NewSnapshot(u.n)
 		t.diffs = xatomic.NewSnapshot(u.n)
 		t.rvals = make([]uint64, u.n)
+		t.bn = make([]uint64, u.n)
+		t.brv = make([]uint64, u.n*WordBatchBudget)
 		t.inited = true
 	}
 	return t
 }
 
 // copyState copies pool record src into thread-local scratch under the
-// seq1/seq2 protocol and reports whether the copy is consistent.
+// seq1/seq2 protocol and reports whether the copy is consistent. A count
+// read mid-rewrite may be garbage, so it is clamped before indexing; the
+// stamp check rejects the whole copy afterwards.
 func (u *PSimWord) copyState(src *wordState, t *wordThread) (st uint64, ok bool) {
 	s1 := src.seq1.Load() // read seq1 BEFORE the payload
 	for w := 0; w < u.words; w++ {
@@ -163,6 +206,14 @@ func (u *PSimWord) copyState(src *wordState, t *wordThread) (st uint64, ok bool)
 	st = src.st.Load()
 	for k := 0; k < u.n; k++ {
 		t.rvals[k] = src.rvals[k].Load()
+		bn := src.bn[k].Load()
+		if bn > WordBatchBudget {
+			bn = WordBatchBudget
+		}
+		t.bn[k] = bn
+		for j := uint64(0); j < bn; j++ {
+			t.brv[k*WordBatchBudget+int(j)] = src.brv[k*WordBatchBudget+int(j)].Load()
+		}
 	}
 	s2 := src.seq2.Load() // read seq2 AFTER the payload
 	return st, s1 == s2
@@ -172,14 +223,61 @@ func (u *PSimWord) copyState(src *wordState, t *wordThread) (st uint64, ok bool)
 // Each process id must be driven by a single goroutine.
 func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 	t := u.thread(i)
+	tt := u.stats.Trace.OpStart(i)
+
+	an := &u.announce[i]
+	an.args[0].Store(arg) // line 1: announce (a vector of one)
+	an.cnt.Store(1)
+	t.toggler.Toggle() // lines 2–3: toggle pi's bit in Act
+	t.bo.Wait()        // line 4: backoff
+
+	r, _ := u.applyAnnounced(i, t, tt, 1, nil)
+	return r
+}
+
+// ApplyBatch announces the operation vector args for process i and returns
+// the responses in args order, appended to res[:0] (pass a slice kept across
+// calls for an allocation-free steady state; nil allocates). Vectors longer
+// than WordBatchBudget are split into budget-sized chunks, each applied
+// contiguously at its own linearization point. Progress is Apply's.
+func (u *PSimWord) ApplyBatch(i int, args []uint64, res []uint64) []uint64 {
+	res = res[:0]
+	if len(args) == 0 {
+		return res
+	}
+	t := u.thread(i)
+	for len(args) > 0 {
+		m := len(args)
+		if m > WordBatchBudget {
+			m = WordBatchBudget
+		}
+		chunk := args[:m]
+		args = args[m:]
+		if m == 1 {
+			res = append(res, u.Apply(i, chunk[0]))
+			continue
+		}
+		tt := u.stats.Trace.OpStart(i)
+		an := &u.announce[i]
+		for j, a := range chunk {
+			an.args[j].Store(a)
+		}
+		an.cnt.Store(uint64(m))
+		t.toggler.Toggle()
+		t.bo.Wait()
+		_, res = u.applyAnnounced(i, t, tt, m, res)
+	}
+	return res
+}
+
+// applyAnnounced runs the two-round combining protocol plus the fallback
+// read for process i's just-announced vector of m operations. For m == 1 the
+// response is returned directly (res untouched, may be nil); for m > 1 the m
+// responses are appended to res. The caller has announced and toggled.
+func (u *PSimWord) applyAnnounced(i int, t *wordThread, tt obs.Stamp, m int, res []uint64) (uint64, []uint64) {
 	st := u.stats
 	tr := st.Trace
-	tt := tr.OpStart(i)
-
-	u.announce[i].V.Store(arg) // line 1: announce
-	t.toggler.Toggle()         // lines 2–3: toggle pi's bit in Act
-	t.bo.Wait()                // line 4: backoff
-
+	um := uint64(m)
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ { // lines 5–27
@@ -196,30 +294,49 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 		u.act.LoadInto(t.active)             // line 9
 		t.applied.XorInto(t.active, t.diffs) // line 10
 
-		// line 12: already applied? return the recorded response.
+		// line 12: already applied? return the recorded responses.
 		if t.diffs[myWord]&myMask == 0 {
-			st.Ops.Inc(i)
-			st.ServedBy.Inc(i)
+			st.Ops.Add(i, um)
+			st.ServedBy.Add(i, um)
 			tr.OpServed(i, tt)
-			return t.rvals[i]
+			if m == 1 {
+				return t.rvals[i], res
+			}
+			return 0, appendRow(res, t.brv, t.bn, i)
 		}
 
 		// lines 14–21: write the successor into our own pool record.
 		dst := &u.pool[i*u.c+t.poolIndex]
 		dst.seq1.Add(1) // line 14: open the record (seq1 = seq2 + 1)
-		combined := uint64(0)
+		slots, ops := uint64(0), uint64(0)
 		d := t.diffs
 		for { // lines 15–19: help everyone in diffs
 			k := d.BitSearchFirst()
 			if k < 0 {
 				break
 			}
-			a := u.announce[k].V.Load() // line 17
-			var rv uint64
-			stWord, rv = u.apply(stWord, a) // line 18 on the local copy
-			t.rvals[k] = rv
 			d.ClearBit(k)
-			combined++
+			an := &u.announce[k]
+			cnt := int(an.cnt.Load()) // line 17 (unchecked: see type comment)
+			if cnt < 1 {
+				cnt = 1
+			} else if cnt > WordBatchBudget {
+				cnt = WordBatchBudget
+			}
+			var rv uint64
+			if cnt == 1 {
+				stWord, rv = u.apply(stWord, an.args[0].Load()) // line 18
+				t.bn[k] = 0
+			} else {
+				for q := 0; q < cnt; q++ {
+					stWord, rv = u.apply(stWord, an.args[q].Load())
+					t.brv[k*WordBatchBudget+q] = rv
+				}
+				t.bn[k] = uint64(cnt)
+			}
+			t.rvals[k] = rv
+			slots++
+			ops += uint64(cnt)
 		}
 		for w := 0; w < u.words; w++ { // line 20: applied ← active
 			dst.applied[w].Store(t.active[w])
@@ -227,24 +344,31 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 		dst.st.Store(stWord)
 		for k := 0; k < u.n; k++ {
 			dst.rvals[k].Store(t.rvals[k])
+			dst.bn[k].Store(t.bn[k])
+			for q := uint64(0); q < t.bn[k]; q++ {
+				dst.brv[k*WordBatchBudget+int(q)].Store(t.brv[k*WordBatchBudget+int(q)])
+			}
 		}
 		dst.seq2.Add(1) // line 21: close the record
 
 		// lines 22–25: CAS P to ⟨our record, stamp+1⟩.
 		if u.p.CompareAndSwap(lpRaw, uint16(i*u.c+t.poolIndex), lpStamp+1) {
 			t.poolIndex = (t.poolIndex + 1) % u.c // line 26
-			st.Ops.Inc(i)
+			st.Ops.Add(i, um)
 			st.CASSuccess.Inc(i)
-			st.Combined.Add(i, combined)
+			st.Combined.Add(i, ops)
 			var act uint64
 			if tt != 0 {
 				act = uint64(t.active.PopCount()) // sampled rounds only
 			}
-			tr.OpCommit(i, tt, combined, act)
+			tr.OpCommit(i, tt, slots, act, ops)
 			if j == 0 {
 				t.bo.Shrink()
 			}
-			return t.rvals[i]
+			if m == 1 {
+				return t.rvals[i], res
+			}
+			return 0, appendRow(res, t.brv, t.bn, i)
 		}
 		st.CASFail.Inc(i)
 		tr.Instant(i, trace.KindCASFail, uint64(j), 0)
@@ -255,23 +379,45 @@ func (u *PSimWord) Apply(i int, arg uint64) uint64 {
 	}
 
 	// Lines 28–30: both rounds failed ⇒ two successful CASes intervened and
-	// the second applied our operation. The paper reads Pool[P.index].rvals
+	// the second applied our operations. The paper reads Pool[P.index].rvals
 	// unchecked; we retry the seq-checked read a bounded number of times
 	// first (the unchecked read is only unsafe if the record is recycled
 	// mid-read, which needs C further publishes by one thread — the same
 	// window the paper's unchecked read tolerates).
-	st.Ops.Inc(i)
-	st.ServedBy.Inc(i)
+	st.Ops.Add(i, um)
+	st.ServedBy.Add(i, um)
 	tr.OpServed(i, tt)
 	for tries := 0; tries < 64; tries++ {
 		lpIdx, _ := u.p.Load()
 		src := &u.pool[lpIdx]
 		if _, ok := u.copyState(src, t); ok {
-			return t.rvals[i]
+			if m == 1 {
+				return t.rvals[i], res
+			}
+			return 0, appendRow(res, t.brv, t.bn, i)
 		}
 	}
 	lpIdx, _ := u.p.Load()
-	return u.pool[lpIdx].rvals[i].Load()
+	src := &u.pool[lpIdx]
+	if m == 1 {
+		return src.rvals[i].Load(), res
+	}
+	bn := src.bn[i].Load()
+	if bn > WordBatchBudget {
+		bn = WordBatchBudget
+	}
+	for q := uint64(0); q < bn; q++ {
+		res = append(res, src.brv[i*WordBatchBudget+int(q)].Load())
+	}
+	return 0, res
+}
+
+// appendRow appends process i's batch-response row from flat scratch to res.
+func appendRow(res, brv []uint64, bn []uint64, i int) []uint64 {
+	for q := uint64(0); q < bn[i]; q++ {
+		res = append(res, brv[i*WordBatchBudget+int(q)])
+	}
+	return res
 }
 
 // Read returns the current simulated state word. Unlike Apply it may be
@@ -285,6 +431,8 @@ func (u *PSimWord) Read() uint64 {
 		scratch = &wordThread{
 			applied: xatomic.NewSnapshot(u.n),
 			rvals:   make([]uint64, u.n),
+			bn:      make([]uint64, u.n),
+			brv:     make([]uint64, u.n*WordBatchBudget),
 		}
 	}
 	for {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/backoff"
+	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/pad"
 	"repro/internal/xatomic"
@@ -18,14 +19,16 @@ import (
 // PSimWord — pool of n·C+1 records, 16-bit index + 48-bit stamp CAS word,
 // seq1/seq2 stamps around seqlock copies — but each record carries a
 // stateWords-long vector, so the copy cost per round is O(stateWords + n),
-// exactly the O(s) term that motivates L-Sim for large objects.
+// exactly the O(s) term that motivates L-Sim for large objects. Announce
+// registers carry vectors of up to WordBatchBudget operations, read
+// unchecked under the same staleness argument as PSimWord.
 type PSimWords struct {
 	n, c   int
 	words  int // applied bit-vector words
 	sWords int // state words
 	apply  func(st []uint64, pid int, arg uint64) uint64
 
-	announce []pad.Uint64
+	announce []wordAnnounce
 	act      *xatomic.SharedBits
 	pool     []wordsState
 	p        xatomic.TimedWord
@@ -38,12 +41,15 @@ type PSimWords struct {
 	readScratch sync.Pool // *wordsThread scratch for anonymous readers
 }
 
-// wordsState is one pool record with a multi-word state vector.
+// wordsState is one pool record with a multi-word state vector. bn/brv are
+// the per-process batch-response rows, as in wordState.
 type wordsState struct {
 	seq1    atomic.Uint64
 	applied []atomic.Uint64
 	st      []atomic.Uint64
 	rvals   []atomic.Uint64
+	bn      []atomic.Uint64
+	brv     []atomic.Uint64 // flat n×WordBatchBudget rows
 	seq2    atomic.Uint64
 	_       pad.CacheLinePad
 }
@@ -58,6 +64,8 @@ type wordsThread struct {
 	diffs     xatomic.Snapshot
 	st        []uint64
 	rvals     []uint64
+	bn        []uint64
+	brv       []uint64 // flat n×WordBatchBudget rows
 }
 
 // NewPSimWords builds a pooled P-Sim for n threads over a state of
@@ -85,7 +93,7 @@ func NewPSimWords(n, c int, init []uint64, apply func(st []uint64, pid int, arg 
 	u := &PSimWords{
 		n: n, c: c, words: w, sWords: len(init),
 		apply:    apply,
-		announce: make([]pad.Uint64, n),
+		announce: make([]wordAnnounce, n),
 		act:      xatomic.NewSharedBits(n),
 		pool:     make([]wordsState, n*c+1),
 		threads:  make([]wordsThread, n),
@@ -97,6 +105,8 @@ func NewPSimWords(n, c int, init []uint64, apply func(st []uint64, pid int, arg 
 		u.pool[i].applied = make([]atomic.Uint64, w)
 		u.pool[i].st = make([]atomic.Uint64, len(init))
 		u.pool[i].rvals = make([]atomic.Uint64, n)
+		u.pool[i].bn = make([]atomic.Uint64, n)
+		u.pool[i].brv = make([]atomic.Uint64, n*WordBatchBudget)
 	}
 	initRec := &u.pool[n*c]
 	for i, v := range init {
@@ -138,12 +148,16 @@ func (u *PSimWords) thread(i int) *wordsThread {
 		t.diffs = xatomic.NewSnapshot(u.n)
 		t.st = make([]uint64, u.sWords)
 		t.rvals = make([]uint64, u.n)
+		t.bn = make([]uint64, u.n)
+		t.brv = make([]uint64, u.n*WordBatchBudget)
 		t.inited = true
 	}
 	return t
 }
 
 // copyState copies record src into thread scratch under the seq protocol.
+// Batch counts read mid-rewrite are clamped before indexing; the stamp check
+// rejects the whole copy afterwards.
 func (u *PSimWords) copyState(src *wordsState, t *wordsThread) bool {
 	s1 := src.seq1.Load()
 	for w := 0; w < u.words; w++ {
@@ -154,6 +168,14 @@ func (u *PSimWords) copyState(src *wordsState, t *wordsThread) bool {
 	}
 	for k := 0; k < u.n; k++ {
 		t.rvals[k] = src.rvals[k].Load()
+		bn := src.bn[k].Load()
+		if bn > WordBatchBudget {
+			bn = WordBatchBudget
+		}
+		t.bn[k] = bn
+		for j := uint64(0); j < bn; j++ {
+			t.brv[k*WordBatchBudget+int(j)] = src.brv[k*WordBatchBudget+int(j)].Load()
+		}
 	}
 	return s1 == src.seq2.Load()
 }
@@ -161,14 +183,58 @@ func (u *PSimWords) copyState(src *wordsState, t *wordsThread) bool {
 // Apply announces arg for process i and returns the operation's response.
 func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 	t := u.thread(i)
-	st := u.stats
-	tr := st.Trace
-	tt := tr.OpStart(i)
+	tt := u.stats.Trace.OpStart(i)
 
-	u.announce[i].V.Store(arg)
+	an := &u.announce[i]
+	an.args[0].Store(arg)
+	an.cnt.Store(1)
 	t.toggler.Toggle()
 	t.bo.Wait()
 
+	r, _ := u.applyAnnounced(i, t, tt, 1, nil)
+	return r
+}
+
+// ApplyBatch announces the operation vector args for process i and returns
+// the responses in args order, appended to res[:0] (nil allocates). Vectors
+// longer than WordBatchBudget are split into budget-sized chunks, each
+// applied contiguously at its own linearization point.
+func (u *PSimWords) ApplyBatch(i int, args []uint64, res []uint64) []uint64 {
+	res = res[:0]
+	if len(args) == 0 {
+		return res
+	}
+	t := u.thread(i)
+	for len(args) > 0 {
+		m := len(args)
+		if m > WordBatchBudget {
+			m = WordBatchBudget
+		}
+		chunk := args[:m]
+		args = args[m:]
+		if m == 1 {
+			res = append(res, u.Apply(i, chunk[0]))
+			continue
+		}
+		tt := u.stats.Trace.OpStart(i)
+		an := &u.announce[i]
+		for j, a := range chunk {
+			an.args[j].Store(a)
+		}
+		an.cnt.Store(uint64(m))
+		t.toggler.Toggle()
+		t.bo.Wait()
+		_, res = u.applyAnnounced(i, t, tt, m, res)
+	}
+	return res
+}
+
+// applyAnnounced runs the two-round protocol plus the fallback read for
+// process i's just-announced vector of m operations (see PSimWord).
+func (u *PSimWords) applyAnnounced(i int, t *wordsThread, tt obs.Stamp, m int, res []uint64) (uint64, []uint64) {
+	st := u.stats
+	tr := st.Trace
+	um := uint64(m)
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ {
@@ -181,24 +247,46 @@ func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 		t.applied.XorInto(t.active, t.diffs)
 
 		if t.diffs[myWord]&myMask == 0 {
-			st.Ops.Inc(i)
-			st.ServedBy.Inc(i)
+			st.Ops.Add(i, um)
+			st.ServedBy.Add(i, um)
 			tr.OpServed(i, tt)
-			return t.rvals[i]
+			if m == 1 {
+				return t.rvals[i], res
+			}
+			return 0, appendRow(res, t.brv, t.bn, i)
 		}
 
 		dst := &u.pool[i*u.c+t.poolIndex]
 		dst.seq1.Add(1)
-		combined := uint64(0)
+		slots, ops := uint64(0), uint64(0)
 		d := t.diffs
 		for {
 			k := d.BitSearchFirst()
 			if k < 0 {
 				break
 			}
-			t.rvals[k] = u.apply(t.st, k, u.announce[k].V.Load())
 			d.ClearBit(k)
-			combined++
+			an := &u.announce[k]
+			cnt := int(an.cnt.Load())
+			if cnt < 1 {
+				cnt = 1
+			} else if cnt > WordBatchBudget {
+				cnt = WordBatchBudget
+			}
+			if cnt == 1 {
+				t.rvals[k] = u.apply(t.st, k, an.args[0].Load())
+				t.bn[k] = 0
+			} else {
+				var rv uint64
+				for q := 0; q < cnt; q++ {
+					rv = u.apply(t.st, k, an.args[q].Load())
+					t.brv[k*WordBatchBudget+q] = rv
+				}
+				t.rvals[k] = rv
+				t.bn[k] = uint64(cnt)
+			}
+			slots++
+			ops += uint64(cnt)
 		}
 		for w := 0; w < u.words; w++ {
 			dst.applied[w].Store(t.active[w])
@@ -208,23 +296,30 @@ func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 		}
 		for k := 0; k < u.n; k++ {
 			dst.rvals[k].Store(t.rvals[k])
+			dst.bn[k].Store(t.bn[k])
+			for q := uint64(0); q < t.bn[k]; q++ {
+				dst.brv[k*WordBatchBudget+int(q)].Store(t.brv[k*WordBatchBudget+int(q)])
+			}
 		}
 		dst.seq2.Add(1)
 
 		if u.p.CompareAndSwap(lpRaw, uint16(i*u.c+t.poolIndex), lpStamp+1) {
 			t.poolIndex = (t.poolIndex + 1) % u.c
-			st.Ops.Inc(i)
+			st.Ops.Add(i, um)
 			st.CASSuccess.Inc(i)
-			st.Combined.Add(i, combined)
+			st.Combined.Add(i, ops)
 			var act uint64
 			if tt != 0 {
 				act = uint64(t.active.PopCount()) // sampled rounds only
 			}
-			tr.OpCommit(i, tt, combined, act)
+			tr.OpCommit(i, tt, slots, act, ops)
 			if j == 0 {
 				t.bo.Shrink()
 			}
-			return t.rvals[i]
+			if m == 1 {
+				return t.rvals[i], res
+			}
+			return 0, appendRow(res, t.brv, t.bn, i)
 		}
 		st.CASFail.Inc(i)
 		tr.Instant(i, trace.KindCASFail, uint64(j), 0)
@@ -234,17 +329,31 @@ func (u *PSimWords) Apply(i int, arg uint64) uint64 {
 		}
 	}
 
-	st.Ops.Inc(i)
-	st.ServedBy.Inc(i)
+	st.Ops.Add(i, um)
+	st.ServedBy.Add(i, um)
 	tr.OpServed(i, tt)
 	for tries := 0; tries < 64; tries++ {
 		lpIdx, _ := u.p.Load()
 		if u.copyState(&u.pool[lpIdx], t) {
-			return t.rvals[i]
+			if m == 1 {
+				return t.rvals[i], res
+			}
+			return 0, appendRow(res, t.brv, t.bn, i)
 		}
 	}
 	lpIdx, _ := u.p.Load()
-	return u.pool[lpIdx].rvals[i].Load()
+	src := &u.pool[lpIdx]
+	if m == 1 {
+		return src.rvals[i].Load(), res
+	}
+	bn := src.bn[i].Load()
+	if bn > WordBatchBudget {
+		bn = WordBatchBudget
+	}
+	for q := uint64(0); q < bn; q++ {
+		res = append(res, src.brv[i*WordBatchBudget+int(q)].Load())
+	}
+	return 0, res
 }
 
 // ReadInto copies the current state into dst (len ≥ StateWords). Lock-free.
@@ -257,6 +366,8 @@ func (u *PSimWords) ReadInto(dst []uint64) {
 			applied: xatomic.NewSnapshot(u.n),
 			st:      make([]uint64, u.sWords),
 			rvals:   make([]uint64, u.n),
+			bn:      make([]uint64, u.n),
+			brv:     make([]uint64, u.n*WordBatchBudget),
 		}
 	}
 	for {

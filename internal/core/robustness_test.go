@@ -26,7 +26,7 @@ func TestPSimCrashedAnnouncerDoesNotBlock(t *testing.T) {
 	// Simulate process 0 crashing right after the announcement steps
 	// (Algorithm 3 lines 1-3).
 	arg := uint64(1_000_000)
-	u.announce.Write(0, &arg)
+	u.announce.PublishOne(0, arg)
 	xatomic.NewToggler(u.act, 0).Toggle()
 
 	var wg sync.WaitGroup
@@ -60,7 +60,8 @@ func TestPSimWordCrashedAnnouncerDoesNotBlock(t *testing.T) {
 	const n, per = 4, 200
 	u := faaWord(n, 4)
 
-	u.announce[0].V.Store(777)
+	u.announce[0].args[0].Store(777)
+	u.announce[0].cnt.Store(1)
 	xatomic.NewToggler(u.act, 0).Toggle()
 
 	var wg sync.WaitGroup

@@ -137,7 +137,7 @@ func (u *Sim[S, R]) ApplyOp(i int, op uint64) R {
 	u.stats.Ops.Inc(i)
 	u.rec.OpDone(i, t0)
 	if combined > 0 {
-		tr.OpCommit(i, tt, combined, 0) // at least one SC of ours published
+		tr.OpCommit(i, tt, combined, 0, combined) // at least one SC of ours published
 	} else {
 		tr.OpServed(i, tt) // every SC lost: a helper applied our op
 	}

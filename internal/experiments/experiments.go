@@ -85,6 +85,69 @@ func Fig2Makers(withMCS bool) []harness.Maker {
 	return makers
 }
 
+// Fig2BatchMakers returns the fig2-batch contenders: P-Sim driven through
+// ApplyBatch at every requested batch size (the per-call operation vector
+// rides one announce slot, so announce/toggle/backoff/CAS amortize across
+// the batch), for both the GC-based and the pooled variant. Batch 1 routes
+// through plain Apply and is the baseline the CI smoke compares against.
+// The harness reports throughput per LOGICAL operation (Instance.OpsPerCall).
+func Fig2BatchMakers(batches []int) []harness.Maker {
+	var makers []harness.Maker
+	for _, b := range batches {
+		b := b
+		if b <= 1 {
+			makers = append(makers,
+				fmulMaker("P-Sim b=1", func(n int) fmul.Interface { return fmul.NewPSim(n) },
+					func(o fmul.Interface) float64 { return o.(*fmul.PSim).Stats().AvgHelping }),
+				fmulMaker("P-Sim(pool) b=1", func(n int) fmul.Interface { return fmul.NewPSimPooled(n) }, nil))
+			continue
+		}
+		makers = append(makers,
+			batchMaker(fmt.Sprintf("P-Sim b=%d", b), b,
+				func(n int) fmulBatcher { return fmul.NewPSim(n) },
+				func(o fmulBatcher) float64 { return o.(*fmul.PSim).Stats().AvgHelping }),
+			batchMaker(fmt.Sprintf("P-Sim(pool) b=%d", b), b,
+				func(n int) fmulBatcher { return fmul.NewPSimPooled(n) }, nil))
+	}
+	return makers
+}
+
+// fmulBatcher is the batched Fetch&Multiply surface fig2-batch drives.
+type fmulBatcher interface {
+	ApplyBatch(id int, fs, res []uint64) []uint64
+	Name() string
+}
+
+// batchMaker adapts a batched fmul constructor: one Op call applies a
+// vector of b random factors through ApplyBatch, reusing per-thread arg and
+// result slices so the measured path is the construction, not the driver.
+func batchMaker(name string, b int, build func(n int) fmulBatcher, helping func(fmulBatcher) float64) harness.Maker {
+	return func(n int) harness.Instance {
+		o := build(n)
+		args := make([][]uint64, n)
+		res := make([][]uint64, n)
+		for i := range args {
+			args[i] = make([]uint64, b)
+		}
+		inst := harness.Instance{
+			Name:       name,
+			OpsPerCall: b,
+			Op: func(id int, rng *workload.RNG) {
+				fs := args[id]
+				for i := range fs {
+					fs[i] = uint64(rng.Intn(1000))*2 + 3
+				}
+				res[id] = o.ApplyBatch(id, fs, res[id])
+			},
+			Trace: traceHook(o),
+		}
+		if helping != nil {
+			inst.Helping = func() float64 { return helping(o) }
+		}
+		return inst
+	}
+}
+
 // stackMaker adapts a stack constructor: one harness operation is one
 // push+pop pair, matching the paper's "10^6 pairs of a push and a pop".
 func stackMaker(build func(n int) stack.Interface[uint64], helping func(stack.Interface[uint64]) float64) harness.Maker {

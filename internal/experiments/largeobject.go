@@ -120,3 +120,48 @@ func MapContentionMakers(stripes int) []harness.Maker {
 	}
 	return []harness.Maker{striped, single}
 }
+
+// ShardedMapMakers sweeps the sharded wait-free map across shard counts,
+// driving every instance with MSet batches of `batch` random keys
+// (batch <= 1 degrades to single Puts). One shard is the baseline: it shows
+// what hash-partitioning across independent Sim instances buys on top of
+// striping alone, so stripes-per-shard stays FIXED (8) while the shard
+// count sweeps — total chain length per key is held constant by the 512-key
+// space, matching MapContentionMakers.
+func ShardedMapMakers(shards []int, batch int) []harness.Maker {
+	var makers []harness.Maker
+	for _, k := range shards {
+		k := k
+		makers = append(makers, func(n int) harness.Instance {
+			m := simmap.NewSharded[uint64, uint64](n, k, 8)
+			if batch <= 1 {
+				return harness.Instance{
+					Name: fmt.Sprintf("Sharded(%d)", k),
+					Op: func(id int, rng *workload.RNG) {
+						key := rng.Uint64() % 512
+						m.Put(id, key, key)
+					},
+				}
+			}
+			keys := make([][]uint64, n)
+			vals := make([][]uint64, n)
+			for i := range keys {
+				keys[i] = make([]uint64, batch)
+				vals[i] = make([]uint64, batch)
+			}
+			return harness.Instance{
+				Name:       fmt.Sprintf("Sharded(%d) b=%d", k, batch),
+				OpsPerCall: batch,
+				Op: func(id int, rng *workload.RNG) {
+					ks, vs := keys[id], vals[id]
+					for i := range ks {
+						ks[i] = rng.Uint64() % 512
+						vs[i] = ks[i]
+					}
+					m.MSet(id, ks, vs)
+				},
+			}
+		})
+	}
+	return makers
+}

@@ -55,6 +55,13 @@ func NewPSim(n int, opts ...core.PSimOption[uint64]) *PSim {
 // Apply implements Interface.
 func (o *PSim) Apply(id int, f uint64) uint64 { return o.u.Apply(id, f) }
 
+// ApplyBatch multiplies by every factor of fs in order on behalf of process
+// id, appending the previous values to res[:0] and returning it (see
+// core.PSim.ApplyBatch): the whole vector is combined in one announce slot.
+func (o *PSim) ApplyBatch(id int, fs, res []uint64) []uint64 {
+	return o.u.ApplyBatch(id, fs, res)
+}
+
 // Read implements Interface.
 func (o *PSim) Read() uint64 { return o.u.Read() }
 
@@ -93,6 +100,13 @@ func NewPSimPooled(n int) *PSimPooled {
 
 // Apply implements Interface.
 func (o *PSimPooled) Apply(id int, f uint64) uint64 { return o.u.Apply(id, f) }
+
+// ApplyBatch multiplies by every factor of fs in order on behalf of process
+// id, appending the previous values to res[:0] and returning it (see
+// core.PSimWord.ApplyBatch).
+func (o *PSimPooled) ApplyBatch(id int, fs, res []uint64) []uint64 {
+	return o.u.ApplyBatch(id, fs, res)
+}
 
 // Read implements Interface.
 func (o *PSimPooled) Read() uint64 { return o.u.Read() }

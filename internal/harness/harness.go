@@ -73,6 +73,13 @@ type Instance struct {
 	Op      func(id int, rng *workload.RNG)
 	Helping func() float64
 
+	// OpsPerCall is the number of logical operations one Op call performs
+	// (a batched instance sets its batch size; 0 means 1). The harness
+	// divides the per-thread call count by it so every instance of a sweep
+	// executes the same number of LOGICAL operations, and throughput /
+	// allocs-per-op are reported per logical operation.
+	OpsPerCall int
+
 	// Trace, when non-nil, attaches a flight recorder to the instance
 	// (called once before the run when Config.Tracer is set). Makers for
 	// implementations without tracing hooks leave it nil.
@@ -88,7 +95,8 @@ type Maker func(n int) Instance
 type Result struct {
 	Impl       string
 	Threads    int
-	TotalOps   int
+	Batch      int // logical operations per call (1 unless batched)
+	TotalOps   int // logical operations actually executed
 	Reps       int
 	MeanSec    float64
 	StdevSec   float64
@@ -146,20 +154,26 @@ func runOne(cfg Config, maker Maker, n int) Result {
 	helping := math.NaN()
 	allocs := math.Inf(1)
 	var name string
+	batch, totalOps := 1, cfg.TotalOps
 	hist := latencyHist(cfg, n)
 	before := hist.Snapshot() // shared registry metric: delta out other runs
 	var ms runtime.MemStats
 	for rep := 0; rep < cfg.Reps; rep++ {
 		inst := maker(n)
 		name = inst.Name
+		if inst.OpsPerCall > 1 {
+			batch = inst.OpsPerCall
+		}
 		if cfg.Tracer != nil && inst.Trace != nil {
 			inst.Trace(cfg.Tracer)
 		}
 		runtime.ReadMemStats(&ms)
 		m0 := ms.Mallocs
-		times = append(times, timeRun(cfg, inst, n, uint64(rep)+cfg.Seed, hist))
+		sec, ops := timeRun(cfg, inst, n, uint64(rep)+cfg.Seed, hist)
+		times = append(times, sec)
+		totalOps = ops
 		runtime.ReadMemStats(&ms)
-		if a := float64(ms.Mallocs-m0) / float64(cfg.TotalOps); a < allocs {
+		if a := float64(ms.Mallocs-m0) / float64(ops); a < allocs {
 			allocs = a
 		}
 		if rep == cfg.Reps-1 && inst.Helping != nil {
@@ -168,8 +182,8 @@ func runOne(cfg Config, maker Maker, n int) Result {
 	}
 	mean, stdev := meanStdev(times)
 	r := Result{
-		Impl: name, Threads: n,
-		TotalOps: cfg.TotalOps, Reps: cfg.Reps,
+		Impl: name, Threads: n, Batch: batch,
+		TotalOps: totalOps, Reps: cfg.Reps,
 		MeanSec: mean, StdevSec: stdev,
 		MinSec: minOf(times), MaxSec: maxOf(times),
 		AvgHelping:  helping,
@@ -180,18 +194,27 @@ func runOne(cfg Config, maker Maker, n int) Result {
 		r.Latency.Sub(before)
 	}
 	if mean > 0 {
-		r.Throughput = float64(cfg.TotalOps) / mean
+		r.Throughput = float64(totalOps) / mean
 	}
 	return r
 }
 
-// timeRun measures one run: n goroutines, TotalOps/n operations each, with
-// random local work between operations. A non-nil hist additionally records
-// each operation's latency into the goroutine's private slot.
-func timeRun(cfg Config, inst Instance, n int, seed uint64, hist *obs.Histogram) float64 {
+// timeRun measures one run: n goroutines, each performing TotalOps/n
+// logical operations (an instance whose Op covers OpsPerCall operations is
+// called proportionally fewer times), with random local work between calls.
+// It returns the wall-clock seconds and the number of LOGICAL operations
+// actually executed. A non-nil hist additionally records each call's
+// latency into the goroutine's private slot.
+func timeRun(cfg Config, inst Instance, n int, seed uint64, hist *obs.Histogram) (float64, int) {
 	opsPer := cfg.TotalOps / n
 	if opsPer == 0 {
 		opsPer = 1
+	}
+	if b := inst.OpsPerCall; b > 1 {
+		opsPer /= b
+		if opsPer == 0 {
+			opsPer = 1
+		}
 	}
 	var start, done sync.WaitGroup
 	start.Add(1)
@@ -219,7 +242,11 @@ func timeRun(cfg Config, inst Instance, n int, seed uint64, hist *obs.Histogram)
 	t0 := time.Now()
 	start.Done()
 	done.Wait()
-	return time.Since(t0).Seconds()
+	b := inst.OpsPerCall
+	if b < 1 {
+		b = 1
+	}
+	return time.Since(t0).Seconds(), opsPer * b * n
 }
 
 func meanStdev(xs []float64) (mean, stdev float64) {
@@ -370,6 +397,7 @@ func CSV(results []Result) string {
 type benchRecord struct {
 	Impl        string  `json:"impl"`
 	Threads     int     `json:"threads"`
+	Batch       int     `json:"batch"`
 	TotalOps    int     `json:"total_ops"`
 	Reps        int     `json:"reps"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -399,9 +427,14 @@ func BenchJSON(experiments map[string][]Result) ([]byte, error) {
 	for name, results := range experiments {
 		recs := make([]benchRecord, 0, len(results))
 		for _, r := range results {
+			batch := r.Batch
+			if batch < 1 {
+				batch = 1
+			}
 			rec := benchRecord{
 				Impl:        r.Impl,
 				Threads:     r.Threads,
+				Batch:       batch,
 				TotalOps:    r.TotalOps,
 				Reps:        r.Reps,
 				AllocsPerOp: r.AllocsPerOp,

@@ -15,6 +15,19 @@
 //
 // Malformed requests get "ERR <reason>" and the connection stays open.
 //
+// Pipelining (WithPipeline): clients may send many newline-separated
+// requests without waiting for responses. The server reads up to the
+// configured depth of ALREADY-QUEUED complete lines per wakeup, executes
+// consecutive runs of the same command as ONE batched map operation
+// (simmap MSet/MGet/MDelete — one combining round per touched shard
+// instead of one per key), and writes the responses back strictly in
+// request order. Responses are byte-identical to the unpipelined protocol,
+// so pipelining is purely a client-side throughput knob.
+//
+// Sharding (WithShards): the store becomes a simmap.Sharded of independent
+// per-shard maps, so heavy multi-client write loads scale past a single
+// combiner.
+//
 // Every server carries an obs.Registry (see internal/obs): the striped map's
 // Sim recorders (map_* metrics: op latency, combining degree, CAS outcomes)
 // plus per-command counters (kv_put_total, …) and a connection gauge
@@ -24,6 +37,7 @@ package kvserver
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"net"
@@ -32,23 +46,40 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/simmap"
 )
 
+// Store is the map surface the server runs on; both simmap.Map (striped)
+// and simmap.Sharded (sharded-and-striped) satisfy it.
+type Store interface {
+	Put(id int, k string, v uint64) (prev uint64, existed bool)
+	Delete(id int, k string) (prev uint64, existed bool)
+	Get(k string) (uint64, bool)
+	MSet(id int, keys []string, vals []uint64) (prevs []uint64, existed []bool)
+	MDelete(id int, keys []string) (prevs []uint64, existed []bool)
+	MGet(id int, keys []string) (vals []uint64, ok []bool)
+	Len() int
+	Stats() core.Stats
+}
+
 // Server is a key-value server instance. Up to MaxClients connections are
 // served concurrently; each holds one of the map's process ids while
 // connected.
 type Server struct {
-	m       *simmap.Map[string, uint64]
-	ids     chan int // free-list of process ids
-	ln      net.Listener
-	mu      sync.Mutex
-	closed  bool
-	conns   map[net.Conn]struct{} // in-flight connections, closed by Close
-	wg      sync.WaitGroup
-	maxConn int
+	store    Store
+	m        *simmap.Map[string, uint64]     // non-nil in unsharded mode
+	sh       *simmap.Sharded[string, uint64] // non-nil in sharded mode
+	pipeline int                             // batch depth; <=1 is line-at-a-time
+	ids      chan int                        // free-list of process ids
+	ln       net.Listener
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{} // in-flight connections, closed by Close
+	wg       sync.WaitGroup
+	maxConn  int
 
 	reg    *obs.Registry
 	tracer *trace.Tracer // nil until EnableFlightRecorder
@@ -58,34 +89,68 @@ type Server struct {
 	gConns                               *obs.Gauge
 }
 
+// Option configures a Server.
+type Option func(*serverCfg)
+
+type serverCfg struct {
+	shards   int
+	pipeline int
+}
+
+// WithShards partitions the store into k independent shards (rounded up to
+// a power of two; <=1 keeps the single striped map). Each shard gets its
+// own metric family (mapshard<i>_*).
+func WithShards(k int) Option { return func(c *serverCfg) { c.shards = k } }
+
+// WithPipeline enables pipelined request handling with the given batch
+// depth: up to depth queued requests are read per wakeup and consecutive
+// same-command runs execute as one batched map operation. Depth <=1
+// keeps the line-at-a-time loop.
+func WithPipeline(depth int) Option { return func(c *serverCfg) { c.pipeline = depth } }
+
 // New returns a server allowing maxClients concurrent connections, with the
-// given stripe count for the underlying map (0 selects maxClients).
-func New(maxClients, stripes int) *Server {
+// given stripe count for the underlying map (0 selects maxClients; in
+// sharded mode the count applies per shard).
+func New(maxClients, stripes int, opts ...Option) *Server {
 	if maxClients < 1 {
 		maxClients = 1
 	}
 	if stripes <= 0 {
 		stripes = maxClients
 	}
+	var cfg serverCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
 	reg := obs.NewRegistry()
 	s := &Server{
-		m:       simmap.New[string, uint64](maxClients, stripes),
-		ids:     make(chan int, maxClients),
-		conns:   map[net.Conn]struct{}{},
-		maxConn: maxClients,
-		reg:     reg,
-		cPut:    reg.Counter("kv_put_total", maxClients),
-		cGet:    reg.Counter("kv_get_total", maxClients),
-		cDel:    reg.Counter("kv_del_total", maxClients),
-		cLen:    reg.Counter("kv_len_total", maxClients),
-		cStats:  reg.Counter("kv_stats_total", maxClients),
-		cErr:    reg.Counter("kv_err_total", maxClients),
-		gConns:  reg.Gauge("kv_connections"),
+		pipeline: cfg.pipeline,
+		ids:      make(chan int, maxClients),
+		conns:    map[net.Conn]struct{}{},
+		maxConn:  maxClients,
+		reg:      reg,
+		cPut:     reg.Counter("kv_put_total", maxClients),
+		cGet:     reg.Counter("kv_get_total", maxClients),
+		cDel:     reg.Counter("kv_del_total", maxClients),
+		cLen:     reg.Counter("kv_len_total", maxClients),
+		cStats:   reg.Counter("kv_stats_total", maxClients),
+		cErr:     reg.Counter("kv_err_total", maxClients),
+		gConns:   reg.Gauge("kv_connections"),
 	}
 	// Record every operation's latency: map mutations sit behind network
 	// round-trips here, so the default distribution sampling would only thin
 	// out an already low-rate signal.
-	s.m.Instrument(reg, "map").SetSampleEvery(1)
+	if cfg.shards > 1 {
+		s.sh = simmap.NewSharded[string, uint64](maxClients, cfg.shards, stripes)
+		s.store = s.sh
+		for _, rec := range s.sh.Instrument(reg, "map") {
+			rec.SetSampleEvery(1)
+		}
+	} else {
+		s.m = simmap.New[string, uint64](maxClients, stripes)
+		s.store = s.m
+		s.m.Instrument(reg, "map").SetSampleEvery(1)
+	}
 	for i := 0; i < maxClients; i++ {
 		s.ids <- i
 	}
@@ -109,7 +174,18 @@ func (s *Server) EnableFlightRecorder(capacity, sampleEvery int) *trace.Tracer {
 		opts = append(opts, trace.WithSampleEvery(sampleEvery))
 	}
 	s.tracer = trace.New(s.maxConn, opts...)
-	s.m.SetTracer(s.tracer)
+	if s.sh != nil {
+		// One shared tracer across shards: a multi-key call touches shards
+		// one after another, so per-pid rings keep a single writer, and one
+		// interleaved stream is the right shape for /debug/flight.
+		trs := make([]*trace.Tracer, s.sh.Shards())
+		for i := range trs {
+			trs[i] = s.tracer
+		}
+		s.sh.SetTracer(trs)
+	} else {
+		s.m.SetTracer(s.tracer)
+	}
 	return s.tracer
 }
 
@@ -212,6 +288,10 @@ func (s *Server) Close() error {
 func (s *Server) ServeConn(id int, conn net.Conn) {
 	labels := pprof.Labels("pid", strconv.Itoa(id), "object", "simmap")
 	pprof.Do(context.Background(), labels, func(context.Context) {
+		if s.pipeline > 1 {
+			s.servePipelined(id, conn)
+			return
+		}
 		sc := bufio.NewScanner(conn)
 		w := bufio.NewWriter(conn)
 		for sc.Scan() {
@@ -231,6 +311,163 @@ func (s *Server) ServeConn(id int, conn net.Conn) {
 	})
 }
 
+// servePipelined is the ServeConn loop in pipeline mode: block for one
+// request, then drain up to pipeline-1 further COMPLETE lines the client
+// already queued (never blocking mid-batch — a lone request is still served
+// immediately), execute the batch, flush all responses at once.
+func (s *Server) servePipelined(id int, conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	ex := newExecutor(s, id, w)
+	lines := make([]string, 0, s.pipeline)
+	for {
+		line, err := r.ReadString('\n')
+		if line == "" && err != nil {
+			return
+		}
+		lines = append(lines[:0], line)
+		for len(lines) < s.pipeline && bufferedLine(r) {
+			line, err = r.ReadString('\n')
+			if line == "" {
+				break
+			}
+			lines = append(lines, line)
+		}
+		quit := ex.run(lines)
+		if w.Flush() != nil || quit || err != nil {
+			return
+		}
+	}
+}
+
+// bufferedLine reports whether r holds a complete line that can be read
+// without touching the connection.
+func bufferedLine(r *bufio.Reader) bool {
+	n := r.Buffered()
+	if n == 0 {
+		return false
+	}
+	b, _ := r.Peek(n)
+	return bytes.IndexByte(b, '\n') >= 0
+}
+
+// executor accumulates consecutive same-command requests of a pipelined
+// batch and executes each run as one multi-key map operation. Its slices
+// are reused across batches, so a steady pipelined connection allocates
+// only what the responses themselves need.
+type executor struct {
+	s    *Server
+	id   int
+	w    *bufio.Writer
+	kind byte // pending run: 'P', 'G', 'D', or 0
+	keys []string
+	vals []uint64
+}
+
+func newExecutor(s *Server, id int, w *bufio.Writer) *executor {
+	return &executor{s: s, id: id, w: w}
+}
+
+// run executes one batch of request lines, writing responses in request
+// order; quit reports a QUIT (remaining queued lines are dropped, matching
+// the unpipelined loop which stops reading after QUIT).
+func (ex *executor) run(lines []string) (quit bool) {
+	for _, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "PUT":
+			if len(fields) == 3 {
+				if v, err := strconv.ParseUint(fields[2], 10, 64); err == nil {
+					ex.push('P', fields[1], v)
+					continue
+				}
+			}
+		case "GET":
+			if len(fields) == 2 {
+				ex.push('G', fields[1], 0)
+				continue
+			}
+		case "DEL":
+			if len(fields) == 2 {
+				ex.push('D', fields[1], 0)
+				continue
+			}
+		}
+		// Anything else — LEN, STATS, QUIT, malformed — is a run barrier
+		// served by the single-request handler.
+		ex.flush()
+		resp, q := ex.s.handle(ex.id, line)
+		fmt.Fprintln(ex.w, resp)
+		if q {
+			return true
+		}
+	}
+	ex.flush()
+	return false
+}
+
+// push appends one keyed request to the pending run, flushing first when
+// the command kind changes (responses must stay in request order).
+func (ex *executor) push(kind byte, key string, val uint64) {
+	if ex.kind != kind {
+		ex.flush()
+		ex.kind = kind
+	}
+	ex.keys = append(ex.keys, key)
+	if kind == 'P' {
+		ex.vals = append(ex.vals, val)
+	}
+}
+
+// flush executes the pending run as one batched store call and writes its
+// responses.
+func (ex *executor) flush() {
+	if len(ex.keys) == 0 {
+		ex.kind = 0
+		return
+	}
+	s, id, m := ex.s, ex.id, uint64(len(ex.keys))
+	switch ex.kind {
+	case 'P':
+		s.cPut.Add(id, m)
+		prevs, existed := s.store.MSet(id, ex.keys, ex.vals)
+		for i := range prevs {
+			if existed[i] {
+				fmt.Fprintf(ex.w, "OK %d\n", prevs[i])
+			} else {
+				fmt.Fprintln(ex.w, "OK NIL")
+			}
+		}
+	case 'G':
+		s.cGet.Add(id, m)
+		vals, ok := s.store.MGet(id, ex.keys)
+		for i := range vals {
+			if ok[i] {
+				fmt.Fprintf(ex.w, "VAL %d\n", vals[i])
+			} else {
+				fmt.Fprintln(ex.w, "NIL")
+			}
+		}
+	case 'D':
+		s.cDel.Add(id, m)
+		prevs, existed := s.store.MDelete(id, ex.keys)
+		for i := range prevs {
+			if existed[i] {
+				fmt.Fprintf(ex.w, "OK %d\n", prevs[i])
+			} else {
+				fmt.Fprintln(ex.w, "OK NIL")
+			}
+		}
+	}
+	ex.keys = ex.keys[:0]
+	ex.vals = ex.vals[:0]
+	ex.kind = 0
+}
+
 // handle executes one request line and returns the response line.
 func (s *Server) handle(id int, line string) (resp string, quit bool) {
 	fields := strings.Fields(line)
@@ -247,7 +484,7 @@ func (s *Server) handle(id int, line string) (resp string, quit bool) {
 			return "ERR value must be a uint64", false
 		}
 		s.cPut.Inc(id)
-		prev, existed := s.m.Put(id, fields[1], v)
+		prev, existed := s.store.Put(id, fields[1], v)
 		if !existed {
 			return "OK NIL", false
 		}
@@ -258,7 +495,7 @@ func (s *Server) handle(id int, line string) (resp string, quit bool) {
 			return "ERR usage: GET <key>", false
 		}
 		s.cGet.Inc(id)
-		v, ok := s.m.Get(fields[1])
+		v, ok := s.store.Get(fields[1])
 		if !ok {
 			return "NIL", false
 		}
@@ -269,17 +506,17 @@ func (s *Server) handle(id int, line string) (resp string, quit bool) {
 			return "ERR usage: DEL <key>", false
 		}
 		s.cDel.Inc(id)
-		prev, existed := s.m.Delete(id, fields[1])
+		prev, existed := s.store.Delete(id, fields[1])
 		if !existed {
 			return "OK NIL", false
 		}
 		return fmt.Sprintf("OK %d", prev), false
 	case "LEN":
 		s.cLen.Inc(id)
-		return fmt.Sprintf("LEN %d", s.m.Len()), false
+		return fmt.Sprintf("LEN %d", s.store.Len()), false
 	case "STATS":
 		s.cStats.Inc(id)
-		st := s.m.Stats()
+		st := s.store.Stats()
 		return fmt.Sprintf("STATS ops=%d helping=%.2f cas_fail=%d served_by=%d",
 			st.Ops, st.AvgHelping, st.CASFailures, st.ServedByOther), false
 	case "QUIT":
@@ -289,5 +526,13 @@ func (s *Server) handle(id int, line string) (resp string, quit bool) {
 	return "ERR unknown command " + cmd, false
 }
 
-// Map exposes the underlying map for embedding scenarios and tests.
+// Map exposes the underlying map for embedding scenarios and tests; nil
+// when the server was built with WithShards (use Store or Sharded then).
 func (s *Server) Map() *simmap.Map[string, uint64] { return s.m }
+
+// Sharded exposes the underlying sharded map; nil unless the server was
+// built with WithShards.
+func (s *Server) Sharded() *simmap.Sharded[string, uint64] { return s.sh }
+
+// Store exposes whichever store the server runs on.
+func (s *Server) Store() Store { return s.store }

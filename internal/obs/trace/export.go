@@ -64,12 +64,15 @@ func WriteChrome(w io.Writer, evs []Event) error {
 			Ts:   float64(ev.Start) / 1e3,
 			Args: map[string]any{"seq": ev.Seq},
 		}
-		an, bn := ev.Kind.argNames()
+		an, bn, cn := ev.Kind.argNames()
 		if an != "" {
 			ce.Args[an] = ev.A
 		}
 		if bn != "" {
 			ce.Args[bn] = ev.B
+		}
+		if cn != "" {
+			ce.Args[cn] = ev.C
 		}
 		switch ev.Kind {
 		case KindRound, KindServed:
@@ -103,12 +106,15 @@ func WriteText(w io.Writer, evs []Event) error {
 			dur = " dur=" + time.Duration(ev.Dur).String()
 		}
 		args := ""
-		an, bn := ev.Kind.argNames()
+		an, bn, cn := ev.Kind.argNames()
 		if an != "" {
 			args += fmt.Sprintf(" %s=%d", an, ev.A)
 		}
 		if bn != "" {
 			args += fmt.Sprintf(" %s=%d", bn, ev.B)
+		}
+		if cn != "" {
+			args += fmt.Sprintf(" %s=%d", cn, ev.C)
 		}
 		_, err := fmt.Fprintf(w, "%12s %s #%-6d %-15s%s%s\n",
 			"+"+time.Duration(ev.Start-base).String(), pid, ev.Seq, ev.Kind, dur, args)

@@ -13,7 +13,7 @@ func buildTrace(t *testing.T) *Tracer {
 	tr := New(2, WithSampleEvery(1))
 	t0 := tr.OpStart(0)
 	tr.Instant(0, KindCASFail, 0, 0)
-	tr.OpCommit(0, t0, 3, 2)
+	tr.OpCommit(0, t0, 3, 2, 7)
 	t1 := tr.OpStart(1)
 	tr.Rare(1, KindBackoffGrow, 128, 0)
 	tr.OpServed(1, t1)

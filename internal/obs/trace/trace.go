@@ -54,8 +54,10 @@ type Kind uint8
 
 const (
 	// KindRound is a committed combining round: the recording process won
-	// the publish CAS. A = degree of combining (operations applied), B =
-	// popcount of the Act announce bit-vector when the round was built.
+	// the publish CAS. A = degree of combining (announce slots applied), B =
+	// popcount of the Act announce bit-vector when the round was built, C =
+	// logical operations applied (each slot carries a vector, so C ≥ A; C/A
+	// is the batch amplification on top of the combining degree).
 	// Dur spans announce → commit, so a Chrome export renders it as a
 	// complete per-pid track event.
 	KindRound Kind = 1 + iota
@@ -110,22 +112,22 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
-// argNames returns the export labels of the kind's A and B payload words
+// argNames returns the export labels of the kind's A, B, and C payload words
 // ("" = not meaningful for this kind).
-func (k Kind) argNames() (a, b string) {
+func (k Kind) argNames() (a, b, c string) {
 	switch k {
 	case KindRound:
-		return "degree", "act"
+		return "degree", "act", "ops"
 	case KindCASFail:
-		return "attempt", "hazard"
+		return "attempt", "hazard", ""
 	case KindBackoffGrow:
-		return "window", ""
+		return "window", "", ""
 	case KindRecycleHit, KindRecycleMiss:
-		return "resident", ""
+		return "resident", "", ""
 	case KindSplice:
-		return "helper", ""
+		return "helper", "", ""
 	}
-	return "", ""
+	return "", "", ""
 }
 
 // AnonPid is the Pid reported for events recorded without a process id
@@ -134,12 +136,12 @@ const AnonPid = -1
 
 // Event is one decoded flight-recorder event.
 type Event struct {
-	Pid   int       // recording process id, or AnonPid
-	Kind  Kind      //
-	Seq   uint64    // per-ring monotone event index (detects overwrites)
-	Start obs.Stamp // ns since the obs epoch (same clock as SimRecorder)
-	Dur   int64     // ns; 0 for instant events
-	A, B  uint64    // kind-specific payload (see the Kind constants)
+	Pid     int       // recording process id, or AnonPid
+	Kind    Kind      //
+	Seq     uint64    // per-ring monotone event index (detects overwrites)
+	Start   obs.Stamp // ns since the obs epoch (same clock as SimRecorder)
+	Dur     int64     // ns; 0 for instant events
+	A, B, C uint64    // kind-specific payload (see the Kind constants)
 }
 
 // slot is one ring slot. hdr is the mod-2 sequence stamp: 0 = never
@@ -147,21 +149,22 @@ type Event struct {
 // words are individually atomic so a racing Snapshot is race-detector-clean;
 // consistency of the WHOLE slot comes from re-validating hdr.
 type slot struct {
-	hdr   atomic.Uint64
-	kind  atomic.Uint64
-	start atomic.Int64
-	dur   atomic.Int64
-	a, b  atomic.Uint64
+	hdr     atomic.Uint64
+	kind    atomic.Uint64
+	start   atomic.Int64
+	dur     atomic.Int64
+	a, b, c atomic.Uint64
 }
 
 // write records one event into the slot for sequence number seq.
-func (s *slot) write(seq uint64, k Kind, start obs.Stamp, dur int64, a, b uint64) {
+func (s *slot) write(seq uint64, k Kind, start obs.Stamp, dur int64, a, b, c uint64) {
 	s.hdr.Store(2*seq + 1) // open: odd marks the slot torn
 	s.kind.Store(uint64(k))
 	s.start.Store(int64(start))
 	s.dur.Store(dur)
 	s.a.Store(a)
 	s.b.Store(b)
+	s.c.Store(c)
 	s.hdr.Store(2*seq + 2) // close: even and unique per reuse
 }
 
@@ -181,6 +184,7 @@ func (s *slot) read(pid int) (Event, bool) {
 		Dur:   s.dur.Load(),
 		A:     s.a.Load(),
 		B:     s.b.Load(),
+		C:     s.c.Load(),
 	}
 	if s.hdr.Load() != h1 {
 		return Event{}, false
@@ -203,8 +207,8 @@ type ring struct {
 	_         pad.CacheLinePad
 }
 
-func (r *ring) write(k Kind, start obs.Stamp, dur int64, a, b uint64) {
-	r.slots[r.pos&uint64(len(r.slots)-1)].write(r.pos, k, start, dur, a, b)
+func (r *ring) write(k Kind, start obs.Stamp, dur int64, a, b, c uint64) {
+	r.slots[r.pos&uint64(len(r.slots)-1)].write(r.pos, k, start, dur, a, b, c)
 	r.pos++
 }
 
@@ -323,10 +327,11 @@ func (t *Tracer) OpStart(id int) obs.Stamp {
 }
 
 // OpCommit closes an operation that won its publish CAS, having combined
-// `degree` announced operations out of an Act vector with `act` bits set.
-// The committed progress counter advances always; the round event is
-// recorded only for sampled operations (t0 != 0).
-func (t *Tracer) OpCommit(id int, t0 obs.Stamp, degree, act uint64) {
+// `degree` announce slots — `ops` logical operations, counting each slot's
+// whole announced vector — out of an Act vector with `act` bits set. The
+// committed progress counter advances always; the round event is recorded
+// only for sampled operations (t0 != 0).
+func (t *Tracer) OpCommit(id int, t0 obs.Stamp, degree, act, ops uint64) {
 	if t == nil {
 		return
 	}
@@ -336,7 +341,7 @@ func (t *Tracer) OpCommit(id int, t0 obs.Stamp, degree, act uint64) {
 	if t0 == 0 {
 		return
 	}
-	r.write(KindRound, t0, int64(obs.Now()-t0), degree, act)
+	r.write(KindRound, t0, int64(obs.Now()-t0), degree, act, ops)
 }
 
 // OpServed closes an operation completed by another thread's combine.
@@ -350,7 +355,7 @@ func (t *Tracer) OpServed(id int, t0 obs.Stamp) {
 	if t0 == 0 {
 		return
 	}
-	r.write(KindServed, t0, int64(obs.Now()-t0), 0, 0)
+	r.write(KindServed, t0, int64(obs.Now()-t0), 0, 0, 0)
 }
 
 // Instant records a mid-operation event — honouring the current operation's
@@ -365,7 +370,7 @@ func (t *Tracer) Instant(id int, k Kind, a, b uint64) {
 	if !r.sampled {
 		return
 	}
-	r.write(k, obs.Now(), 0, a, b)
+	r.write(k, obs.Now(), 0, a, b, 0)
 }
 
 // Rare records an event unconditionally (no sampling gate). Use for events
@@ -376,7 +381,7 @@ func (t *Tracer) Rare(id int, k Kind, a, b uint64) {
 	if t == nil {
 		return
 	}
-	t.rings[id].write(k, obs.Now(), 0, a, b)
+	t.rings[id].write(k, obs.Now(), 0, a, b, 0)
 }
 
 // AnonInstant records an event with no process id into the shared ring
@@ -399,6 +404,7 @@ func (t *Tracer) AnonInstant(k Kind, a, b uint64) {
 	s.dur.Store(0)
 	s.a.Store(a)
 	s.b.Store(b)
+	s.c.Store(0)
 	s.hdr.Store(2*seq + 2)
 }
 

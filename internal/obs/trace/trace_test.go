@@ -17,7 +17,7 @@ func TestNilTracerIsNoOp(t *testing.T) {
 	if tt := tr.OpStart(0); tt != 0 {
 		t.Fatalf("nil OpStart = %d, want 0", tt)
 	}
-	tr.OpCommit(0, 1, 2, 3)
+	tr.OpCommit(0, 1, 2, 3, 4)
 	tr.OpServed(0, 1)
 	tr.Instant(0, KindCASFail, 1, 2)
 	tr.Rare(0, KindBackoffGrow, 1, 2)
@@ -39,7 +39,7 @@ func TestRoundEventRecorded(t *testing.T) {
 	if t0 == 0 {
 		t.Fatal("sampled OpStart returned 0")
 	}
-	tr.OpCommit(1, t0, 5, 3)
+	tr.OpCommit(1, t0, 5, 3, 5)
 	evs := tr.Snapshot()
 	if len(evs) != 1 {
 		t.Fatalf("got %d events, want 1", len(evs))
@@ -65,7 +65,7 @@ func TestSamplingGatesRoundEvents(t *testing.T) {
 			t.Fatalf("op %d: sampled=%v, want %v", i, t0 != 0, wantSampled)
 		}
 		tr.Instant(0, KindCASFail, uint64(i), 0)
-		tr.OpCommit(0, t0, 1, 1)
+		tr.OpCommit(0, t0, 1, 1, 1)
 	}
 	var rounds, instants int
 	for _, ev := range tr.Snapshot() {
@@ -88,10 +88,10 @@ func TestSamplingGatesRoundEvents(t *testing.T) {
 func TestRareBypassesSampling(t *testing.T) {
 	tr := New(1, WithSampleEvery(1024))
 	tr.OpStart(0) // op 0 sampled; subsequent ops are not
-	tr.OpCommit(0, 0, 1, 1)
+	tr.OpCommit(0, 0, 1, 1, 1)
 	tr.OpStart(0)
 	tr.Rare(0, KindBackoffGrow, 512, 0)
-	tr.OpCommit(0, 0, 1, 1)
+	tr.OpCommit(0, 0, 1, 1, 1)
 	var grows int
 	for _, ev := range tr.Snapshot() {
 		if ev.Kind == KindBackoffGrow && ev.A == 512 {
@@ -150,7 +150,7 @@ func TestConcurrentWritersSnapshotRace(t *testing.T) {
 				t0 := tr.OpStart(pid)
 				a := uint64(pid)<<32 | uint64(i)
 				tr.Instant(pid, KindCASFail, a, a^payloadMagic)
-				tr.OpCommit(pid, t0, a, a^payloadMagic)
+				tr.OpCommit(pid, t0, a, a^payloadMagic, a)
 				tr.AnonInstant(KindHazardOverflow, a, a^payloadMagic)
 			}
 		}(pid)
@@ -201,7 +201,7 @@ func TestSnapshotOrderedByStart(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		pid := i % 3
 		t0 := tr.OpStart(pid)
-		tr.OpCommit(pid, t0, 1, 1)
+		tr.OpCommit(pid, t0, 1, 1, 1)
 	}
 	evs := tr.Snapshot()
 	if len(evs) != 30 {

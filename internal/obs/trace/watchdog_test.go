@@ -24,7 +24,7 @@ func TestWatchdogDetectsStalledPid(t *testing.T) {
 	// The rest of the system commits well past the budget.
 	for i := 0; i < 25; i++ {
 		t0 := tr.OpStart(0)
-		tr.OpCommit(0, t0, 1, 1)
+		tr.OpCommit(0, t0, 1, 1, 1)
 	}
 
 	stalls := wd.Scan()
@@ -51,7 +51,7 @@ func TestWatchdogDetectsStalledPid(t *testing.T) {
 	}
 
 	// The stalled operation finally commits: the stall clears.
-	tr.OpCommit(1, 0, 1, 1)
+	tr.OpCommit(1, 0, 1, 1, 1)
 	if stalls := wd.Scan(); len(stalls) != 0 {
 		t.Fatalf("after commit got %v, want none", stalls)
 	}
@@ -64,7 +64,7 @@ func TestWatchdogIdleThreadsNotReported(t *testing.T) {
 	wd.Scan()
 	for i := 0; i < 50; i++ {
 		t0 := tr.OpStart(0)
-		tr.OpCommit(0, t0, 1, 1)
+		tr.OpCommit(0, t0, 1, 1, 1)
 	}
 	if stalls := wd.Scan(); len(stalls) != 0 {
 		t.Fatalf("idle pids reported as stalled: %v", stalls)
@@ -79,8 +79,8 @@ func TestWatchdogProgressResetsTracking(t *testing.T) {
 	wd.Scan()
 	for i := 0; i < 30; i++ {
 		t0 := tr.OpStart(0)
-		tr.OpCommit(0, t0, 1, 1)
-		tr.OpCommit(1, 0, 1, 1) // commit the in-flight op...
+		tr.OpCommit(0, t0, 1, 1, 1)
+		tr.OpCommit(1, 0, 1, 1, 1) // commit the in-flight op...
 		tr.OpStart(1)           // ...and immediately announce the next
 		if stalls := wd.Scan(); len(stalls) != 0 {
 			t.Fatalf("progressing pid reported stalled: %v", stalls)
@@ -110,7 +110,7 @@ func TestWatchdogStartStop(t *testing.T) {
 	deadline := time.After(2 * time.Second)
 	for {
 		t0 := tr.OpStart(0)
-		tr.OpCommit(0, t0, 1, 1)
+		tr.OpCommit(0, t0, 1, 1, 1)
 		select {
 		case s := <-fired:
 			if s.Pid != 1 {

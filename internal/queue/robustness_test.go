@@ -17,7 +17,7 @@ func TestSimQueueCrashedEnqueuerDoesNotBlock(t *testing.T) {
 
 	// Process 0 announces value 999999 and crashes.
 	v := uint64(999_999)
-	q.enqAnnounce.Write(0, &v)
+	q.enqAnnounce.PublishOne(0, v)
 	xatomic.NewToggler(q.enqAct, 0).Toggle()
 
 	var wg sync.WaitGroup

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/pad"
 	"repro/internal/xatomic"
 )
 
@@ -18,13 +19,25 @@ import (
 // combining in Figure 3).
 //
 // An enqueue combiner builds a PRIVATE linked list with one node per helped
-// enqueuer, then publishes an EnqState carrying ⟨old tail, first node of the
+// operation, then publishes an EnqState carrying ⟨old tail, first node of the
 // list, new tail⟩; the list is spliced onto the shared queue with a separate
 // CAS on the old tail's next pointer (Algorithm 5 lines 18/34). Every
 // enqueue splices the batch containing its operation before returning, so a
 // completed enqueue is always visible to traversals; dequeuers additionally
 // help splice the latest batch (Algorithm 6 lines 49–51) so in-flight
 // batches become visible promptly.
+//
+// Batching: enqueuers announce operation VECTORS (collect.BatchAnnounce) —
+// EnqueueBatch publishes a whole value vector under one toggle, and a
+// combining round turns every announced vector into nodes of the same
+// private list, so an enqueue batch splices onto the shared queue as one
+// contiguous run. Dequeuers carry no values, so DequeueBatch announces just
+// a COUNT in a single-writer padded word; combiners serve that many front
+// values into the announcing process's batch-response row. Count words are
+// read unchecked: a stale count can only be observed when the announcing
+// process re-announced, which requires an intervening successful publish
+// that dooms the reader's CAS anyway (the staleness argument of
+// collect/batch.go, which also covers enqueue box revalidation failures).
 //
 // Memory discipline: like core.PSim, state records publish via CAS on an
 // atomic pointer, and the hot path recycles them — each thread keeps a ring
@@ -33,8 +46,8 @@ import (
 // private node lists to a thread-local free-list instead of dropping them.
 // Queue nodes that were PUBLISHED are never recycled when n > 1 (a stalled
 // combiner may still traverse them); single-thread instances also recycle
-// consumed nodes, making the enqueue+dequeue pair allocation-free in steady
-// state.
+// consumed nodes — whole chains at a time through the spare slot — making
+// the enqueue+dequeue pair allocation-free in steady state.
 //
 // Progress: as in core.PSim, everything up to the Observation-3.2 fallback
 // is bounded, but the fallback's hazard-protected read retries only when a
@@ -43,19 +56,21 @@ import (
 type SimQueue[V any] struct {
 	n int
 
-	enqAnnounce *collect.Announce[V]
+	enqAnnounce *collect.BatchAnnounce[V]
 	enqAct      *xatomic.SharedBits
 	enqP        atomic.Pointer[enqState[V]]
 	// enqHaz slots [0,n) protect enqueuers' combining reads; slots [n,2n)
 	// protect dequeuers' splice-help reads of enqP.
 	enqHaz *core.Hazards[enqState[V]]
 
-	deqAct *xatomic.SharedBits
-	deqP   atomic.Pointer[deqState[V]]
-	deqHaz *core.Hazards[deqState[V]]
+	deqAct    *xatomic.SharedBits
+	deqCounts []pad.Uint64 // announced dequeue counts, single-writer per pid
+	deqP      atomic.Pointer[deqState[V]]
+	deqHaz    *core.Hazards[deqState[V]]
 
-	// spare hands one consumed node from the dequeue end back to the enqueue
-	// end when n == 1 (single-slot exchange: Store overwrites, Swap takes).
+	// spare hands consumed node chains from the dequeue end back to the
+	// enqueue end when n == 1 (single-slot exchange: Store overwrites, Swap
+	// takes; chain links ride the nodes' next pointers).
 	spare atomic.Pointer[qnode[V]]
 
 	enqThreads []sqThread[V]
@@ -67,6 +82,12 @@ type SimQueue[V any] struct {
 
 	boLower, boUpper int
 }
+
+// batchBudget bounds how many operations one announcement may carry on
+// either end; EnqueueBatch/DequeueBatch split longer requests into
+// budget-sized chunks so one combining round's work stays bounded by
+// n×batchBudget — the constant in the wait-freedom bound.
+const batchBudget = 64
 
 // qnode is a queue node; next is written once with CAS when the node's
 // batch is spliced onto the shared list (and doubles as the free-list link
@@ -85,10 +106,13 @@ type enqState[V any] struct {
 }
 
 // deqState is the dequeuers' State record (struct DeqState of Algorithm 4).
+// brvals[k] holds process k's batch responses when its last served count was
+// more than one (single dequeues answer through rvals[k] alone).
 type deqState[V any] struct {
 	applied xatomic.Snapshot
 	head    *qnode[V] // node whose next pointer is the queue front
 	rvals   []deqRes[V]
+	brvals  [][]deqRes[V]
 }
 
 type deqRes[V any] struct {
@@ -104,6 +128,7 @@ type sqThread[V any] struct {
 	ering   *core.Ring[enqState[V]] // retired EnqState records (enq threads)
 	dring   *core.Ring[deqState[V]] // retired DeqState records (deq threads)
 	free    *qnode[V]               // node free-list, linked through next
+	lastCnt uint64                  // last announced dequeue count (deq threads)
 	inited  bool
 }
 
@@ -117,10 +142,11 @@ func NewSimQueue[V any](n int) *SimQueue[V] {
 	sentinel := &qnode[V]{}
 	q := &SimQueue[V]{
 		n:           n,
-		enqAnnounce: collect.NewAnnounce[V](n),
+		enqAnnounce: collect.NewBatchAnnounce[V](n),
 		enqAct:      xatomic.NewSharedBits(n),
 		enqHaz:      core.NewHazards[enqState[V]](2*n, 0),
 		deqAct:      xatomic.NewSharedBits(n),
+		deqCounts:   make([]pad.Uint64, n),
 		deqHaz:      core.NewHazards[deqState[V]](n, 0),
 		enqThreads:  make([]sqThread[V], n),
 		deqThreads:  make([]sqThread[V], n),
@@ -137,6 +163,7 @@ func NewSimQueue[V any](n int) *SimQueue[V] {
 		applied: xatomic.NewSnapshot(n),
 		head:    sentinel,
 		rvals:   make([]deqRes[V], n),
+		brvals:  make([][]deqRes[V], n),
 	})
 	return q
 }
@@ -201,14 +228,18 @@ func (q *SimQueue[V]) thread(ts []sqThread[V], act *xatomic.SharedBits, i int) *
 }
 
 // node returns a queue node holding v: from the thread's free-list, from the
-// cross-end spare slot (n == 1 only), or freshly allocated.
+// cross-end spare slot (n == 1 only; a returned chain's tail joins the
+// free-list), or freshly allocated.
 func (q *SimQueue[V]) node(t *sqThread[V], v V) *qnode[V] {
 	nd := t.free
 	if nd != nil {
 		t.free = nd.next.Load()
 		nd.next.Store(nil)
 	} else if q.n == 1 {
-		nd = q.spare.Swap(nil)
+		if nd = q.spare.Swap(nil); nd != nil {
+			t.free = nd.next.Load()
+			nd.next.Store(nil)
+		}
 	}
 	if nd == nil {
 		nd = &qnode[V]{}
@@ -256,6 +287,7 @@ func (q *SimQueue[V]) deqRecord(id int, t *sqThread[V]) *deqState[V] {
 	return &deqState[V]{
 		applied: xatomic.NewSnapshot(q.n),
 		rvals:   make([]deqRes[V], q.n),
+		brvals:  make([][]deqRes[V], q.n),
 	}
 }
 
@@ -276,23 +308,56 @@ func splice[V any](es *enqState[V]) {
 // Enqueue appends v on behalf of process id (Algorithm 5).
 func (q *SimQueue[V]) Enqueue(id int, v V) {
 	t := q.thread(q.enqThreads, q.enqAct, id)
-	st := q.enqStats
-	tr := st.Trace
 	t0 := q.rec.Start(id)
-	tt := tr.OpStart(id)
+	tt := q.enqStats.Trace.OpStart(id)
 
 	if q.n == 1 {
 		q.enqueueSolo(t, t0, tt, v)
 		return
 	}
 
-	// Announce a copy declared on this path only: taking &v directly would
-	// make the parameter escape — and cost one heap box — even at n == 1.
-	a := v
-	q.enqAnnounce.Write(id, &a) // line 1: announce
-	t.toggler.Toggle()          // lines 2–3
-	t.bo.Wait()                 // line 4
+	q.enqAnnounce.PublishOne(id, v) // line 1: announce (a vector of one)
+	t.toggler.Toggle()              // lines 2–3
+	t.bo.Wait()                     // line 4
 
+	q.enqueueAnnounced(id, t, t0, tt, 1)
+}
+
+// EnqueueBatch appends every value of vals, in order, on behalf of process
+// id. Each budget-sized chunk is announced under ONE toggle and becomes one
+// contiguous run of the queue: a combining round turns the whole vector into
+// consecutive nodes of its private list, so no other process's values
+// interleave within a chunk. Progress and cost match a single Enqueue per
+// chunk. An empty vals is a no-op.
+func (q *SimQueue[V]) EnqueueBatch(id int, vals []V) {
+	for len(vals) > 0 {
+		m := len(vals)
+		if m > batchBudget {
+			m = batchBudget
+		}
+		chunk := vals[:m]
+		vals = vals[m:]
+
+		t := q.thread(q.enqThreads, q.enqAct, id)
+		t0 := q.rec.Start(id)
+		tt := q.enqStats.Trace.OpStart(id)
+		if q.n == 1 {
+			q.enqueueSoloBatch(t, t0, tt, chunk)
+			continue
+		}
+		q.enqAnnounce.Publish(id, chunk)
+		t.toggler.Toggle()
+		t.bo.Wait()
+		q.enqueueAnnounced(id, t, t0, tt, m)
+	}
+}
+
+// enqueueAnnounced runs the two-round combining protocol plus the fallback
+// for process id's just-published vector of m values.
+func (q *SimQueue[V]) enqueueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp, m int) {
+	st := q.enqStats
+	tr := st.Trace
+	um := uint64(m)
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ {
@@ -311,34 +376,63 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 			// Our batch B ≤ ls: if B < ls it was spliced before being
 			// replaced, and splice(ls) above covers B == ls.
 			q.enqHaz.Clear(id) // don't pin ls while parked outside Enqueue
-			st.Ops.Inc(id)
-			st.ServedBy.Inc(id)
+			st.Ops.Add(id, um)
+			st.ServedBy.Add(id, um)
 			q.rec.OpDone(id, t0)
 			tr.OpServed(id, tt)
 			return
 		}
 
-		// lines 12–27: build the private list — own node first (lines
-		// 13–17), then one node per remaining enqueuer in diffs. Nodes come
-		// from the free-list of previously failed rounds.
-		first := q.node(t, v)
+		// lines 12–27: build the private list — own vector first (lines
+		// 13–17), then every value of every remaining announced vector in
+		// diffs. Nodes come from the free-list of previously failed rounds.
+		own := q.enqAnnounce.OwnVec(id)
+		first := q.node(t, own[0])
 		last := first
+		for _, v := range own[1:] {
+			nn := q.node(t, v)
+			last.next.Store(nn)
+			last = nn
+		}
 		t.diffs.ClearBit(id) // line 17: exclude self
-		combined := uint64(1)
+		slots, ops := uint64(1), uint64(len(own))
+		abandoned := false
 		for {
 			k := t.diffs.BitSearchFirst() // line 20
 			if k < 0 {
 				break
 			}
-			nn := q.node(t, *q.enqAnnounce.Read(k)) // lines 21–24
-			last.next.Store(nn)
-			last = nn
 			t.diffs.ClearBit(k)
-			combined++
+			// lines 21–24, batched: protect k's announce box and append its
+			// whole vector. A validation failure means k re-announced — an
+			// intervening publish doomed our CAS; abandon like a failed CAS.
+			b, bok := q.enqAnnounce.Protect(id, k)
+			if !bok {
+				abandoned = true
+				break
+			}
+			for _, v := range b.Vec() {
+				nn := q.node(t, v)
+				last.next.Store(nn)
+				last = nn
+				ops++
+			}
+			slots++
+		}
+		q.enqAnnounce.Clear(id) // done reading other processes' boxes
+		if abandoned {
+			t.freeNodes(first, last) // the list was never published: reuse it
+			st.CASFail.Inc(id)
+			tr.Instant(id, trace.KindCASFail, uint64(j), 2)
+			if j == 0 {
+				t.bo.Grow()
+				t.bo.Wait()
+			}
+			continue
 		}
 
-		oldTail := ls.newTail    // capture before CAS: ls may recycle after it
-		ns := q.enqRecord(id, t) // lines 28–31, into a recycled record
+		oldTail := ls.newTail     // capture before CAS: ls may recycle after it
+		ns := q.enqRecord(id, t)  // lines 28–31, into a recycled record
 		ns.applied.CopyFrom(t.active)
 		ns.oldTail = oldTail
 		ns.lfirst = first
@@ -349,16 +443,16 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 			oldTail.next.CompareAndSwap(nil, first)
 			t.ering.Push(ls)   // retire the replaced record for reuse
 			q.enqHaz.Clear(id) // unpin ls so its ring slot can recycle it
-			st.Ops.Inc(id)
+			st.Ops.Add(id, um)
 			st.CASSuccess.Inc(id)
-			st.Combined.Add(id, combined)
-			q.rec.OpPublished(id, t0, combined)
+			st.Combined.Add(id, ops)
+			q.rec.OpPublished(id, t0, slots)
 			var act uint64
 			if tt != 0 {
 				act = uint64(t.active.PopCount()) // sampled rounds only
 			}
 			tr.Instant(id, trace.KindSplice, 0, 0) // own-batch hand-off
-			tr.OpCommit(id, tt, combined, act)
+			tr.OpCommit(id, tt, slots, act, ops)
 			if j == 0 {
 				t.bo.Shrink()
 			}
@@ -381,8 +475,8 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 		splice(es)
 	}
 	q.enqHaz.Clear(id)
-	st.Ops.Inc(id)
-	st.ServedBy.Inc(id)
+	st.Ops.Add(id, um)
+	st.ServedBy.Add(id, um)
 	q.rec.OpDone(id, t0)
 	tr.OpServed(id, tt)
 }
@@ -409,25 +503,122 @@ func (q *SimQueue[V]) enqueueSolo(t *sqThread[V], t0, tt obs.Stamp, v V) {
 	st.CASSuccess.Inc(0)
 	st.Combined.Add(0, 1)
 	q.rec.OpPublished(0, t0, 1)
-	st.Trace.OpCommit(0, tt, 1, 1)
+	st.Trace.OpCommit(0, tt, 1, 1, 1)
+}
+
+// enqueueSoloBatch is EnqueueBatch for n == 1: the whole chunk becomes one
+// private chain spliced with a single record rotation.
+func (q *SimQueue[V]) enqueueSoloBatch(t *sqThread[V], t0, tt obs.Stamp, vals []V) {
+	ls := q.enqP.Load()
+	first := q.node(t, vals[0])
+	last := first
+	for _, v := range vals[1:] {
+		nn := q.node(t, v)
+		last.next.Store(nn)
+		last = nn
+	}
+	ns := q.enqRecord(0, t)
+	ns.applied.CopyFrom(ls.applied)
+	ns.oldTail = ls.newTail
+	ns.lfirst = first
+	ns.newTail = last
+	q.enqP.Store(ns)
+	ns.oldTail.next.CompareAndSwap(nil, first)
+	t.ering.Push(ls)
+	m := uint64(len(vals))
+	st := q.enqStats
+	st.Ops.Add(0, m)
+	st.CASSuccess.Inc(0)
+	st.Combined.Add(0, m)
+	q.rec.OpPublished(0, t0, 1)
+	st.Trace.OpCommit(0, tt, 1, 1, m)
+}
+
+// announceDeqCount publishes process id's dequeue count for the next toggle.
+// The word is single-writer and most operations are single dequeues, so the
+// store is skipped when the count is unchanged.
+func (q *SimQueue[V]) announceDeqCount(id int, t *sqThread[V], m uint64) {
+	if t.lastCnt != m {
+		q.deqCounts[id].V.Store(m)
+		t.lastCnt = m
+	}
 }
 
 // Dequeue removes and returns the front value on behalf of process id
 // (Algorithm 6); ok is false if the queue was empty.
 func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 	t := q.thread(q.deqThreads, q.deqAct, id)
-	st := q.deqStats
-	tr := st.Trace
 	t0 := q.rec.Start(id)
-	tt := tr.OpStart(id)
+	tt := q.deqStats.Trace.OpStart(id)
 
 	if q.n == 1 {
-		return q.dequeueSolo(t, t0, tt)
+		r := q.dequeueSolo(t, t0, tt, 1, nil)
+		return r.v, r.ok
 	}
 
-	t.toggler.Toggle() // lines 39–40 (dequeue carries no argument)
+	q.announceDeqCount(id, t, 1)
+	t.toggler.Toggle() // lines 39–40 (a dequeue announces only its count)
 	t.bo.Wait()        // line 41
 
+	r, _ := q.dequeueAnnounced(id, t, t0, tt, 1, nil)
+	return r.v, r.ok
+}
+
+// DequeueBatch removes up to want front values on behalf of process id,
+// appending them to out[:0] (pass a slice kept across calls for an
+// allocation-free steady state; nil allocates) and returning it. Each
+// budget-sized chunk of the request is served contiguously at one
+// linearization point; fewer than want values are returned exactly when the
+// queue ran empty at the last chunk's linearization point.
+func (q *SimQueue[V]) DequeueBatch(id int, want int, out []V) []V {
+	out = out[:0]
+	for want > 0 {
+		m := want
+		if m > batchBudget {
+			m = batchBudget
+		}
+		want -= m
+
+		t := q.thread(q.deqThreads, q.deqAct, id)
+		t0 := q.rec.Start(id)
+		tt := q.deqStats.Trace.OpStart(id)
+		before := len(out)
+		if q.n == 1 {
+			if m == 1 {
+				if r := q.dequeueSolo(t, t0, tt, 1, nil); r.ok {
+					out = append(out, r.v)
+				}
+			} else {
+				out = q.dequeueSoloBatch(t, t0, tt, m, out)
+			}
+		} else {
+			q.announceDeqCount(id, t, uint64(m))
+			t.toggler.Toggle()
+			t.bo.Wait()
+			if m == 1 {
+				r, _ := q.dequeueAnnounced(id, t, t0, tt, 1, nil)
+				if r.ok {
+					out = append(out, r.v)
+				}
+			} else {
+				_, out = q.dequeueAnnounced(id, t, t0, tt, m, out)
+			}
+		}
+		if len(out)-before < m {
+			break // the queue was empty at the chunk's linearization point
+		}
+	}
+	return out
+}
+
+// dequeueAnnounced runs the two-round combining protocol plus the fallback
+// for process id's just-announced count of m dequeues. For m == 1 the single
+// response is returned directly (out untouched, may be nil); for m > 1 the
+// successful responses are appended to out in dequeue order.
+func (q *SimQueue[V]) dequeueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp, m int, out []V) (deqRes[V], []V) {
+	st := q.deqStats
+	tr := st.Trace
+	um := uint64(m)
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ {
@@ -440,13 +631,18 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 		q.deqAct.LoadInto(t.active)
 		ls.applied.XorInto(t.active, t.diffs)
 		if t.diffs[myWord]&myMask == 0 { // line 48: already applied
-			r := ls.rvals[id]  // record hazard-protected: safe to read
+			var r deqRes[V]
+			if m == 1 {
+				r = ls.rvals[id] // record hazard-protected: safe to read
+			} else {
+				out = appendHits(out, ls.brvals[id])
+			}
 			q.deqHaz.Clear(id) // don't pin ls while parked outside Dequeue
-			st.Ops.Inc(id)
-			st.ServedBy.Inc(id)
+			st.Ops.Add(id, um)
+			st.ServedBy.Add(id, um)
 			q.rec.OpDone(id, t0)
 			tr.OpServed(id, tt)
-			return r.v, r.ok
+			return r, out
 		}
 
 		// lines 49–51: help enqueuers splice their latest batch. Best
@@ -464,43 +660,81 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 		ns := q.deqRecord(id, t) // recycled record: reuse applied and rvals
 		ns.applied.CopyFrom(t.active)
 		copy(ns.rvals, ls.rvals)
-		combined := uint64(0)
-		for { // lines 53–61: serve every dequeuer in diffs
+		for k := 0; k < q.n; k++ { // carry pending batch-response rows forward
+			if len(ls.brvals[k]) == 0 {
+				ns.brvals[k] = ns.brvals[k][:0]
+				continue
+			}
+			ns.brvals[k] = append(ns.brvals[k][:0], ls.brvals[k]...)
+		}
+		slots, ops := uint64(0), uint64(0)
+		for { // lines 53–61: serve every dequeuer in diffs, its whole count
 			k := t.diffs.BitSearchFirst()
 			if k < 0 {
 				break
 			}
-			if next := head.next.Load(); next != nil {
-				ns.rvals[k] = deqRes[V]{v: next.v, ok: true}
-				head = next
-			} else {
-				ns.rvals[k] = deqRes[V]{}
-			}
 			t.diffs.ClearBit(k)
-			combined++
+			cnt := q.deqCounts[k].V.Load() // unchecked: see the type comment
+			if cnt < 1 {
+				cnt = 1
+			} else if cnt > batchBudget {
+				cnt = batchBudget
+			}
+			if cnt == 1 {
+				if next := head.next.Load(); next != nil {
+					ns.rvals[k] = deqRes[V]{v: next.v, ok: true}
+					head = next
+				} else {
+					ns.rvals[k] = deqRes[V]{}
+				}
+				ns.brvals[k] = ns.brvals[k][:0]
+			} else {
+				row := ns.brvals[k][:0]
+				var r deqRes[V]
+				for c := uint64(0); c < cnt; c++ {
+					if next := head.next.Load(); next != nil {
+						r = deqRes[V]{v: next.v, ok: true}
+						head = next
+					} else {
+						r = deqRes[V]{}
+					}
+					row = append(row, r)
+				}
+				ns.brvals[k] = row
+				ns.rvals[k] = r
+			}
+			slots++
+			ops += cnt
 		}
 		ns.head = head
-		// Read the response BEFORE publishing: once published, ns may be
+		// Read the responses BEFORE publishing: once published, ns may be
 		// retired and recycled by any later winner.
-		r := ns.rvals[id]
+		var r deqRes[V]
+		base := len(out)
+		if m == 1 {
+			r = ns.rvals[id]
+		} else {
+			out = appendHits(out, ns.brvals[id])
+		}
 		if q.deqP.CompareAndSwap(ls, ns) { // line 67
 			t.dring.Push(ls)
 			q.deqHaz.Clear(id) // unpin ls so its ring slot can recycle it
-			st.Ops.Inc(id)
+			st.Ops.Add(id, um)
 			st.CASSuccess.Inc(id)
-			st.Combined.Add(id, combined)
-			q.rec.OpPublished(id, t0, combined)
+			st.Combined.Add(id, ops)
+			q.rec.OpPublished(id, t0, slots)
 			var act uint64
 			if tt != 0 {
 				act = uint64(t.active.PopCount()) // sampled rounds only
 			}
-			tr.OpCommit(id, tt, combined, act)
+			tr.OpCommit(id, tt, slots, act, ops)
 			if j == 0 {
 				t.bo.Shrink()
 			}
-			return r.v, r.ok
+			return r, out
 		}
-		t.dring.Push(ns) // never published — immediately reusable
+		out = out[:base]  // speculative copies die with the failed round
+		t.dring.Push(ns)  // never published — immediately reusable
 		st.CASFail.Inc(id)
 		tr.Instant(id, trace.KindCASFail, uint64(j), 0)
 		if j == 0 {
@@ -511,27 +745,45 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 	// lines 70–72: a helper served us; read the published record under
 	// hazard protection (unbounded form is lock-free: each failure implies
 	// a concurrent successful publish).
-	st.Ops.Inc(id)
-	st.ServedBy.Inc(id)
+	st.Ops.Add(id, um)
+	st.ServedBy.Add(id, um)
 	q.rec.OpDone(id, t0)
 	tr.OpServed(id, tt)
 	ls, _ := q.deqHaz.Acquire(id, &q.deqP, 0)
-	r := ls.rvals[id]
+	var r deqRes[V]
+	if m == 1 {
+		r = ls.rvals[id]
+	} else {
+		out = appendHits(out, ls.brvals[id])
+	}
 	q.deqHaz.Clear(id)
-	return r.v, r.ok
+	return r, out
 }
 
-// dequeueSolo is Dequeue for n == 1. The consumed node is handed back to
-// the enqueue end through the spare slot — nodes strictly before the head
-// are unreachable from every record still in use, and with one process per
-// end no stalled combiner can be traversing them.
-func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0, tt obs.Stamp) (V, bool) {
+// appendHits appends the successful dequeue values of row to out. Misses are
+// a suffix of the row (the queue stayed empty once drained within a round),
+// so the returned values are exactly the dequeued front run in order.
+func appendHits[V any](out []V, row []deqRes[V]) []V {
+	for _, r := range row {
+		if r.ok {
+			out = append(out, r.v)
+		}
+	}
+	return out
+}
+
+// dequeueSolo is Dequeue for n == 1. Consumed nodes are handed back to the
+// enqueue end through the spare slot — nodes strictly before the head are
+// unreachable from every record still in use, and with one process per end
+// no stalled combiner can be traversing them.
+func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0, tt obs.Stamp, m int, _ []V) deqRes[V] {
 	ls := q.deqP.Load()
 	head := ls.head
 	next := head.next.Load()
 	ns := q.deqRecord(0, t)
 	ns.applied.CopyFrom(ls.applied)
 	copy(ns.rvals, ls.rvals)
+	ns.brvals[0] = ns.brvals[0][:0]
 	if next != nil {
 		ns.rvals[0] = deqRes[V]{v: next.v, ok: true}
 		ns.head = next
@@ -555,8 +807,59 @@ func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0, tt obs.Stamp) (V, bool) {
 	st.CASSuccess.Inc(0)
 	st.Combined.Add(0, 1)
 	q.rec.OpPublished(0, t0, 1)
-	st.Trace.OpCommit(0, tt, 1, 1)
-	return r.v, r.ok
+	st.Trace.OpCommit(0, tt, 1, 1, 1)
+	return r
+}
+
+// dequeueSoloBatch is DequeueBatch for n == 1: up to m front values are
+// consumed in one record rotation and the whole consumed node chain is
+// handed back through the spare slot with its links intact, so batched
+// pair workloads stay allocation-free.
+func (q *SimQueue[V]) dequeueSoloBatch(t *sqThread[V], t0, tt obs.Stamp, m int, out []V) []V {
+	ls := q.deqP.Load()
+	head := ls.head
+	got := 0
+	newHead := head
+	for got < m {
+		next := newHead.next.Load()
+		if next == nil {
+			break
+		}
+		out = append(out, next.v)
+		newHead = next
+		got++
+	}
+	ns := q.deqRecord(0, t)
+	ns.applied.CopyFrom(ls.applied)
+	copy(ns.rvals, ls.rvals)
+	ns.brvals[0] = ns.brvals[0][:0]
+	ns.head = newHead
+	if got > 0 {
+		ns.rvals[0] = deqRes[V]{v: out[len(out)-1], ok: true}
+	} else {
+		ns.rvals[0] = deqRes[V]{}
+	}
+	q.deqP.Store(ns)
+	t.dring.Push(ls)
+	if got > 0 {
+		// Nodes head..(node before newHead) were consumed: clear their
+		// values, cut the link into the live list, and hand the chain back.
+		var zero V
+		last := head
+		for nd := head; nd != newHead; nd = nd.next.Load() {
+			nd.v = zero
+			last = nd
+		}
+		last.next.Store(nil)
+		q.spare.Store(head)
+	}
+	st := q.deqStats
+	st.Ops.Add(0, uint64(m))
+	st.CASSuccess.Inc(0)
+	st.Combined.Add(0, uint64(m))
+	q.rec.OpPublished(0, t0, 1)
+	st.Trace.OpCommit(0, tt, 1, 1, uint64(m))
+	return out
 }
 
 // Stats aggregates both instances' combining statistics into a core.Stats

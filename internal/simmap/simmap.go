@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/pad"
 )
 
 // entry is one immutable node of a stripe's entry list. Nodes are never
@@ -55,6 +56,68 @@ type mapRes[V any] struct {
 type Map[K comparable, V any] struct {
 	stripes []*core.PSim[*entry[K, V], mapOp[K, V], mapRes[V]]
 	seed    maphash.Seed
+	// per-process scratch for the multi-key operations: per-stripe op
+	// buckets, position maps back to caller order, and the result slices
+	// those operations return. Reused across calls, so the steady-state
+	// batched path allocates nothing.
+	scratch []mapScratch[K, V]
+}
+
+type mapScratch[K comparable, V any] struct {
+	buckets [][]mapOp[K, V] // ops grouped by stripe, one bucket per stripe
+	pos     [][]int         // pos[s][j] = caller index of buckets[s][j]
+	res     []mapRes[V]     // ApplyBatch result scratch
+	prevs   []V             // returned previous-value slice
+	oks     []bool          // returned existed/found slice
+	_       pad.CacheLinePad
+}
+
+// grouped splits keys (with optional parallel vals; del selects deletions)
+// into per-stripe buckets and resizes the output slices to len(keys).
+func (m *Map[K, V]) grouped(id int, keys []K, vals []V, del bool) *mapScratch[K, V] {
+	sc := &m.scratch[id]
+	if sc.buckets == nil {
+		sc.buckets = make([][]mapOp[K, V], len(m.stripes))
+		sc.pos = make([][]int, len(m.stripes))
+	}
+	for s := range sc.buckets {
+		sc.buckets[s] = sc.buckets[s][:0]
+		sc.pos[s] = sc.pos[s][:0]
+	}
+	for i, k := range keys {
+		s := m.stripeIdx(k)
+		op := mapOp[K, V]{del: del, k: k}
+		if vals != nil {
+			op.v = vals[i]
+		}
+		sc.buckets[s] = append(sc.buckets[s], op)
+		sc.pos[s] = append(sc.pos[s], i)
+	}
+	sc.prevs = sc.prevs[:0]
+	sc.oks = sc.oks[:0]
+	var zero V
+	for range keys {
+		sc.prevs = append(sc.prevs, zero)
+		sc.oks = append(sc.oks, false)
+	}
+	return sc
+}
+
+// mutateBatch runs one ApplyBatch per non-empty bucket and scatters the
+// results back to caller order.
+func (m *Map[K, V]) mutateBatch(id int, sc *mapScratch[K, V]) ([]V, []bool) {
+	for s, ops := range sc.buckets {
+		if len(ops) == 0 {
+			continue
+		}
+		sc.res = m.stripes[s].ApplyBatch(id, ops, sc.res)
+		for j, r := range sc.res {
+			i := sc.pos[s][j]
+			sc.prevs[i] = r.prev
+			sc.oks[i] = r.existed
+		}
+	}
+	return sc.prevs, sc.oks
 }
 
 // New returns a map with the given number of stripes (rounded up to 1).
@@ -81,6 +144,7 @@ func New[K comparable, V any](n, stripes int) *Map[K, V] {
 	for i := range m.stripes {
 		m.stripes[i] = core.NewPSim[*entry[K, V], mapOp[K, V], mapRes[V]](n, nil, apply)
 	}
+	m.scratch = make([]mapScratch[K, V], n)
 	return m
 }
 
@@ -119,9 +183,13 @@ func removeKey[K comparable, V any](head *entry[K, V], k K) (*entry[K, V], V, bo
 	return head, zero, false
 }
 
-func (m *Map[K, V]) stripe(k K) *core.PSim[*entry[K, V], mapOp[K, V], mapRes[V]] {
+func (m *Map[K, V]) stripeIdx(k K) int {
 	h := maphash.Comparable(m.seed, k)
-	return m.stripes[h%uint64(len(m.stripes))]
+	return int(h % uint64(len(m.stripes)))
+}
+
+func (m *Map[K, V]) stripe(k K) *core.PSim[*entry[K, V], mapOp[K, V], mapRes[V]] {
+	return m.stripes[m.stripeIdx(k)]
 }
 
 // Put binds k to v on behalf of process id and returns the previous binding.
@@ -150,6 +218,52 @@ func (m *Map[K, V]) Get(k K) (V, bool) {
 	}
 	var zero V
 	return zero, false
+}
+
+// MSet binds keys[i] to vals[i] for every i on behalf of process id,
+// returning the previous bindings aligned with keys. Keys are grouped by
+// stripe and each stripe's group is applied as ONE batched operation
+// (atomic within the stripe, in key order); groups on different stripes
+// commit at different instants, so the whole MSet is per-key linearizable
+// but not a single atomic multi-key write — the usual striped-map contract.
+// If keys repeat, same-stripe repeats apply in key order. The returned
+// slices are process-id-owned scratch, valid until id's next multi-key call.
+func (m *Map[K, V]) MSet(id int, keys []K, vals []V) (prevs []V, existed []bool) {
+	return m.mutateBatch(id, m.grouped(id, keys, vals, false))
+}
+
+// MDelete removes every key on behalf of process id, returning the removed
+// bindings aligned with keys. Same grouping, atomicity, and scratch
+// contract as MSet.
+func (m *Map[K, V]) MDelete(id int, keys []K) (prevs []V, existed []bool) {
+	return m.mutateBatch(id, m.grouped(id, keys, nil, true))
+}
+
+// MGet returns the bindings of all keys, aligned with keys. Each stripe's
+// snapshot is fetched ONCE and answers all of that stripe's keys — keys
+// sharing a stripe are read at a single linearization point; different
+// stripes are read at different instants (same contract as MSet). The
+// returned slices are process-id-owned scratch, valid until id's next
+// multi-key call.
+func (m *Map[K, V]) MGet(id int, keys []K) (vals []V, ok []bool) {
+	sc := m.grouped(id, keys, nil, false)
+	for s, ops := range sc.buckets {
+		if len(ops) == 0 {
+			continue
+		}
+		head := m.stripes[s].Read()
+		for j, op := range ops {
+			for e := head; e != nil; e = e.next {
+				if e.k == op.k {
+					i := sc.pos[s][j]
+					sc.prevs[i] = e.v
+					sc.oks[i] = true
+					break
+				}
+			}
+		}
+	}
+	return sc.prevs, sc.oks
 }
 
 // Len counts all entries. Each stripe is read atomically but stripes are

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/pad"
 )
 
 // SimStack is the paper's wait-free stack (§5): P-Sim employed "to
@@ -14,6 +15,16 @@ import (
 // work.
 type SimStack[V any] struct {
 	u *core.PSim[*node[V], stackOp[V], popResult[V]]
+	// per-process scratch for batched calls: the op vector handed to
+	// ApplyBatch and the result slice it fills, both reused across calls so
+	// the steady-state batch path allocates nothing.
+	scratch []stackScratch[V]
+}
+
+type stackScratch[V any] struct {
+	ops []stackOp[V]
+	res []popResult[V]
+	_   pad.CacheLinePad
 }
 
 // stackOp is the announced operation descriptor: push carries a value, pop
@@ -70,7 +81,10 @@ func NewSimStack[V any](n int, opts ...SimOption) *SimStack[V] {
 		*top = t.next
 		return popResult[V]{v: t.v, ok: true}
 	}
-	return &SimStack[V]{u: core.NewPSim[*node[V], stackOp[V], popResult[V]](n, nil, apply, popts...)}
+	return &SimStack[V]{
+		u:       core.NewPSim[*node[V], stackOp[V], popResult[V]](n, nil, apply, popts...),
+		scratch: make([]stackScratch[V], n),
+	}
 }
 
 // Push pushes v on behalf of process id.
@@ -82,6 +96,46 @@ func (s *SimStack[V]) Push(id int, v V) {
 func (s *SimStack[V]) Pop(id int) (V, bool) {
 	r := s.u.Apply(id, stackOp[V]{})
 	return r.v, r.ok
+}
+
+// PushBatch pushes every value of vals, in order, on behalf of process id.
+// The whole vector travels through one announce slot (in budget-sized
+// chunks), so vals[len-1] ends up topmost of the run and no other process's
+// operations interleave within a chunk.
+func (s *SimStack[V]) PushBatch(id int, vals []V) {
+	if len(vals) == 0 {
+		return
+	}
+	sc := &s.scratch[id]
+	sc.ops = sc.ops[:0]
+	for _, v := range vals {
+		sc.ops = append(sc.ops, stackOp[V]{push: true, v: v})
+	}
+	sc.res = s.u.ApplyBatch(id, sc.ops, sc.res)
+}
+
+// PopBatch pops up to want values on behalf of process id, appending them to
+// out[:0] (pass a slice kept across calls for an allocation-free steady
+// state; nil allocates) and returning it. Fewer than want values are
+// returned when the stack ran empty at a chunk's linearization point;
+// values appear in pop order (first popped first).
+func (s *SimStack[V]) PopBatch(id int, want int, out []V) []V {
+	out = out[:0]
+	if want <= 0 {
+		return out
+	}
+	sc := &s.scratch[id]
+	sc.ops = sc.ops[:0]
+	for i := 0; i < want; i++ {
+		sc.ops = append(sc.ops, stackOp[V]{})
+	}
+	sc.res = s.u.ApplyBatch(id, sc.ops, sc.res)
+	for _, r := range sc.res {
+		if r.ok {
+			out = append(out, r.v)
+		}
+	}
+	return out
 }
 
 // Len walks the current top pointer and returns the stack size. It is a

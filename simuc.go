@@ -105,6 +105,17 @@ func NewUniversal[S, A, R any](n int, init S, apply func(st *S, pid int, arg A) 
 // number of this process's own steps.
 func (u *Universal[S, A, R]) Apply(id int, arg A) R { return u.p.Apply(id, arg) }
 
+// ApplyBatch announces the whole vector args in ONE announce slot, applies
+// it contiguously at a single linearization point, and appends the per-
+// element responses to res[:0], returning it. One announce, one toggle,
+// one CAS per combining round amortize over the entire vector, so batched
+// throughput grows with the batch size; the hot path allocates nothing.
+// Vectors longer than the combining budget are split into budget-sized
+// chunks, each linearized atomically. Wait-free like Apply.
+func (u *Universal[S, A, R]) ApplyBatch(id int, args []A, res []R) []R {
+	return u.p.ApplyBatch(id, args, res)
+}
+
 // Read returns the current state without announcing an operation. Treat the
 // result as immutable.
 func (u *Universal[S, A, R]) Read() S { return u.p.Read() }
@@ -133,6 +144,18 @@ func (s *Stack[V]) Push(id int, v V) { s.s.Push(id, v) }
 // Pop pops on behalf of process id; ok is false when the stack is empty.
 func (s *Stack[V]) Pop(id int) (v V, ok bool) { return s.s.Pop(id) }
 
+// PushBatch pushes all of vals (vals[len-1] ends up on top) in one
+// combined operation vector — one announce and one publish per combining
+// round for the whole batch.
+func (s *Stack[V]) PushBatch(id int, vals []V) { s.s.PushBatch(id, vals) }
+
+// PopBatch pops up to want values, appending them in pop order to out[:0]
+// and returning it. Fewer than want values are returned when the stack ran
+// empty at the batch's linearization point.
+func (s *Stack[V]) PopBatch(id int, want int, out []V) []V {
+	return s.s.PopBatch(id, want, out)
+}
+
 // Len returns a snapshot of the stack's size.
 func (s *Stack[V]) Len() int { return s.s.Len() }
 
@@ -159,6 +182,18 @@ func (q *Queue[V]) Enqueue(id int, v V) { q.q.Enqueue(id, v) }
 // Dequeue removes the front value on behalf of process id; ok is false when
 // the queue is empty.
 func (q *Queue[V]) Dequeue(id int) (v V, ok bool) { return q.q.Dequeue(id) }
+
+// EnqueueBatch appends all of vals in order as one combined operation
+// vector: the combiner splices the whole batch into the queue as a single
+// pre-linked node list.
+func (q *Queue[V]) EnqueueBatch(id int, vals []V) { q.q.EnqueueBatch(id, vals) }
+
+// DequeueBatch removes up to want front values, appending them in FIFO
+// order to out[:0] and returning it. Fewer than want values are returned
+// when the queue ran empty at the batch's linearization point.
+func (q *Queue[V]) DequeueBatch(id int, want int, out []V) []V {
+	return q.q.DequeueBatch(id, want, out)
+}
 
 // Stats returns combining statistics aggregated over both instances.
 func (q *Queue[V]) Stats() Stats { return q.q.Stats() }
@@ -218,9 +253,25 @@ func NewLargeObject[V, A, R any](n int) *LargeObject[V, A, R] {
 type Map[K comparable, V any] = simmap.Map[K, V]
 
 // NewMap returns a wait-free map for n processes with the given stripe
-// count (more stripes, more inter-key parallelism).
+// count (more stripes, more inter-key parallelism). Multi-key batches
+// (MSet, MGet, MDelete) group keys by stripe and combine each group as one
+// operation vector.
 func NewMap[K comparable, V any](n, stripes int) *Map[K, V] {
 	return simmap.New[K, V](n, stripes)
+}
+
+// ShardedMap distributes keys over independent Map shards, multiplying the
+// combining throughput: different shards never serialize against each
+// other, and multi-key batches fan out per shard. Single keys are
+// linearizable; multi-key calls guarantee per-key linearizability (each
+// element linearizes during the call), not cross-key atomicity.
+type ShardedMap[K comparable, V any] = simmap.Sharded[K, V]
+
+// NewShardedMap returns a sharded wait-free map for n processes. shards is
+// rounded up to a power of two; each shard gets stripesPerShard internal
+// stripes.
+func NewShardedMap[K comparable, V any](n, shards, stripesPerShard int) *ShardedMap[K, V] {
+	return simmap.NewSharded[K, V](n, shards, stripesPerShard)
 }
 
 // SortedSet is a wait-free sorted set of uint64 keys built on L-Sim: nodes
