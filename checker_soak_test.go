@@ -1,0 +1,89 @@
+package simuc_test
+
+import (
+	"testing"
+	"time"
+
+	simuc "repro"
+	"repro/internal/check"
+	"repro/internal/check/v2"
+)
+
+// TestCheckerSoakForward10k records a 10,000+ operation mixed queue+map
+// history from the public facade and validates it with the forward engine —
+// the scale acceptance criterion for the v2 checker: a history two orders
+// of magnitude past the Wing–Gong 64-operation budget, checked in seconds.
+// Unlike the workload soaks in soak_test.go it runs even under -short: it IS the
+// checker's scaling contract, and generation plus check stay well under a
+// second in practice (the test enforces a hard 5s budget on the check).
+func TestCheckerSoakForward10k(t *testing.T) {
+	const (
+		threads = 8
+		per     = 1250 // threads*per = 10_000 recorded operations
+		keys    = 64
+	)
+	q := simuc.NewQueue[uint64](threads, simuc.Config{})
+	m := simuc.NewMap[uint64, uint64](threads, 8)
+	rec := check.NewRecorder(threads * per)
+
+	done := make(chan struct{}, threads)
+	for i := 0; i < threads; i++ {
+		go func(id int) {
+			defer func() { done <- struct{}{} }()
+			seed := uint64(id)*0x9E3779B9 + 7
+			next := func() uint64 {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				return seed
+			}
+			for k := 0; k < per; k++ {
+				switch next() % 5 {
+				case 0: // enqueue a globally unique value (keeps the history
+					// differentiated, so the O(n log n) queue checker applies)
+					v := uint64(id)<<32 | uint64(k+1)
+					slot := rec.Invoke(id, check.OpEnqueue, v)
+					q.Enqueue(id, v)
+					rec.Return(slot, 0, false)
+				case 1:
+					slot := rec.Invoke(id, check.OpDequeue, 0)
+					v, ok := q.Dequeue(id)
+					rec.Return(slot, v, ok)
+				case 2:
+					key, val := next()%keys, next()%1000+1
+					slot := rec.Invoke(id, check.OpMapPut, key<<32|val)
+					prev, existed := m.Put(id, key, val)
+					rec.Return(slot, prev, existed)
+				case 3:
+					key := next() % keys
+					slot := rec.Invoke(id, check.OpMapGet, key<<32)
+					v, ok := m.Get(key)
+					rec.Return(slot, v, ok)
+				default:
+					key := next() % keys
+					slot := rec.Invoke(id, check.OpMapDel, key<<32)
+					prev, existed := m.Delete(id, key)
+					rec.Return(slot, prev, existed)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < threads; i++ {
+		<-done
+	}
+
+	h := rec.Operations()
+	if len(h) != threads*per {
+		t.Fatalf("recorded %d operations, want %d", len(h), threads*per)
+	}
+	start := time.Now()
+	err := v2.CheckHistory(h, v2.DefaultOptions())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("%d-op mixed history rejected or undecided: %v", len(h), err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("forward check of %d ops took %v, want < 5s", len(h), elapsed)
+	}
+	t.Logf("forward engine checked %d mixed queue+map operations in %v", len(h), elapsed)
+}

@@ -25,6 +25,28 @@
 // the partitioned checker — per-key linearizability is exactly the
 // guarantee a sharded map makes.
 //
+// Linearize mode is driven by the internal/check/v2 compositional checker:
+//
+//	-engine forward   single-pass forward-simulation checkers (default;
+//	                  scales to histories far past 64 operations)
+//	-engine search    the original Wing–Gong exhaustive search (degrades
+//	                  to forward past its 64-operation budget)
+//	-engine both      runs both and fails on any verdict disagreement —
+//	                  the cross-validation mode CI uses
+//	-partition=false  checks map histories against the whole-map spec on a
+//	                  single state instead of per key; by Herlihy–Wing
+//	                  locality the verdict is the same, so this is another
+//	                  cross-validation path, not a different contract
+//
+// -sched-seed S (nonzero) replaces free-running goroutines with the
+// deterministic adversarial scheduler from internal/check/sched: every
+// linearize round derives a replayable schedule from S, and a failing
+// round prints the exact flags that reproduce it plus a minimized
+// preemption budget. -sched-preempt bounds forced preemptions per
+// schedule (-1 = a switch is considered at every preemption point).
+// Only the Sim-family implementations expose preemption points; other
+// impls simply serialize under the scheduler.
+//
 // Exit status 0 means every check passed.
 //
 // Sim-family implementations run with the wait-free flight recorder
@@ -35,6 +57,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +65,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/check"
+	"repro/internal/check/sched"
+	"repro/internal/check/v2"
 	"repro/internal/fmul"
 	"repro/internal/obs/trace"
 	"repro/internal/queue"
@@ -79,6 +104,14 @@ func dumpFlight() {
 	_ = trace.WriteText(os.Stderr, trace.Tail(evs, flightLast))
 }
 
+// Linearize-mode configuration set once in main from flags.
+var (
+	engineSel    v2.Engine // which checker engine validates histories
+	partitionSel bool      // per-key map checking vs whole-map spec
+	schedSeed    uint64    // 0 = free-running goroutines, else deterministic schedules
+	schedPreempt int       // forced-preemption budget per seeded schedule
+)
+
 func main() {
 	var (
 		object  = flag.String("object", "stack", "object to check: stack, queue, fmul, map (sharded)")
@@ -89,8 +122,23 @@ func main() {
 		rounds  = flag.Int("rounds", 100, "histories to check (linearize mode)")
 		last    = flag.Int("flight-last", 64, "max flight-recorder events dumped to stderr on failure")
 		batch   = flag.Int("batch", 1, "drive batched entry points with vectors of this size (1 = single-op paths)")
+
+		engine    = flag.String("engine", "forward", "linearize-mode checker: forward, search, or both (cross-validate)")
+		partition = flag.Bool("partition", true, "check map histories per key; false uses the whole-map spec (same verdict, different code path)")
+		seed      = flag.Uint64("sched-seed", 0, "deterministic schedule seed for linearize mode (0 = free-running goroutines)")
+		preempt   = flag.Int("sched-preempt", -1, "max forced preemptions per seeded schedule (-1 = consider a switch at every point)")
 	)
 	flag.Parse()
+
+	var err error
+	engineSel, err = v2.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simcheck: %v\n", err)
+		os.Exit(2)
+	}
+	partitionSel = *partition
+	schedSeed = *seed
+	schedPreempt = *preempt
 
 	// Linearize mode always runs 3-process histories; size the rings for
 	// whichever mode needs more. Every operation is recorded (no sampling):
@@ -235,20 +283,17 @@ func checkStack(impl, mode string, threads, ops, rounds, batch int) bool {
 		return verifyConservation(popped, threads*ops, func() (uint64, bool) { return s.Pop(0) })
 	case "linearize":
 		for r := 0; r < rounds; r++ {
-			s := attachFlight(newStack(impl, 3))
-			var h []check.Operation
-			if batch > 1 {
-				h = recordBatchHistory(3, linBatch(batch), check.OpPush, check.OpPop, asBatchedStack(s, impl))
-			} else {
-				h = recordHistory(3, 3,
+			record := func(cfg sched.Config) []check.Operation {
+				s := attachFlight(newStack(impl, 3))
+				if batch > 1 {
+					return recordBatchHistory(cfg, linBatch(batch), check.OpPush, check.OpPop, asBatchedStack(s, impl))
+				}
+				return recordHistory(cfg, 3,
 					check.OpPush, func(id int, v uint64) { s.Push(id, v) },
 					check.OpPop, func(id int) (uint64, bool) { return s.Pop(id) })
 			}
-			if !check.Linearizable(h, check.StackSpec()) {
-				fmt.Printf("round %d: non-linearizable stack history:\n", r)
-				for _, op := range h {
-					fmt.Println(" ", op)
-				}
+			cfg := roundCfg(r, 3)
+			if !reportCheck(r, "stack", record(cfg), cfg, record) {
 				return false
 			}
 		}
@@ -275,20 +320,17 @@ func checkQueue(impl, mode string, threads, ops, rounds, batch int) bool {
 		return verifyConservation(got, threads*ops, func() (uint64, bool) { return q.Dequeue(0) })
 	case "linearize":
 		for r := 0; r < rounds; r++ {
-			q := attachFlight(newQueue(impl, 3))
-			var h []check.Operation
-			if batch > 1 {
-				h = recordBatchHistory(3, linBatch(batch), check.OpEnqueue, check.OpDequeue, asBatchedQueue(q, impl))
-			} else {
-				h = recordHistory(3, 3,
+			record := func(cfg sched.Config) []check.Operation {
+				q := attachFlight(newQueue(impl, 3))
+				if batch > 1 {
+					return recordBatchHistory(cfg, linBatch(batch), check.OpEnqueue, check.OpDequeue, asBatchedQueue(q, impl))
+				}
+				return recordHistory(cfg, 3,
 					check.OpEnqueue, func(id int, v uint64) { q.Enqueue(id, v) },
 					check.OpDequeue, func(id int) (uint64, bool) { return q.Dequeue(id) })
 			}
-			if !check.Linearizable(h, check.QueueSpec()) {
-				fmt.Printf("round %d: non-linearizable queue history:\n", r)
-				for _, op := range h {
-					fmt.Println(" ", op)
-				}
+			cfg := roundCfg(r, 3)
+			if !reportCheck(r, "queue", record(cfg), cfg, record) {
 				return false
 			}
 		}
@@ -376,14 +418,14 @@ func checkFMul(impl, mode string, threads, ops, rounds, batch int) bool {
 		return true
 	case "linearize":
 		for r := 0; r < rounds; r++ {
-			o := attachFlight(newFMul(impl, 3))
-			rec := check.NewRecorder(9)
 			chainBad := make([]bool, 3)
-			var wg sync.WaitGroup
-			for i := 0; i < 3; i++ {
-				wg.Add(1)
-				go func(id int) {
-					defer wg.Done()
+			record := func(cfg sched.Config) []check.Operation {
+				o := attachFlight(newFMul(impl, 3))
+				rec := check.NewRecorder(9)
+				for i := range chainBad {
+					chainBad[i] = false
+				}
+				runWorkers(cfg, func(id int) {
 					if batch > 1 {
 						// Each batched call is checked for internal chain
 						// consistency, then collapsed to ONE Fetch&Multiply
@@ -413,17 +455,18 @@ func checkFMul(impl, mode string, threads, ops, rounds, batch int) bool {
 						prev := o.Apply(id, 3)
 						rec.Return(slot, prev, false)
 					}
-				}(i)
+				})
+				return rec.Operations()
 			}
-			wg.Wait()
+			cfg := roundCfg(r, 3)
+			h := record(cfg)
 			for id, b := range chainBad {
 				if b {
 					fmt.Printf("round %d: process %d saw an inconsistent batch chain\n", r, id)
 					return false
 				}
 			}
-			if !check.Linearizable(rec.Operations(), check.FMulSpec(1)) {
-				fmt.Printf("round %d: non-linearizable Fetch&Multiply history\n", r)
+			if !reportCheck(r, "Fetch&Multiply", h, cfg, record) {
 				return false
 			}
 		}
@@ -485,27 +528,97 @@ func verifyConservation(got map[uint64]int, produced int, drain func() (uint64, 
 	return true
 }
 
-// recordHistory runs a tiny concurrent history of produce/consume pairs.
-func recordHistory(threads, per int, prodOp string, produce func(int, uint64), consOp string, consume func(int) (uint64, bool)) []check.Operation {
-	rec := check.NewRecorder(2 * threads * per)
+// roundCfg derives round r's schedule config. With -sched-seed=0 the config
+// is inert (runWorkers falls back to free goroutines); otherwise each round
+// gets a distinct seed derived from the flag so the whole run is replayable
+// from -sched-seed alone, and any single failing round is replayable by
+// passing its derived seed with -rounds 1.
+func roundCfg(r, threads int) sched.Config {
+	if schedSeed == 0 {
+		return sched.Config{Threads: threads}
+	}
+	s := schedSeed + uint64(r)*0x9e3779b97f4a7c15
+	if s == 0 {
+		s = 1
+	}
+	return sched.Config{Seed: s, Threads: threads, Preemptions: schedPreempt}
+}
+
+// runWorkers executes body on cfg.Threads workers: free goroutines when the
+// config is unseeded, the deterministic token-passing scheduler otherwise.
+func runWorkers(cfg sched.Config, body func(id int)) {
+	if cfg.Seed != 0 {
+		sched.Exec(cfg, body)
+		return
+	}
 	var wg sync.WaitGroup
-	for i := 0; i < threads; i++ {
+	for i := 0; i < cfg.Threads; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			for k := 0; k < per; k++ {
-				v := uint64(id*per+k) + 1
-				slot := rec.Invoke(id, prodOp, v)
-				produce(id, v)
-				rec.Return(slot, 0, false)
-
-				slot = rec.Invoke(id, consOp, 0)
-				cv, ok := consume(id)
-				rec.Return(slot, cv, ok)
-			}
+			body(id)
 		}(i)
 	}
 	wg.Wait()
+}
+
+// checkLin runs the configured engine over one linearize-mode history. When
+// the Wing–Gong oracle exceeds its 64-operation budget the check degrades
+// to the forward engine instead of giving up (-engine=both already does
+// this internally; the explicit fallback covers -engine=search).
+func checkLin(h []check.Operation) error {
+	opts := v2.DefaultOptions()
+	opts.Engine = engineSel
+	opts.Partition = partitionSel
+	err := v2.CheckHistory(h, opts)
+	if err != nil && !v2.Rejected(err) && errors.Is(err, check.ErrTooLarge) {
+		opts.Engine = v2.EngineForward
+		err = v2.CheckHistory(h, opts)
+	}
+	return err
+}
+
+// reportCheck validates one linearize-mode history. A rejection prints the
+// history in the replayable text format plus, for seeded runs, a minimized
+// schedule that still reproduces it. An engine limitation (frontier or
+// width cap, ambiguous classification) is a warning, not a failure: the
+// history was not proven wrong, the checker just could not decide it.
+func reportCheck(r int, what string, h []check.Operation, cfg sched.Config, record func(sched.Config) []check.Operation) bool {
+	err := checkLin(h)
+	if err == nil {
+		return true
+	}
+	if !v2.Rejected(err) {
+		fmt.Fprintf(os.Stderr, "simcheck: round %d: %s history not decided: %v\n", r, what, err)
+		return true
+	}
+	fmt.Printf("round %d: non-linearizable %s history: %v\n", r, what, err)
+	os.Stdout.Write(v2.FormatHistory(h))
+	if cfg.Seed != 0 {
+		min := sched.Minimize(cfg, func(c sched.Config) bool {
+			return v2.Rejected(checkLin(record(c)))
+		})
+		fmt.Printf("replay: -mode linearize -rounds 1 -sched-seed=%d -sched-preempt=%d (minimized from %s)\n",
+			min.Seed, min.Preemptions, cfg)
+	}
+	return false
+}
+
+// recordHistory runs a tiny concurrent history of produce/consume pairs.
+func recordHistory(cfg sched.Config, per int, prodOp string, produce func(int, uint64), consOp string, consume func(int) (uint64, bool)) []check.Operation {
+	rec := check.NewRecorder(2 * cfg.Threads * per)
+	runWorkers(cfg, func(id int) {
+		for k := 0; k < per; k++ {
+			v := uint64(id*per+k) + 1
+			slot := rec.Invoke(id, prodOp, v)
+			produce(id, v)
+			rec.Return(slot, 0, false)
+
+			slot = rec.Invoke(id, consOp, 0)
+			cv, ok := consume(id)
+			rec.Return(slot, cv, ok)
+		}
+	})
 	return rec.Operations()
 }
 
@@ -528,9 +641,9 @@ func newSharded(n, shards, stripes int) *simmap.Sharded[uint64, uint64] {
 // MSet/MDelete; because each key has a single writer, its final binding is
 // deterministic and verified with MGet afterwards. Linearize mode: small
 // adversarial histories on a 4-key space, each batched call recorded as
-// per-key operations spanning the call's window, checked per key with the
-// partitioned Wing–Gong checker — per-key linearizability being exactly the
-// guarantee a sharded map makes.
+// per-key operations spanning the call's window, checked with the
+// compositional v2 checker (per key by default; -partition=false routes the
+// same history through the whole-map spec instead).
 func checkMap(mode string, threads, ops, rounds, batch int) bool {
 	if batch < 1 {
 		batch = 1
@@ -597,13 +710,10 @@ func checkMap(mode string, threads, ops, rounds, batch int) bool {
 	case "linearize":
 		b := linBatch(batch)
 		for r := 0; r < rounds; r++ {
-			m := newSharded(3, 2, 1)
-			rec := check.NewRecorder(2 * 3 * b)
-			var wg sync.WaitGroup
-			for i := 0; i < 3; i++ {
-				wg.Add(1)
-				go func(id int) {
-					defer wg.Done()
+			record := func(cfg sched.Config) []check.Operation {
+				m := newSharded(3, 2, 1)
+				rec := check.NewRecorder(2 * 3 * b)
+				runWorkers(cfg, func(id int) {
 					// Tiny deterministic PRNG so failures replay.
 					seed := uint64(r*3+id)*2654435761 + 1
 					next := func() uint64 {
@@ -646,17 +756,11 @@ func checkMap(mode string, threads, ops, rounds, batch int) bool {
 							rec.Return(slots[j], prevs[j], existed[j])
 						}
 					}
-				}(i)
+				})
+				return rec.Operations()
 			}
-			wg.Wait()
-			h := rec.Operations()
-			lin := check.LinearizablePartitioned(h, check.MapPartOf,
-				func(string) check.Spec { return check.MapKeySpec() })
-			if !lin {
-				fmt.Printf("round %d: non-per-key-linearizable map history:\n", r)
-				for _, op := range h {
-					fmt.Println(" ", op)
-				}
+			cfg := roundCfg(r, 3)
+			if !reportCheck(r, "map", record(cfg), cfg, record) {
 				return false
 			}
 		}
@@ -667,11 +771,17 @@ func checkMap(mode string, threads, ops, rounds, batch int) bool {
 	return false
 }
 
-// linBatch caps the linearize-mode batch so each 3-process history stays
-// within the Wing–Gong checker's 64-operation budget.
+// linBatch caps the linearize-mode batch. The Wing–Gong search needs each
+// 3-process history inside its 64-operation budget; the forward engine has
+// no history-length limit but tracks at most 64 simultaneously open
+// operations, and three overlapping batched calls open 3×batch at once.
 func linBatch(batch int) int {
-	if batch > 8 {
-		return 8
+	max := 21 // 3 overlapping calls stay within the 64 open-op slots
+	if engineSel == v2.EngineSearch {
+		max = 8
+	}
+	if batch > max {
+		return max
 	}
 	return batch
 }
@@ -719,39 +829,33 @@ func concurrentBatchPairs(threads, ops, batch int, b batched) map[uint64]int {
 // one point), so the per-element history must still linearize. Consume
 // batches report hits first (at most one chunk is involved at these sizes,
 // and within a chunk misses are a suffix).
-func recordBatchHistory(threads, batch int, prodOp, consOp string, b batched) []check.Operation {
-	rec := check.NewRecorder(2 * threads * batch)
-	var wg sync.WaitGroup
-	for i := 0; i < threads; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			vals := make([]uint64, batch)
-			out := make([]uint64, 0, batch)
-			slots := make([]int, batch)
-			for j := range vals {
-				vals[j] = uint64(id*batch+j) + 1
-			}
-			for j, v := range vals {
-				slots[j] = rec.Invoke(id, prodOp, v)
-			}
-			b.produce(id, vals)
-			for _, sl := range slots {
+func recordBatchHistory(cfg sched.Config, batch int, prodOp, consOp string, b batched) []check.Operation {
+	rec := check.NewRecorder(2 * cfg.Threads * batch)
+	runWorkers(cfg, func(id int) {
+		vals := make([]uint64, batch)
+		out := make([]uint64, 0, batch)
+		slots := make([]int, batch)
+		for j := range vals {
+			vals[j] = uint64(id*batch+j) + 1
+		}
+		for j, v := range vals {
+			slots[j] = rec.Invoke(id, prodOp, v)
+		}
+		b.produce(id, vals)
+		for _, sl := range slots {
+			rec.Return(sl, 0, false)
+		}
+		for j := range slots {
+			slots[j] = rec.Invoke(id, consOp, 0)
+		}
+		out = b.consume(id, batch, out[:0])
+		for j, sl := range slots {
+			if j < len(out) {
+				rec.Return(sl, out[j], true)
+			} else {
 				rec.Return(sl, 0, false)
 			}
-			for j := range slots {
-				slots[j] = rec.Invoke(id, consOp, 0)
-			}
-			out = b.consume(id, batch, out[:0])
-			for j, sl := range slots {
-				if j < len(out) {
-					rec.Return(sl, out[j], true)
-				} else {
-					rec.Return(sl, 0, false)
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
+		}
+	})
 	return rec.Operations()
 }

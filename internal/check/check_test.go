@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -12,7 +13,9 @@ func h(thread int, op string, arg, ret uint64, ok bool, inv, res int64) Operatio
 }
 
 func TestEmptyHistoryLinearizable(t *testing.T) {
-	if !Linearizable(nil, StackSpec()) {
+	if ok, err := Linearizable(nil, StackSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("empty history rejected")
 	}
 }
@@ -25,7 +28,9 @@ func TestSequentialStackAccepted(t *testing.T) {
 		h(0, OpPop, 0, 1, true, 7, 8),
 		h(0, OpPop, 0, 0, false, 9, 10),
 	}
-	if !Linearizable(ops, StackSpec()) {
+	if ok, err := Linearizable(ops, StackSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("valid sequential stack history rejected")
 	}
 }
@@ -36,7 +41,9 @@ func TestSequentialStackWrongOrderRejected(t *testing.T) {
 		h(0, OpPush, 2, 0, false, 3, 4),
 		h(0, OpPop, 0, 1, true, 5, 6), // FIFO answer from a LIFO object
 	}
-	if Linearizable(ops, StackSpec()) {
+	if ok, err := Linearizable(ops, StackSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if ok {
 		t.Fatal("non-LIFO history accepted by stack spec")
 	}
 }
@@ -48,7 +55,9 @@ func TestConcurrentStackReorderAccepted(t *testing.T) {
 		h(0, OpPush, 1, 0, false, 1, 5),
 		h(1, OpPop, 0, 1, true, 2, 6),
 	}
-	if !Linearizable(ops, StackSpec()) {
+	if ok, err := Linearizable(ops, StackSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("legal concurrent history rejected")
 	}
 }
@@ -59,7 +68,9 @@ func TestRealTimeOrderEnforced(t *testing.T) {
 		h(1, OpPop, 0, 1, true, 1, 2),
 		h(0, OpPush, 1, 0, false, 3, 4),
 	}
-	if Linearizable(ops, StackSpec()) {
+	if ok, err := Linearizable(ops, StackSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if ok {
 		t.Fatal("future-read accepted: real-time order not enforced")
 	}
 }
@@ -70,7 +81,9 @@ func TestEmptyPopOnlyWhenEmptyPossible(t *testing.T) {
 		h(0, OpPush, 1, 0, false, 1, 2),
 		h(1, OpPop, 0, 0, false, 3, 4),
 	}
-	if Linearizable(ops, StackSpec()) {
+	if ok, err := Linearizable(ops, StackSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if ok {
 		t.Fatal("empty pop after completed push accepted")
 	}
 	// Overlapping push and empty-pop: the pop may linearize first — accept.
@@ -78,7 +91,9 @@ func TestEmptyPopOnlyWhenEmptyPossible(t *testing.T) {
 		h(0, OpPush, 1, 0, false, 1, 5),
 		h(1, OpPop, 0, 0, false, 2, 4),
 	}
-	if !Linearizable(ops2, StackSpec()) {
+	if ok, err := Linearizable(ops2, StackSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("empty pop overlapping push rejected")
 	}
 }
@@ -90,7 +105,9 @@ func TestQueueSpecFIFO(t *testing.T) {
 		h(1, OpDequeue, 0, 1, true, 5, 6),
 		h(1, OpDequeue, 0, 2, true, 7, 8),
 	}
-	if !Linearizable(ok, QueueSpec()) {
+	if ok, err := Linearizable(ok, QueueSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("valid FIFO history rejected")
 	}
 	bad := []Operation{
@@ -98,7 +115,9 @@ func TestQueueSpecFIFO(t *testing.T) {
 		h(0, OpEnqueue, 2, 0, false, 3, 4),
 		h(1, OpDequeue, 0, 2, true, 5, 6), // LIFO answer from a FIFO object
 	}
-	if Linearizable(bad, QueueSpec()) {
+	if ok, err := Linearizable(bad, QueueSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if ok {
 		t.Fatal("non-FIFO history accepted by queue spec")
 	}
 }
@@ -109,7 +128,9 @@ func TestQueueDuplicateDequeueRejected(t *testing.T) {
 		h(1, OpDequeue, 0, 7, true, 3, 4),
 		h(2, OpDequeue, 0, 7, true, 5, 6),
 	}
-	if Linearizable(ops, QueueSpec()) {
+	if ok, err := Linearizable(ops, QueueSpec()); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if ok {
 		t.Fatal("duplicated dequeue accepted")
 	}
 }
@@ -120,14 +141,18 @@ func TestCounterSpec(t *testing.T) {
 		h(1, OpAdd, 3, 5, false, 3, 4),
 		h(0, OpRead, 0, 8, false, 5, 6),
 	}
-	if !Linearizable(ok, CounterSpec(0)) {
+	if ok, err := Linearizable(ok, CounterSpec(0)); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("valid counter history rejected")
 	}
 	bad := []Operation{
 		h(0, OpAdd, 5, 0, false, 1, 2),
 		h(1, OpAdd, 3, 4, false, 3, 4), // wrong previous value
 	}
-	if Linearizable(bad, CounterSpec(0)) {
+	if ok, err := Linearizable(bad, CounterSpec(0)); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if ok {
 		t.Fatal("wrong fetch-add response accepted")
 	}
 }
@@ -138,14 +163,18 @@ func TestCounterConcurrentPermutation(t *testing.T) {
 		h(0, OpAdd, 1, 1, false, 1, 10),
 		h(1, OpAdd, 1, 0, false, 2, 9),
 	}
-	if !Linearizable(ops, CounterSpec(0)) {
+	if ok, err := Linearizable(ops, CounterSpec(0)); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("legal overlapping adds rejected")
 	}
 	dup := []Operation{
 		h(0, OpAdd, 1, 0, false, 1, 10),
 		h(1, OpAdd, 1, 0, false, 2, 9), // both claim previous 0
 	}
-	if Linearizable(dup, CounterSpec(0)) {
+	if ok, err := Linearizable(dup, CounterSpec(0)); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if ok {
 		t.Fatal("duplicate previous values accepted")
 	}
 }
@@ -156,7 +185,9 @@ func TestFMulSpec(t *testing.T) {
 		h(1, OpMul, 5, 3, false, 3, 4),
 		h(0, OpRead, 0, 15, false, 5, 6),
 	}
-	if !Linearizable(ops, FMulSpec(1)) {
+	if ok, err := Linearizable(ops, FMulSpec(1)); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("valid Fetch&Multiply history rejected")
 	}
 }
@@ -166,14 +197,18 @@ func TestRegisterSpec(t *testing.T) {
 		h(0, OpWrite, 9, 0, false, 1, 2),
 		h(1, OpRead, 0, 9, false, 3, 4),
 	}
-	if !Linearizable(ok, RegisterSpec(0)) {
+	if ok, err := Linearizable(ok, RegisterSpec(0)); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("valid register history rejected")
 	}
 	bad := []Operation{
 		h(0, OpWrite, 9, 0, false, 1, 2),
 		h(1, OpRead, 0, 0, false, 3, 4), // stale read after completed write
 	}
-	if Linearizable(bad, RegisterSpec(0)) {
+	if ok, err := Linearizable(bad, RegisterSpec(0)); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if ok {
 		t.Fatal("stale read accepted")
 	}
 }
@@ -230,17 +265,20 @@ func TestRecorderCapacityPanics(t *testing.T) {
 	r.Invoke(0, OpPush, 2)
 }
 
-func TestLinearizableTooLongPanics(t *testing.T) {
+func TestLinearizableTooLargeError(t *testing.T) {
 	ops := make([]Operation, 65)
 	for i := range ops {
 		ops[i] = h(0, OpPush, 1, 0, false, int64(2*i), int64(2*i+1))
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected >64 panic")
-		}
-	}()
-	Linearizable(ops, StackSpec())
+	ok, err := Linearizable(ops, StackSpec())
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got (%v, %v), want ErrTooLarge", ok, err)
+	}
+	// The partitioned form surfaces the same error with the partition name.
+	if _, err := LinearizablePartitioned(ops, func(Operation) string { return "p" },
+		func(string) Spec { return StackSpec() }); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("partitioned: %v, want ErrTooLarge", err)
+	}
 }
 
 func TestOperationString(t *testing.T) {
@@ -270,14 +308,18 @@ func TestLinearizablePartitioned(t *testing.T) {
 	}
 	partOf := func(o Operation) string { return fmt.Sprintf("t%d", o.Thread) }
 	spec := func(string) Spec { return RegisterSpec(0) }
-	if !LinearizablePartitioned(ops, partOf, spec) {
+	if ok, err := LinearizablePartitioned(ops, partOf, spec); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if !ok {
 		t.Fatal("valid partitioned history rejected")
 	}
 	// Corrupt one partition: a read of a value never written.
 	bad := append(append([]Operation(nil), ops...), Operation{
 		Thread: 0, Op: OpRead, Ret: 999, Invoke: ts + 1, Return: ts + 2,
 	})
-	if LinearizablePartitioned(bad, partOf, spec) {
+	if ok, err := LinearizablePartitioned(bad, partOf, spec); err != nil {
+		t.Fatalf("search: %v", err)
+	} else if ok {
 		t.Fatal("invalid partition accepted")
 	}
 }

@@ -1,5 +1,16 @@
 package check
 
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooLarge is returned by Linearizable for histories longer than 64
+// operations: the search uses a bitmask over the operation set, so larger
+// histories need the forward-simulation engine (internal/check/v2), which
+// has no such limit.
+var ErrTooLarge = errors.New("check: history longer than 64 operations (use the forward engine)")
+
 // Spec is a sequential specification for the checker: an immutable initial
 // state, a step function that applies an operation and reports whether the
 // operation's RECORDED response is consistent with the state, and a
@@ -20,15 +31,16 @@ type Spec struct {
 // exactly once, (2) respects real-time order — if A returned before B was
 // invoked, A precedes B — and (3) yields each operation's recorded response
 // when executed sequentially. Histories are limited to 64 operations (the
-// search uses a bitmask); the test suite checks many small adversarial
-// histories rather than few large ones.
-func Linearizable(ops []Operation, spec Spec) bool {
+// search uses a bitmask) — longer histories return ErrTooLarge instead of a
+// verdict; the test suite checks many small adversarial histories with this
+// search and hands long histories to internal/check/v2.
+func Linearizable(ops []Operation, spec Spec) (bool, error) {
 	n := len(ops)
 	if n == 0 {
-		return true
+		return true, nil
 	}
 	if n > 64 {
-		panic("check: history longer than 64 operations")
+		return false, ErrTooLarge
 	}
 
 	type frame struct {
@@ -72,7 +84,7 @@ func Linearizable(ops []Operation, spec Spec) bool {
 		}
 		return false
 	}
-	return dfs(full, spec.Init())
+	return dfs(full, spec.Init()), nil
 }
 
 // maskBytes encodes a bitmask as 8 bytes for memo keys.
@@ -90,16 +102,20 @@ func maskBytes(m uint64) []byte {
 // of different parts commute in the sequential specification — then a
 // global linearization exists iff each part has one — and it lets much
 // longer histories be checked than the 64-operation global limit.
-func LinearizablePartitioned(ops []Operation, partOf func(Operation) string, spec func(part string) Spec) bool {
+func LinearizablePartitioned(ops []Operation, partOf func(Operation) string, spec func(part string) Spec) (bool, error) {
 	parts := make(map[string][]Operation)
 	for _, op := range ops {
 		p := partOf(op)
 		parts[p] = append(parts[p], op)
 	}
 	for p, sub := range parts {
-		if !Linearizable(sub, spec(p)) {
-			return false
+		ok, err := Linearizable(sub, spec(p))
+		if err != nil {
+			return false, fmt.Errorf("partition %q: %w", p, err)
+		}
+		if !ok {
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }

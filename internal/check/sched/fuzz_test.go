@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"testing"
+
+	v2 "repro/internal/check/v2"
+)
+
+// FuzzSchedule lets the fuzzer steer the deterministic scheduler: each
+// input is a (seed, preemption budget) pair, the SimQueue scenario runs
+// under that schedule, and the recorded history must pass the queue axiom
+// checker. A failure is reported with its minimized, replayable config —
+// paste the sched.Config literal into a test to reproduce the exact
+// interleaving.
+func FuzzSchedule(f *testing.F) {
+	f.Add(uint64(1), int8(-1))
+	f.Add(uint64(42), int8(3))
+	f.Add(uint64(0xdeadbeef), int8(0))
+	f.Add(uint64(0x5eed), int8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, budget int8) {
+		cfg := Config{Seed: seed, Threads: 3, Preemptions: int(budget)}
+		hist := runQueueScenario(cfg, 3)
+		if err := v2.ForwardQueue(hist); err != nil {
+			min := Minimize(cfg, func(c Config) bool {
+				return v2.Rejected(v2.ForwardQueue(runQueueScenario(c, 3)))
+			})
+			t.Fatalf("non-linearizable history under %v\nminimized replay: %v\nverdict: %v\nhistory:\n%s",
+				cfg, min, err, v2.FormatHistory(hist))
+		}
+	})
+}

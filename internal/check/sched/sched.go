@@ -1,0 +1,202 @@
+// Package sched is a deterministic adversarial schedule explorer for the
+// wait-free structures in this repository. It serializes a group of worker
+// goroutines — only one runs at a time, and control changes hands only at
+// the instrumented preemption points inside internal/core, internal/queue
+// and friends (announce publication, collect/hazard acquisition, the moment
+// before SC/CAS; see core.SchedPoint) — so an execution is a pure function
+// of the seed: the same seed replays the same interleaving, instruction for
+// instruction, which makes failures from CI or fuzzing reproducible with a
+// one-line config.
+//
+// Serializing wait-free code cannot deadlock: no operation ever waits on
+// another thread's progress, so whichever worker holds the token always
+// reaches its next yield point or returns. (Running lock-based code under
+// this scheduler would hang; don't.)
+//
+// The preemption budget follows the probabilistic-concurrency-testing
+// insight that most concurrency bugs need only a handful of well-placed
+// context switches: schedules with a small budget are both more likely to
+// trip real bugs and vastly easier to read. Minimize shrinks a failing
+// configuration's budget before it is reported.
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Config seeds one deterministic execution.
+type Config struct {
+	// Seed selects the interleaving. Same seed, same schedule.
+	Seed uint64
+	// Threads is the number of workers (process ids 0..Threads-1).
+	Threads int
+	// Preemptions is the forced-context-switch budget at instrumented
+	// yield points: <0 switches at every point (uniformly among ready
+	// workers, including staying put), 0 never preempts (workers run to
+	// completion one after another), and n>0 allows at most n forced
+	// switches — the PCT-style small-budget mode that Minimize drives
+	// toward.
+	Preemptions int
+}
+
+// String renders the config as a replayable one-liner for failure reports.
+func (c Config) String() string {
+	return fmt.Sprintf("sched.Config{Seed: %#x, Threads: %d, Preemptions: %d}", c.Seed, c.Threads, c.Preemptions)
+}
+
+// Stats summarizes one execution.
+type Stats struct {
+	Points   int // instrumented yield points reached
+	Switches int // forced context switches taken
+}
+
+// scheduler carries the token-passing state. All fields except the grant
+// channels are touched only by the token holder; the channel hand-off
+// orders those accesses, so the race detector is satisfied without locks.
+type scheduler struct {
+	cfg      Config
+	rng      uint64
+	grants   []chan struct{}
+	ready    []bool
+	points   int
+	switches int
+}
+
+// Exec runs body(pid) on cfg.Threads workers under the schedule drawn from
+// cfg.Seed and reports how many yield points and switches occurred. It
+// installs the core scheduling hook for the duration, so at most one Exec
+// may run per process at a time (run such tests sequentially, never with
+// t.Parallel). Workers must drive the shared structure with their own pid,
+// and must not spawn further goroutines that touch instrumented code.
+func Exec(cfg Config, body func(pid int)) Stats {
+	n := cfg.Threads
+	if n <= 0 {
+		panic("sched: Config.Threads must be positive")
+	}
+	s := &scheduler{
+		cfg:    cfg,
+		rng:    cfg.Seed,
+		grants: make([]chan struct{}, n),
+		ready:  make([]bool, n),
+	}
+	for i := range s.grants {
+		s.grants[i] = make(chan struct{}, 1)
+		s.ready[i] = true
+	}
+
+	core.SetSchedHook(func(pid int, _ core.SchedPoint) { s.yield(pid) })
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for pid := 0; pid < n; pid++ {
+		go func(pid int) {
+			defer wg.Done()
+			<-s.grants[pid] // wait for the token
+			body(pid)
+			s.finish(pid)
+		}(pid)
+	}
+	s.grants[s.pick(-1)] <- struct{}{}
+	wg.Wait()
+	core.SetSchedHook(nil)
+	return Stats{Points: s.points, Switches: s.switches}
+}
+
+// yield is the core hook: called by the token holder at each instrumented
+// point, it decides whether the token moves.
+func (s *scheduler) yield(pid int) {
+	if pid < 0 || pid >= len(s.grants) {
+		return // a pid outside the worker group (e.g. the test goroutine itself)
+	}
+	s.points++
+	if s.cfg.Preemptions == 0 {
+		return
+	}
+	if s.cfg.Preemptions > 0 && s.switches >= s.cfg.Preemptions {
+		return
+	}
+	next := s.pick(pid)
+	if next == pid || next < 0 {
+		return
+	}
+	s.switches++
+	s.grants[next] <- struct{}{}
+	<-s.grants[pid] // park until the token returns
+}
+
+// finish retires pid and hands the token to a remaining worker, if any.
+func (s *scheduler) finish(pid int) {
+	s.ready[pid] = false
+	if next := s.pick(-1); next >= 0 {
+		s.grants[next] <- struct{}{}
+	}
+}
+
+// pick chooses uniformly among ready workers. self >= 0 includes the
+// caller in the draw (a self-pick means "keep running"); -1 draws only
+// among the others.
+func (s *scheduler) pick(self int) int {
+	var cands []int
+	for pid, r := range s.ready {
+		if r || pid == self {
+			cands = append(cands, pid)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[s.rand()%uint64(len(cands))]
+}
+
+// rand is splitmix64: tiny, fast, and plenty for schedule diversity.
+func (s *scheduler) rand() uint64 {
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Minimize shrinks a failing configuration's preemption budget: given that
+// fails(cfg) reproduces a failure, it returns a config with the smallest
+// budget (under the same seed) that still fails, making the schedule as
+// readable as possible. Failure is not monotone in the budget, so this is
+// a heuristic: the result is a local minimum among the probed budgets, and
+// always still failing. An unbounded budget (<0) is first pinned to a
+// finite failing one by doubling probes; if only the unbounded schedule
+// fails, cfg is returned unchanged.
+func Minimize(cfg Config, fails func(Config) bool) Config {
+	if !fails(cfg) {
+		return cfg
+	}
+	if cfg.Preemptions < 0 {
+		found := false
+		for b := 1; b <= 1<<14; b *= 2 {
+			c := cfg
+			c.Preemptions = b
+			if fails(c) {
+				cfg = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			return cfg
+		}
+	}
+	lo, hi := 0, cfg.Preemptions // invariant: budget hi fails
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		c := cfg
+		c.Preemptions = mid
+		if fails(c) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cfg.Preemptions = hi
+	return cfg
+}

@@ -1,0 +1,257 @@
+// Package v2 is the scalable successor to the Wing–Gong search in
+// internal/check: single-pass forward-simulation checkers that verify
+// linearizability in time linear in the history length, so the 10k+
+// operation histories produced by soak runs and batched workloads are
+// checkable (the bitmask search caps at 64 operations).
+//
+// Three layers:
+//
+//   - Simulate: a generic abstraction-relation engine over any check.Spec.
+//     It sweeps the history's invoke/return events in timestamp order and
+//     maintains the FRONTIER of a forward simulation — every abstract
+//     (state, linearized-set) configuration reachable by linearizing some
+//     subset of the currently open operations. An operation's return keeps
+//     only configurations that have linearized it; an empty frontier is a
+//     proof of non-linearizability. Deduplication by spec.Key bounds the
+//     frontier, so the sweep is O(E·F·k) for E events, frontier size F and
+//     overlap width k — O(n·k) whenever the spec's states collapse (which
+//     counters, registers, and per-key map bindings do).
+//   - ForwardQueue: a queue-specific axiom checker (see queue.go) that
+//     avoids frontier growth entirely — O(n log n) for any overlap.
+//   - CheckHistory: the compositional driver (see compose.go) that splits a
+//     mixed history into independent object classes and per-key partitions
+//     and routes each part to the right checker, in the spirit of the
+//     forward-simulation hierarchy of arXiv 2601.11646: structures with
+//     fixed linearization points get deterministic single-pass checkers,
+//     and composition over independent parts is sound because their
+//     operations commute.
+//
+// Verdict conventions: nil means linearizable; an error wrapping
+// ErrRejected means PROVEN non-linearizable; any other error means the
+// engine could not decide (too wide, frontier blow-up, malformed input) —
+// callers fall back to another engine or report the limitation.
+package v2
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/check"
+)
+
+// ErrRejected is wrapped by every "history is not linearizable" verdict,
+// distinguishing a rejection from an engine limitation.
+var ErrRejected = errors.New("history is not linearizable")
+
+// ErrTooWide is returned when more than 64 operations overlap at one
+// instant — the frontier engine tracks open operations in one mask word.
+// (The queue axiom checker has no width limit.)
+var ErrTooWide = errors.New("forward engine: more than 64 operations overlap")
+
+// ErrFrontierLimit is returned when the abstraction frontier exceeds its
+// bound: the history is too concurrent for this spec's state space (e.g.
+// huge overlapping batches on one sequence object). The verdict is unknown.
+var ErrFrontierLimit = errors.New("forward engine: abstraction frontier exceeded its bound")
+
+// DefaultMaxFrontier bounds the forward engine's configuration frontier.
+// Real histories keep the frontier near the overlap width; hitting this
+// bound means the history defeats state deduplication.
+const DefaultMaxFrontier = 1 << 16
+
+// SimOption configures Simulate.
+type SimOption func(*simConfig)
+
+type simConfig struct {
+	maxFrontier int
+}
+
+// WithMaxFrontier overrides DefaultMaxFrontier.
+func WithMaxFrontier(m int) SimOption {
+	return func(c *simConfig) {
+		if m > 0 {
+			c.maxFrontier = m
+		}
+	}
+}
+
+// Rejected reports whether err is a non-linearizability verdict (as opposed
+// to an engine limitation or malformed input).
+func Rejected(err error) bool { return errors.Is(err, ErrRejected) }
+
+// frontier is the deduplicated set of reachable abstract configurations.
+// A configuration pairs an abstract state with the set of OPEN operations
+// already linearized into it (a bitmask over open-operation slots).
+type frontier struct {
+	spec  check.Spec
+	list  []config
+	index map[string]struct{}
+	max   int
+}
+
+type config struct {
+	state any
+	mask  uint64
+}
+
+func (f *frontier) key(st any, mask uint64) string {
+	return strconv.FormatUint(mask, 16) + "|" + f.spec.Key(st)
+}
+
+// add inserts (st, mask) if novel; reports whether it was inserted.
+func (f *frontier) add(st any, mask uint64) (bool, error) {
+	k := f.key(st, mask)
+	if _, dup := f.index[k]; dup {
+		return false, nil
+	}
+	if len(f.list) >= f.max {
+		return false, fmt.Errorf("%w (%d configurations)", ErrFrontierLimit, f.max)
+	}
+	f.index[k] = struct{}{}
+	f.list = append(f.list, config{state: st, mask: mask})
+	return true, nil
+}
+
+// Simulate checks ops against spec with the forward-simulation frontier
+// engine. It is equivalent to the Wing–Gong search (both decide
+// linearizability exactly) but runs as a single pass over the history's
+// events, so history LENGTH is never the limit — only instantaneous
+// overlap and abstract-state diversity are.
+func Simulate(ops []check.Operation, spec check.Spec, opts ...SimOption) error {
+	cfg := simConfig{maxFrontier: DefaultMaxFrontier}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+
+	// Event sweep order: by timestamp; invokes before returns on equal
+	// stamps, so ties count as overlap — the same convention as the search
+	// engine's Invoke <= minReturn test.
+	type event struct {
+		t   int64
+		ret bool
+		op  int
+	}
+	evs := make([]event, 0, 2*len(ops))
+	for i, o := range ops {
+		if o.Invoke >= o.Return {
+			return fmt.Errorf("forward engine: operation %v has an empty or inverted window", o)
+		}
+		evs = append(evs, event{o.Invoke, false, i}, event{o.Return, true, i})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return !evs[a].ret && evs[b].ret
+	})
+
+	// Open-operation slots: each open op holds one of 64 mask bits.
+	slotOf := make([]int, len(ops))
+	var freeSlots []int
+	for s := 63; s >= 0; s-- {
+		freeSlots = append(freeSlots, s)
+	}
+	openMask := uint64(0)
+	slotOp := make([]int, 64) // slot -> op index, for iteration over opens
+
+	f := &frontier{spec: spec, index: make(map[string]struct{}), max: cfg.maxFrontier}
+	if _, err := f.add(spec.Init(), 0); err != nil {
+		return err
+	}
+
+	// try linearizes op j on top of c if j is open, un-linearized in c, and
+	// its recorded response matches; the successor joins the frontier.
+	try := func(c config, j int) error {
+		bit := uint64(1) << uint(slotOf[j])
+		if c.mask&bit != 0 {
+			return nil
+		}
+		ns, ok := spec.Step(c.state, ops[j])
+		if !ok {
+			return nil
+		}
+		_, err := f.add(ns, c.mask|bit)
+		return err
+	}
+
+	for _, e := range evs {
+		if !e.ret {
+			// Invoke: open a slot, then close the frontier under the new
+			// operation. Configurations not involving e.op were already
+			// closed, so seeding with "apply e.op to every existing
+			// configuration" and closing only the NEW configurations under
+			// all open operations reaches exactly the full closure.
+			if len(freeSlots) == 0 {
+				return ErrTooWide
+			}
+			s := freeSlots[len(freeSlots)-1]
+			freeSlots = freeSlots[:len(freeSlots)-1]
+			slotOf[e.op] = s
+			slotOp[s] = e.op
+			openMask |= 1 << uint(s)
+
+			seedEnd := len(f.list)
+			for i := 0; i < len(f.list); i++ {
+				c := f.list[i]
+				if i < seedEnd {
+					if err := try(c, e.op); err != nil {
+						return err
+					}
+					continue
+				}
+				rest := openMask &^ c.mask
+				for m := rest; m != 0; m &= m - 1 {
+					s := trailingZeros(m)
+					if err := try(c, slotOp[s]); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+
+		// Return: every surviving configuration must have linearized e.op.
+		s := slotOf[e.op]
+		bit := uint64(1) << uint(s)
+		old := f.list
+		f.list = make([]config, 0, len(old))
+		f.index = make(map[string]struct{}, len(old))
+		for _, c := range old {
+			if c.mask&bit == 0 {
+				continue
+			}
+			if _, err := f.add(c.state, c.mask&^bit); err != nil {
+				return err
+			}
+		}
+		if len(f.list) == 0 {
+			open := popCount(openMask) - 1
+			return fmt.Errorf("%w: %v cannot be linearized within its window (%d configurations, %d other open ops)",
+				ErrRejected, ops[e.op], len(old), open)
+		}
+		openMask &^= bit
+		freeSlots = append(freeSlots, s)
+	}
+	return nil
+}
+
+func trailingZeros(m uint64) int {
+	n := 0
+	for m&1 == 0 {
+		m >>= 1
+		n++
+	}
+	return n
+}
+
+func popCount(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package v2
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/check"
+)
+
+// The conformance corpus in internal/check/testdata stores histories as
+// text, one operation per line:
+//
+//	<thread> <op> <arg> <ret> <ok> <invoke> <return>
+//
+// '#' starts a comment; blank lines are ignored. <arg> and <ret> accept the
+// sugar "k:v" for map operations — "3:17" encodes key 3, value 17, i.e.
+// 3<<32|17 — so map goldens stay readable. <ok> is "ok" or "no".
+//
+// ParseHistory and FormatHistory round-trip, so failing histories found by
+// the fuzzers can be dumped, minimized, and checked in as goldens.
+
+// ParseHistory decodes the corpus text format.
+func ParseHistory(data []byte) ([]check.Operation, error) {
+	var ops []check.Operation
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("line %d: want 7 fields (thread op arg ret ok invoke return), got %d", ln+1, len(fields))
+		}
+		var o check.Operation
+		var err error
+		if o.Thread, err = strconv.Atoi(fields[0]); err != nil {
+			return nil, fmt.Errorf("line %d: thread: %v", ln+1, err)
+		}
+		o.Op = fields[1]
+		if o.Arg, err = parsePacked(fields[2]); err != nil {
+			return nil, fmt.Errorf("line %d: arg: %v", ln+1, err)
+		}
+		if o.Ret, err = parsePacked(fields[3]); err != nil {
+			return nil, fmt.Errorf("line %d: ret: %v", ln+1, err)
+		}
+		switch fields[4] {
+		case "ok":
+			o.RetOK = true
+		case "no":
+			o.RetOK = false
+		default:
+			return nil, fmt.Errorf("line %d: ok flag %q (want ok or no)", ln+1, fields[4])
+		}
+		if o.Invoke, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("line %d: invoke: %v", ln+1, err)
+		}
+		if o.Return, err = strconv.ParseInt(fields[6], 10, 64); err != nil {
+			return nil, fmt.Errorf("line %d: return: %v", ln+1, err)
+		}
+		ops = append(ops, o)
+	}
+	return ops, nil
+}
+
+func parsePacked(s string) (uint64, error) {
+	if k, v, found := strings.Cut(s, ":"); found {
+		key, err := strconv.ParseUint(k, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("key %q: %v", k, err)
+		}
+		val, err := strconv.ParseUint(v, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("value %q: %v", v, err)
+		}
+		return key<<32 | val, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// FormatHistory encodes ops in the corpus text format. Map operation
+// ARGUMENTS get the k:v sugar (returns carry a bare value).
+func FormatHistory(ops []check.Operation) []byte {
+	var b strings.Builder
+	for _, o := range ops {
+		ok := "no"
+		if o.RetOK {
+			ok = "ok"
+		}
+		fmt.Fprintf(&b, "%d %s %s %d %s %d %d\n",
+			o.Thread, o.Op, formatPacked(o.Op, o.Arg), o.Ret, ok, o.Invoke, o.Return)
+	}
+	return []byte(b.String())
+}
+
+func formatPacked(op string, v uint64) string {
+	switch op {
+	case check.OpMapPut, check.OpMapDel, check.OpMapGet:
+		return fmt.Sprintf("%d:%d", v>>32, v&0xffffffff)
+	}
+	return strconv.FormatUint(v, 10)
+}

@@ -1,0 +1,196 @@
+package v2
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/check"
+)
+
+// ErrNotDifferentiated is returned by ForwardQueue when two enqueues carry
+// the same value: the axiom checker's completeness theorem needs unique
+// values to pair each dequeue with its enqueue. Callers fall back to the
+// generic frontier engine (or the search) for such histories.
+var ErrNotDifferentiated = errors.New("queue checker: enqueued values are not unique")
+
+const infTime = int64(1) << 62
+
+// pair joins a value's enqueue and dequeue (indices into the history;
+// -1 = absent).
+type pair struct {
+	enq, deq int
+}
+
+// ForwardQueue decides linearizability of a complete queue history — only
+// check.OpEnqueue and check.OpDequeue, with pairwise-distinct enqueued
+// values — in O(n log n), with no limit on how many operations overlap.
+//
+// It checks the aspect-oriented queue conditions (Henzinger, Sezgin &
+// Vafeiadis, CONCUR'13), which are sound and complete for differentiated
+// complete histories:
+//
+//	VFresh — a dequeue returns a value no enqueue supplied.
+//	VRepet — two dequeues return the same value.
+//	pair order — a value's dequeue completes before its enqueue begins.
+//	VOrd  — FIFO inversion: enq(x) precedes enq(y) in real time, y is
+//	        dequeued, but x's dequeue (if any) begins only after y's
+//	        dequeue returns, so no interleaving dequeues x first.
+//	VWit  — an empty dequeue runs while the queue is provably non-empty:
+//	        its whole window is covered by intervals (retEnq(x), invDeq(x))
+//	        during which value x is certainly in the queue. Coverage is by
+//	        the UNION of merged intervals — a single witness value is not
+//	        enough, since different values can block different sub-windows.
+//
+// The VOrd scan sorts enqueues by return time and keeps a prefix maximum of
+// their dequeue-invocation times; each dequeued value then needs one binary
+// search. VWit merges the blocking intervals once and binary-searches each
+// empty dequeue against them.
+func ForwardQueue(ops []check.Operation) error {
+	byVal := make(map[uint64]*pair, len(ops))
+	at := func(v uint64) *pair {
+		p := byVal[v]
+		if p == nil {
+			p = &pair{enq: -1, deq: -1}
+			byVal[v] = p
+		}
+		return p
+	}
+	var empties []int
+	for i, o := range ops {
+		if o.Invoke >= o.Return {
+			return fmt.Errorf("queue checker: operation %v has an empty or inverted window", o)
+		}
+		switch o.Op {
+		case check.OpEnqueue:
+			p := at(o.Arg)
+			if p.enq >= 0 {
+				return fmt.Errorf("%w: value %d enqueued by %v and %v", ErrNotDifferentiated, o.Arg, ops[p.enq], o)
+			}
+			p.enq = i
+		case check.OpDequeue:
+			if !o.RetOK {
+				empties = append(empties, i)
+				continue
+			}
+			p := at(o.Ret)
+			if p.deq >= 0 {
+				return fmt.Errorf("%w: value %d dequeued twice, by %v and %v", ErrRejected, o.Ret, ops[p.deq], o)
+			}
+			p.deq = i
+		default:
+			return fmt.Errorf("queue checker: unsupported operation %q in %v", o.Op, o)
+		}
+	}
+
+	// VFresh and per-pair timing.
+	for v, p := range byVal {
+		if p.deq < 0 {
+			continue
+		}
+		if p.enq < 0 {
+			return fmt.Errorf("%w: %v returned value %d that no enqueue supplied", ErrRejected, ops[p.deq], v)
+		}
+		if ops[p.deq].Return < ops[p.enq].Invoke {
+			return fmt.Errorf("%w: %v completed before its enqueue %v began", ErrRejected, ops[p.deq], ops[p.enq])
+		}
+	}
+
+	// VOrd. Sort enqueues by return time; alongside each keep the invoke
+	// time of its dequeue (infTime if the value was never dequeued — an
+	// undequeued value blocks every later-enqueued value's dequeue order).
+	type enqInfo struct {
+		retE   int64
+		dInv   int64
+		val    uint64
+		enqIdx int
+	}
+	enqs := make([]enqInfo, 0, len(byVal))
+	for v, p := range byVal {
+		e := enqInfo{retE: ops[p.enq].Return, dInv: infTime, val: v, enqIdx: p.enq}
+		if p.deq >= 0 {
+			e.dInv = ops[p.deq].Invoke
+		}
+		enqs = append(enqs, e)
+	}
+	sort.Slice(enqs, func(a, b int) bool { return enqs[a].retE < enqs[b].retE })
+	// prefMax[i] = max dInv over enqs[0..i]; argMax tracks a witness value.
+	prefMax := make([]int64, len(enqs))
+	argMax := make([]int, len(enqs))
+	for i := range enqs {
+		prefMax[i] = enqs[i].dInv
+		argMax[i] = i
+		if i > 0 && prefMax[i-1] > prefMax[i] {
+			prefMax[i] = prefMax[i-1]
+			argMax[i] = argMax[i-1]
+		}
+	}
+	for _, p := range byVal {
+		if p.deq < 0 {
+			continue
+		}
+		invE, retD := ops[p.enq].Invoke, ops[p.deq].Return
+		// Enqueues that certainly precede this value's enqueue: retE < invE.
+		idx := sort.Search(len(enqs), func(i int) bool { return enqs[i].retE >= invE })
+		if idx == 0 {
+			continue
+		}
+		if prefMax[idx-1] > retD {
+			x := enqs[argMax[idx-1]]
+			return fmt.Errorf("%w: FIFO violation — %v precedes %v but value %d was dequeued by %v before value %d could be (its dequeue %s)",
+				ErrRejected, ops[x.enqIdx], ops[p.enq], ops[p.deq].Ret, ops[p.deq], x.val, describeDeq(ops, byVal[x.val]))
+		}
+	}
+
+	// VWit. Value x certainly occupies the queue throughout the open
+	// interval (retEnq(x), invDeq(x)). Merge these; an empty dequeue whose
+	// whole open window (inv, ret) lies inside one merged interval observed
+	// a provably non-empty queue.
+	if len(empties) > 0 {
+		type ival struct{ a, b int64 }
+		var blocks []ival
+		for _, p := range byVal {
+			if p.enq < 0 {
+				continue
+			}
+			a := ops[p.enq].Return
+			b := infTime
+			if p.deq >= 0 {
+				b = ops[p.deq].Invoke
+			}
+			if b > a {
+				blocks = append(blocks, ival{a, b})
+			}
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].a < blocks[j].a })
+		merged := blocks[:0]
+		for _, iv := range blocks {
+			if n := len(merged); n > 0 && iv.a < merged[n-1].b {
+				if iv.b > merged[n-1].b {
+					merged[n-1].b = iv.b
+				}
+				continue
+			}
+			merged = append(merged, iv)
+		}
+		for _, di := range empties {
+			d := ops[di]
+			// Strict on both ends: equal stamps mean CONCURRENT (the search
+			// engine's Invoke <= minReturn convention), so an interval
+			// merely touching d's window does not pin it.
+			idx := sort.Search(len(merged), func(i int) bool { return merged[i].a >= d.Invoke })
+			if idx > 0 && merged[idx-1].b > d.Return {
+				return fmt.Errorf("%w: %v observed an empty queue, but the queue is non-empty throughout (%d, %d)",
+					ErrRejected, d, merged[idx-1].a, merged[idx-1].b)
+			}
+		}
+	}
+	return nil
+}
+
+func describeDeq(ops []check.Operation, p *pair) string {
+	if p.deq < 0 {
+		return "never happened"
+	}
+	return fmt.Sprintf("began at %d", ops[p.deq].Invoke)
+}

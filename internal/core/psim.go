@@ -353,7 +353,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 		panic(fmt.Sprintf("core: process id %d out of range [0,%d)", i, u.n))
 	}
 	t := u.thread(i)
-	t0 := u.rec.Start(i)          // stamp 0 (no clock read) unless this op is sampled
+	t0 := u.rec.Start(i)           // stamp 0 (no clock read) unless this op is sampled
 	tt := u.stats.Trace.OpStart(i) // flight-recorder stamp, same sampling discipline
 
 	if u.n == 1 {
@@ -368,6 +368,7 @@ func (u *PSim[S, A, R]) Apply(i int, arg A) R {
 	// line 1: announce the operation — a vector of one, copied into a
 	// recycled announce box (no heap box per call; see collect/batch.go).
 	u.announce.PublishOne(i, arg)
+	SchedYield(i, PointAnnounce)
 	t.toggler.Toggle() // lines 2–3: toggle pi's bit in Act (one F&A)
 	u.counter.Add(i, 2)
 	t.bo.Wait() // line 4: back off so helpers accumulate work
@@ -409,6 +410,7 @@ func (u *PSim[S, A, R]) ApplyBatch(i int, args []A, res []R) []R {
 			continue
 		}
 		u.announce.Publish(i, chunk)
+		SchedYield(i, PointAnnounce)
 		t.toggler.Toggle()
 		u.counter.Add(i, 2)
 		t.bo.Wait()
@@ -446,6 +448,7 @@ func (u *PSim[S, A, R]) applyAnnounced(i int, t *psimThread[S, R], t0, tt obs.St
 			tr.Instant(i, trace.KindCASFail, uint64(j), 1)
 			continue
 		}
+		SchedYield(i, PointCollect)
 		u.act.LoadInto(t.active) // line 9: read Act
 		u.counter.Add(i, uint64(u.act.Words()))
 		// line 10: diffs = applied XOR active — the set of processes whose
@@ -537,6 +540,7 @@ func (u *PSim[S, A, R]) applyAnnounced(i int, t *psimThread[S, R], t0, tt obs.St
 			// lines 22–25: try to publish. CAS on the pointer plays the role
 			// of the CAS on the timestamped pool index.
 			u.counter.Inc(i)
+			SchedYield(i, PointCAS)
 			if u.state.CompareAndSwap(ls, ns) {
 				t.ring.Push(ls) // line 26's pool rotation: retire the old record
 				u.haz.Clear(i)  // unpin ls so its ring slot can recycle it

@@ -206,7 +206,9 @@ func TestPSimRecyclingLinearizable(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	if !check.Linearizable(rec.Operations(), check.CounterSpec(0)) {
+	if ok, err := check.Linearizable(rec.Operations(), check.CounterSpec(0)); err != nil {
+		t.Fatalf("linearizability search: %v", err)
+	} else if !ok {
 		t.Fatal("concurrent FAA history over recycled records is not linearizable")
 	}
 }

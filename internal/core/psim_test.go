@@ -159,7 +159,9 @@ func TestPSimLinearizableHistories(t *testing.T) {
 			}(i)
 		}
 		wg.Wait()
-		if !check.Linearizable(rec.Operations(), check.CounterSpec(0)) {
+		if ok, err := check.Linearizable(rec.Operations(), check.CounterSpec(0)); err != nil {
+			t.Fatalf("linearizability search: %v", err)
+		} else if !ok {
 			t.Fatalf("round %d: history not linearizable:\n%v", r, rec.Operations())
 		}
 	}

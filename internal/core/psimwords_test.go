@@ -128,7 +128,9 @@ func TestPSimWordsLinearizable(t *testing.T) {
 			}(i)
 		}
 		wg.Wait()
-		if !check.Linearizable(rec.Operations(), check.CounterSpec(0)) {
+		if ok, err := check.Linearizable(rec.Operations(), check.CounterSpec(0)); err != nil {
+			t.Fatalf("linearizability search: %v", err)
+		} else if !ok {
 			t.Fatalf("round %d: history not linearizable:\n%v", r, rec.Operations())
 		}
 	}

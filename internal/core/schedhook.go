@@ -1,0 +1,61 @@
+package core
+
+// Deterministic-schedule instrumentation: a test-only hook invoked at the
+// protocol boundaries where adversarial interleavings matter — after an
+// operation is announced, after the published state is read for a combining
+// round, and immediately before a publish attempt. internal/check/sched
+// installs a cooperative scheduler here to serialize goroutines and explore
+// seeded, replayable preemption schedules; production code never sets the
+// hook, so the hot path pays one predictable nil check per boundary.
+
+// SchedPoint identifies an instrumented preemption boundary.
+type SchedPoint uint8
+
+const (
+	// PointAnnounce: the operation (or vector) is announced but the
+	// announcing process has not yet entered a combining round — a helper
+	// may serve it first, or its toggle may race a concurrent collect.
+	PointAnnounce SchedPoint = iota
+	// PointCollect: a combining round has read the published state (LL /
+	// hazard-protected load) but not yet collected announcements or
+	// applied them — the classic stale-view window.
+	PointCollect
+	// PointCAS: the round has built its successor record and is about to
+	// attempt the publish CAS/SC — preempting here maximizes CAS failures
+	// and helping.
+	PointCAS
+)
+
+// String names the point for schedule dumps.
+func (p SchedPoint) String() string {
+	switch p {
+	case PointAnnounce:
+		return "announce"
+	case PointCollect:
+		return "collect"
+	case PointCAS:
+		return "cas"
+	}
+	return "?"
+}
+
+// schedHook is the installed scheduler callback, nil in production. It is a
+// plain (non-atomic) global: SetSchedHook must be called while no
+// instrumented operation is in flight (before worker goroutines start and
+// after they join), which also gives the necessary happens-before edges.
+var schedHook func(pid int, p SchedPoint)
+
+// SetSchedHook installs (or, with nil, removes) the test-only preemption
+// hook. TEST USE ONLY: call only while no operation on any instrumented
+// structure is running, and remove the hook before returning from the test.
+func SetSchedHook(h func(pid int, p SchedPoint)) { schedHook = h }
+
+// SchedYield invokes the hook if one is installed. It is exported so that
+// sibling packages implementing the same announce/collect/publish protocol
+// shape (internal/queue, internal/stack) can share the single hook; the
+// call inlines to a nil check when no scheduler is attached.
+func SchedYield(pid int, p SchedPoint) {
+	if schedHook != nil {
+		schedHook(pid, p)
+	}
+}

@@ -125,6 +125,7 @@ func (u *Sim[S, R]) ApplyOp(i int, op uint64) R {
 	tt := tr.OpStart(i)
 
 	upd.Update(op) // line 1: announce op
+	SchedYield(i, PointAnnounce)
 	u.countAccess(i, 1)
 	combined := u.attempt(i) // line 2
 
@@ -154,6 +155,7 @@ func (u *Sim[S, R]) attempt(i int) uint64 {
 	ops := make([]uint64, u.n)
 	for j := 0; j < 2; j++ {
 		ls, tag := u.s.LL() // line 7
+		SchedYield(i, PointCollect)
 		u.countAccess(i, 1)
 		u.col.CollectInto(ops) // line 8
 		u.countAccess(i, uint64(u.col.Words()))
@@ -174,6 +176,7 @@ func (u *Sim[S, R]) attempt(i int) uint64 {
 			ns.applied[q] = ops[q] != OpBottom
 		}
 
+		SchedYield(i, PointCAS)
 		if u.s.SC(tag, ns) { // line 14
 			st.CASSuccess.Inc(i)
 			st.Combined.Add(i, combined)

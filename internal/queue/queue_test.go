@@ -119,7 +119,9 @@ func TestQueueLinearizable(t *testing.T) {
 					}(i)
 				}
 				wg.Wait()
-				if !check.Linearizable(rec.Operations(), check.QueueSpec()) {
+				if ok, err := check.Linearizable(rec.Operations(), check.QueueSpec()); err != nil {
+					t.Fatalf("linearizability search: %v", err)
+				} else if !ok {
 					t.Fatalf("round %d: history not linearizable:\n%v", r, rec.Operations())
 				}
 			}

@@ -317,8 +317,9 @@ func (q *SimQueue[V]) Enqueue(id int, v V) {
 	}
 
 	q.enqAnnounce.PublishOne(id, v) // line 1: announce (a vector of one)
-	t.toggler.Toggle()              // lines 2–3
-	t.bo.Wait()                     // line 4
+	core.SchedYield(id, core.PointAnnounce)
+	t.toggler.Toggle() // lines 2–3
+	t.bo.Wait()        // line 4
 
 	q.enqueueAnnounced(id, t, t0, tt, 1)
 }
@@ -346,6 +347,7 @@ func (q *SimQueue[V]) EnqueueBatch(id int, vals []V) {
 			continue
 		}
 		q.enqAnnounce.Publish(id, chunk)
+		core.SchedYield(id, core.PointAnnounce)
 		t.toggler.Toggle()
 		t.bo.Wait()
 		q.enqueueAnnounced(id, t, t0, tt, m)
@@ -369,6 +371,7 @@ func (q *SimQueue[V]) enqueueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 			tr.Instant(id, trace.KindCASFail, uint64(j), 1)
 			continue
 		}
+		core.SchedYield(id, core.PointCollect)
 		splice(ls) // line 18: help link the current batch (before any return)
 		q.enqAct.LoadInto(t.active)
 		ls.applied.XorInto(t.active, t.diffs)
@@ -431,12 +434,13 @@ func (q *SimQueue[V]) enqueueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 			continue
 		}
 
-		oldTail := ls.newTail     // capture before CAS: ls may recycle after it
-		ns := q.enqRecord(id, t)  // lines 28–31, into a recycled record
+		oldTail := ls.newTail    // capture before CAS: ls may recycle after it
+		ns := q.enqRecord(id, t) // lines 28–31, into a recycled record
 		ns.applied.CopyFrom(t.active)
 		ns.oldTail = oldTail
 		ns.lfirst = first
 		ns.newTail = last
+		core.SchedYield(id, core.PointCAS)
 		if q.enqP.CompareAndSwap(ls, ns) { // line 35
 			// line 36: link our own batch. Splice from the locals — once
 			// published, ns may be retired and recycled by a later winner.
@@ -557,6 +561,7 @@ func (q *SimQueue[V]) Dequeue(id int) (V, bool) {
 	}
 
 	q.announceDeqCount(id, t, 1)
+	core.SchedYield(id, core.PointAnnounce)
 	t.toggler.Toggle() // lines 39–40 (a dequeue announces only its count)
 	t.bo.Wait()        // line 41
 
@@ -593,6 +598,7 @@ func (q *SimQueue[V]) DequeueBatch(id int, want int, out []V) []V {
 			}
 		} else {
 			q.announceDeqCount(id, t, uint64(m))
+			core.SchedYield(id, core.PointAnnounce)
 			t.toggler.Toggle()
 			t.bo.Wait()
 			if m == 1 {
@@ -628,6 +634,7 @@ func (q *SimQueue[V]) dequeueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 			tr.Instant(id, trace.KindCASFail, uint64(j), 1)
 			continue
 		}
+		core.SchedYield(id, core.PointCollect)
 		q.deqAct.LoadInto(t.active)
 		ls.applied.XorInto(t.active, t.diffs)
 		if t.diffs[myWord]&myMask == 0 { // line 48: already applied
@@ -716,6 +723,7 @@ func (q *SimQueue[V]) dequeueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 		} else {
 			out = appendHits(out, ns.brvals[id])
 		}
+		core.SchedYield(id, core.PointCAS)
 		if q.deqP.CompareAndSwap(ls, ns) { // line 67
 			t.dring.Push(ls)
 			q.deqHaz.Clear(id) // unpin ls so its ring slot can recycle it
@@ -733,8 +741,8 @@ func (q *SimQueue[V]) dequeueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 			}
 			return r, out
 		}
-		out = out[:base]  // speculative copies die with the failed round
-		t.dring.Push(ns)  // never published — immediately reusable
+		out = out[:base] // speculative copies die with the failed round
+		t.dring.Push(ns) // never published — immediately reusable
 		st.CASFail.Inc(id)
 		tr.Instant(id, trace.KindCASFail, uint64(j), 0)
 		if j == 0 {

@@ -163,7 +163,9 @@ func TestMapLinearizablePartitioned(t *testing.T) {
 		return fmt.Sprintf("k%d", keyOf[o.Invoke])
 	}
 	spec := func(string) check.Spec { return check.RegisterSpec(0) }
-	if !check.LinearizablePartitioned(ops, partOf, spec) {
+	if ok, err := check.LinearizablePartitioned(ops, partOf, spec); err != nil {
+		t.Fatalf("linearizability search: %v", err)
+	} else if !ok {
 		t.Fatal("per-key history not linearizable")
 	}
 }

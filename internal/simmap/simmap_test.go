@@ -201,7 +201,9 @@ func TestMapLinearizablePerKey(t *testing.T) {
 			}(i)
 		}
 		wg.Wait()
-		if !check.Linearizable(rec.Operations(), check.RegisterSpec(0)) {
+		if ok, err := check.Linearizable(rec.Operations(), check.RegisterSpec(0)); err != nil {
+			t.Fatalf("linearizability search: %v", err)
+		} else if !ok {
 			t.Fatalf("round %d: per-key history not linearizable:\n%v", r, rec.Operations())
 		}
 	}

@@ -213,7 +213,9 @@ func TestSetLinearizable(t *testing.T) {
 			}(i)
 		}
 		wg.Wait()
-		if !check.Linearizable(rec.Operations(), check.SetSpec()) {
+		if ok, err := check.Linearizable(rec.Operations(), check.SetSpec()); err != nil {
+			t.Fatalf("linearizability search: %v", err)
+		} else if !ok {
 			t.Fatalf("round %d: set history not linearizable:\n%v", r, rec.Operations())
 		}
 	}

@@ -120,7 +120,9 @@ func TestStackLinearizable(t *testing.T) {
 					}(i)
 				}
 				wg.Wait()
-				if !check.Linearizable(rec.Operations(), check.StackSpec()) {
+				if ok, err := check.Linearizable(rec.Operations(), check.StackSpec()); err != nil {
+					t.Fatalf("linearizability search: %v", err)
+				} else if !ok {
 					t.Fatalf("round %d: history not linearizable:\n%v", r, rec.Operations())
 				}
 			}
