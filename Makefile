@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json examples experiments check metrics-demo flight-demo clean
+.PHONY: all build vet test race short bench bench-json examples experiments check metrics-demo flight-demo ingest-demo clean
 
 all: build vet test
 
@@ -33,8 +33,8 @@ experiments:
 # Refresh the machine-readable perf trajectory (ns/op, allocs/op, helping
 # degree for the fig2/fig3 families) checked in as BENCH_psim.json.
 bench-json:
-	$(GO) run ./cmd/simbench -experiment fig2,fig2help,fig3stack,fig3queue,fig2-batch,map-sharded \
-		-ops $(OPS) -reps $(REPS) -json BENCH_psim.json
+	$(GO) run ./cmd/simbench -experiment fig2,fig2help,fig3stack,fig3queue,fig2-batch,map-sharded,ingest \
+		-ops $(OPS) -reps $(REPS) -ingest-batch 1,8,32 -json BENCH_psim.json
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -82,6 +82,13 @@ flight-demo:
 	  echo "--- chrome trace -> /tmp/flight.json (open in Perfetto) ---"; \
 	  curl -s "http://127.0.0.1:9091/debug/flight" -o /tmp/flight.json; \
 	  wc -c /tmp/flight.json'
+
+# Self-driving ingest smoke: boot simingestd on a loopback port, publish 50k
+# events from pipelined producers, poll every partition, and verify sequence
+# gaplessness, cursor monotonicity, event conservation, and retention
+# high-watermark movement — the same gate CI runs.
+ingest-demo:
+	$(GO) run ./cmd/simingestd -smoke 50000 -shards 2 -batch 32 -seg 256
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@
 //	simbench -experiment fig2        # Figure 2 left: Fetch&Multiply sweep
 //	simbench -experiment fig2-batch  # batched ApplyBatch throughput (-batch 1,16)
 //	simbench -experiment map-sharded # sharded map sweep (-shards 1,4)
+//	simbench -experiment ingest      # ingest pipeline events/sec + p99 append latency (-ingest-batch 1,8,32)
 //	simbench -experiment fig2help    # Figure 2 right: helping degree
 //	simbench -experiment fig3stack   # Figure 3 left: stacks
 //	simbench -experiment fig3queue   # Figure 3 right: queues
@@ -46,7 +47,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment to run (fig2, fig2-batch, fig2help, fig3stack, fig3queue, table1, lsim, map, map-sharded, ablation-backoff, ablation-publication, ablation-act, all)")
+		exp     = flag.String("experiment", "all", "which experiment to run (fig2, fig2-batch, fig2help, fig3stack, fig3queue, table1, lsim, map, map-sharded, ingest, ablation-backoff, ablation-publication, ablation-act, all)")
 		ops     = flag.Int("ops", 100_000, "total operations per run (paper: 1000000)")
 		reps    = flag.Int("reps", 3, "repetitions per configuration (paper: 10)")
 		threads = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
@@ -65,6 +66,8 @@ func main() {
 			"with -flight, record one in N operations per thread (1 = every op)")
 		batches = flag.String("batch", "1,16",
 			"comma-separated batch sizes for fig2-batch (ops per ApplyBatch call; 1 = plain Apply)")
+		ingestBatches = flag.String("ingest-batch", "1,8,32",
+			"comma-separated producer batch sizes for the ingest experiment")
 		shards = flag.String("shards", "1,4",
 			"comma-separated shard counts for map-sharded (rounded up to powers of two)")
 	)
@@ -83,6 +86,11 @@ func main() {
 	shc, err := parseThreads(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench: -shards:", err)
+		os.Exit(2)
+	}
+	ibc, err := parseThreads(*ingestBatches)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: -ingest-batch:", err)
 		os.Exit(2)
 	}
 	cfg := harness.Config{
@@ -141,6 +149,14 @@ func main() {
 			collected[name] = runSweep(cfg, fmt.Sprintf(
 				"Sharded map sweep: shard counts %v, MSet batch %d", shc, b),
 				experiments.ShardedMapMakers(shc, b), fmt.Sprintf("Sharded(%d) b=%d", shc[len(shc)-1], b), *csvOut)
+		case "ingest":
+			// The ingest acceptance gate reads p99 append latency, so this
+			// experiment always records latency distributions.
+			icfg := cfg
+			icfg.Latency = true
+			collected[name] = runSweep(icfg, fmt.Sprintf(
+				"Ingest pipeline: append+drain through queue and spool (batch sizes %v)", ibc),
+				experiments.IngestMakers(ibc), fmt.Sprintf("Ingest b=%d", ibc[len(ibc)-1]), *csvOut)
 		case "fig2help":
 			fmt.Println("== Figure 2 (right): average degree of helping ==")
 			res := harness.Run(cfg, experiments.Fig2Makers(*withMCS))
@@ -196,7 +212,7 @@ func main() {
 	if *exp == "all" {
 		names = []string{
 			"fig2", "fig2-batch", "fig2help", "fig3stack", "fig3queue", "table1", "lsim", "map",
-			"map-sharded", "ablation-backoff", "ablation-publication", "ablation-act",
+			"map-sharded", "ingest", "ablation-backoff", "ablation-publication", "ablation-act",
 		}
 	}
 	for _, name := range names {

@@ -33,6 +33,19 @@
 //	                  to forward past its 64-operation budget)
 //	-engine both      runs both and fails on any verdict disagreement —
 //	                  the cross-validation mode CI uses
+//
+// Neither engine limits history LENGTH, but the forward engine tracks at
+// most 64 concurrently OPEN operations (one bit each in the frontier's
+// pending mask). Batched linearize runs therefore cap -batch at 21: three
+// overlapping batched calls open 3×batch operations at once, and 3×21 = 63
+// is the widest that fits. A wider history makes the checker return
+// ErrTooWide ("forward engine: more than 64 operations overlap") — a
+// capacity verdict, not a linearizability verdict: the history was not
+// proven wrong, the engine just could not decide it. Callers must treat it
+// as "undecided", never as a pass or a violation; simcheck reports such
+// rounds as "history not decided" warnings (v2.Rejected distinguishes real
+// violations from engine limits).
+//
 //	-partition=false  checks map histories against the whole-map spec on a
 //	                  single state instead of per key; by Herlihy–Wing
 //	                  locality the verdict is the same, so this is another
@@ -123,7 +136,10 @@ func main() {
 		last    = flag.Int("flight-last", 64, "max flight-recorder events dumped to stderr on failure")
 		batch   = flag.Int("batch", 1, "drive batched entry points with vectors of this size (1 = single-op paths)")
 
-		engine    = flag.String("engine", "forward", "linearize-mode checker: forward, search, or both (cross-validate)")
+		engine = flag.String("engine", "forward",
+			"linearize-mode checker: forward, search, or both (cross-validate); forward tracks at most "+
+				"64 concurrently open operations, so batched runs cap -batch at 21 (search: 8) and wider "+
+				"histories fail fast with ErrTooWide")
 		partition = flag.Bool("partition", true, "check map histories per key; false uses the whole-map spec (same verdict, different code path)")
 		seed      = flag.Uint64("sched-seed", 0, "deterministic schedule seed for linearize mode (0 = free-running goroutines)")
 		preempt   = flag.Int("sched-preempt", -1, "max forced preemptions per seeded schedule (-1 = consider a switch at every point)")

@@ -42,11 +42,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"runtime/trace"
-	"strconv"
 	"time"
 
 	"repro/internal/kvserver"
@@ -106,7 +103,7 @@ func start(addr, metricsAddr string, clients, stripes int, opt options) (*daemon
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(srv.Registry()))
-		registerDebug(mux, srv.Tracer())
+		obstrace.RegisterDebug(mux, srv.Tracer())
 		d.metricsLn = ln
 		d.metricsWG = make(chan struct{})
 		go func() {
@@ -115,75 +112,6 @@ func start(addr, metricsAddr string, clients, stripes int, opt options) (*daemon
 		}()
 	}
 	return d, nil
-}
-
-// registerDebug wires the pprof, runtime-trace, and flight-recorder
-// endpoints onto the metrics mux.
-func registerDebug(mux *http.ServeMux, tr *obstrace.Tracer) {
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/debug/trace", handleRuntimeTrace)
-	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
-		handleFlight(w, r, tr)
-	})
-}
-
-// handleRuntimeTrace streams a runtime/trace capture of the next ?sec=N
-// seconds (default 1, capped at 60). Only one capture can run at a time;
-// concurrent requests get 503 from trace.Start.
-func handleRuntimeTrace(w http.ResponseWriter, r *http.Request) {
-	sec := 1
-	if s := r.URL.Query().Get("sec"); s != "" {
-		n, err := strconv.Atoi(s)
-		if err != nil || n < 1 {
-			http.Error(w, "sec must be a positive integer", http.StatusBadRequest)
-			return
-		}
-		sec = n
-	}
-	if sec > 60 {
-		sec = 60
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Disposition", `attachment; filename="trace.out"`)
-	if err := trace.Start(w); err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	time.Sleep(time.Duration(sec) * time.Second)
-	trace.Stop()
-}
-
-// handleFlight serves the flight-recorder snapshot: Chrome trace_event JSON
-// by default (?format=chrome), a plain-text dump with ?format=text, trimmed
-// to the newest ?last=N events.
-func handleFlight(w http.ResponseWriter, r *http.Request, tr *obstrace.Tracer) {
-	if tr == nil {
-		http.Error(w, "flight recorder disabled (start simkvd with -flight)", http.StatusNotFound)
-		return
-	}
-	evs := tr.Snapshot()
-	if s := r.URL.Query().Get("last"); s != "" {
-		n, err := strconv.Atoi(s)
-		if err != nil || n < 1 {
-			http.Error(w, "last must be a positive integer", http.StatusBadRequest)
-			return
-		}
-		evs = obstrace.Tail(evs, n)
-	}
-	switch r.URL.Query().Get("format") {
-	case "", "chrome":
-		w.Header().Set("Content-Type", "application/json")
-		_ = obstrace.WriteChrome(w, evs)
-	case "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = obstrace.WriteText(w, evs)
-	default:
-		http.Error(w, "format must be chrome or text", http.StatusBadRequest)
-	}
 }
 
 // metricsAddr returns the bound metrics address, or "" if metrics are off.

@@ -2,7 +2,7 @@ package check
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // Operation names understood by the built-in specs.
@@ -23,13 +23,18 @@ type seqState struct {
 	items []uint64
 }
 
+// seqKey builds dedup keys with strconv.AppendUint rather than fmt: key
+// construction dominates the forward engine's runtime on long histories
+// (every frontier state is keyed at every step), and Fprintf is ~10x the
+// cost of AppendUint per element.
 func seqKey(s any) string {
 	st := s.(*seqState)
-	var b strings.Builder
+	b := make([]byte, 0, 8*len(st.items))
 	for _, v := range st.items {
-		fmt.Fprintf(&b, "%d,", v)
+		b = strconv.AppendUint(b, v, 10)
+		b = append(b, ',')
 	}
-	return b.String()
+	return string(b)
 }
 
 // StackSpec is the sequential LIFO specification.
@@ -238,6 +243,84 @@ func MapKeySpec() Spec {
 			return s, false
 		},
 		Key: func(state any) string { return fmt.Sprintf("%d", state.(uint64)) },
+	}
+}
+
+// Append-log operation names — the sequential object of the ingest spool
+// (internal/spool): a log of payload values at globally contiguous offsets
+// with a retention low watermark that only moves forward. Payloads must fit
+// 32 bits (lget packs offset and payload like the map encodings).
+const (
+	OpLogAppend = "lapp" // Arg = payload; Ret = assigned offset
+	OpLogRead   = "lget" // Arg = cursor; Ret = offset<<32 | payload of the
+	// first retained event at offset ≥ max(cursor, lwm); RetOK=false means
+	// the cursor is past the end (caught up)
+	OpLogTrim = "ltrim" // Arg = requested cutoff offset; Ret = resulting
+	// low watermark. Trims are segment-granular, so the spec admits any
+	// watermark in [current, clamp(Arg)] — the return value resolves the
+	// nondeterminism and becomes the new watermark.
+)
+
+// logState is the immutable append-log state: payloads of the retained
+// offsets [lwm, lwm+len(pays)).
+type logState struct {
+	lwm  uint64
+	pays []uint64
+}
+
+// LogSpec is the sequential specification of the ingest spool's append log.
+func LogSpec() Spec {
+	return Spec{
+		Init: func() any { return &logState{} },
+		Step: func(state any, op Operation) (any, bool) {
+			st := state.(*logState)
+			next := st.lwm + uint64(len(st.pays))
+			switch op.Op {
+			case OpLogAppend:
+				if !op.RetOK || op.Ret != next {
+					return st, false
+				}
+				ns := append(append([]uint64(nil), st.pays...), op.Arg)
+				return &logState{lwm: st.lwm, pays: ns}, true
+			case OpLogRead:
+				cur := op.Arg
+				if cur < st.lwm {
+					cur = st.lwm
+				}
+				if cur >= next {
+					return st, !op.RetOK // nothing at or past the cursor
+				}
+				return st, op.RetOK && op.Ret == cur<<32|st.pays[cur-st.lwm]
+			case OpLogTrim:
+				hi := op.Arg
+				if hi < st.lwm {
+					hi = st.lwm
+				}
+				if hi > next {
+					hi = next
+				}
+				if !op.RetOK || op.Ret < st.lwm || op.Ret > hi {
+					return st, false
+				}
+				if op.Ret == st.lwm {
+					return st, true
+				}
+				ns := append([]uint64(nil), st.pays[op.Ret-st.lwm:]...)
+				return &logState{lwm: op.Ret, pays: ns}, true
+			}
+			return st, false
+		},
+		Key: func(state any) string {
+			st := state.(*logState)
+			b := make([]byte, 0, 12+8*len(st.pays))
+			b = strconv.AppendUint(b, st.lwm, 10)
+			b = append(b, '|')
+			for _, v := range st.pays {
+				b = strconv.AppendUint(b, v, 10)
+				b = append(b, ',')
+			}
+			return string(b)
+		},
 	}
 }
 

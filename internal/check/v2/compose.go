@@ -98,10 +98,11 @@ const (
 	classRegister = "register"
 	classSet      = "set"
 	classMap      = "map"
+	classLog      = "log"
 )
 
 // CheckHistory splits ops into independent object classes (queue, stack,
-// counter, fmul, register, set, map — the classes never share state, so
+// counter, fmul, register, set, map, log — the classes never share state, so
 // their sub-histories are checked independently), partitions map and set
 // classes per key when opts.Partition is set, and routes every partition to
 // the engine chosen by opts.Engine. nil means linearizable; ErrRejected
@@ -150,6 +151,8 @@ func classify(ops []check.Operation) (map[string][]check.Operation, error) {
 			classes[classSet] = append(classes[classSet], o)
 		case check.OpMapPut, check.OpMapDel, check.OpMapGet:
 			classes[classMap] = append(classes[classMap], o)
+		case check.OpLogAppend, check.OpLogRead, check.OpLogTrim:
+			classes[classLog] = append(classes[classLog], o)
 		default:
 			return nil, fmt.Errorf("compose: unknown operation %q in %v", o.Op, o)
 		}
@@ -256,6 +259,9 @@ func checkClass(class string, ops []check.Operation, opts Options) error {
 		}
 		return eachPartition(ops, func(o check.Operation) uint64 { return o.Arg >> 32 },
 			func(part []check.Operation) error { return run(part, check.MapKeySpec()) })
+	case classLog:
+		// One global offset space: the log is never partitioned.
+		return run(ops, check.LogSpec())
 	}
 	return fmt.Errorf("compose: unknown class %q", class)
 }

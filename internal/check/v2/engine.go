@@ -36,7 +36,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strconv"
 
 	"repro/internal/check"
 )
@@ -83,33 +82,45 @@ func Rejected(err error) bool { return errors.Is(err, ErrRejected) }
 // frontier is the deduplicated set of reachable abstract configurations.
 // A configuration pairs an abstract state with the set of OPEN operations
 // already linearized into it (a bitmask over open-operation slots).
+//
+// Each configuration caches its spec.Key string: key construction is O(state
+// size) and dominates the sweep on sequence-like specs, and the frontier is
+// rebuilt at EVERY return event with states that have not changed — only
+// their masks have. The index maps state key -> set of masks, so re-adding a
+// surviving configuration costs two map operations and zero key building.
 type frontier struct {
 	spec  check.Spec
 	list  []config
-	index map[string]struct{}
+	index map[string]map[uint64]struct{}
 	max   int
 }
 
 type config struct {
 	state any
 	mask  uint64
+	skey  string // cached spec.Key(state)
 }
 
-func (f *frontier) key(st any, mask uint64) string {
-	return strconv.FormatUint(mask, 16) + "|" + f.spec.Key(st)
-}
-
-// add inserts (st, mask) if novel; reports whether it was inserted.
+// add keys st and inserts (st, mask) if novel.
 func (f *frontier) add(st any, mask uint64) (bool, error) {
-	k := f.key(st, mask)
-	if _, dup := f.index[k]; dup {
+	return f.addKeyed(config{state: st, mask: mask, skey: f.spec.Key(st)})
+}
+
+// addKeyed inserts a configuration whose state key is already built;
+// reports whether it was inserted.
+func (f *frontier) addKeyed(c config) (bool, error) {
+	masks := f.index[c.skey]
+	if masks == nil {
+		masks = make(map[uint64]struct{}, 1)
+		f.index[c.skey] = masks
+	} else if _, dup := masks[c.mask]; dup {
 		return false, nil
 	}
 	if len(f.list) >= f.max {
 		return false, fmt.Errorf("%w (%d configurations)", ErrFrontierLimit, f.max)
 	}
-	f.index[k] = struct{}{}
-	f.list = append(f.list, config{state: st, mask: mask})
+	masks[c.mask] = struct{}{}
+	f.list = append(f.list, c)
 	return true, nil
 }
 
@@ -158,7 +169,7 @@ func Simulate(ops []check.Operation, spec check.Spec, opts ...SimOption) error {
 	openMask := uint64(0)
 	slotOp := make([]int, 64) // slot -> op index, for iteration over opens
 
-	f := &frontier{spec: spec, index: make(map[string]struct{}), max: cfg.maxFrontier}
+	f := &frontier{spec: spec, index: make(map[string]map[uint64]struct{}), max: cfg.maxFrontier}
 	if _, err := f.add(spec.Init(), 0); err != nil {
 		return err
 	}
@@ -219,12 +230,13 @@ func Simulate(ops []check.Operation, spec check.Spec, opts ...SimOption) error {
 		bit := uint64(1) << uint(s)
 		old := f.list
 		f.list = make([]config, 0, len(old))
-		f.index = make(map[string]struct{}, len(old))
+		f.index = make(map[string]map[uint64]struct{}, len(old))
 		for _, c := range old {
 			if c.mask&bit == 0 {
 				continue
 			}
-			if _, err := f.add(c.state, c.mask&^bit); err != nil {
+			c.mask &^= bit
+			if _, err := f.addKeyed(c); err != nil {
 				return err
 			}
 		}

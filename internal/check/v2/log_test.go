@@ -1,0 +1,120 @@
+package v2
+
+import (
+	"testing"
+
+	"repro/internal/check"
+)
+
+// lop builds a log operation with an explicit window.
+func lop(thread int, op string, arg, ret uint64, ok bool, inv, rtn int64) check.Operation {
+	return check.Operation{Thread: thread, Op: op, Arg: arg, Ret: ret, RetOK: ok, Invoke: inv, Return: rtn}
+}
+
+func TestLogSpecSequential(t *testing.T) {
+	ops := []check.Operation{
+		lop(0, check.OpLogAppend, 10, 0, true, 1, 2),
+		lop(0, check.OpLogAppend, 11, 1, true, 3, 4),
+		lop(1, check.OpLogRead, 0, 0<<32|10, true, 5, 6),
+		lop(2, check.OpLogTrim, 1, 1, true, 7, 8),
+		lop(1, check.OpLogRead, 0, 1<<32|11, true, 9, 10),
+		lop(1, check.OpLogRead, 2, 0, false, 11, 12),
+	}
+	for _, engine := range []Engine{EngineForward, EngineSearch, EngineBoth} {
+		opts := DefaultOptions()
+		opts.Engine = engine
+		if err := CheckHistory(ops, opts); err != nil {
+			t.Fatalf("engine %v rejected a sequential log history: %v", engine, err)
+		}
+	}
+}
+
+func TestLogSpecRejectsStaleReadAfterTrim(t *testing.T) {
+	// The read returns the trimmed event even though the trim completed
+	// before the read was invoked — impossible under any linearization.
+	ops := []check.Operation{
+		lop(0, check.OpLogAppend, 10, 0, true, 1, 2),
+		lop(0, check.OpLogAppend, 11, 1, true, 3, 4),
+		lop(2, check.OpLogTrim, 1, 1, true, 5, 6),
+		lop(1, check.OpLogRead, 0, 0<<32|10, true, 7, 8),
+	}
+	for _, engine := range []Engine{EngineForward, EngineSearch} {
+		opts := DefaultOptions()
+		opts.Engine = engine
+		if err := CheckHistory(ops, opts); !Rejected(err) {
+			t.Fatalf("engine %v accepted a stale read past the watermark: %v", engine, err)
+		}
+	}
+}
+
+func TestLogSpecRejectsWatermarkRegression(t *testing.T) {
+	ops := []check.Operation{
+		lop(0, check.OpLogAppend, 10, 0, true, 1, 2),
+		lop(0, check.OpLogAppend, 11, 1, true, 3, 4),
+		lop(2, check.OpLogTrim, 2, 2, true, 5, 6),
+		lop(2, check.OpLogTrim, 2, 1, true, 7, 8), // watermark moved backward
+	}
+	if err := CheckHistory(ops, DefaultOptions()); !Rejected(err) {
+		t.Fatalf("accepted a regressing watermark: %v", err)
+	}
+}
+
+func TestLogSpecTrimIsSegmentGranular(t *testing.T) {
+	// A trim may stop short of the requested cutoff (segment boundary) but
+	// never beyond it.
+	ops := []check.Operation{
+		lop(0, check.OpLogAppend, 10, 0, true, 1, 2),
+		lop(0, check.OpLogAppend, 11, 1, true, 3, 4),
+		lop(0, check.OpLogAppend, 12, 2, true, 5, 6),
+		lop(2, check.OpLogTrim, 2, 1, true, 7, 8), // stopped at 1 < 2: fine
+	}
+	if err := CheckHistory(ops, DefaultOptions()); err != nil {
+		t.Fatalf("rejected a segment-granular trim: %v", err)
+	}
+	over := append(ops[:3:3], lop(2, check.OpLogTrim, 2, 3, true, 7, 8))
+	if err := CheckHistory(over, DefaultOptions()); !Rejected(err) {
+		t.Fatalf("accepted a trim past its cutoff: %v", err)
+	}
+}
+
+func TestLogHistoryRoundTripsThroughTextFormat(t *testing.T) {
+	ops := []check.Operation{
+		lop(0, check.OpLogAppend, 10, 0, true, 1, 2),
+		lop(1, check.OpLogRead, 0, 0<<32|10, true, 3, 4),
+		lop(2, check.OpLogTrim, 1, 1, true, 5, 6),
+		lop(1, check.OpLogRead, 0, 0, false, 7, 8),
+	}
+	parsed, err := ParseHistory(FormatHistory(ops))
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if len(parsed) != len(ops) {
+		t.Fatalf("round trip lost operations: %d -> %d", len(ops), len(parsed))
+	}
+	for i := range ops {
+		if parsed[i] != ops[i] {
+			t.Fatalf("op %d changed in round trip: %+v -> %+v", i, ops[i], parsed[i])
+		}
+	}
+	if err := CheckHistory(parsed, DefaultOptions()); err != nil {
+		t.Fatalf("round-tripped history rejected: %v", err)
+	}
+}
+
+func TestLogClassComposesWithOtherClasses(t *testing.T) {
+	// A queue history and a log history interleaved in one recording: the
+	// driver splits them and checks each against its own spec.
+	ops := []check.Operation{
+		lop(0, check.OpEnqueue, 7, 0, false, 1, 2),
+		lop(0, check.OpLogAppend, 7, 0, true, 3, 4),
+		lop(1, check.OpDequeue, 0, 7, true, 5, 6),
+		lop(1, check.OpLogRead, 0, 0<<32|7, true, 7, 8),
+	}
+	for _, engine := range []Engine{EngineForward, EngineSearch, EngineBoth} {
+		opts := DefaultOptions()
+		opts.Engine = engine
+		if err := CheckHistory(ops, opts); err != nil {
+			t.Fatalf("engine %v rejected mixed queue+log history: %v", engine, err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package ingest_test
+
+import (
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/spool"
+)
+
+// gatePipeline builds the single-producer pipeline the allocation gate
+// measures: batch-64 appends, a spool that never seals (so no Segment is
+// ever allocated mid-measurement), and a trim keeping the active segment
+// bounded so the construction's clone buffers stop growing. Drains ride the
+// same process id, which keeps the n==1 queue on its solo splice path where
+// consumed node chains recycle through the spare slot.
+func gatePipeline() *ingest.Pipeline {
+	return ingest.New(1, ingest.Config{
+		Batch: 64,
+		Spool: spool.Config{SegEvents: 1 << 30, PreallocEvents: 1024},
+	})
+}
+
+// gateOp returns the op the gate repeats: one Append, with a drain + trim
+// every batch boundary so the queue, the spool clones, and the retained
+// range all stay in steady state.
+func gateOp(p *ingest.Pipeline) func() {
+	const keep = 128
+	var (
+		appended uint64
+		trim     [1]spool.Op
+	)
+	return func() {
+		appended++
+		p.Append(0, appended)
+		if appended%64 == 0 {
+			p.Drain(0, 64)
+			if appended > keep {
+				trim[0] = spool.TrimToOp(appended - keep)
+				p.Spool().Do(0, trim[:]...)
+			}
+		}
+	}
+}
+
+// TestIngestAppendAllocsSteadyState is the ingest allocation gate,
+// mirroring TestApplyAllocsSteadyState: once the recycling rings and clone
+// buffers are warm, the full producer append path — sequence stamp, local
+// batch buffer, EnqueueBatch splice, drain DequeueBatch, spool ApplyBatch
+// clone-and-publish, retention trim — performs ZERO allocations per event
+// with tracing disabled.
+func TestIngestAppendAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on its own")
+	}
+	p := gatePipeline()
+	op := gateOp(p)
+	for i := 0; i < 4096; i++ { // warm the node free-lists and clone buffers
+		op()
+	}
+	if allocs := testing.AllocsPerRun(600, op); allocs != 0 {
+		t.Fatalf("steady-state append allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkIngestAppend measures the steady-state producer append path
+// (append + amortized flush/drain/trim) and reports allocs/op — the
+// benchmark face of the gate above.
+func BenchmarkIngestAppend(b *testing.B) {
+	p := gatePipeline()
+	op := gateOp(p)
+	for i := 0; i < 4096; i++ {
+		op()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+}

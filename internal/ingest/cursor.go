@@ -1,0 +1,64 @@
+package ingest
+
+import "repro/internal/spool"
+
+// Cursor is one consumer's position in the log — the query layer of the
+// pipeline. Every Poll takes a fresh spool snapshot through PSim.Read, a
+// lock-free hazard-protected read that announces nothing: consumers never
+// block producers or drainers, need no process id, and any number may run
+// concurrently.
+//
+// Offsets are globally contiguous, so the cursor's invariants are simple
+// and checkable: Pos never decreases, consecutive polls return events in
+// strictly increasing offset order with no overlap, and events lost to
+// retention (cursor fell below the low watermark) surface as a counted gap
+// in Skipped — never as silent disorder.
+//
+// A Cursor is not safe for concurrent use; give each consumer its own.
+type Cursor struct {
+	p       *Pipeline
+	pos     uint64
+	skipped uint64
+	polls   uint64
+	events  uint64
+}
+
+// NewCursor returns a cursor positioned at offset 0 (the first poll skips
+// forward to the low watermark if retention already expired the prefix).
+func (p *Pipeline) NewCursor() *Cursor { return &Cursor{p: p} }
+
+// Poll appends up to max events at the cursor to out (pass out[:0] to
+// reuse a buffer) and advances. An empty result means the consumer has
+// caught up with the drainers.
+func (c *Cursor) Poll(max int, out []Event) []Event {
+	v := c.p.sp.Snapshot()
+	return c.PollView(&v, max, out)
+}
+
+// PollView is Poll against an existing snapshot, so one snapshot can serve
+// several cursor reads (a daemon answering many consumers from one Read).
+func (c *Cursor) PollView(v *spool.View, max int, out []Event) []Event {
+	evs, next, skipped := v.Read(c.pos, max, out)
+	c.pos = next
+	c.skipped += skipped
+	c.polls++
+	c.events += uint64(len(evs) - len(out))
+	return evs
+}
+
+// Pos returns the offset the next Poll resumes from (monotone).
+func (c *Cursor) Pos() uint64 { return c.pos }
+
+// Skipped returns the total events lost to retention before this consumer
+// could read them.
+func (c *Cursor) Skipped() uint64 { return c.skipped }
+
+// Polls returns the number of Poll calls; Events the total events returned.
+func (c *Cursor) Polls() uint64 { return c.polls }
+
+// Events returns the total events this cursor has returned.
+func (c *Cursor) Events() uint64 { return c.events }
+
+// Seek repositions the cursor (e.g. to the current low watermark after
+// deciding to drop a backlog). Seeking backward re-reads retained events.
+func (c *Cursor) Seek(off uint64) { c.pos = off }

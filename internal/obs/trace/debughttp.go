@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"net/http"
+	"net/http/pprof"
+	rtrace "runtime/trace"
+	"strconv"
+	"time"
+)
+
+// RegisterDebug wires the standard debug surface shared by the repository's
+// daemons (cmd/simkvd, cmd/simingestd) onto mux:
+//
+//	/debug/pprof/*       standard pprof endpoints
+//	/debug/trace?sec=N   a runtime/trace capture of the next N seconds
+//	/debug/flight        the flight-recorder snapshot, when tr is non-nil:
+//	                     ?format=chrome (default; open in Perfetto) or
+//	                     ?format=text, &last=N to trim to the newest N events
+//
+// tr may be nil: the flight endpoint then answers 404 with a hint to enable
+// the recorder.
+func RegisterDebug(mux *http.ServeMux, tr *Tracer) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", handleRuntimeTrace)
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		handleFlight(w, r, tr)
+	})
+}
+
+// handleRuntimeTrace streams a runtime/trace capture of the next ?sec=N
+// seconds (default 1, capped at 60). Only one capture can run at a time;
+// concurrent requests get 503 from trace.Start.
+func handleRuntimeTrace(w http.ResponseWriter, r *http.Request) {
+	sec := 1
+	if s := r.URL.Query().Get("sec"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, "sec must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		sec = n
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.out"`)
+	if err := rtrace.Start(w); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	time.Sleep(time.Duration(sec) * time.Second)
+	rtrace.Stop()
+}
+
+// handleFlight serves the flight-recorder snapshot: Chrome trace_event JSON
+// by default (?format=chrome), a plain-text dump with ?format=text, trimmed
+// to the newest ?last=N events.
+func handleFlight(w http.ResponseWriter, r *http.Request, tr *Tracer) {
+	if tr == nil {
+		http.Error(w, "flight recorder disabled (start the daemon with -flight)", http.StatusNotFound)
+		return
+	}
+	evs := tr.Snapshot()
+	if s := r.URL.Query().Get("last"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, "last must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		evs = Tail(evs, n)
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChrome(w, evs)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteText(w, evs)
+	default:
+		http.Error(w, "format must be chrome or text", http.StatusBadRequest)
+	}
+}

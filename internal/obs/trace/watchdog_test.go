@@ -81,7 +81,7 @@ func TestWatchdogProgressResetsTracking(t *testing.T) {
 		t0 := tr.OpStart(0)
 		tr.OpCommit(0, t0, 1, 1, 1)
 		tr.OpCommit(1, 0, 1, 1, 1) // commit the in-flight op...
-		tr.OpStart(1)           // ...and immediately announce the next
+		tr.OpStart(1)              // ...and immediately announce the next
 		if stalls := wd.Scan(); len(stalls) != 0 {
 			t.Fatalf("progressing pid reported stalled: %v", stalls)
 		}

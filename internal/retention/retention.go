@@ -1,0 +1,132 @@
+// Package retention is the compaction stage of the ingest pipeline: a
+// policy (age bound, sealed-segment bound, retained-event bound) plus a
+// pass that applies the policy to a spool as ONE ApplyBatch op-vector.
+// Because the universal construction linearizes a batch contiguously at a
+// single announce slot, the whole expiry decision — seal the aged active
+// tail, drop aged segments, enforce the count bounds — takes effect at one
+// linearization point: no consumer can ever observe half a retention pass.
+package retention
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spool"
+)
+
+// Policy bounds what the spool retains. Zero fields disable that bound.
+type Policy struct {
+	// MaxAge expires events older than this (whole sealed segments; the
+	// active segment is first sealed if its oldest event is past the bound,
+	// so a quiescent log still drains).
+	MaxAge time.Duration
+	// MaxSegments caps the sealed-segment ring.
+	MaxSegments int
+	// MaxEvents caps retained events; excess expires from the front
+	// (segment-granular in the sealed ring, exact in the active segment).
+	MaxEvents int
+}
+
+// enabled reports whether the policy bounds anything at all.
+func (p Policy) enabled() bool {
+	return p.MaxAge > 0 || p.MaxSegments > 0 || p.MaxEvents > 0
+}
+
+// Runner periodically applies a Policy to a spool on behalf of one process
+// id. The id must be reserved for the runner — the construction's announce
+// slots are single-writer.
+type Runner struct {
+	sp  *spool.Spool
+	id  int
+	pol Policy
+	// Now is the clock (unix nanos); tests override it. Defaults to the
+	// wall clock.
+	Now func() int64
+
+	lwm    atomic.Uint64 // last observed low watermark (retention HWM)
+	passes atomic.Uint64
+
+	mu   sync.Mutex // guards start/stop transitions
+	stop chan struct{}
+	done chan struct{}
+
+	ops [4]spool.Op // scratch: a pass allocates nothing
+}
+
+// NewRunner returns a runner applying pol via process id on sp.
+func NewRunner(sp *spool.Spool, id int, pol Policy) *Runner {
+	return &Runner{sp: sp, id: id, pol: pol, Now: func() int64 { return time.Now().UnixNano() }}
+}
+
+// Pass runs one compaction pass now and returns the new low watermark. The
+// policy legs are submitted as a single op-vector, so the pass is one
+// linearizable step.
+func (r *Runner) Pass() uint64 {
+	ops := r.ops[:0]
+	if r.pol.MaxAge > 0 {
+		cutoff := r.Now() - r.pol.MaxAge.Nanoseconds()
+		ops = append(ops, spool.SealAgedOp(cutoff), spool.TrimAgeOp(cutoff))
+	}
+	if r.pol.MaxSegments > 0 {
+		ops = append(ops, spool.TrimSegmentsOp(r.pol.MaxSegments))
+	}
+	if r.pol.MaxEvents > 0 {
+		v := r.sp.Snapshot()
+		if end := v.End(); end > uint64(r.pol.MaxEvents) {
+			ops = append(ops, spool.TrimToOp(end-uint64(r.pol.MaxEvents)))
+		}
+	}
+	if len(ops) == 0 {
+		v := r.sp.Snapshot()
+		r.lwm.Store(v.LowWater())
+		return v.LowWater()
+	}
+	lwm := r.sp.Do(r.id, ops...)
+	r.lwm.Store(lwm)
+	r.passes.Add(1)
+	return lwm
+}
+
+// Start launches the periodic pass loop (no-op for an empty policy).
+func (r *Runner) Start(every time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil || !r.pol.enabled() {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.Pass()
+			}
+		}
+	}(r.stop, r.done)
+}
+
+// Stop halts the loop and waits for an in-flight pass to finish.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+	r.stop, r.done = nil, nil
+}
+
+// LowWater returns the low watermark observed by the most recent pass —
+// the retention high-watermark: every offset below it is gone.
+func (r *Runner) LowWater() uint64 { return r.lwm.Load() }
+
+// Passes returns the number of completed compaction passes.
+func (r *Runner) Passes() uint64 { return r.passes.Load() }
