@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json examples experiments check metrics-demo flight-demo ingest-demo clean
+.PHONY: all build vet test race short bench bench-json examples experiments check metrics-demo flight-demo ingest-demo largeobject-demo clean
 
 all: build vet test
 
@@ -33,7 +33,7 @@ experiments:
 # Refresh the machine-readable perf trajectory (ns/op, allocs/op, helping
 # degree for the fig2/fig3 families) checked in as BENCH_psim.json.
 bench-json:
-	$(GO) run ./cmd/simbench -experiment fig2,fig2help,fig3stack,fig3queue,fig2-batch,map-sharded,ingest \
+	$(GO) run ./cmd/simbench -experiment fig2,fig2help,fig3stack,fig3queue,fig2-batch,map-sharded,ingest,largeobject-crossover \
 		-ops $(OPS) -reps $(REPS) -ingest-batch 1,8,32 -json BENCH_psim.json
 
 examples:
@@ -82,6 +82,18 @@ flight-demo:
 	  echo "--- chrome trace -> /tmp/flight.json (open in Perfetto) ---"; \
 	  curl -s "http://127.0.0.1:9091/debug/flight" -o /tmp/flight.json; \
 	  wc -c /tmp/flight.json'
+
+# Boot simkvd with the large-value tier on, store a mix of small and large
+# values, and read STATS back: blob_small/blob_large show which engine
+# (inline P-Sim stripes vs L-Sim item records) served each write.
+largeobject-demo:
+	$(GO) build -o /tmp/simkvd ./cmd/simkvd
+	bash -c '/tmp/simkvd -addr 127.0.0.1:7072 -large-threshold 64 & \
+	  trap "kill $$!" EXIT; sleep 0.5; \
+	  big=$$(printf "x%.0s" $$(seq 1 256)); \
+	  exec 3<>/dev/tcp/127.0.0.1/7072; \
+	  printf "BPUT tiny hello\nBPUT blob $$big\nBPUT blob $${big}2\nBGET tiny\nBDEL tiny\nSTATS\nQUIT\n" >&3; \
+	  cat <&3 | sed "s/VAL x\{20\}.*/VAL x...(large value elided)/"'
 
 # Self-driving ingest smoke: boot simingestd on a loopback port, publish 50k
 # events from pipelined producers, poll every partition, and verify sequence

@@ -47,7 +47,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment to run (fig2, fig2-batch, fig2help, fig3stack, fig3queue, table1, lsim, map, map-sharded, ingest, ablation-backoff, ablation-publication, ablation-act, all)")
+		exp     = flag.String("experiment", "all", "which experiment to run (fig2, fig2-batch, fig2help, fig3stack, fig3queue, table1, lsim, largeobject-crossover, map, map-sharded, ingest, ablation-backoff, ablation-publication, ablation-act, all)")
 		ops     = flag.Int("ops", 100_000, "total operations per run (paper: 1000000)")
 		reps    = flag.Int("reps", 3, "repetitions per configuration (paper: 10)")
 		threads = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
@@ -70,6 +70,8 @@ func main() {
 			"comma-separated producer batch sizes for the ingest experiment")
 		shards = flag.String("shards", "1,4",
 			"comma-separated shard counts for map-sharded (rounded up to powers of two)")
+		vsizes = flag.String("vsize", "16,256,1024,4096",
+			"comma-separated value sizes in bytes for largeobject-crossover")
 	)
 	flag.Parse()
 
@@ -91,6 +93,11 @@ func main() {
 	ibc, err := parseThreads(*ingestBatches)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench: -ingest-batch:", err)
+		os.Exit(2)
+	}
+	vsc, err := parseThreads(*vsizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: -vsize:", err)
 		os.Exit(2)
 	}
 	cfg := harness.Config{
@@ -190,6 +197,26 @@ func main() {
 			if *csvOut {
 				fmt.Println(harness.CSV(res))
 			}
+		case "largeobject-crossover":
+			fmt.Println("== Large-value crossover: P-Sim flat slab vs L-Sim items vs MultiPSim(4) ==")
+			fmt.Printf("   %d keys, value sizes %v bytes, 16-payload pool, overwrite workload\n\n",
+				64, vsc)
+			// The v=4096 P-Sim rows memcpy a 256KB slab per round; scale the
+			// op count down like the lsim experiment does.
+			small := cfg
+			small.TotalOps = cfg.TotalOps / 10
+			if small.TotalOps < 1000 {
+				small.TotalOps = 1000
+			}
+			res := experiments.LargeValueCrossoverSweep(small, vsc)
+			collected[name] = res
+			fmt.Println(harness.Table(res))
+			for _, v := range vsc {
+				fmt.Println(harness.Speedups(res, fmt.Sprintf("P-Sim flat(v=%d)", v)))
+			}
+			if *csvOut {
+				fmt.Println(harness.CSV(res))
+			}
 		case "map":
 			collected[name] = runSweep(cfg, "Striped map: multiple Sim instances vs one",
 				experiments.MapContentionMakers(8), "Map(8-stripes)", *csvOut)
@@ -211,8 +238,9 @@ func main() {
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = []string{
-			"fig2", "fig2-batch", "fig2help", "fig3stack", "fig3queue", "table1", "lsim", "map",
-			"map-sharded", "ingest", "ablation-backoff", "ablation-publication", "ablation-act",
+			"fig2", "fig2-batch", "fig2help", "fig3stack", "fig3queue", "table1", "lsim",
+			"largeobject-crossover", "map", "map-sharded", "ingest",
+			"ablation-backoff", "ablation-publication", "ablation-act",
 		}
 	}
 	for _, name := range names {

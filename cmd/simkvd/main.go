@@ -69,13 +69,18 @@ type options struct {
 	watchdog     int // stall budget in committed rounds; 0 disables
 	shards       int // sharded store; <=1 keeps the single striped map
 	pipeline     int // pipelined protocol batch depth; <=1 disables
+	largeThresh  int // BPUT/BGET/BDEL tier threshold in bytes; 0 disables the blob store
 }
 
 // start boots the KV server on addr and, when metricsAddr is non-empty, the
 // /metrics + /debug HTTP surface on metricsAddr.
 func start(addr, metricsAddr string, clients, stripes int, opt options) (*daemon, error) {
-	srv := kvserver.New(clients, stripes,
-		kvserver.WithShards(opt.shards), kvserver.WithPipeline(opt.pipeline))
+	kvOpts := []kvserver.Option{
+		kvserver.WithShards(opt.shards), kvserver.WithPipeline(opt.pipeline)}
+	if opt.largeThresh > 0 {
+		kvOpts = append(kvOpts, kvserver.WithLargeValues(opt.largeThresh))
+	}
+	srv := kvserver.New(clients, stripes, kvOpts...)
 	if opt.watchdog > 0 && opt.flight == 0 {
 		opt.flight = obstrace.DefaultCapacity // watchdog needs the tracer's progress counters
 	}
@@ -155,18 +160,24 @@ func main() {
 			"independent map shards (rounded up to a power of two; 1 = single striped map)")
 		pipeline = flag.Int("pipeline", 1,
 			"pipelined protocol batch depth: execute up to N queued requests per wakeup as batched map ops (1 = request-at-a-time)")
+		largeThresh = flag.Int("large-threshold", 0,
+			"enable the BPUT/BGET/BDEL byte-value store; values of at least N bytes are served by L-Sim item records instead of inline map entries (0 disables)")
 	)
 	flag.Parse()
 
 	d, err := start(*addr, *metricsAddr, *clients, *stripes,
 		options{flight: *flight, flightSample: *flightSample, watchdog: *watchdog,
-			shards: *shards, pipeline: *pipeline})
+			shards: *shards, pipeline: *pipeline, largeThresh: *largeThresh})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simkvd:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("simkvd listening on %s (%d client slots, %d stripes, %d shard(s), pipeline %d)\n",
 		d.addr, *clients, *stripes, *shards, *pipeline)
+	if *largeThresh > 0 {
+		fmt.Printf("simkvd large-value tier on: values >= %d bytes served by L-Sim items (BPUT/BGET/BDEL)\n",
+			*largeThresh)
+	}
 	if ma := d.metricsAddr(); ma != "" {
 		fmt.Printf("simkvd metrics on http://%s/metrics\n", ma)
 		if d.srv.Tracer() != nil {

@@ -224,3 +224,42 @@ func httpGet(t *testing.T, url string) string {
 	}
 	return string(body)
 }
+
+// TestDaemonLargeValueTier boots with -large-threshold and checks the blob
+// command family end to end, including the tier split in STATS and the
+// blob_* metric family on /metrics.
+func TestDaemonLargeValueTier(t *testing.T) {
+	d, err := start("127.0.0.1:0", "127.0.0.1:0", 4, 4, options{largeThresh: 16})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer d.close()
+
+	send, conn := dial(t, d.addr)
+	defer conn.Close()
+	big := strings.Repeat("v", 64)
+	for _, c := range [][2]string{
+		{"BPUT s tiny", "OK NEW"},
+		{"BPUT l " + big, "OK NEW"},
+		{"BPUT l " + big + "2", "OK SET"},
+		{"BGET l", "VAL " + big + "2"},
+		{"BGET s", "VAL tiny"},
+		{"BDEL s", "OK"},
+	} {
+		if got := send(c[0]); got != c[1] {
+			t.Fatalf("%q -> %q, want %q", c[0], got, c[1])
+		}
+	}
+	stats := send("STATS")
+	for _, field := range []string{"blob_small=", "blob_large=", "lsim_ops=", "lsim_items=", "threshold=16"} {
+		if !strings.Contains(stats, field) {
+			t.Fatalf("STATS missing %s: %q", field, stats)
+		}
+	}
+	promBody := httpGet(t, "http://"+d.metricsAddr()+"/metrics")
+	for _, want := range []string{"kv_bput_total", "blob_tier_large_ops_total", "blob_lsim_ops_total"} {
+		if !strings.Contains(promBody, want) {
+			t.Fatalf("prometheus output missing %q", want)
+		}
+	}
+}

@@ -246,6 +246,51 @@ func MapKeySpec() Spec {
 	}
 }
 
+// Blob-map operation names — the tiered byte-value map (internal/simmap's
+// Tiered). Stored byte values are recorded as 32-bit TOKENS (a fingerprint
+// of the bytes, chosen by the recording driver). Unlike the plain map ops,
+// put and del report existence only: Tiered.Put deliberately returns no
+// previous value, because a tier-move race can make a lost large-tier write
+// linearizable only when no operation has to report it as a predecessor
+// (see internal/simmap/tiered.go). The spec therefore validates existence
+// on put/del and the value token on get.
+const (
+	OpBlobPut = "bput" // Arg = key<<32 | token; RetOK = existed (Ret unused)
+	OpBlobDel = "bdel" // Arg = key<<32; RetOK = existed (Ret unused)
+	OpBlobGet = "bget" // Arg = key<<32; Ret = token; RetOK = found
+)
+
+// BlobKeySpec is the sequential specification of ONE blob-map key: a
+// binding that put overwrites, del clears, and get reads by token. State
+// packs presence into bit 63 like MapKeySpec.
+func BlobKeySpec() Spec {
+	const present = uint64(1) << 63
+	return Spec{
+		Init: func() any { return uint64(0) },
+		Step: func(state any, op Operation) (any, bool) {
+			s := state.(uint64)
+			exists := s&present != 0
+			cur := s &^ present
+			switch op.Op {
+			case OpBlobPut:
+				if op.RetOK != exists {
+					return s, false
+				}
+				return present | (op.Arg & 0xffffffff), true
+			case OpBlobDel:
+				if op.RetOK != exists {
+					return s, false
+				}
+				return uint64(0), true
+			case OpBlobGet:
+				return s, op.RetOK == exists && (!exists || op.Ret == cur)
+			}
+			return s, false
+		},
+		Key: func(state any) string { return fmt.Sprintf("%d", state.(uint64)) },
+	}
+}
+
 // Append-log operation names — the sequential object of the ingest spool
 // (internal/spool): a log of payload values at globally contiguous offsets
 // with a retention low watermark that only moves forward. Payloads must fit

@@ -98,6 +98,7 @@ const (
 	classRegister = "register"
 	classSet      = "set"
 	classMap      = "map"
+	classBlob     = "blobmap"
 	classLog      = "log"
 )
 
@@ -151,6 +152,8 @@ func classify(ops []check.Operation) (map[string][]check.Operation, error) {
 			classes[classSet] = append(classes[classSet], o)
 		case check.OpMapPut, check.OpMapDel, check.OpMapGet:
 			classes[classMap] = append(classes[classMap], o)
+		case check.OpBlobPut, check.OpBlobDel, check.OpBlobGet:
+			classes[classBlob] = append(classes[classBlob], o)
 		case check.OpLogAppend, check.OpLogRead, check.OpLogTrim:
 			classes[classLog] = append(classes[classLog], o)
 		default:
@@ -259,6 +262,12 @@ func checkClass(class string, ops []check.Operation, opts Options) error {
 		}
 		return eachPartition(ops, func(o check.Operation) uint64 { return o.Arg >> 32 },
 			func(part []check.Operation) error { return run(part, check.MapKeySpec()) })
+	case classBlob:
+		if !opts.Partition {
+			return run(ops, BlobMapSpec())
+		}
+		return eachPartition(ops, func(o check.Operation) uint64 { return o.Arg >> 32 },
+			func(part []check.Operation) error { return run(part, check.BlobKeySpec()) })
 	case classLog:
 		// One global offset space: the log is never partitioned.
 		return run(ops, check.LogSpec())
@@ -324,6 +333,67 @@ func SetKeySpec() check.Spec {
 				return "1"
 			}
 			return "0"
+		},
+	}
+}
+
+// BlobMapSpec is the WHOLE-map sequential specification of the blob-map
+// class (all keys in one state), the -partition=false cross-check of
+// BlobKeySpec — same relationship MapSpec has to MapKeySpec. Put and del
+// validate existence only; get validates the stored token (see
+// check.BlobKeySpec).
+func BlobMapSpec() check.Spec {
+	return check.Spec{
+		Init: func() any { return &mapState{} },
+		Step: func(state any, op check.Operation) (any, bool) {
+			st := state.(*mapState)
+			key := op.Arg >> 32
+			idx := sort.Search(len(st.keys), func(i int) bool { return st.keys[i] >= key })
+			exists := idx < len(st.keys) && st.keys[idx] == key
+			var cur uint64
+			if exists {
+				cur = st.vals[idx]
+			}
+			switch op.Op {
+			case check.OpBlobGet:
+				return st, op.RetOK == exists && (!exists || op.Ret == cur)
+			case check.OpBlobPut:
+				if op.RetOK != exists {
+					return st, false
+				}
+				ns := &mapState{
+					keys: append([]uint64(nil), st.keys...),
+					vals: append([]uint64(nil), st.vals...),
+				}
+				if exists {
+					ns.vals[idx] = op.Arg & 0xffffffff
+				} else {
+					ns.keys = append(ns.keys[:idx], append([]uint64{key}, ns.keys[idx:]...)...)
+					ns.vals = append(ns.vals[:idx], append([]uint64{op.Arg & 0xffffffff}, ns.vals[idx:]...)...)
+				}
+				return ns, true
+			case check.OpBlobDel:
+				if op.RetOK != exists {
+					return st, false
+				}
+				if !exists {
+					return st, true
+				}
+				ns := &mapState{
+					keys: append(append([]uint64(nil), st.keys[:idx]...), st.keys[idx+1:]...),
+					vals: append(append([]uint64(nil), st.vals[:idx]...), st.vals[idx+1:]...),
+				}
+				return ns, true
+			}
+			return st, false
+		},
+		Key: func(state any) string {
+			st := state.(*mapState)
+			var b strings.Builder
+			for i, k := range st.keys {
+				fmt.Fprintf(&b, "%d=%d,", k, st.vals[i])
+			}
+			return b.String()
 		},
 	}
 }

@@ -97,7 +97,8 @@ func FormatHistory(ops []check.Operation) []byte {
 
 func formatPacked(op string, v uint64) string {
 	switch op {
-	case check.OpMapPut, check.OpMapDel, check.OpMapGet:
+	case check.OpMapPut, check.OpMapDel, check.OpMapGet,
+		check.OpBlobPut, check.OpBlobDel, check.OpBlobGet:
 		return fmt.Sprintf("%d:%d", v>>32, v&0xffffffff)
 	}
 	return strconv.FormatUint(v, 10)

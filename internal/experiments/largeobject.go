@@ -86,6 +86,123 @@ func LargeObjectSweep(cfg harness.Config, sizes []int) []harness.Result {
 	return all
 }
 
+// The large-VALUE crossover: where LargeObjectMakers sweeps the number of
+// machine words in the object, this experiment sweeps the SIZE OF ONE VALUE
+// in a fixed 64-key byte-value store — the tiered map's actual design
+// question ("from what value size should a binding live in an L-Sim item?").
+// Three contenders serve the same workload (overwrite a random key with one
+// of 16 preallocated immutable payloads, return the first byte of the old
+// value):
+//
+//   - "P-Sim flat": the whole store is one []byte slab inside a single
+//     P-Sim. Every combining round clones the slab (CloneInto memcpy — no
+//     allocation, but O(nkeys*vsize) bytes moved), and each op copies its
+//     payload into the key's slot. This is what "keep values inline in the
+//     combined state" costs.
+//   - "L-Sim items": one lsim.Item[[]byte] per key; an overwrite reads the
+//     old header and writes the new one — O(w)=O(1) per op regardless of
+//     vsize. The payloads themselves are immutable and shared, exactly like
+//     the tiered map's owned copies (the ownership copy happens in Put for
+//     every engine, so it is excluded from all contenders).
+//   - "MultiPSim(4)": four independent P-Sim slab instances, keys hash-
+//     partitioned — the multiple-instances trick (§5; CX makes the same
+//     move). Partitioning divides the per-round clone by K but cannot
+//     change its O(vsize) growth, so it delays the crossover rather than
+//     removing it.
+//
+// Payload choice rides in the op argument, so deterministic replay holds:
+// every helper that simulates the op picks the same pool entry.
+const (
+	crossoverKeys = 64
+	crossoverPool = 16
+)
+
+// crossoverPayloads builds the immutable payload pool for one value size.
+func crossoverPayloads(vsize int) [][]byte {
+	pool := make([][]byte, crossoverPool)
+	for i := range pool {
+		p := make([]byte, vsize)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		pool[i] = p
+	}
+	return pool
+}
+
+// newFlatPSim builds the slab contender over nkeys keys of vsize bytes.
+func newFlatPSim(n, nkeys, vsize int, pool [][]byte) *core.PSim[[]byte, [2]uint64, uint64] {
+	return core.NewPSim(n, make([]byte, nkeys*vsize),
+		func(st *[]byte, _ int, arg [2]uint64) uint64 {
+			off := int(arg[0]) * vsize
+			old := (*st)[off]
+			copy((*st)[off:off+vsize], pool[arg[1]])
+			return uint64(old)
+		},
+		core.WithCloneInto[[]byte](func(dst, src *[]byte) {
+			*dst = append((*dst)[:0], *src...)
+		}))
+}
+
+// LargeValueCrossoverMakers returns the three contenders for one value size.
+func LargeValueCrossoverMakers(vsize int) []harness.Maker {
+	flat := func(n int) harness.Instance {
+		pool := crossoverPayloads(vsize)
+		u := newFlatPSim(n, crossoverKeys, vsize, pool)
+		return harness.Instance{
+			Name: fmt.Sprintf("P-Sim flat(v=%d)", vsize),
+			Op: func(id int, rng *workload.RNG) {
+				u.Apply(id, [2]uint64{uint64(rng.Intn(crossoverKeys)), uint64(rng.Intn(crossoverPool))})
+			},
+		}
+	}
+	items := func(n int) harness.Instance {
+		pool := crossoverPayloads(vsize)
+		l := lsim.New[[]byte, [2]uint64, uint64](n)
+		its := make([]*lsim.Item[[]byte], crossoverKeys)
+		for i := range its {
+			its[i] = l.NewRootItem(pool[i%crossoverPool])
+		}
+		op := func(m *lsim.Mem[[]byte, [2]uint64, uint64], arg [2]uint64) uint64 {
+			it := its[arg[0]]
+			old := m.Read(it)
+			m.Write(it, pool[arg[1]])
+			return uint64(old[0])
+		}
+		return harness.Instance{
+			Name: fmt.Sprintf("L-Sim items(v=%d)", vsize),
+			Op: func(id int, rng *workload.RNG) {
+				l.ApplyOp(id, op, [2]uint64{uint64(rng.Intn(crossoverKeys)), uint64(rng.Intn(crossoverPool))})
+			},
+		}
+	}
+	multi := func(n int) harness.Instance {
+		const k = 4
+		pool := crossoverPayloads(vsize)
+		insts := make([]*core.PSim[[]byte, [2]uint64, uint64], k)
+		for i := range insts {
+			insts[i] = newFlatPSim(n, crossoverKeys/k, vsize, pool)
+		}
+		return harness.Instance{
+			Name: fmt.Sprintf("MultiPSim(%d) flat(v=%d)", k, vsize),
+			Op: func(id int, rng *workload.RNG) {
+				key := rng.Intn(crossoverKeys)
+				insts[key%k].Apply(id, [2]uint64{uint64(key / k), uint64(rng.Intn(crossoverPool))})
+			},
+		}
+	}
+	return []harness.Maker{flat, items, multi}
+}
+
+// LargeValueCrossoverSweep runs the three contenders across value sizes.
+func LargeValueCrossoverSweep(cfg harness.Config, vsizes []int) []harness.Result {
+	var all []harness.Result
+	for _, v := range vsizes {
+		all = append(all, harness.Run(cfg, LargeValueCrossoverMakers(v))...)
+	}
+	return all
+}
+
 // MapContentionMakers compares the striped wait-free map against a single
 // global P-Sim instance managing the same object — quantifying what the
 // multiple-instances idea (SimQueue's trick, §5) buys on a map workload.

@@ -15,6 +15,21 @@
 //
 // Malformed requests get "ERR <reason>" and the connection stays open.
 //
+// Large values (WithLargeValues): the server additionally carries a tiered
+// byte-value store (simmap.Tiered) with its own command family — values are
+// single whitespace-free byte tokens, stored verbatim:
+//
+//	BPUT <key> <value>  -> OK NEW|OK SET   (prev-less by design; see
+//	                       internal/simmap/tiered.go)
+//	BGET <key>          -> VAL <value>|NIL
+//	BDEL <key>          -> OK|OK NIL
+//
+// Values of at least the configured threshold bytes are served by L-Sim
+// item records (one O(1) item write per overwrite); smaller ones ride the
+// P-Sim striped map inline. STATS gains per-tier routing counters and the
+// L-Sim engine's totals, so a client can see which engine served its
+// traffic.
+//
 // Pipelining (WithPipeline): clients may send many newline-separated
 // requests without waiting for responses. The server reads up to the
 // configured depth of ALREADY-QUEUED complete lines per wakeup, executes
@@ -72,6 +87,7 @@ type Server struct {
 	store    Store
 	m        *simmap.Map[string, uint64]     // non-nil in unsharded mode
 	sh       *simmap.Sharded[string, uint64] // non-nil in sharded mode
+	blob     *simmap.Tiered[string]          // non-nil with WithLargeValues
 	pipeline int                             // batch depth; <=1 is line-at-a-time
 	ids      chan int                        // free-list of process ids
 	ln       net.Listener
@@ -86,6 +102,7 @@ type Server struct {
 	// per-command counters, indexed by client slot (single writer per slot:
 	// a slot serves one connection at a time).
 	cPut, cGet, cDel, cLen, cStats, cErr *obs.Counter
+	cBPut, cBGet, cBDel                  *obs.Counter // nil without WithLargeValues
 	gConns                               *obs.Gauge
 }
 
@@ -93,8 +110,10 @@ type Server struct {
 type Option func(*serverCfg)
 
 type serverCfg struct {
-	shards   int
-	pipeline int
+	shards    int
+	pipeline  int
+	largeVals bool
+	threshold int
 }
 
 // WithShards partitions the store into k independent shards (rounded up to
@@ -107,6 +126,13 @@ func WithShards(k int) Option { return func(c *serverCfg) { c.shards = k } }
 // same-command runs execute as one batched map operation. Depth <=1
 // keeps the line-at-a-time loop.
 func WithPipeline(depth int) Option { return func(c *serverCfg) { c.pipeline = depth } }
+
+// WithLargeValues enables the tiered byte-value store and its BPUT/BGET/BDEL
+// commands. Values of at least threshold bytes are held in L-Sim item
+// records; threshold <= 0 selects simmap.DefaultLargeThreshold.
+func WithLargeValues(threshold int) Option {
+	return func(c *serverCfg) { c.largeVals, c.threshold = true, threshold }
+}
 
 // New returns a server allowing maxClients concurrent connections, with the
 // given stripe count for the underlying map (0 selects maxClients; in
@@ -151,6 +177,13 @@ func New(maxClients, stripes int, opts ...Option) *Server {
 		s.store = s.m
 		s.m.Instrument(reg, "map").SetSampleEvery(1)
 	}
+	if cfg.largeVals {
+		s.blob = simmap.NewTiered[string](maxClients, stripes, cfg.threshold)
+		s.blob.Instrument(reg, "blob").SetSampleEvery(1)
+		s.cBPut = reg.Counter("kv_bput_total", maxClients)
+		s.cBGet = reg.Counter("kv_bget_total", maxClients)
+		s.cBDel = reg.Counter("kv_bdel_total", maxClients)
+	}
 	for i := 0; i < maxClients; i++ {
 		s.ids <- i
 	}
@@ -185,6 +218,9 @@ func (s *Server) EnableFlightRecorder(capacity, sampleEvery int) *trace.Tracer {
 		s.sh.SetTracer(trs)
 	} else {
 		s.m.SetTracer(s.tracer)
+	}
+	if s.blob != nil {
+		s.blob.SetTracer(s.tracer)
 	}
 	return s.tracer
 }
@@ -397,8 +433,10 @@ func (ex *executor) run(lines []string) (quit bool) {
 				continue
 			}
 		}
-		// Anything else — LEN, STATS, QUIT, malformed — is a run barrier
-		// served by the single-request handler.
+		// Anything else — blob commands, LEN, STATS, QUIT, malformed — is a
+		// run barrier served by the single-request handler. (Blob traffic is
+		// unbatched: a large-tier overwrite is already one O(1) item round,
+		// so there is no per-key batching win to chase.)
 		ex.flush()
 		resp, q := ex.s.handle(ex.id, line)
 		fmt.Fprintln(ex.w, resp)
@@ -511,14 +549,67 @@ func (s *Server) handle(id int, line string) (resp string, quit bool) {
 			return "OK NIL", false
 		}
 		return fmt.Sprintf("OK %d", prev), false
+	case "BPUT":
+		if s.blob == nil {
+			s.cErr.Inc(id)
+			return "ERR large-value tier disabled (enable with WithLargeValues / -large-threshold)", false
+		}
+		if len(fields) != 3 {
+			s.cErr.Inc(id)
+			return "ERR usage: BPUT <key> <value>", false
+		}
+		s.cBPut.Inc(id)
+		if s.blob.Put(id, fields[1], []byte(fields[2])) {
+			return "OK SET", false
+		}
+		return "OK NEW", false
+	case "BGET":
+		if s.blob == nil {
+			s.cErr.Inc(id)
+			return "ERR large-value tier disabled (enable with WithLargeValues / -large-threshold)", false
+		}
+		if len(fields) != 2 {
+			s.cErr.Inc(id)
+			return "ERR usage: BGET <key>", false
+		}
+		s.cBGet.Inc(id)
+		v, ok := s.blob.Get(fields[1])
+		if !ok {
+			return "NIL", false
+		}
+		return "VAL " + string(v), false
+	case "BDEL":
+		if s.blob == nil {
+			s.cErr.Inc(id)
+			return "ERR large-value tier disabled (enable with WithLargeValues / -large-threshold)", false
+		}
+		if len(fields) != 2 {
+			s.cErr.Inc(id)
+			return "ERR usage: BDEL <key>", false
+		}
+		s.cBDel.Inc(id)
+		if s.blob.Delete(id, fields[1]) {
+			return "OK", false
+		}
+		return "OK NIL", false
 	case "LEN":
 		s.cLen.Inc(id)
 		return fmt.Sprintf("LEN %d", s.store.Len()), false
 	case "STATS":
 		s.cStats.Inc(id)
 		st := s.store.Stats()
-		return fmt.Sprintf("STATS ops=%d helping=%.2f cas_fail=%d served_by=%d",
-			st.Ops, st.AvgHelping, st.CASFailures, st.ServedByOther), false
+		resp := fmt.Sprintf("STATS ops=%d helping=%.2f cas_fail=%d served_by=%d",
+			st.Ops, st.AvgHelping, st.CASFailures, st.ServedByOther)
+		if s.blob != nil {
+			// The tier split makes the engine routing observable: blob_small
+			// writes were served inline by the P-Sim stripes, blob_large by
+			// L-Sim item records (lsim_ops announced rounds, lsim_items
+			// committed item write-backs).
+			bs := s.blob.Stats()
+			resp += fmt.Sprintf(" blob_small=%d blob_large=%d lsim_ops=%d lsim_items=%d threshold=%d",
+				bs.SmallOps, bs.LargeOps, bs.Large.Ops, bs.ItemsHeld, s.blob.Threshold())
+		}
+		return resp, false
 	case "QUIT":
 		return "BYE", true
 	}
@@ -536,3 +627,7 @@ func (s *Server) Sharded() *simmap.Sharded[string, uint64] { return s.sh }
 
 // Store exposes whichever store the server runs on.
 func (s *Server) Store() Store { return s.store }
+
+// Tiered exposes the large-value store; nil unless the server was built
+// with WithLargeValues.
+func (s *Server) Tiered() *simmap.Tiered[string] { return s.blob }

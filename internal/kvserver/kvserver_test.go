@@ -285,3 +285,103 @@ func TestClientSlotRecycling(t *testing.T) {
 		t.Fatalf("map has %d entries, want 8", got)
 	}
 }
+
+// TestBlobProtocol exercises the large-value command family over both tiers:
+// a value below the threshold rides the inline map, one at or above it is
+// served by an L-Sim item, and STATS reports the routing split.
+func TestBlobProtocol(t *testing.T) {
+	const threshold = 8
+	s := New(2, 2, WithLargeValues(threshold))
+	send, done := dialPipe(t, s, 0)
+	defer done()
+
+	small := "tiny"                               // 4 bytes: inline tier
+	large := strings.Repeat("x", threshold) + "Z" // 9 bytes: item tier
+
+	cases := [][2]string{
+		{"BGET a", "NIL"},
+		{"BPUT a " + small, "OK NEW"},
+		{"BGET a", "VAL " + small},
+		{"BPUT a " + large, "OK SET"}, // small -> large tier move
+		{"BGET a", "VAL " + large},
+		{"BPUT a " + large + "2", "OK SET"}, // in-tier L-Sim overwrite
+		{"BGET a", "VAL " + large + "2"},
+		{"BDEL a", "OK"},
+		{"BDEL a", "OK NIL"},
+		{"BGET a", "NIL"},
+		{"BPUT big " + large, "OK NEW"},
+	}
+	for _, c := range cases {
+		if got := send(c[0]); got != c[1] {
+			t.Fatalf("%q -> %q, want %q", c[0], got, c[1])
+		}
+	}
+
+	stats := send("STATS")
+	for _, want := range []string{"blob_small=", "blob_large=", "lsim_ops=", "lsim_items=",
+		fmt.Sprintf("threshold=%d", threshold)} {
+		if !strings.Contains(stats, want) {
+			t.Fatalf("STATS %q missing %q", stats, want)
+		}
+	}
+	bs := s.Tiered().Stats()
+	if bs.SmallOps == 0 || bs.LargeOps == 0 {
+		t.Fatalf("tier routing counters small=%d large=%d, want both > 0", bs.SmallOps, bs.LargeOps)
+	}
+	if bs.Large.Ops == 0 {
+		t.Fatal("no L-Sim rounds recorded for the in-tier overwrite")
+	}
+
+	for _, req := range []string{"BPUT a", "BPUT a b c", "BGET", "BDEL x y"} {
+		if got := send(req); !strings.HasPrefix(got, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", req, got)
+		}
+	}
+}
+
+// TestBlobDisabled pins the error surface when the tier is off, and that
+// STATS stays in its legacy shape.
+func TestBlobDisabled(t *testing.T) {
+	s := New(1, 1)
+	send, done := dialPipe(t, s, 0)
+	defer done()
+	for _, req := range []string{"BPUT a xx", "BGET a", "BDEL a"} {
+		if got := send(req); !strings.HasPrefix(got, "ERR large-value tier disabled") {
+			t.Fatalf("%q -> %q, want disabled error", req, got)
+		}
+	}
+	if got := send("STATS"); strings.Contains(got, "blob_") {
+		t.Fatalf("STATS leaked blob fields without WithLargeValues: %q", got)
+	}
+}
+
+// TestBlobPipelinedBarrier checks that blob commands interleave correctly
+// with batched uint64 traffic in pipeline mode (they execute as run
+// barriers, responses in request order).
+func TestBlobPipelinedBarrier(t *testing.T) {
+	s := New(2, 2, WithPipeline(8), WithLargeValues(8))
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer server.Close()
+		s.ServeConn(0, server)
+		close(done)
+	}()
+	defer func() { client.Close(); <-done }()
+
+	reqs := "PUT a 1\nBPUT blob 123456789\nPUT a 2\nBGET blob\nGET a\nQUIT\n"
+	if _, err := client.Write([]byte(reqs)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	want := []string{"OK NIL", "OK NEW", "OK 1", "VAL 123456789", "VAL 2", "BYE"}
+	r := bufio.NewReader(client)
+	for _, w := range want {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read (want %q): %v", w, err)
+		}
+		if got := strings.TrimSpace(line); got != w {
+			t.Fatalf("pipelined response = %q, want %q", got, w)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Allocation-regression tests for the L-Sim hot path: after a warm-up that
+// fills the recycling rings (round records, item bodies) and announce box
+// pools, steady-state ApplyOp/ApplyBatch must run without heap allocation —
+// the same bar P-Sim's TestApplyAllocsSteadyState sets. Mem.Alloc is
+// excluded by construction: it creates genuinely new items.
+package lsim
+
+import (
+	"testing"
+)
+
+// steadyAllocs warms the structure up, then measures allocations per op.
+func steadyAllocs(warmup int, op func()) float64 {
+	for i := 0; i < warmup; i++ {
+		op()
+	}
+	return testing.AllocsPerRun(200, op)
+}
+
+func TestLSimApplyAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on its own; bounds only hold without it")
+	}
+
+	t.Run("ApplyOp/n=1/w=2", func(t *testing.T) {
+		l := New[uint64, uint64, uint64](1)
+		a := l.NewRootItem(0)
+		b := l.NewRootItem(0)
+		op := func(m *cnt, arg uint64) uint64 {
+			v := m.Read(a)
+			m.Write(a, v+arg)
+			m.Write(b, m.Read(b)^v)
+			return v
+		}
+		got := steadyAllocs(256, func() { l.ApplyOp(0, op, 1) })
+		if got != 0 {
+			t.Errorf("LSim ApplyOp n=1 allocs/op = %v, want 0", got)
+		}
+	})
+
+	t.Run("ApplyOp/n=4/w=2", func(t *testing.T) {
+		// Round-robin ids from one goroutine: every op takes the full
+		// announce/join/attempt path, without CAS contention.
+		l := New[uint64, uint64, uint64](4)
+		a := l.NewRootItem(0)
+		b := l.NewRootItem(0)
+		op := func(m *cnt, arg uint64) uint64 {
+			v := m.Read(a)
+			m.Write(a, v+arg)
+			m.Write(b, m.Read(b)+v)
+			return v
+		}
+		id := 0
+		got := steadyAllocs(256, func() {
+			l.ApplyOp(id, op, 1)
+			id = (id + 1) % 4
+		})
+		if got != 0 {
+			t.Errorf("LSim ApplyOp n=4 allocs/op = %v, want 0", got)
+		}
+	})
+
+	t.Run("ApplyBatch/n=4/b=8", func(t *testing.T) {
+		l := New[uint64, uint64, uint64](4)
+		items := make([]*Item[uint64], 8)
+		for i := range items {
+			items[i] = l.NewRootItem(0)
+		}
+		op := func(m *cnt, arg uint64) uint64 {
+			it := items[arg%8]
+			v := m.Read(it)
+			m.Write(it, v+1)
+			return v
+		}
+		args := make([]uint64, 8)
+		for i := range args {
+			args[i] = uint64(i)
+		}
+		res := make([]uint64, 0, 8)
+		id := 0
+		got := steadyAllocs(256, func() {
+			res = l.ApplyBatch(id, op, args, res)
+			id = (id + 1) % 4
+		})
+		if got != 0 {
+			t.Errorf("LSim ApplyBatch n=4 b=8 allocs/op = %v, want 0", got)
+		}
+	})
+
+	t.Run("Current", func(t *testing.T) {
+		l := New[uint64, uint64, uint64](1)
+		a := l.NewRootItem(7)
+		got := steadyAllocs(64, func() {
+			if a.Current() != 7 {
+				t.Fatal("wrong value")
+			}
+		})
+		if got != 0 {
+			t.Errorf("Item.Current allocs/op = %v, want 0", got)
+		}
+	})
+}

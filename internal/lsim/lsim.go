@@ -13,20 +13,53 @@
 // operations are executed by ALL concurrent helpers of a round, so an
 // operation function must be deterministic and must access shared data only
 // through its Mem parameter.
+//
+// # Hot-path parity with P-Sim
+//
+// The paper's LL/SC cells (round record and per-item ItemSV) are realized as
+// atomic pointers under the hazard-pointer discipline of
+// internal/core/recycle.go: LL is a protected load (store the pointer in the
+// reader's slot, re-load, accept only if unchanged), VL is a pointer
+// re-load, and SC is a CAS — sound against ABA because a record that might
+// be re-published is never recycled while any slot protects it. Retired
+// round records and item bodies go to per-thread recycling rings, so the
+// steady-state ApplyOp/ApplyBatch path allocates nothing (gated by
+// TestLSimApplyAllocsSteadyState): announcements rotate through
+// collect.BatchAnnounce box pools, round records and item bodies come back
+// from the rings, and the per-helper directory is a reusable slice. As with
+// P-Sim, recycling turns the strictly bounded LL into a lock-free protected
+// load: a protection retry is paid for by another thread's successful
+// publish, and a failed bounded acquire is treated exactly like a failed SC.
+// Mem.Alloc is the exception to zero-allocation: it creates genuinely new
+// items, which is inherent.
+//
+// Values are treated as immutable once handed to Write/NewRootItem/Alloc:
+// an item body stores the V it was given, and recycling a retired body
+// overwrites only the body's slots, never memory a previously returned V
+// points to.
 package lsim
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/pad"
 	"repro/internal/xatomic"
 )
 
 // Item is one shared data item (struct ItemSV of Algorithm 7): two value
-// slots plus toggle and round stamp, manipulated with LL/SC. The zero value
-// of V plays the paper's ⊥.
+// slots plus toggle and round stamp. The body pointer is manipulated with
+// the hazard-guarded LL/SC emulation described in the package comment. The
+// zero value of V plays the paper's ⊥. Items belong to the instance that
+// created them (NewRootItem or Mem.Alloc); their bodies recycle through
+// that instance's hazard plane.
 type Item[V any] struct {
-	sv *xatomic.LLSC[itemBody[V]]
+	haz *core.Hazards[itemBody[V]]
+	p   atomic.Pointer[itemBody[V]]
 }
 
 type itemBody[V any] struct {
@@ -35,17 +68,24 @@ type itemBody[V any] struct {
 	seq    uint64 // round that last wrote the item
 }
 
-func newItem[V any](init V) *Item[V] {
-	var b itemBody[V]
+func newItem[V any](h *core.Hazards[itemBody[V]], init V) *Item[V] {
+	b := &itemBody[V]{}
 	b.val[0] = init
-	return &Item[V]{sv: xatomic.NewLLSC(b)}
+	it := &Item[V]{haz: h}
+	it.p.Store(b)
+	return it
 }
 
 // Current returns the item's committed value — for inspection outside any
-// operation (tests, examples). Inside an operation use Mem.Read.
+// operation (tests, examples, read paths that tolerate a point read). Inside
+// an operation use Mem.Read. Lock-free: the body is read under an anonymous
+// hazard slot so a concurrent write-back can neither recycle it mid-read nor
+// ABA the pointer.
 func (it *Item[V]) Current() V {
-	b := it.sv.Read()
-	return b.val[b.toggle]
+	b, s := it.haz.AcquireAnon(&it.p)
+	v := b.val[b.toggle]
+	it.haz.ReleaseAnon(s)
+	return v
 }
 
 // OpFunc is a sequential operation on the large object. It may read, write
@@ -53,20 +93,22 @@ func (it *Item[V]) Current() V {
 // it), and must not retain m beyond the call.
 type OpFunc[V, A, R any] func(m *Mem[V, A, R], arg A) R
 
-// announced is an announce-array record.
-type announced[V, A, R any] struct {
+// lop is one announced operation; a batch announcement is a vector of them.
+type lop[V, A, R any] struct {
 	fn  OpFunc[V, A, R]
 	arg A
 }
 
-// lsimState is the LL/SC-published round record (struct State of
-// Algorithm 7): the applied/papplied double bit vector, per-process
-// responses, the round number, and the shared list of items allocated
-// during the round.
+// lsimState is the published round record (struct State of Algorithm 7): the
+// applied/papplied double bit vector, per-process responses (single and
+// batch rows), the round number, and the shared list of items allocated
+// during the round. Records recycle through per-thread rings under the
+// state hazard plane.
 type lsimState[R any] struct {
 	applied  []bool
 	papplied []bool
 	rvals    []R
+	brvals   [][]R // batch-response rows, forwarded round to round
 	seq      uint64
 	varList  *newList
 }
@@ -82,41 +124,76 @@ type newVar struct {
 	next atomic.Pointer[newVar]
 }
 
+// hazardAttempts bounds the protected-load retries of the round-record LL.
+// Exhaustion means that many successful publishes raced the load, and is
+// treated exactly like a failed SC (the round is abandoned).
+const hazardAttempts = 8
+
+// anonItemSlots is the preallocated anonymous hazard-slot count of the item
+// plane (Current readers with no process id); more readers overflow, they
+// never wait.
+const anonItemSlots = 4
+
+// anonStateSlots serves pid-less round-record reads (Rvals/Seq helpers).
+const anonStateSlots = 2
+
+// lthread is one process's private recycling state (single-writer; padded so
+// neighbouring threads' cursors do not share cache lines).
+type lthread[V, A, R any] struct {
+	inited bool
+	ring   *core.Ring[lsimState[R]] // retired round records
+	iring  *core.Ring[itemBody[V]]  // retired item bodies
+	lact   xatomic.Snapshot         // GetSet scratch
+	mem    Mem[V, A, R]             // reusable directory + alloc cursor
+	batch  []lop[V, A, R]           // announce-vector scratch
+	_      pad.CacheLinePad
+}
+
 // LSim is an L-Sim universal object instance.
 type LSim[V, A, R any] struct {
 	n int
 
-	announce *collect.Announce[announced[V, A, R]]
+	announce *collect.BatchAnnounce[lop[V, A, R]]
 	act      *collect.ActSet
 	members  []*collect.Member
-	s        *xatomic.LLSC[lsimState[R]]
 
-	counter *xatomic.AccessCounter
-	stats   []lsimStats
-}
+	state atomic.Pointer[lsimState[R]]
+	haz   *core.Hazards[lsimState[R]] // round-record hazard plane
+	ihaz  *core.Hazards[itemBody[V]]  // item-body hazard plane
 
-type lsimStats struct {
-	ops, scSuccess, scFail, combined atomic.Uint64
-	_                                [32]byte
+	threads []lthread[V, A, R]
+
+	stats        *core.StatsPlane
+	itemsWritten *obs.Counter // committed item write-backs (write-set sizes)
+	rec          *obs.SimRecorder
+	counter      *xatomic.AccessCounter
 }
 
 // New returns an L-Sim instance for n processes. Items making up the
 // object's initial state are created with NewRootItem before any ApplyOp.
 func New[V, A, R any](n int) *LSim[V, A, R] {
+	if n < 1 {
+		panic("lsim: New needs n >= 1")
+	}
 	l := &LSim[V, A, R]{
-		n:        n,
-		announce: collect.NewAnnounce[announced[V, A, R]](n),
-		act:      collect.NewActSet(n),
-		members:  make([]*collect.Member, n),
-		stats:    make([]lsimStats, n),
+		n:            n,
+		announce:     collect.NewBatchAnnounce[lop[V, A, R]](n),
+		act:          collect.NewActSet(n),
+		members:      make([]*collect.Member, n),
+		haz:          core.NewHazards[lsimState[R]](n, anonStateSlots),
+		ihaz:         core.NewHazards[itemBody[V]](n, anonItemSlots),
+		threads:      make([]lthread[V, A, R], n),
+		stats:        core.NewStatsPlane(n),
+		itemsWritten: obs.NewCounter(n),
 	}
 	for i := range l.members {
 		l.members[i] = l.act.Member(i)
 	}
-	l.s = xatomic.NewLLSC(lsimState[R]{
+	l.state.Store(&lsimState[R]{
 		applied:  make([]bool, n),
 		papplied: make([]bool, n),
 		rvals:    make([]R, n),
+		brvals:   make([][]R, n),
 		varList:  &newList{},
 	})
 	return l
@@ -126,34 +203,188 @@ func New[V, A, R any](n int) *LSim[V, A, R] {
 // form the object's initial structure; items allocated during operations
 // come from Mem.Alloc.
 func (l *LSim[V, A, R]) NewRootItem(init V) *Item[V] {
-	return newItem(init)
+	return newItem(l.ihaz, init)
 }
 
 // SetAccessCounter attaches shared-access instrumentation (Table 1). Not
 // safe to call concurrently with ApplyOp.
 func (l *LSim[V, A, R]) SetAccessCounter(c *xatomic.AccessCounter) { l.counter = c }
 
+// SetRecorder attaches a distribution recorder: sampled per-operation
+// latency and combining degree are recorded into rec's per-thread slots
+// (single-writer, no coherence traffic — see internal/obs). Pass nil to
+// disable. Not safe to call concurrently with operations.
+func (l *LSim[V, A, R]) SetRecorder(rec *obs.SimRecorder) { l.rec = rec }
+
+// SetTracer attaches a flight recorder (see internal/obs/trace): committed
+// rounds (with combining degree and ops applied), publish failures,
+// recycling hits/misses on both the round-record and item-body rings
+// (distinguished by the event's B payload: 0 = round records, 1 = item
+// bodies), and hazard overflow events are recorded into tr's per-thread
+// rings. Pass nil to disable; the steady state stays allocation-free either
+// way. Not safe to call concurrently with operations.
+func (l *LSim[V, A, R]) SetTracer(tr *trace.Tracer) {
+	l.stats.Trace = tr
+	if tr != nil {
+		l.haz.SetOverflowHook(func() { tr.AnonInstant(trace.KindHazardOverflow, 0, 0) })
+		l.ihaz.SetOverflowHook(func() { tr.AnonInstant(trace.KindHazardOverflow, 0, 1) })
+	} else {
+		l.haz.SetOverflowHook(nil)
+		l.ihaz.SetOverflowHook(nil)
+	}
+}
+
+// RegisterStats publishes the instance's exact hot-path counters in reg
+// under prefix (see core.StatsPlane.Register) plus
+// <prefix>_items_written_total, the number of committed per-item write-backs
+// (the sum of round write-set sizes).
+func (l *LSim[V, A, R]) RegisterStats(reg *obs.Registry, prefix string) {
+	l.stats.Register(reg, prefix)
+	reg.AttachCounter(prefix+"_items_written_total", l.itemsWritten)
+}
+
+// Instrument publishes the instance in reg under prefix: the exact counters
+// the hot path already maintains plus a new SimRecorder for the latency and
+// combining-degree histograms, which is attached and returned. Call before
+// the first operation.
+func (l *LSim[V, A, R]) Instrument(reg *obs.Registry, prefix string) *obs.SimRecorder {
+	l.RegisterStats(reg, prefix)
+	rec := obs.NewSimRecorder(reg, prefix, l.n)
+	l.SetRecorder(rec)
+	return rec
+}
+
+// Stats aggregates combining statistics across processes (see core.Stats;
+// CASSuccesses counts committed rounds, Combined the operations they
+// applied).
+func (l *LSim[V, A, R]) Stats() core.Stats { return l.stats.Aggregate() }
+
+// ItemsWritten returns the total number of committed item write-backs — the
+// accumulated write-set size across all rounds.
+func (l *LSim[V, A, R]) ItemsWritten() uint64 { return l.itemsWritten.Total() }
+
+// ResetStats zeroes the statistics counters (quiescent-point operation; see
+// core.StatsPlane.Reset).
+func (l *LSim[V, A, R]) ResetStats() {
+	l.stats.Reset()
+	l.itemsWritten.Reset()
+}
+
 // N returns the number of processes.
 func (l *LSim[V, A, R]) N() int { return l.n }
+
+// thread lazily initializes and returns process i's recycling state; safe
+// because each id is driven by one goroutine.
+func (l *LSim[V, A, R]) thread(i int) *lthread[V, A, R] {
+	t := &l.threads[i]
+	if !t.inited {
+		t.ring = core.NewRing[lsimState[R]](2*l.n + 2)
+		cap := 4 * l.n
+		if cap < 16 {
+			cap = 16
+		}
+		t.iring = core.NewRing[itemBody[V]](cap)
+		t.lact = xatomic.NewSnapshot(l.n)
+		t.mem.l = l
+		t.mem.id = i
+		t.inited = true
+	}
+	return t
+}
 
 // ApplyOp announces op with argument arg for process i, executes the
 // join/attempt/leave protocol of Algorithm 7 (lines 1–7), and returns the
 // operation's response. Each process id must be driven by one goroutine.
 func (l *LSim[V, A, R]) ApplyOp(i int, op OpFunc[V, A, R], arg A) R {
-	l.announce.Write(i, &announced[V, A, R]{fn: op, arg: arg}) // line 1
+	if i < 0 || i >= l.n {
+		panic(fmt.Sprintf("lsim: process id %d out of range [0,%d)", i, l.n))
+	}
+	t := l.thread(i)
+	t0 := l.rec.Start(i)
+	tt := l.stats.Trace.OpStart(i)
+
+	l.announce.PublishOne(i, lop[V, A, R]{fn: op, arg: arg}) // line 1
 	l.count(i, 1)
 	l.members[i].Join() // line 2
 	l.count(i, 1)
-	l.attempt(i) // lines 3–4
-	l.attempt(i)
+	won := false
+	l.attempt(i, t, t0, tt, &won) // lines 3–4
+	l.attempt(i, t, t0, tt, &won)
 	l.members[i].Leave() // line 5
 	l.count(i, 1)
-	l.attempt(i) // line 6: eliminate the evidence of op
+	l.attempt(i, t, t0, tt, &won) // line 6: eliminate the evidence of op
 
-	rv := l.s.Read().rvals[i] // line 7
+	// line 7: read the committed response from the current record while it
+	// is hazard-protected (records recycle; an unprotected read could see a
+	// rewritten rvals slot).
+	ls, _ := l.haz.Acquire(i, &l.state, 0)
+	rv := ls.rvals[i]
 	l.count(i, 1)
-	l.stats[i].ops.Add(1)
+
+	l.opDone(i, t0, tt, won)
+	l.release(i)
 	return rv
+}
+
+// ApplyBatch announces the vector (op, args[0]) … (op, args[len-1]) as ONE
+// announcement for process i — every element is applied consecutively in the
+// same combining round, mirroring P-Sim's ApplyBatch — and returns the
+// per-element responses appended to res[:0] (pass a reusable buffer to keep
+// the steady state allocation-free). A nil res allocates. Empty args is a
+// no-op returning res[:0].
+func (l *LSim[V, A, R]) ApplyBatch(i int, op OpFunc[V, A, R], args []A, res []R) []R {
+	if i < 0 || i >= l.n {
+		panic(fmt.Sprintf("lsim: process id %d out of range [0,%d)", i, l.n))
+	}
+	if len(args) == 0 {
+		return res[:0]
+	}
+	if len(args) == 1 {
+		return append(res[:0], l.ApplyOp(i, op, args[0]))
+	}
+	t := l.thread(i)
+	t0 := l.rec.Start(i)
+	tt := l.stats.Trace.OpStart(i)
+
+	t.batch = t.batch[:0]
+	for _, a := range args {
+		t.batch = append(t.batch, lop[V, A, R]{fn: op, arg: a})
+	}
+	l.announce.Publish(i, t.batch)
+	l.count(i, 1)
+	l.members[i].Join()
+	won := false
+	l.attempt(i, t, t0, tt, &won)
+	l.attempt(i, t, t0, tt, &won)
+	l.members[i].Leave()
+	l.attempt(i, t, t0, tt, &won)
+
+	ls, _ := l.haz.Acquire(i, &l.state, 0)
+	res = append(res[:0], ls.brvals[i]...)
+	l.count(i, 1)
+
+	l.opDone(i, t0, tt, won)
+	l.release(i)
+	return res
+}
+
+// opDone finishes an operation's accounting: operations that never won a
+// publish were served by another thread's round.
+func (l *LSim[V, A, R]) opDone(i int, t0 obs.Stamp, tt obs.Stamp, won bool) {
+	l.stats.Ops.Inc(i)
+	if !won {
+		l.stats.ServedBy.Inc(i)
+		l.rec.OpDone(i, t0)
+		l.stats.Trace.OpServed(i, tt)
+	}
+}
+
+// release clears process i's hazard and announce-reader slots so a thread
+// that goes quiet does not pin retired records or announce boxes.
+func (l *LSim[V, A, R]) release(i int) {
+	l.haz.Clear(i)
+	l.ihaz.Clear(i)
+	l.announce.Clear(i)
 }
 
 // errObsolete aborts an in-progress simulation when the helper discovers the
@@ -163,66 +394,135 @@ type obsoleteError struct{}
 func (obsoleteError) Error() string { return "lsim: state obsolete" }
 
 // attempt is Attempt of Algorithm 8: two rounds of
-// read-state/simulate/write-back/publish.
-func (l *LSim[V, A, R]) attempt(i int) {
-	st := &l.stats[i]
+// read-state/simulate/write-back/publish, on recycled round records.
+func (l *LSim[V, A, R]) attempt(i int, t *lthread[V, A, R], t0 obs.Stamp, tt obs.Stamp, won *bool) {
+	tr := l.stats.Trace
 	for j := 0; j < 2; j++ { // line 9
-		ls, tag := l.s.LL() // line 11
+		ls, ok := l.haz.Acquire(i, &l.state, hazardAttempts) // line 11 (LL)
 		l.count(i, 1)
-		lact := l.act.GetSet() // line 12
+		if !ok {
+			// hazardAttempts publishes raced the protected load; the round
+			// is as doomed as a failed SC.
+			l.stats.CASFail.Inc(i)
+			tr.Instant(i, trace.KindCASFail, 1, 0)
+			continue
+		}
+		l.act.GetSetInto(t.lact) // line 12
 		l.count(i, uint64(l.act.Words()))
 
-		tmp := lsimState[R]{ // lines 14–18
-			applied:  make([]bool, l.n),
-			papplied: append([]bool(nil), ls.applied...),
-			rvals:    append([]R(nil), ls.rvals...),
-			seq:      ls.seq + 1,
-		}
+		ns := l.record(i, t) // lines 14–18, into a recycled record
+		ns.seq = ls.seq + 1
+		copy(ns.papplied, ls.applied)
+		copy(ns.rvals, ls.rvals)
+		actPop := uint64(0)
 		for q := 0; q < l.n; q++ {
-			tmp.applied[q] = lact.Bit(q)
+			ns.applied[q] = t.lact.Bit(q)
+			if ns.applied[q] {
+				actPop++
+			}
 		}
+		l.forwardBatchRows(ns, ls)
 
-		m := &Mem[V, A, R]{
-			l:    l,
-			id:   i,
-			seq:  tmp.seq,
-			dir:  make(map[*Item[V]]*dirEntry[V]),
-			ltop: &ls.varList.head, // line 13
-		}
+		m := &t.mem
+		m.reset(ns.seq, &ls.varList.head) // line 13
 
-		// lines 19–37: simulate the operation of every process whose
-		// announcement became visible last round (applied ∧ ¬papplied).
-		combined := uint64(0)
-		if ok := l.simulate(ls, &tmp, m, &combined); !ok {
+		// lines 19–37: simulate the announcement of every process whose
+		// operation became visible last round (applied ∧ ¬papplied).
+		degree, opsApplied := uint64(0), uint64(0)
+		if !l.simulate(ls, ns, m, &degree, &opsApplied) {
+			t.ring.Push(ns)
 			continue // stale state detected mid-simulation — retry round
 		}
 
-		if !l.s.VL(tag) { // line 38: the state we read is obsolete
+		if l.state.Load() != ls { // line 38 (VL): the state we read is obsolete
 			l.count(i, 1)
+			l.stats.CASFail.Inc(i)
+			tr.Instant(i, trace.KindCASFail, 1, 0)
+			t.ring.Push(ns)
 			continue
 		}
 		l.count(i, 1)
 
-		// lines 39–43: write the directory back with per-item SC.
-		if !l.writeBack(i, m, tmp.seq) {
+		// lines 39–43: write the dirty directory entries back per-item.
+		wrote, later := l.writeBack(i, t, m, ns.seq)
+		if later {
+			t.ring.Push(ns)
 			return // a later round already committed everything (line 40)
 		}
 
-		tmp.varList = &newList{} // line 44: fresh list for the next round
-
-		if l.s.SC(tag, tmp) { // line 45
-			st.scSuccess.Add(1)
-			st.combined.Add(combined)
+		if l.state.CompareAndSwap(ls, ns) { // line 45 (SC)
+			t.ring.Push(ls) // retire the replaced record
+			l.stats.CASSuccess.Inc(i)
+			l.stats.Combined.Add(i, opsApplied)
+			l.itemsWritten.Add(i, wrote)
+			if !*won {
+				*won = true
+				l.rec.OpPublished(i, t0, degree)
+				tr.OpCommit(i, tt, degree, actPop, opsApplied)
+			} else {
+				tr.Instant(i, trace.KindRound, degree, opsApplied)
+			}
 		} else {
-			st.scFail.Add(1)
+			t.ring.Push(ns)
+			l.stats.CASFail.Inc(i)
+			tr.Instant(i, trace.KindCASFail, 0, 0)
 		}
 		l.count(i, 1)
 	}
 }
 
-// simulate runs every eligible announced operation against m. It reports
-// false if the state was discovered to be obsolete.
-func (l *LSim[V, A, R]) simulate(ls lsimState[R], tmp *lsimState[R], m *Mem[V, A, R], combined *uint64) (ok bool) {
+// record returns a round record to build into: the oldest retired record no
+// reader holds, or a fresh one. A recycled record's new-variable chain is
+// dropped (its items, if any survived, are owned by the object by now).
+func (l *LSim[V, A, R]) record(i int, t *lthread[V, A, R]) *lsimState[R] {
+	tr := l.stats.Trace
+	if ns := t.ring.PopFree(l.haz); ns != nil {
+		tr.Instant(i, trace.KindRecycleHit, uint64(t.ring.Len()), 0)
+		ns.varList.head.next.Store(nil)
+		return ns
+	}
+	tr.Rare(i, trace.KindRecycleMiss, uint64(t.ring.Len()), 0)
+	return &lsimState[R]{
+		applied:  make([]bool, l.n),
+		papplied: make([]bool, l.n),
+		rvals:    make([]R, l.n),
+		brvals:   make([][]R, l.n),
+		varList:  &newList{},
+	}
+}
+
+// body returns an item body for a write-back: a retired one no reader
+// holds, or a fresh allocation.
+func (l *LSim[V, A, R]) body(i int, t *lthread[V, A, R]) *itemBody[V] {
+	tr := l.stats.Trace
+	if b := t.iring.PopFree(l.ihaz); b != nil {
+		tr.Instant(i, trace.KindRecycleHit, uint64(t.iring.Len()), 1)
+		return b
+	}
+	tr.Rare(i, trace.KindRecycleMiss, uint64(t.iring.Len()), 1)
+	return new(itemBody[V])
+}
+
+// forwardBatchRows carries every process's pending batch-response row from
+// ls into ns by content (rows are never shared between records); a process
+// served several rounds ago must still find its responses in whatever
+// record is current when it looks.
+func (l *LSim[V, A, R]) forwardBatchRows(ns, ls *lsimState[R]) {
+	for k := 0; k < l.n; k++ {
+		if len(ls.brvals[k]) == 0 {
+			ns.brvals[k] = ns.brvals[k][:0]
+			continue
+		}
+		ns.brvals[k] = append(ns.brvals[k][:0], ls.brvals[k]...)
+	}
+}
+
+// simulate runs every eligible announced vector against m. It reports false
+// when the round must be abandoned: either the state was discovered to be
+// obsolete through an item stamp, or an announce-box protection failed —
+// meaning that process's previous operation completed, which takes a
+// successful publish after our LL, so our SC is doomed anyway.
+func (l *LSim[V, A, R]) simulate(ls, ns *lsimState[R], m *Mem[V, A, R], degree, ops *uint64) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isObsolete := r.(obsoleteError); isObsolete {
@@ -234,30 +534,54 @@ func (l *LSim[V, A, R]) simulate(ls lsimState[R], tmp *lsimState[R], m *Mem[V, A
 	}()
 	for q := 0; q < l.n; q++ { // line 19
 		if ls.applied[q] && !ls.papplied[q] { // line 20
-			a := l.announce.Read(q) // the operation announced by q
+			box, okp := l.announce.Protect(m.id, q) // the vector announced by q
 			l.count(m.id, 1)
-			tmp.rvals[q] = a.fn(m, a.arg) // lines 21–37
-			*combined++
+			if !okp {
+				return false
+			}
+			vec := box.Vec()
+			if len(vec) == 1 {
+				ns.rvals[q] = vec[0].fn(m, vec[0].arg) // lines 21–37
+				ns.brvals[q] = ns.brvals[q][:0]
+			} else {
+				row := ns.brvals[q][:0]
+				for k := range vec {
+					row = append(row, vec[k].fn(m, vec[k].arg))
+				}
+				ns.brvals[q] = row
+			}
+			*degree++
+			*ops += uint64(len(vec))
 		}
 	}
 	return true
 }
 
-// writeBack applies the directory to the shared items (lines 39–43). It
-// reports false when a LATER round has already committed, in which case the
-// caller must return immediately (every operation of this round — including
-// the caller's — has been applied by others).
-func (l *LSim[V, A, R]) writeBack(id int, m *Mem[V, A, R], seq uint64) bool {
-	for it, d := range m.dir {
-		body, itag := it.sv.LL() // lines 39–41
-		l.count(id, 1)
+// writeBack applies the directory's DIRTY entries to the shared items
+// (lines 39–43); read-only entries need no write-back (every helper of the
+// round computes the same dirty set, so helpers still converge). It returns
+// the number of write-backs this helper committed, and later=true when a
+// LATER round has already committed — the caller must return immediately
+// (every operation of this round, including the caller's, has been applied).
+func (l *LSim[V, A, R]) writeBack(i int, t *lthread[V, A, R], m *Mem[V, A, R], seq uint64) (wrote uint64, later bool) {
+	for idx := range m.ents {
+		d := &m.ents[idx]
+		if !d.dirty {
+			continue
+		}
+		it := d.it
+		// line 39 (item LL): protected load in the fixed slot; held through
+		// the SC below, which gives the CAS true LL/SC semantics (a protected
+		// body is never recycled, so it cannot reappear under the pointer).
+		body, _ := l.ihaz.Acquire(i, &it.p, 0)
+		l.count(i, 1)
 		if body.seq > seq {
-			return false // line 40
+			return wrote, true // line 40
 		}
 		if body.seq == seq {
 			continue // line 41: a co-helper already wrote it
 		}
-		var nb itemBody[V]
+		nb := l.body(i, t)
 		nb.seq = seq
 		if body.toggle == 0 { // line 42: preserve val[0] as the old value
 			nb.val[0] = body.val[0]
@@ -268,10 +592,18 @@ func (l *LSim[V, A, R]) writeBack(id int, m *Mem[V, A, R], seq uint64) bool {
 			nb.val[1] = body.val[1]
 			nb.toggle = 0
 		}
-		it.sv.SC(itag, nb)
-		l.count(id, 1)
+		if it.p.CompareAndSwap(body, nb) { // per-item SC
+			t.iring.Push(body) // retire the replaced body
+			wrote++
+		} else {
+			// A co-helper's SC won (same round) or a later round's did;
+			// either way the item already carries a stamp >= seq. Reuse our
+			// unpublished build.
+			t.iring.Push(nb)
+		}
+		l.count(i, 1)
 	}
-	return true
+	return wrote, false
 }
 
 func (l *LSim[V, A, R]) count(i int, n uint64) {
@@ -279,18 +611,17 @@ func (l *LSim[V, A, R]) count(i int, n uint64) {
 }
 
 // Rvals returns the committed response of process i (test helper).
-func (l *LSim[V, A, R]) Rvals(i int) R { return l.s.Read().rvals[i] }
+func (l *LSim[V, A, R]) Rvals(i int) R {
+	ls, s := l.haz.AcquireAnon(&l.state)
+	rv := ls.rvals[i]
+	l.haz.ReleaseAnon(s)
+	return rv
+}
 
 // Seq returns the committed round number (test helper).
-func (l *LSim[V, A, R]) Seq() uint64 { return l.s.Read().seq }
-
-// Stats aggregates combining statistics across processes.
-func (l *LSim[V, A, R]) Stats() (ops, scSuccess, scFail, combined uint64) {
-	for i := range l.stats {
-		ops += l.stats[i].ops.Load()
-		scSuccess += l.stats[i].scSuccess.Load()
-		scFail += l.stats[i].scFail.Load()
-		combined += l.stats[i].combined.Load()
-	}
-	return
+func (l *LSim[V, A, R]) Seq() uint64 {
+	ls, s := l.haz.AcquireAnon(&l.state)
+	seq := ls.seq
+	l.haz.ReleaseAnon(s)
+	return seq
 }

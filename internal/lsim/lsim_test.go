@@ -213,14 +213,14 @@ func TestLSimStats(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	ops, scS, _, combined := l.Stats()
-	if ops != n*per {
-		t.Fatalf("ops = %d", ops)
+	st := l.Stats()
+	if st.Ops != n*per {
+		t.Fatalf("ops = %d", st.Ops)
 	}
-	if combined != n*per {
-		t.Fatalf("combined = %d, want %d (exactly-once)", combined, n*per)
+	if st.Combined != n*per {
+		t.Fatalf("combined = %d, want %d (exactly-once)", st.Combined, n*per)
 	}
-	if scS == 0 {
+	if st.CASSuccesses == 0 {
 		t.Fatal("no successful SC recorded")
 	}
 }

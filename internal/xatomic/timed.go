@@ -6,6 +6,26 @@ import "sync/atomic"
 // on a "TimedPoolIndex": a 16-bit index into the pool of State structs plus
 // a 48-bit timestamp that makes ABA on the index impossible for 2^48
 // successful updates. TimedWord is that word.
+//
+// Wrap bound, precisely: a stale CAS can only succeed if the packed 64-bit
+// word RECURS — same index AND same stamp. Stamps increment once per
+// successful update and wrap silently at 2^48, so the word a thread read
+// can recur no earlier than 2^48 successful updates later; the emulation is
+// sound iff no thread stalls between its LoadRaw and its CompareAndSwap
+// across that many updates. At a (generous) 10^8 successful combining
+// rounds per second that is a single operation stalled for ~32 days; the
+// paper's 48-bit argument is this bound. TestTimedWordStampWrapVersionReuse
+// pins its sharpness: advancing the stamp by exactly 2^48 reproduces the
+// identical word and reopens the ABA window, one update fewer does not.
+//
+// The bound is an assumption, not an invariant — "LL/SC and Atomic Copy"
+// (arXiv 1911.09671) shows how to make LL/SC unconditionally sound from
+// pointer-width CAS by protecting the target against reuse instead of
+// stamping it. internal/core's hazard-guarded recycling (and internal/lsim's
+// per-item variant) is that construction: a protected record is never
+// recycled, so its pointer can never recur while observed, and no stamp is
+// needed. TimedWord remains the paper-exact pool/seqlock variant used by
+// the publication ablation.
 
 const (
 	timedIndexBits = 16

@@ -86,3 +86,51 @@ func TestTimedWordCASDistinguishesSameIndexDifferentStamp(t *testing.T) {
 		t.Fatal("stale CAS succeeded against same index, newer stamp")
 	}
 }
+
+// TestTimedWordStampWrapVersionReuse pins the wrap bound's sharpness from
+// the package comment: the packed word recurs — and a stale CAS succeeds
+// again — after EXACTLY 2^48 successful updates, and not one update
+// earlier. The "2^48 updates" are simulated by packing the post-wrap stamp
+// values directly; what is under test is the recurrence structure of the
+// word, not the counter loop.
+func TestTimedWordStampWrapVersionReuse(t *testing.T) {
+	var w TimedWord
+	w.Store(5, 7)
+	stale := w.LoadRaw() // the word some stalled thread remembered
+
+	// One update short of a full wrap: stamp 7 + (2^48 - 1) wraps to 6.
+	// Same index, different stamp — the stale CAS must still fail.
+	w.Store(5, (7+TimedStampMax)&TimedStampMax)
+	if i, s := w.Load(); i != 5 || s != 6 {
+		t.Fatalf("pre-wrap word = (%d,%d), want (5,6)", i, s)
+	}
+	if w.CompareAndSwap(stale, 9, 10) {
+		t.Fatal("stale CAS succeeded one update before the wrap bound")
+	}
+
+	// The 2^48th update: stamp 7 + 2^48 wraps back to exactly 7. The word
+	// is bit-identical to the stale observation, so the stale CAS succeeds
+	// — this is the ABA the bound admits, reachable only by a thread
+	// stalled across 2^48 successful updates.
+	w.Store(5, (7+TimedStampMax+1)&TimedStampMax)
+	if w.LoadRaw() != stale {
+		t.Fatal("full 2^48 advance did not reproduce the observed word")
+	}
+	if !w.CompareAndSwap(stale, 9, 10) {
+		t.Fatal("recurred word rejected the stale CAS; wrap analysis is wrong")
+	}
+}
+
+// TestTimedWordCASStampMasksLikePack documents that CompareAndSwap packs
+// its stamp exactly like PackTimed: an overflowing stamp wraps into the
+// stamp field and never corrupts the index bits.
+func TestTimedWordCASStampMasksLikePack(t *testing.T) {
+	var w TimedWord
+	w.Store(3, TimedStampMax)
+	if !w.CompareAndSwap(w.LoadRaw(), 3, TimedStampMax+1) {
+		t.Fatal("CAS failed")
+	}
+	if i, s := w.Load(); i != 3 || s != 0 {
+		t.Fatalf("post-overflow word = (%d,%d), want (3,0) (stamp wraps, index intact)", i, s)
+	}
+}
