@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json examples experiments check metrics-demo flight-demo ingest-demo largeobject-demo clean
+.PHONY: all build vet test race short bench bench-json examples experiments check metrics-demo flight-demo ingest-demo largeobject-demo timeline-demo clean
 
 all: build vet test
 
@@ -101,6 +101,23 @@ largeobject-demo:
 # high-watermark movement — the same gate CI runs.
 ingest-demo:
 	$(GO) run ./cmd/simingestd -smoke 50000 -shards 2 -batch 32 -seg 256
+
+# Boot simkvd with a fast timeline scrape and an impossible throughput SLO,
+# drive traffic, then show the breach escalating to stderr, the windowed
+# /debug/timeline history, and one simstat console frame.
+timeline-demo:
+	$(GO) build -o /tmp/simkvd ./cmd/simkvd
+	$(GO) build -o /tmp/simstat ./cmd/simstat
+	bash -c '/tmp/simkvd -addr 127.0.0.1:7073 -metrics-addr 127.0.0.1:9093 \
+	    -timeline 100ms -slo "ops>=1000000@1s" & \
+	  trap "kill $$!" EXIT; sleep 0.5; \
+	  exec 3<>/dev/tcp/127.0.0.1/7073; \
+	  printf "PUT a 1\nPUT b 2\nGET a\nPUT a 3\nDEL b\nQUIT\n" >&3; cat <&3; \
+	  sleep 1; \
+	  echo "--- /debug/timeline (map series, newest samples) ---"; \
+	  curl -s "http://127.0.0.1:9093/debug/timeline?window=10s&series=map" | tail -30; \
+	  echo "--- simstat frame ---"; \
+	  /tmp/simstat -addr 127.0.0.1:9093 -once'
 
 clean:
 	$(GO) clean ./...

@@ -24,6 +24,12 @@
 // Flags -ops, -reps, -threads and -maxwork rescale the runs; the paper's
 // full-size configuration is -ops 1000000 -reps 10.
 //
+// -timeline-dump FILE scrapes the harness into a telemetry timeline
+// (internal/obs/timeline) every -timeline-every while experiments run and
+// writes the whole history — a "harness" series of ops/sec and latency
+// percentiles per scrape tick — as timeline ResponseJSON, the same document
+// the daemons serve at /debug/timeline.
+//
 // -flight FILE attaches the wait-free flight recorder to every Sim-family
 // instance and writes a Chrome trace_event JSON of the newest
 // combining-round events (one track per process id, round duration and
@@ -32,6 +38,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +49,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/obs/trace"
 )
 
@@ -58,6 +66,10 @@ func main() {
 			"record per-op latency distributions (p50/p99/max columns); inflates mean times by ~2 clock reads per op")
 		obsEvery = flag.Duration("obs-every", 0,
 			"periodically dump a JSON metrics delta to stderr while experiments run (0 disables)")
+		timelineDump = flag.String("timeline-dump", "",
+			"scrape the harness into a telemetry timeline while experiments run and write the full history (timeline ResponseJSON) to this file")
+		timelineEvery = flag.Duration("timeline-every", 250*time.Millisecond,
+			"scrape interval for -timeline-dump")
 		jsonOut = flag.String("json", "",
 			"write machine-readable results (ns/op, allocs/op, helping) for the experiments run to this file")
 		flightOut = flag.String("flight", "",
@@ -119,11 +131,32 @@ func main() {
 		flight = trace.New(maxN, trace.WithSampleEvery(*flightSample))
 		cfg.Tracer = flight
 	}
+	var tl *timeline.Timeline
+	if *timelineDump != "" {
+		// The timeline resolves its series at construction, so the harness
+		// metrics must exist first: pre-register them at the sweep's max
+		// width (the harness get-or-creates the same objects later).
+		maxN := 1
+		for _, n := range tc {
+			if n > maxN {
+				maxN = n
+			}
+		}
+		reg := obs.NewRegistry()
+		cfg.Registry = reg
+		reg.Counter("harness_ops_total", maxN)
+		reg.Histogram("harness_op_latency_ns", maxN)
+		tl = timeline.New(reg, timeline.Config{Interval: *timelineEvery})
+		tl.Start()
+	}
 	if *obsEvery > 0 {
 		// Live observability: the harness records into a registered metric
 		// and a dumper prints per-interval deltas without pausing the runs.
-		reg := obs.NewRegistry()
-		cfg.Registry = reg
+		reg := cfg.Registry
+		if reg == nil {
+			reg = obs.NewRegistry()
+			cfg.Registry = reg
+		}
 		ticker := time.NewTicker(*obsEvery)
 		defer ticker.Stop()
 		stop := make(chan struct{})
@@ -248,6 +281,26 @@ func main() {
 		if len(names) > 1 {
 			fmt.Println()
 		}
+	}
+
+	if tl != nil {
+		tl.Stop()
+		tl.Scrape() // catch the tail of the last run
+		doc := tl.Query(0, 0, nil)
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*timelineDump, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: writing timeline:", err)
+			os.Exit(1)
+		}
+		samples := 0
+		for _, s := range doc.Series {
+			samples += len(s)
+		}
+		fmt.Printf("wrote %s (%d series, %d samples at %s)\n",
+			*timelineDump, len(doc.Series), samples, *timelineEvery)
 	}
 
 	if flight != nil {

@@ -28,7 +28,12 @@
 // runtime-trace capture, and — with -flight — the flight-recorder snapshot
 // of partition 0 (process ids repeat across partitions, so one partition
 // owns the recorder). -watchdog BUDGET arms the progress watchdog on the
-// same partition.
+// same partition. /debug/timeline serves the telemetry timeline (-timeline,
+// on by default at 1s): windowed per-series history of every *_ops_total
+// family, including the per-partition ingest_spool{partition="i"} series —
+// watch it live with cmd/simstat. -slo RULES arms SLO rules on it
+// (throughput floors, p99 ceilings, CAS-failure and stall-rate ceilings),
+// escalated to stderr once per breach episode like watchdog stalls.
 //
 // -smoke N switches the binary into a self-driving smoke test: it boots the
 // daemon on a loopback port, publishes N events from several pipelined
@@ -47,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	obstrace "repro/internal/obs/trace"
 	"repro/internal/retention"
 	"repro/internal/spool"
@@ -60,6 +66,7 @@ type daemon struct {
 	metricsLn net.Listener
 	metricsWG chan struct{}
 	watchdog  *obstrace.Watchdog
+	timeline  *timeline.Timeline
 }
 
 // start boots the ingest server on addr and, when metricsAddr is non-empty,
@@ -75,10 +82,37 @@ func start(addr, metricsAddr string, cfg serverConfig, watchdogBudget int) (*dae
 		return nil, err
 	}
 	d := &daemon{srv: srv, addr: bound}
+	if cfg.timeline > 0 {
+		rules, err := timeline.ParseRules(cfg.slo)
+		if err != nil {
+			d.close()
+			return nil, err
+		}
+		d.timeline = timeline.New(srv.Registry(), timeline.Config{
+			Interval: cfg.timeline,
+			Rules:    rules,
+			OnBreach: func(b timeline.Breach) {
+				if b.Cleared {
+					fmt.Fprintf(os.Stderr, "simingestd: slo: %s recovered (value %.4g, violated for %s)\n",
+						b.Rule.Name(), b.Value, time.Duration(b.SinceNs))
+					return
+				}
+				fmt.Fprintf(os.Stderr, "simingestd: slo: BREACH %s (value %.4g)\n", b.Rule.Name(), b.Value)
+			},
+		})
+		d.timeline.Start()
+	} else if cfg.slo != "" {
+		d.close()
+		return nil, fmt.Errorf("-slo requires -timeline")
+	}
 	if watchdogBudget > 0 {
+		tl := d.timeline
 		d.watchdog = obstrace.NewWatchdog(srv.Tracer(), uint64(watchdogBudget), func(s obstrace.Stall) {
 			fmt.Fprintf(os.Stderr, "simingestd: watchdog: pid %d stalled: %d announced op(s) uncommitted for %d rounds (%s)\n",
 				s.Pid, s.Pending, s.Rounds, s.Since)
+			if tl != nil {
+				tl.RecordStall(s.Pid, s.Rounds)
+			}
 		})
 		d.watchdog.Start(100 * time.Millisecond)
 	}
@@ -90,7 +124,11 @@ func start(addr, metricsAddr string, cfg serverConfig, watchdogBudget int) (*dae
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(srv.Registry()))
-		obstrace.RegisterDebug(mux, srv.Tracer())
+		var tlHandler http.Handler
+		if d.timeline != nil {
+			tlHandler = timeline.Handler(d.timeline)
+		}
+		obstrace.RegisterDebug(mux, srv.Tracer(), tlHandler)
 		d.metricsLn = ln
 		d.metricsWG = make(chan struct{})
 		go func() {
@@ -113,6 +151,9 @@ func (d *daemon) metricsAddr() string {
 func (d *daemon) close() error {
 	if d.watchdog != nil {
 		d.watchdog.Stop()
+	}
+	if d.timeline != nil {
+		d.timeline.Stop()
 	}
 	err := d.srv.Close()
 	if d.metricsLn != nil {
@@ -144,6 +185,10 @@ func main() {
 			"report process ids whose announced op hasn't committed within N system-wide rounds (0 disables; implies -flight)")
 		smoke = flag.Int("smoke", 0,
 			"self-driving smoke mode: publish N events over loopback TCP, verify cursors and retention, exit (0 = serve)")
+		timelineEvery = flag.Duration("timeline", time.Second,
+			"telemetry-timeline scrape interval; samples are queryable at /debug/timeline (0 disables)")
+		slo = flag.String("slo", "",
+			"SLO rules over the timeline, e.g. 'ops>=10000,p99<=2ms,casfail<=0.5,stalls<=3@1m' (requires -timeline)")
 	)
 	flag.Parse()
 
@@ -164,6 +209,8 @@ func main() {
 		retainTick: *retainEvery,
 		flight:     *flight,
 		flightSamp: *flightSample,
+		timeline:   *timelineEvery,
+		slo:        *slo,
 	}
 
 	if *smoke > 0 {
@@ -189,6 +236,12 @@ func main() {
 	}
 	if d.watchdog != nil {
 		fmt.Printf("simingestd progress watchdog armed: budget %d rounds\n", *watchdog)
+	}
+	if d.timeline != nil {
+		fmt.Printf("simingestd timeline scraping every %s (%d series)\n", *timelineEvery, len(d.timeline.SeriesNames()))
+		for _, r := range d.timeline.Rules() {
+			fmt.Printf("simingestd slo rule armed: %s\n", r.Name())
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -99,12 +100,18 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("partition 1 unexpectedly has events: %d, next %d", len(evs), next)
 	}
 
-	st, err := c.stats()
+	st, parts, err := c.stats()
 	if err != nil {
 		t.Fatalf("STATS: %v", err)
 	}
 	if st["appended"] != 3 || st["drained"] != 3 || st["end"] != 3 {
 		t.Fatalf("STATS = %v, want appended=3 drained=3 end=3", st)
+	}
+	if len(parts) != 2 || parts[0]["end"] != 3 || parts[1]["end"] != 0 {
+		t.Fatalf("PART lines = %v, want partition 0 end=3, partition 1 end=0", parts)
+	}
+	if parts[0]["skipped"] != 0 || parts[0]["expired"] != 0 {
+		t.Fatalf("PART 0 reports losses on a loss-free run: %v", parts[0])
 	}
 
 	for _, bad := range []string{"POLL 9 0 10", "POLL 0 0", "HWM 9", "NOPE"} {
@@ -117,7 +124,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE ingest_pub_total counter",
 		"# TYPE ingest_connections gauge",
-		"ingest0_spool_ops_total",
+		`ingest_spool_ops_total{partition="0"}`,
 	} {
 		if !strings.Contains(prom, want) {
 			t.Fatalf("prometheus output missing %q:\n%.400s", want, prom)
@@ -225,5 +232,67 @@ func TestStartRejectsBadMetricsAddr(t *testing.T) {
 	if _, err := start("127.0.0.1:0", "256.0.0.1:bad",
 		serverConfig{clients: 1, shards: 1, batch: 1}, 0); err == nil {
 		t.Fatal("start accepted a bad metrics address")
+	}
+}
+
+// TestTimelineEndpoint boots with the telemetry timeline enabled, publishes
+// events, and checks /debug/timeline serves per-partition ingest series
+// with nonzero ops — the per-partition breakdown riding the labeled-name
+// convention.
+func TestTimelineEndpoint(t *testing.T) {
+	cfg := serverConfig{clients: 4, shards: 2, batch: 4,
+		spool:    spool.Config{SegEvents: 16},
+		timeline: 10 * time.Millisecond}
+	d, err := start("127.0.0.1:0", "127.0.0.1:0", cfg, 0)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer d.close()
+
+	c, err := dial(d.addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.conn.Close()
+	for i := 0; i < 32; i++ {
+		fmt.Fprintf(c.w, "PUB %d\n", i)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatalf("pub: %v", err)
+	}
+	for i := 0; i < 32; i++ {
+		if line, err := c.readLine(); err != nil || !strings.HasPrefix(line, "OK") {
+			t.Fatalf("PUB %d -> %q, %v", i, line, err)
+		}
+	}
+	waitEnd(t, c, 0, 32)
+
+	base := "http://" + d.metricsAddr()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var resp struct {
+			Series map[string][]struct {
+				Ops uint64 `json:"ops"`
+			} `json:"series"`
+		}
+		body := httpGet(t, base+`/debug/timeline?window=30s`)
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatalf("timeline response invalid JSON: %v\n%s", err, body)
+		}
+		var spoolOps uint64
+		for _, s := range resp.Series[`ingest_spool{partition="0"}`] {
+			spoolOps += s.Ops
+		}
+		if spoolOps > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			names := make([]string, 0, len(resp.Series))
+			for k := range resp.Series {
+				names = append(names, k)
+			}
+			t.Fatalf("partition-0 spool series never saw ops; series: %v", names)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

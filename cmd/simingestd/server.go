@@ -34,7 +34,11 @@ import (
 //	POLL <part> <cursor> <max> -> EVT <off> <producer> <seq> <payload> ...
 //	                              END <next> <skipped>
 //	HWM <part>                 -> HWM <low> <end>
-//	STATS                      -> STATS appended=… drained=… low=… end=… passes=…
+//	STATS                      -> PART <i> low=… end=… sealed=… expired=… skipped=… passes=…
+//	                              (one line per partition: spool watermarks,
+//	                              seal/expiry totals, POLL reads that lost
+//	                              events to retention, retention passes)
+//	                              STATS appended=… drained=… low=… end=… passes=…
 //	QUIT                       -> BYE
 //
 // Pipelining: consecutive queued PUB lines execute as ONE AppendBatch
@@ -42,7 +46,7 @@ import (
 // responses are byte-identical to the one-at-a-time protocol.
 type server struct {
 	parts   []*ingest.Pipeline
-	runners []*retention.Runner // nil entries when the policy is empty
+	runners []*retention.Runner[spool.Event] // nil entries when the policy is empty
 	perPart int                 // producer slots per partition
 	drainID int
 	retID   int
@@ -62,6 +66,7 @@ type server struct {
 	tracer *trace.Tracer
 
 	cPub, cPoll, cHwm, cStats, cErr *obs.Counter
+	pollSkip                        []*obs.Counter // per partition: events lost to retention before a POLL arrived
 	gConns                          *obs.Gauge
 }
 
@@ -75,6 +80,8 @@ type serverConfig struct {
 	retainTick time.Duration
 	flight     int // flight-recorder capacity; 0 disables
 	flightSamp int
+	timeline   time.Duration // telemetry-timeline scrape interval; 0 disables
+	slo        string        // SLO rule spec evaluated over the timeline
 }
 
 func newServer(cfg serverConfig) *server {
@@ -96,7 +103,7 @@ func newServer(cfg serverConfig) *server {
 	perPart := (cfg.clients + cfg.shards - 1) / cfg.shards
 	s := &server{
 		parts:     make([]*ingest.Pipeline, cfg.shards),
-		runners:   make([]*retention.Runner, cfg.shards),
+		runners:   make([]*retention.Runner[spool.Event], cfg.shards),
 		perPart:   perPart,
 		drainID:   perPart,
 		retID:     perPart + 1,
@@ -112,6 +119,11 @@ func newServer(cfg serverConfig) *server {
 	s.cStats = s.reg.Counter("ingest_stats_total", cfg.clients)
 	s.cErr = s.reg.Counter("ingest_err_total", cfg.clients)
 	s.gConns = s.reg.Gauge("ingest_connections")
+	s.pollSkip = make([]*obs.Counter, cfg.shards)
+	for i := range s.pollSkip {
+		s.pollSkip[i] = s.reg.Counter(
+			obs.Labeled("ingest_poll_skipped_total", "partition", strconv.Itoa(i)), cfg.clients)
+	}
 	if cfg.flight > 0 {
 		opts := []trace.Option{trace.WithCapacity(cfg.flight)}
 		if cfg.flightSamp > 1 {
@@ -121,7 +133,7 @@ func newServer(cfg serverConfig) *server {
 	}
 	for i := range s.parts {
 		p := ingest.New(perPart+2, ingest.Config{Batch: cfg.batch, Spool: cfg.spool})
-		p.Instrument(s.reg, fmt.Sprintf("ingest%d", i))
+		p.Instrument(s.reg, obs.Labeled("ingest", "partition", strconv.Itoa(i)))
 		if i == 0 && s.tracer != nil {
 			// One partition on the flight recorder: process ids repeat across
 			// partitions, and each per-pid ring must keep a single writer.
@@ -374,6 +386,9 @@ func (ex *executor) handle(fields []string) (quit bool) {
 		v := s.parts[part].View()
 		evs, next, skipped := v.Read(cursor, max, ex.evs[:0])
 		ex.evs = evs
+		if skipped > 0 {
+			s.pollSkip[part].Add(ex.slot, skipped)
+		}
 		off := next - uint64(len(evs))
 		for i, ev := range evs {
 			fmt.Fprintf(ex.w, "EVT %d %d %d %d\n", off+uint64(i), ev.Producer, ev.Seq, ev.Payload)
@@ -404,9 +419,14 @@ func (ex *executor) handle(fields []string) (quit bool) {
 			v := p.View()
 			low += v.LowWater()
 			end += v.End()
+			var partPasses uint64
 			if r := s.runners[i]; r != nil {
-				passes += r.Passes()
+				partPasses = r.Passes()
 			}
+			passes += partPasses
+			fmt.Fprintf(ex.w, "PART %d low=%d end=%d sealed=%d expired=%d skipped=%d passes=%d\n",
+				i, v.LowWater(), v.End(), v.SealedTotal(), v.ExpiredTotal(),
+				s.pollSkip[i].Total(), partPasses)
 		}
 		fmt.Fprintf(ex.w, "STATS appended=%d drained=%d low=%d end=%d passes=%d\n",
 			appended, drained, low, end, passes)

@@ -108,7 +108,7 @@ func runSmoke(n int, cfg serverConfig) error {
 		defer ctl.close()
 		deadline := time.Now().Add(30 * time.Second)
 		for {
-			st, err := ctl.stats()
+			st, _, err := ctl.stats()
 			if err != nil {
 				fail(fmt.Errorf("control: %w", err))
 				break
@@ -136,8 +136,19 @@ func runSmoke(n int, cfg serverConfig) error {
 			observed.Load(), skipped.Load(), got, n)
 	}
 
-	// Retention high-watermark: every partition's low bound must have moved
-	// off zero. The runner ticks on its own clock, so allow it a moment.
+	// Retention high-watermark: a partition that filled past the policy
+	// bound (by at least one sealable segment) must have expired something.
+	// A lighter partition legitimately keeps low == 0 — connections map to
+	// partitions by accept-order slot, so producer shares can be uneven —
+	// but pigeonhole guarantees the heaviest partition exceeds the bound.
+	// The runner ticks on its own clock, so allow it a moment.
+	seg := cfg.spool.SegEvents
+	if seg <= 0 {
+		seg = 256 // spool.Config default
+	}
+	mustMove := func(end uint64) bool {
+		return end > uint64(cfg.policy.MaxEvents)+uint64(seg)
+	}
 	lows := make([]uint64, shards)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -151,7 +162,7 @@ func runSmoke(n int, cfg serverConfig) error {
 				return fmt.Errorf("partition %d: low-watermark %d above end %d", part, low, end)
 			}
 			lows[part] = low
-			if low == 0 {
+			if low == 0 && mustMove(end) {
 				allMoved = false
 			}
 		}
@@ -160,10 +171,52 @@ func runSmoke(n int, cfg serverConfig) error {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	moved := 0
 	for part, low := range lows {
-		if low == 0 {
-			return fmt.Errorf("partition %d: retention never advanced the high-watermark (low still 0)", part)
+		if low > 0 {
+			moved++
+			continue
 		}
+		_, end, err := ctl.hwm(part)
+		if err != nil {
+			return fmt.Errorf("control: %w", err)
+		}
+		if mustMove(end) {
+			return fmt.Errorf("partition %d: retention never advanced the high-watermark (end %d, low still 0)", part, end)
+		}
+	}
+	if moved == 0 {
+		return fmt.Errorf("retention advanced no partition (lows %v)", lows)
+	}
+
+	// Per-partition STATS lines must agree with the aggregate terminator
+	// and with the consumers' own skip accounting: low == expired (offsets
+	// are contiguous), and POLL-skip counters sum to what consumers saw.
+	agg, parts, err := ctl.stats()
+	if err != nil {
+		return fmt.Errorf("control: %w", err)
+	}
+	if len(parts) != shards {
+		return fmt.Errorf("STATS returned %d PART lines, want %d", len(parts), shards)
+	}
+	var sumEnd, sumLow, sumSkipped uint64
+	for i, p := range parts {
+		if p["low"] != p["expired"] {
+			return fmt.Errorf("partition %d: low=%d != expired=%d (offsets must be contiguous)", i, p["low"], p["expired"])
+		}
+		if p["passes"] == 0 {
+			return fmt.Errorf("partition %d: no retention passes recorded", i)
+		}
+		sumEnd += p["end"]
+		sumLow += p["low"]
+		sumSkipped += p["skipped"]
+	}
+	if sumEnd != agg["end"] || sumLow != agg["low"] {
+		return fmt.Errorf("PART sums (low=%d end=%d) disagree with STATS (low=%d end=%d)",
+			sumLow, sumEnd, agg["low"], agg["end"])
+	}
+	if sumSkipped != skipped.Load() {
+		return fmt.Errorf("poll-skip counters sum to %d, consumers observed %d", sumSkipped, skipped.Load())
 	}
 
 	fmt.Printf("smoke: OK — %d observed + %d retention-skipped = %d events; low-watermarks %v\n",
@@ -357,27 +410,45 @@ func (c *client) hwm(part int) (low, end uint64, err error) {
 	return low, end, nil
 }
 
-// stats issues STATS and parses the key=value summary.
-func (c *client) stats() (map[string]uint64, error) {
+// stats issues STATS and parses the response: PART key=value lines (one
+// per partition, in partition order) terminated by the aggregate STATS
+// line.
+func (c *client) stats() (map[string]uint64, []map[string]uint64, error) {
 	fmt.Fprintln(c.w, "STATS")
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	line, err := c.readLine()
-	if err != nil {
-		return nil, err
-	}
-	fields := strings.Fields(line)
-	if len(fields) < 2 || fields[0] != "STATS" {
-		return nil, fmt.Errorf("unexpected STATS response %q", line)
-	}
-	out := map[string]uint64{}
-	for _, kv := range fields[1:] {
-		k, v, ok := strings.Cut(kv, "=")
-		if !ok {
+	var parts []map[string]uint64
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, nil, err
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			return nil, nil, fmt.Errorf("empty STATS response line")
+		}
+		kvs := fields[1:]
+		if fields[0] == "PART" {
+			if len(fields) < 2 || fields[1] != strconv.Itoa(len(parts)) {
+				return nil, nil, fmt.Errorf("PART lines out of order: %q", line)
+			}
+			kvs = fields[2:]
+		} else if fields[0] != "STATS" {
+			return nil, nil, fmt.Errorf("unexpected STATS response %q", line)
+		}
+		out := map[string]uint64{}
+		for _, kv := range kvs {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				continue
+			}
+			out[k], _ = strconv.ParseUint(v, 10, 64)
+		}
+		if fields[0] == "PART" {
+			parts = append(parts, out)
 			continue
 		}
-		out[k], _ = strconv.ParseUint(v, 10, 64)
+		return out, parts, nil
 	}
-	return out, nil
 }

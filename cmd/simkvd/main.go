@@ -30,11 +30,18 @@
 //	/debug/flight        the flight-recorder snapshot (-flight enables it):
 //	                     ?format=chrome (default; open in Perfetto) or
 //	                     ?format=text, &last=N to trim to the newest N events
+//	/debug/timeline      the telemetry timeline (-timeline enables it, on by
+//	                     default at 1s): windowed per-series rate/latency
+//	                     history ?window=60s&series=map,map{shard="0"} —
+//	                     watch it live with cmd/simstat
 //
 // -watchdog BUDGET additionally starts a progress watchdog that reports (to
 // stderr) any client slot whose announced map operation has not committed
 // within BUDGET system-wide committed rounds — the wait-freedom bound made
-// observable. It implies -flight.
+// observable. It implies -flight. Watchdog stalls also land in the timeline
+// as annotations, where -slo RULES (e.g. "ops>=10000,p99<=2ms,casfail<=0.25,
+// stalls<=3@1m") evaluates SLO rules against every scrape and escalates
+// breach/clear transitions through the same stderr path, once per episode.
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 
 	"repro/internal/kvserver"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	obstrace "repro/internal/obs/trace"
 )
 
@@ -60,6 +68,7 @@ type daemon struct {
 	metricsLn net.Listener
 	metricsWG chan struct{}
 	watchdog  *obstrace.Watchdog
+	timeline  *timeline.Timeline
 }
 
 // options carries the observability knobs from flags to start.
@@ -70,6 +79,8 @@ type options struct {
 	shards       int // sharded store; <=1 keeps the single striped map
 	pipeline     int // pipelined protocol batch depth; <=1 disables
 	largeThresh  int // BPUT/BGET/BDEL tier threshold in bytes; 0 disables the blob store
+	timeline     time.Duration // telemetry-timeline scrape interval; 0 disables
+	slo          string        // SLO rule spec evaluated over the timeline
 }
 
 // start boots the KV server on addr and, when metricsAddr is non-empty, the
@@ -92,10 +103,37 @@ func start(addr, metricsAddr string, clients, stripes int, opt options) (*daemon
 		return nil, err
 	}
 	d := &daemon{srv: srv, addr: bound}
+	if opt.timeline > 0 {
+		rules, err := timeline.ParseRules(opt.slo)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		d.timeline = timeline.New(srv.Registry(), timeline.Config{
+			Interval: opt.timeline,
+			Rules:    rules,
+			OnBreach: func(b timeline.Breach) {
+				if b.Cleared {
+					fmt.Fprintf(os.Stderr, "simkvd: slo: %s recovered (value %.4g, violated for %s)\n",
+						b.Rule.Name(), b.Value, time.Duration(b.SinceNs))
+					return
+				}
+				fmt.Fprintf(os.Stderr, "simkvd: slo: BREACH %s (value %.4g)\n", b.Rule.Name(), b.Value)
+			},
+		})
+		d.timeline.Start()
+	} else if opt.slo != "" {
+		srv.Close()
+		return nil, fmt.Errorf("-slo requires -timeline")
+	}
 	if opt.watchdog > 0 {
+		tl := d.timeline
 		d.watchdog = obstrace.NewWatchdog(srv.Tracer(), uint64(opt.watchdog), func(s obstrace.Stall) {
 			fmt.Fprintf(os.Stderr, "simkvd: watchdog: pid %d stalled: %d announced op(s) uncommitted for %d rounds (%s)\n",
 				s.Pid, s.Pending, s.Rounds, s.Since)
+			if tl != nil {
+				tl.RecordStall(s.Pid, s.Rounds)
+			}
 		})
 		d.watchdog.Start(100 * time.Millisecond)
 	}
@@ -103,12 +141,17 @@ func start(addr, metricsAddr string, clients, stripes int, opt options) (*daemon
 		ln, err := net.Listen("tcp", metricsAddr)
 		if err != nil {
 			d.stopWatchdog()
+			d.stopTimeline()
 			srv.Close()
 			return nil, fmt.Errorf("metrics listener: %w", err)
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(srv.Registry()))
-		obstrace.RegisterDebug(mux, srv.Tracer())
+		var tlHandler http.Handler
+		if d.timeline != nil {
+			tlHandler = timeline.Handler(d.timeline)
+		}
+		obstrace.RegisterDebug(mux, srv.Tracer(), tlHandler)
 		d.metricsLn = ln
 		d.metricsWG = make(chan struct{})
 		go func() {
@@ -133,9 +176,16 @@ func (d *daemon) stopWatchdog() {
 	}
 }
 
+func (d *daemon) stopTimeline() {
+	if d.timeline != nil {
+		d.timeline.Stop()
+	}
+}
+
 // close shuts down both listeners and waits for the serve loops to drain.
 func (d *daemon) close() error {
 	d.stopWatchdog()
+	d.stopTimeline()
 	err := d.srv.Close()
 	if d.metricsLn != nil {
 		d.metricsLn.Close()
@@ -162,12 +212,17 @@ func main() {
 			"pipelined protocol batch depth: execute up to N queued requests per wakeup as batched map ops (1 = request-at-a-time)")
 		largeThresh = flag.Int("large-threshold", 0,
 			"enable the BPUT/BGET/BDEL byte-value store; values of at least N bytes are served by L-Sim item records instead of inline map entries (0 disables)")
+		timelineEvery = flag.Duration("timeline", time.Second,
+			"telemetry-timeline scrape interval; samples are queryable at /debug/timeline (0 disables)")
+		slo = flag.String("slo", "",
+			"SLO rules over the timeline, e.g. 'ops>=10000,p99<=2ms,casfail<=0.5,stalls<=3@1m' (requires -timeline)")
 	)
 	flag.Parse()
 
 	d, err := start(*addr, *metricsAddr, *clients, *stripes,
 		options{flight: *flight, flightSample: *flightSample, watchdog: *watchdog,
-			shards: *shards, pipeline: *pipeline, largeThresh: *largeThresh})
+			shards: *shards, pipeline: *pipeline, largeThresh: *largeThresh,
+			timeline: *timelineEvery, slo: *slo})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simkvd:", err)
 		os.Exit(1)
@@ -186,6 +241,12 @@ func main() {
 	}
 	if d.watchdog != nil {
 		fmt.Printf("simkvd progress watchdog armed: budget %d rounds\n", *watchdog)
+	}
+	if d.timeline != nil {
+		fmt.Printf("simkvd timeline scraping every %s (%d series)\n", *timelineEvery, len(d.timeline.SeriesNames()))
+		for _, r := range d.timeline.Rules() {
+			fmt.Printf("simkvd slo rule armed: %s\n", r.Name())
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

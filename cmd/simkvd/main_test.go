@@ -263,3 +263,100 @@ func TestDaemonLargeValueTier(t *testing.T) {
 		}
 	}
 }
+
+// TestTimelineEndpoint boots with the telemetry timeline on a fast scrape
+// interval, drives load, and checks /debug/timeline serves windowed
+// per-series history — and that an unmeetable SLO throughput floor
+// escalates into a breach visible in both the rule state and the
+// annotation log.
+func TestTimelineEndpoint(t *testing.T) {
+	d, err := start("127.0.0.1:0", "127.0.0.1:0", 4, 4,
+		options{timeline: 10 * time.Millisecond, slo: "ops>=1e12@50ms"})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer d.close()
+
+	send, conn := dial(t, d.addr)
+	defer conn.Close()
+	for i := 0; i < 64; i++ {
+		if got := send(fmt.Sprintf("PUT k%d %d", i, i)); !strings.HasPrefix(got, "OK") {
+			t.Fatalf("PUT -> %q", got)
+		}
+	}
+
+	base := "http://" + d.metricsAddr()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var resp struct {
+			Series map[string][]struct {
+				Ops       uint64  `json:"ops"`
+				OpsPerSec float64 `json:"ops_per_sec"`
+			} `json:"series"`
+			Annotations []struct {
+				Kind string `json:"kind"`
+				Ref  string `json:"ref"`
+			} `json:"annotations"`
+			SLO []struct {
+				Rule     string `json:"rule"`
+				Breached bool   `json:"breached"`
+			} `json:"slo"`
+		}
+		body := httpGet(t, base+"/debug/timeline?window=30s")
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatalf("timeline response invalid JSON: %v\n%s", err, body)
+		}
+		var ops uint64
+		for _, s := range resp.Series["map"] {
+			ops += s.Ops
+		}
+		breached := len(resp.SLO) == 1 && resp.SLO[0].Breached
+		annotated := false
+		for _, a := range resp.Annotations {
+			if a.Kind == "slo_breach" {
+				annotated = true
+			}
+		}
+		if ops >= 64 && breached && annotated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeline never converged: ops=%d breached=%v annotated=%v\n%s",
+				ops, breached, annotated, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Series filtering trims the response to the requested family.
+	body := httpGet(t, base+"/debug/timeline?window=30s&series=map")
+	var filtered struct {
+		Series map[string]json.RawMessage `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &filtered); err != nil {
+		t.Fatalf("filtered response invalid JSON: %v", err)
+	}
+	if len(filtered.Series) != 1 {
+		t.Fatalf("series filter returned %d series, want 1", len(filtered.Series))
+	}
+}
+
+// TestTimelineDisabled checks /debug/timeline 404s when -timeline is 0 and
+// that -slo without -timeline is rejected.
+func TestTimelineDisabled(t *testing.T) {
+	d, err := start("127.0.0.1:0", "127.0.0.1:0", 1, 1, options{})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer d.close()
+	resp, err := http.Get("http://" + d.metricsAddr() + "/debug/timeline")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if _, err := start("127.0.0.1:0", "", 1, 1, options{slo: "ops>=1"}); err == nil {
+		t.Fatal("-slo without -timeline accepted")
+	}
+}

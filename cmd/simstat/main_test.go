@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/timeline"
+)
+
+// testServer boots an in-process timeline with scripted traffic and serves
+// it the same way the daemons do, so simstat's fetch/render path is
+// exercised against the real wire format.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ops := reg.Counter("map_ops_total", 1)
+	reg.Counter("map_cas_success_total", 1)
+	casFail := reg.Counter("map_cas_fail_total", 1)
+	lat := reg.Histogram("map_op_latency_ns", 1)
+	shard0 := reg.Counter(`map_ops_total{shard="0"}`, 1)
+	now := time.Now().UnixNano()
+	rules, err := timeline.ParseRules("ops>=1e9@2s") // impossible floor: breaches
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := timeline.New(reg, timeline.Config{
+		Interval: time.Second,
+		Rules:    rules,
+		Now:      func() int64 { return now },
+	})
+	for i := 0; i < 4; i++ {
+		ops.Add(0, 1000)
+		casFail.Add(0, 50)
+		shard0.Add(0, 400)
+		lat.Record(0, 1500)
+		tl.Scrape()
+		now += int64(time.Second)
+	}
+	srv := httptest.NewServer(timeline.Handler(tl))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFetchAndRender(t *testing.T) {
+	srv := testServer(t)
+	doc, err := fetch(srv.URL + "?window=60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Series["map"]) == 0 || len(doc.Series[`map{shard="0"}`]) == 0 {
+		t.Fatalf("missing series: %v", doc.Series)
+	}
+
+	var buf strings.Builder
+	renderFrame(&buf, "test:0", doc)
+	frame := buf.String()
+	for _, want := range []string{
+		"simstat — test:0",
+		"map", `map{shard="0"}`,
+		"ops/s",
+		"1000", // 1000 ops over a 1s interval
+		"1.5µs",
+		"SLO",
+		"BREACH",
+		"ops>=1e+09@2s",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// Breach annotations surface in the frame.
+	if !strings.Contains(frame, "slo_breach") {
+		t.Fatalf("frame missing breach annotation:\n%s", frame)
+	}
+}
+
+func TestOneShotJSON(t *testing.T) {
+	srv := testServer(t)
+	var buf strings.Builder
+	if err := oneShot(&buf, srv.URL+"?window=60s", true); err != nil {
+		t.Fatal(err)
+	}
+	var doc timeline.ResponseJSON
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("-once -json output is not valid JSON: %v", err)
+	}
+	if len(doc.Series) != 2 || len(doc.SLO) != 1 || !doc.SLO[0].Breached {
+		t.Fatalf("unexpected snapshot: series=%d slo=%+v", len(doc.Series), doc.SLO)
+	}
+}
+
+func TestFetchError(t *testing.T) {
+	srv := testServer(t)
+	if _, err := fetch(srv.URL + "?window=banana"); err == nil ||
+		!strings.Contains(err.Error(), "window") {
+		t.Fatalf("bad window not surfaced: %v", err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{0, 50, 100}, 32); got != "▁▄█" {
+		t.Fatalf("sparkline = %q", got)
+	}
+	if got := sparkline([]float64{0, 0}, 32); got != "▁▁" {
+		t.Fatalf("all-zero sparkline = %q", got)
+	}
+	if got := sparkline(make([]float64, 100), 8); len([]rune(got)) != 8 {
+		t.Fatalf("sparkline not clipped to width: %q", got)
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	for ns, want := range map[uint64]string{
+		0: "-", 999: "999ns", 1500: "1.5µs", 2_500_000: "2.5ms", 3_210_000_000: "3.21s",
+	} {
+		if got := fmtNs(ns); got != want {
+			t.Fatalf("fmtNs(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}

@@ -193,7 +193,7 @@ func TestIngestSoakHistory10k(t *testing.T) {
 			}
 			cut := v.End() - keep
 			slot := rec.Invoke(retID, check.OpLogTrim, cut)
-			lwm = sp.Do(retID, spool.TrimToOp(cut))
+			lwm = sp.Do(retID, spool.TrimToOp[spool.Event](cut))
 			rec.Return(slot, lwm, true)
 		}
 	}()

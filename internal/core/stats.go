@@ -43,15 +43,16 @@ func NewStatsPlane(n int) *StatsPlane {
 
 // Register publishes the plane's counters in reg under prefix:
 // <prefix>_ops_total, <prefix>_cas_success_total, <prefix>_cas_fail_total,
-// <prefix>_combined_total, <prefix>_served_by_total. Several planes may
-// register under one prefix (striped structures, a queue's two ends); the
-// registry sums them.
+// <prefix>_combined_total, <prefix>_served_by_total. A labeled prefix
+// (obs.Labeled) keeps the label block trailing: map{shard="3"} registers
+// map_ops_total{shard="3"}. Several planes may register under one prefix
+// (striped structures, a queue's two ends); the registry sums them.
 func (p *StatsPlane) Register(reg *obs.Registry, prefix string) {
-	reg.AttachCounter(prefix+"_ops_total", p.Ops)
-	reg.AttachCounter(prefix+"_cas_success_total", p.CASSuccess)
-	reg.AttachCounter(prefix+"_cas_fail_total", p.CASFail)
-	reg.AttachCounter(prefix+"_combined_total", p.Combined)
-	reg.AttachCounter(prefix+"_served_by_total", p.ServedBy)
+	reg.AttachCounter(obs.Join(prefix, "_ops_total"), p.Ops)
+	reg.AttachCounter(obs.Join(prefix, "_cas_success_total"), p.CASSuccess)
+	reg.AttachCounter(obs.Join(prefix, "_cas_fail_total"), p.CASFail)
+	reg.AttachCounter(obs.Join(prefix, "_combined_total"), p.Combined)
+	reg.AttachCounter(obs.Join(prefix, "_served_by_total"), p.ServedBy)
 }
 
 // Aggregate sums the per-thread slots into a Stats.

@@ -39,8 +39,11 @@ type Config struct {
 	Latency bool
 
 	// Registry, when non-nil, makes the latency histogram a live registered
-	// metric ("harness_op_latency_ns") so an external dumper (simbench's
-	// -obs-every) can watch a run in flight. Implies latency recording.
+	// metric ("harness_op_latency_ns") and counts every logical operation
+	// into "harness_ops_total", so an external watcher (simbench's
+	// -obs-every dumper or the telemetry timeline behind -timeline-dump)
+	// sees a "harness" series while a run is in flight. Implies latency
+	// recording.
 	Registry *obs.Registry
 
 	// Tracer, when non-nil, is attached to every instance that supports
@@ -135,18 +138,31 @@ func Run(cfg Config, makers []Maker) []Result {
 // sweep's max thread count because runs of every width share them.
 func latencyHist(cfg Config, n int) *obs.Histogram {
 	if cfg.Registry != nil {
-		maxN := n
-		for _, t := range cfg.Threads {
-			if t > maxN {
-				maxN = t
-			}
-		}
-		return cfg.Registry.Histogram("harness_op_latency_ns", maxN)
+		return cfg.Registry.Histogram("harness_op_latency_ns", maxThreads(cfg, n))
 	}
 	if cfg.Latency {
 		return obs.NewHistogram(n)
 	}
 	return nil
+}
+
+// opsCounter returns the live logical-operation counter when cfg.Registry
+// is set (nil otherwise). Like the histogram it is shared by runs of every
+// width, so it is sized to the sweep's max thread count.
+func opsCounter(cfg Config, n int) *obs.Counter {
+	if cfg.Registry == nil {
+		return nil
+	}
+	return cfg.Registry.Counter("harness_ops_total", maxThreads(cfg, n))
+}
+
+func maxThreads(cfg Config, n int) int {
+	for _, t := range cfg.Threads {
+		if t > n {
+			n = t
+		}
+	}
+	return n
 }
 
 func runOne(cfg Config, maker Maker, n int) Result {
@@ -156,6 +172,7 @@ func runOne(cfg Config, maker Maker, n int) Result {
 	var name string
 	batch, totalOps := 1, cfg.TotalOps
 	hist := latencyHist(cfg, n)
+	opsC := opsCounter(cfg, n)
 	before := hist.Snapshot() // shared registry metric: delta out other runs
 	var ms runtime.MemStats
 	for rep := 0; rep < cfg.Reps; rep++ {
@@ -169,7 +186,7 @@ func runOne(cfg Config, maker Maker, n int) Result {
 		}
 		runtime.ReadMemStats(&ms)
 		m0 := ms.Mallocs
-		sec, ops := timeRun(cfg, inst, n, uint64(rep)+cfg.Seed, hist)
+		sec, ops := timeRun(cfg, inst, n, uint64(rep)+cfg.Seed, hist, opsC)
 		times = append(times, sec)
 		totalOps = ops
 		runtime.ReadMemStats(&ms)
@@ -204,8 +221,9 @@ func runOne(cfg Config, maker Maker, n int) Result {
 // called proportionally fewer times), with random local work between calls.
 // It returns the wall-clock seconds and the number of LOGICAL operations
 // actually executed. A non-nil hist additionally records each call's
-// latency into the goroutine's private slot.
-func timeRun(cfg Config, inst Instance, n int, seed uint64, hist *obs.Histogram) (float64, int) {
+// latency into the goroutine's private slot; a non-nil opsC counts logical
+// operations the same way (both per-thread wait-free writes).
+func timeRun(cfg Config, inst Instance, n int, seed uint64, hist *obs.Histogram, opsC *obs.Counter) (float64, int) {
 	opsPer := cfg.TotalOps / n
 	if opsPer == 0 {
 		opsPer = 1
@@ -215,6 +233,10 @@ func timeRun(cfg Config, inst Instance, n int, seed uint64, hist *obs.Histogram)
 		if opsPer == 0 {
 			opsPer = 1
 		}
+	}
+	logical := uint64(1)
+	if inst.OpsPerCall > 1 {
+		logical = uint64(inst.OpsPerCall)
 	}
 	var start, done sync.WaitGroup
 	start.Add(1)
@@ -229,6 +251,9 @@ func timeRun(cfg Config, inst Instance, n int, seed uint64, hist *obs.Histogram)
 					o0 := time.Now()
 					inst.Op(id, rng)
 					hist.Record(id, uint64(time.Since(o0)))
+					if opsC != nil {
+						opsC.Add(id, logical)
+					}
 					rng.RandomWork(cfg.MaxWork)
 				}
 				return

@@ -110,6 +110,11 @@ func TestLatencyViaRegistry(t *testing.T) {
 	if got := snap.Histograms["harness_op_latency_ns"].Count; got != 100 {
 		t.Fatalf("registry histogram count = %d, want 100", got)
 	}
+	// Every logical operation also lands in the live ops counter, so the
+	// telemetry timeline discovers a "harness" series.
+	if got := snap.Counters["harness_ops_total"]; got != 100 {
+		t.Fatalf("harness_ops_total = %d, want 100", got)
+	}
 	for _, r := range res {
 		if r.Latency.Count != 50 {
 			t.Fatalf("per-run delta = %d, want 50", r.Latency.Count)

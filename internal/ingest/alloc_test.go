@@ -27,7 +27,7 @@ func gateOp(p *ingest.Pipeline) func() {
 	const keep = 128
 	var (
 		appended uint64
-		trim     [1]spool.Op
+		trim     [1]spool.Op[spool.Event]
 	)
 	return func() {
 		appended++
@@ -35,7 +35,7 @@ func gateOp(p *ingest.Pipeline) func() {
 		if appended%64 == 0 {
 			p.Drain(0, 64)
 			if appended > keep {
-				trim[0] = spool.TrimToOp(appended - keep)
+				trim[0] = spool.TrimToOp[spool.Event](appended - keep)
 				p.Spool().Do(0, trim[:]...)
 			}
 		}

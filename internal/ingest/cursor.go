@@ -37,7 +37,7 @@ func (c *Cursor) Poll(max int, out []Event) []Event {
 
 // PollView is Poll against an existing snapshot, so one snapshot can serve
 // several cursor reads (a daemon answering many consumers from one Read).
-func (c *Cursor) PollView(v *spool.View, max int, out []Event) []Event {
+func (c *Cursor) PollView(v *spool.View[Event], max int, out []Event) []Event {
 	evs, next, skipped := v.Read(c.pos, max, out)
 	c.pos = next
 	c.skipped += skipped

@@ -58,7 +58,7 @@ type Pipeline struct {
 	batch int
 	clock func() int64
 	q     *queue.SimQueue[Event]
-	sp    *spool.Spool
+	sp    *spool.Spool[Event]
 
 	prods  []producerSlot
 	drains []drainSlot
@@ -98,7 +98,7 @@ func New(n int, cfg Config) *Pipeline {
 		batch:    cfg.Batch,
 		clock:    cfg.Clock,
 		q:        queue.NewSimQueue[Event](n),
-		sp:       spool.New(n, cfg.Spool),
+		sp:       spool.NewEvents(n, cfg.Spool),
 		prods:    make([]producerSlot, n),
 		drains:   make([]drainSlot, n),
 		appended: obs.NewCounter(n),
@@ -190,13 +190,13 @@ func (p *Pipeline) Drain(id, max int) int {
 }
 
 // View returns a consistent snapshot of the spool (see spool.View).
-func (p *Pipeline) View() spool.View { return p.sp.Snapshot() }
+func (p *Pipeline) View() spool.View[Event] { return p.sp.Snapshot() }
 
 // Queue exposes the front queue (recording, tests, instrumentation).
 func (p *Pipeline) Queue() *queue.SimQueue[Event] { return p.q }
 
 // Spool exposes the storage stage (retention runners attach here).
-func (p *Pipeline) Spool() *spool.Spool { return p.sp }
+func (p *Pipeline) Spool() *spool.Spool[Event] { return p.sp }
 
 // SetTracer attaches one flight recorder to both constructions: queue
 // splices and spool rounds interleave in one timeline.
@@ -208,11 +208,11 @@ func (p *Pipeline) SetTracer(tr *trace.Tracer) {
 // Instrument registers both stages' combining counters plus the pipeline's
 // own stage counters under prefix.
 func (p *Pipeline) Instrument(reg *obs.Registry, prefix string) {
-	p.q.Instrument(reg, prefix+"_queue")
-	p.sp.Instrument(reg, prefix+"_spool")
-	reg.AttachCounter(prefix+"_appended_total", p.appended)
-	reg.AttachCounter(prefix+"_flushes_total", p.flushed)
-	reg.AttachCounter(prefix+"_drained_total", p.drained)
+	p.q.Instrument(reg, obs.Join(prefix, "_queue"))
+	p.sp.Instrument(reg, obs.Join(prefix, "_spool"))
+	reg.AttachCounter(obs.Join(prefix, "_appended_total"), p.appended)
+	reg.AttachCounter(obs.Join(prefix, "_flushes_total"), p.flushed)
+	reg.AttachCounter(obs.Join(prefix, "_drained_total"), p.drained)
 }
 
 // Stats aggregates the pipeline's counters and both stages' combining

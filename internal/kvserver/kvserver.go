@@ -118,7 +118,7 @@ type serverCfg struct {
 
 // WithShards partitions the store into k independent shards (rounded up to
 // a power of two; <=1 keeps the single striped map). Each shard gets its
-// own metric family (mapshard<i>_*).
+// own labeled metric series (map_*_total{shard="<i>"}).
 func WithShards(k int) Option { return func(c *serverCfg) { c.shards = k } }
 
 // WithPipeline enables pipelined request handling with the given batch

@@ -79,28 +79,67 @@ func promName(name string) string {
 	return b.String()
 }
 
+// promSeries renders a metric name for one exposition line: the sanitized
+// base name plus suffix, with the name's label block — extended by extra
+// (e.g. a `le` bound) — emitted as real Prometheus labels.
+func promSeries(name, suffix, extra string) string {
+	base, labels := SplitName(name)
+	out := promName(base) + suffix
+	switch {
+	case labels != "" && extra != "":
+		return out + "{" + labels + "," + extra + "}"
+	case labels != "":
+		return out + "{" + labels + "}"
+	case extra != "":
+		return out + "{" + extra + "}"
+	}
+	return out
+}
+
+// promType writes the `# TYPE` header when base differs from *last: labeled
+// series of one family (map_ops_total{shard="0"}, {shard="1"}, …) sort
+// adjacently, and the family gets exactly one header.
+func promType(w io.Writer, name, kind string, last *string) error {
+	base, _ := SplitName(name)
+	pn := promName(base)
+	if pn == *last {
+		return nil
+	}
+	*last = pn
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, kind)
+	return err
+}
+
 // WriteProm writes the snapshot in the Prometheus text exposition format:
 // counters and gauges as single samples, histograms as cumulative
 // `_bucket{le="..."}` series plus `_sum` and `_count` (the standard
 // histogram convention, so PromQL's histogram_quantile works unchanged).
+// Names carrying a label block (see Labeled) become real labeled series
+// under their shared family name.
 func WriteProm(w io.Writer, s Snapshot) error {
 	counters, gauges, hists := s.Names()
+	var last string
 	for _, name := range counters {
-		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+		if err := promType(w, name, "counter", &last); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(name, "", ""), s.Counters[name]); err != nil {
 			return err
 		}
 	}
+	last = ""
 	for _, name := range gauges {
-		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+		if err := promType(w, name, "gauge", &last); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(name, "", ""), s.Gauges[name]); err != nil {
 			return err
 		}
 	}
+	last = ""
 	for _, name := range hists {
 		h := s.Histograms[name]
-		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		if err := promType(w, name, "histogram", &last); err != nil {
 			return err
 		}
 		var cum uint64
@@ -109,12 +148,15 @@ func WriteProm(w io.Writer, s Snapshot) error {
 				continue
 			}
 			cum += c
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, BucketUpper(i), cum); err != nil {
+			le := fmt.Sprintf("le=\"%d\"", BucketUpper(i))
+			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(name, "_bucket", le), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
-			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n%s %d\n%s %d\n",
+			promSeries(name, "_bucket", `le="+Inf"`), h.Count,
+			promSeries(name, "_sum", ""), h.Sum,
+			promSeries(name, "_count", ""), h.Count); err != nil {
 			return err
 		}
 	}

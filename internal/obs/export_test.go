@@ -20,6 +20,13 @@ func exampleRegistry() *Registry {
 	h.Record(0, 100)
 	h.Record(0, 200)
 	h.Record(1, 1<<20)
+	// Labeled per-shard series of one family (see Labeled).
+	for i := 0; i < 2; i++ {
+		sc := reg.Counter(Join(Labeled("map", "shard", strconv.Itoa(i)), "_ops_total"), 1)
+		sc.Add(0, uint64(3+i))
+		sh := reg.Histogram(Join(Labeled("map", "shard", strconv.Itoa(i)), "_op_latency_ns"), 1)
+		sh.Record(0, uint64(50<<i))
+	}
 	return reg
 }
 
@@ -69,6 +76,13 @@ func TestWriteProm(t *testing.T) {
 		"op_latency__ns__bucket{le=\"+Inf\"} 3",
 		"op_latency__ns__sum 1048876",
 		"op_latency__ns__count 3",
+		// Labeled series share one family and one TYPE header.
+		"# TYPE map_ops_total counter",
+		`map_ops_total{shard="0"} 3`,
+		`map_ops_total{shard="1"} 4`,
+		`map_op_latency_ns_bucket{shard="0",le="+Inf"} 1`,
+		`map_op_latency_ns_sum{shard="1"} 100`,
+		`map_op_latency_ns_count{shard="0"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, out)
@@ -77,6 +91,13 @@ func TestWriteProm(t *testing.T) {
 	// Cumulative buckets: the final non-Inf bucket equals the count.
 	if !strings.Contains(out, "op_latency__ns__bucket{le=\"2097151\"} 3") {
 		t.Fatalf("cumulative bucket wrong:\n%s", out)
+	}
+	// Labeled series of one family get exactly one TYPE header.
+	if n := strings.Count(out, "# TYPE map_ops_total counter"); n != 1 {
+		t.Fatalf("expected 1 TYPE header for map_ops_total, got %d:\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE map_op_latency_ns histogram"); n != 1 {
+		t.Fatalf("expected 1 TYPE header for map_op_latency_ns, got %d:\n%s", n, out)
 	}
 }
 

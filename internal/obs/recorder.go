@@ -43,15 +43,16 @@ type SimRecorder struct {
 
 // NewSimRecorder registers a recorder's metrics under prefix in reg for n
 // process ids: <prefix>_op_latency_ns, <prefix>_combine_degree,
-// <prefix>_backoff_grow_total. Sampling starts at DefaultSampleEvery.
+// <prefix>_backoff_grow_total (a labeled prefix keeps its label block
+// trailing, see Join). Sampling starts at DefaultSampleEvery.
 func NewSimRecorder(reg *Registry, prefix string, n int) *SimRecorder {
 	if n < 1 {
 		n = 1
 	}
 	return &SimRecorder{
-		OpLatency: reg.Histogram(prefix+"_op_latency_ns", n),
-		Combine:   reg.Histogram(prefix+"_combine_degree", n),
-		Retries:   reg.Counter(prefix+"_backoff_grow_total", n),
+		OpLatency: reg.Histogram(Join(prefix, "_op_latency_ns"), n),
+		Combine:   reg.Histogram(Join(prefix, "_combine_degree"), n),
+		Retries:   reg.Counter(Join(prefix, "_backoff_grow_total"), n),
 		mask:      DefaultSampleEvery - 1,
 		samples:   make([]sampleSlot, n),
 	}

@@ -109,6 +109,52 @@ func (r *Registry) Histogram(name string, n int) *Histogram {
 	return h
 }
 
+// CounterNames returns every registered counter name, sorted. Setup-time
+// discovery (the telemetry timeline resolves its series from it); not for
+// hot paths.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupCounters returns the counters published under name (a copy of the
+// attach list; nil if the name is unregistered). Resolving the list once at
+// setup lets a periodic reader sum Total() with no per-read locking.
+func (r *Registry) LookupCounters(name string) []*Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l := r.counters[name]; len(l) > 0 {
+		return append([]*Counter(nil), l...)
+	}
+	return nil
+}
+
+// LookupHistograms returns the histograms published under name (a copy;
+// nil if unregistered).
+func (r *Registry) LookupHistograms(name string) []*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l := r.hists[name]; len(l) > 0 {
+		return append([]*Histogram(nil), l...)
+	}
+	return nil
+}
+
 // Snapshot is a point-in-time aggregated view of every registered metric.
 // Maps are keyed by metric name; histogram values are aggregated across
 // threads. Not a linearizable cross-metric cut (see package doc).

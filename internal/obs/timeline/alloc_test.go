@@ -1,0 +1,83 @@
+package timeline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// gateTimeline builds the scraper the allocation gate measures: three
+// discovered series (one aggregate with latency, two labeled shards), a
+// segment size large enough that no seal lands mid-measurement, and a
+// count-bound retention policy so periodic Compact passes keep the active
+// segment — and therefore the construction's recycled clone buffers — in
+// steady state, mirroring the ingest gate.
+func gateTimeline() (*Timeline, *obs.Counter, *obs.Histogram) {
+	reg := obs.NewRegistry()
+	ops := reg.Counter("map_ops_total", 1)
+	reg.Counter("map_cas_success_total", 1)
+	reg.Counter("map_cas_fail_total", 1)
+	lat := reg.Histogram("map_op_latency_ns", 1)
+	reg.Histogram("map_combine_degree", 1)
+	reg.Counter(`map_ops_total{shard="0"}`, 1)
+	reg.Counter(`map_ops_total{shard="1"}`, 1)
+	tl := New(reg, Config{
+		Interval:   10 * time.Millisecond,
+		SegSamples: 1 << 30,
+		MaxSamples: 1024,
+	})
+	return tl, ops, lat
+}
+
+// TestScrapeAllocsSteadyState is the timeline allocation gate (CI-gated):
+// once the spool's clone buffers are warm, a scrape tick — counter delta
+// reads, histogram snapshot/sub/quantiles, one fixed-size Sample per
+// series appended as a single batch — performs ZERO allocations per pass,
+// so the scraper can never become the perturbation it is measuring.
+func TestScrapeAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on its own")
+	}
+	tl, ops, lat := gateTimeline()
+	var n int
+	op := func() {
+		n++
+		ops.Add(0, 17)
+		lat.Record(0, uint64(100+n%1000))
+		tl.Scrape()
+		if n%256 == 0 {
+			tl.Compact()
+		}
+	}
+	for i := 0; i < 2048; i++ { // warm clone buffers and the retained range
+		op()
+	}
+	if allocs := testing.AllocsPerRun(600, op); allocs != 0 {
+		t.Fatalf("steady-state scrape allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkScrape is the benchmark face of the gate: one full scrape tick
+// across three series, reporting allocs/op.
+func BenchmarkScrape(b *testing.B) {
+	tl, ops, lat := gateTimeline()
+	var n int
+	op := func() {
+		n++
+		ops.Add(0, 17)
+		lat.Record(0, uint64(100+n%1000))
+		tl.Scrape()
+		if n%256 == 0 {
+			tl.Compact()
+		}
+	}
+	for i := 0; i < 2048; i++ {
+		op()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+}

@@ -1,0 +1,184 @@
+package timeline
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SampleJSON is the wire shape of one scrape sample: the raw interval
+// deltas plus the derived rates the console renders.
+type SampleJSON struct {
+	TS           int64   `json:"ts_unix_ns"`
+	IntervalNs   int64   `json:"interval_ns"`
+	Ops          uint64  `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	CASSuccess   uint64  `json:"cas_success"`
+	CASFail      uint64  `json:"cas_fail"`
+	CASFailRatio float64 `json:"cas_fail_ratio"`
+	Combined     uint64  `json:"combined"`
+	LatCount     uint64  `json:"lat_count"`
+	LatP50       uint64  `json:"lat_p50_ns"`
+	LatP90       uint64  `json:"lat_p90_ns"`
+	LatP99       uint64  `json:"lat_p99_ns"`
+	LatMax       uint64  `json:"lat_max_ns"`
+	CombineMean  float64 `json:"combine_mean"`
+}
+
+// AnnotationJSON is the wire shape of one annotation event.
+type AnnotationJSON struct {
+	TS    int64   `json:"ts_unix_ns"`
+	Kind  string  `json:"kind"`
+	Ref   string  `json:"ref"` // rule name (SLO) or "pid N" (stall)
+	Value float64 `json:"value"`
+}
+
+// ResponseJSON is the /debug/timeline response document.
+type ResponseJSON struct {
+	Now         int64                   `json:"now_unix_ns"`
+	WindowNs    int64                   `json:"window_ns"`
+	IntervalNs  int64                   `json:"interval_ns"`
+	LowWater    uint64                  `json:"low_water"`
+	End         uint64                  `json:"end"`
+	Next        uint64                  `json:"next"`
+	Skipped     uint64                  `json:"skipped"`
+	Series      map[string][]SampleJSON `json:"series"`
+	Annotations []AnnotationJSON        `json:"annotations"`
+	SLO         []BreachState           `json:"slo,omitempty"`
+}
+
+// Query materializes the timeline over the trailing window as a JSON-ready
+// document. cursor resumes an incremental consumer: samples below it are
+// excluded and Skipped counts entries retention expired before the
+// consumer arrived (cursor below the low watermark); pass 0 for a plain
+// windowed query. series filters to the named series (nil = all).
+func (t *Timeline) Query(window time.Duration, cursor uint64, series []string) ResponseJSON {
+	now := t.cfg.Now()
+	v := t.Snapshot()
+	out := ResponseJSON{
+		Now:        now,
+		WindowNs:   window.Nanoseconds(),
+		IntervalNs: t.cfg.Interval.Nanoseconds(),
+		LowWater:   v.LowWater(),
+		End:        v.End(),
+		Series:     map[string][]SampleJSON{},
+	}
+	want := map[string]bool{}
+	for _, s := range series {
+		if s != "" {
+			want[s] = true
+		}
+	}
+	start := cursor
+	if start < v.LowWater() {
+		if cursor != 0 {
+			out.Skipped = v.LowWater() - start
+			t.CountSkip(out.Skipped)
+		}
+		start = v.LowWater()
+	}
+	buf, next, _ := v.Read(start, v.Len(), nil)
+	out.Next = next
+	cutoff := now - window.Nanoseconds()
+	for _, s := range buf {
+		if s.TS < cutoff && window > 0 {
+			continue
+		}
+		switch s.Kind {
+		case KindSample:
+			name := t.seriesName(int(s.Series))
+			if len(want) > 0 && !want[name] {
+				continue
+			}
+			out.Series[name] = append(out.Series[name], SampleJSON{
+				TS:           s.TS,
+				IntervalNs:   s.IntervalNs,
+				Ops:          s.Ops,
+				OpsPerSec:    s.OpsPerSec(),
+				CASSuccess:   s.CASSuccess,
+				CASFail:      s.CASFail,
+				CASFailRatio: s.CASFailRatio(),
+				Combined:     s.Combined,
+				LatCount:     s.LatCount,
+				LatP50:       s.LatP50,
+				LatP90:       s.LatP90,
+				LatP99:       s.LatP99,
+				LatMax:       s.LatMax,
+				CombineMean:  float64(s.CombineMeanMilli) / 1000,
+			})
+		default:
+			out.Annotations = append(out.Annotations, AnnotationJSON{
+				TS:    s.TS,
+				Kind:  s.Kind.String(),
+				Ref:   t.annotationRef(s),
+				Value: s.Value,
+			})
+		}
+	}
+	out.SLO = t.Breaches(now)
+	return out
+}
+
+func (t *Timeline) seriesName(i int) string {
+	if i >= 0 && i < len(t.names) {
+		return t.names[i]
+	}
+	return "series" + strconv.Itoa(i)
+}
+
+func (t *Timeline) annotationRef(s Sample) string {
+	switch s.Kind {
+	case KindBreach, KindClear:
+		if i := int(s.Series); i >= 0 && i < len(t.rules) {
+			return t.rules[i].rule.Name()
+		}
+	case KindStall:
+		return "pid " + strconv.Itoa(int(s.Series))
+	}
+	return ""
+}
+
+// Handler serves the timeline query surface:
+//
+//	GET /debug/timeline?window=60s&series=map,map{shard="0"}&cursor=N
+//
+// window trims to the trailing duration (default 60s, 0 = everything
+// retained); series filters to a comma-separated list of series names;
+// cursor resumes an incremental consumer and reports expired entries in
+// the `skipped` field. The response is ResponseJSON.
+func Handler(t *Timeline) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "timeline disabled (start the daemon with -timeline)", http.StatusNotFound)
+			return
+		}
+		window := time.Minute
+		if s := r.URL.Query().Get("window"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d < 0 {
+				http.Error(w, "window must be a non-negative duration", http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		var cursor uint64
+		if s := r.URL.Query().Get("cursor"); s != "" {
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "cursor must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			cursor = n
+		}
+		var series []string
+		if s := r.URL.Query().Get("series"); s != "" {
+			series = strings.Split(s, ",")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Query(window, cursor, series))
+	})
+}

@@ -1,0 +1,350 @@
+package timeline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RuleKind selects what a rule measures over its window.
+type RuleKind int
+
+const (
+	// RuleOpsFloor breaches when throughput (ops/sec) drops BELOW the
+	// threshold.
+	RuleOpsFloor RuleKind = iota
+	// RuleP99Ceiling breaches when the windowed p99 latency upper bound
+	// (nanoseconds) EXCEEDS the threshold.
+	RuleP99Ceiling
+	// RuleCASFailCeiling breaches when the CAS-failure ratio EXCEEDS the
+	// threshold (0..1).
+	RuleCASFailCeiling
+	// RuleStallRate breaches when watchdog stall episodes recorded in the
+	// window EXCEED the threshold.
+	RuleStallRate
+)
+
+func (k RuleKind) String() string {
+	switch k {
+	case RuleOpsFloor:
+		return "ops"
+	case RuleP99Ceiling:
+		return "p99"
+	case RuleCASFailCeiling:
+		return "casfail"
+	case RuleStallRate:
+		return "stalls"
+	}
+	return "unknown"
+}
+
+// Rule is one SLO bound, evaluated after every scrape over a sliding
+// window of recent samples. Series selects which discovered series the
+// rule watches; empty means every unlabeled (aggregate) series combined.
+type Rule struct {
+	Kind      RuleKind
+	Threshold float64
+	Window    time.Duration
+	Series    string
+}
+
+func (r Rule) withDefaults() Rule {
+	if r.Window <= 0 {
+		if r.Kind == RuleStallRate {
+			r.Window = time.Minute
+		} else {
+			r.Window = 10 * time.Second
+		}
+	}
+	return r
+}
+
+// Name renders the rule compactly, e.g. `p99<=2ms@10s` or
+// `map:ops>=5000@10s` — the same syntax ParseRules accepts.
+func (r Rule) Name() string {
+	var b strings.Builder
+	if r.Series != "" {
+		b.WriteString(r.Series)
+		b.WriteByte(':')
+	}
+	b.WriteString(r.Kind.String())
+	if r.Kind == RuleOpsFloor {
+		b.WriteString(">=")
+	} else {
+		b.WriteString("<=")
+	}
+	switch r.Kind {
+	case RuleP99Ceiling:
+		b.WriteString(time.Duration(r.Threshold).String())
+	default:
+		b.WriteString(strconv.FormatFloat(r.Threshold, 'g', -1, 64))
+	}
+	fmt.Fprintf(&b, "@%s", r.Window)
+	return b.String()
+}
+
+// ParseRules parses the -slo flag syntax: comma-separated rules of the
+// form [series:]kind(op)value[@window].
+//
+//	ops>=12000            throughput floor, ops/sec
+//	p99<=2ms              latency ceiling (Go duration)
+//	casfail<=0.25         CAS-failure-ratio ceiling
+//	stalls<=3@1m          watchdog-episode ceiling per window
+//	map{shard="0"}:ops>=100   scope a rule to one series
+//
+// `=` is accepted as shorthand for each kind's natural direction. Windows
+// default to 10s (1m for stalls).
+func ParseRules(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		r := Rule{}
+		// Optional series scope. Labels may not contain ':', so the last
+		// ':' before the kind keyword is the separator.
+		body := item
+		if i := strings.LastIndexByte(item, ':'); i >= 0 {
+			r.Series, body = item[:i], item[i+1:]
+		}
+		// Optional @window suffix.
+		if i := strings.LastIndexByte(body, '@'); i >= 0 {
+			w, err := time.ParseDuration(body[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("slo rule %q: bad window: %v", item, err)
+			}
+			r.Window, body = w, body[:i]
+		}
+		kind, op, val, err := splitRule(body)
+		if err != nil {
+			return nil, fmt.Errorf("slo rule %q: %v", item, err)
+		}
+		switch kind {
+		case "ops":
+			r.Kind = RuleOpsFloor
+			if op == "<=" {
+				return nil, fmt.Errorf("slo rule %q: ops is a floor, use >=", item)
+			}
+		case "p99":
+			r.Kind = RuleP99Ceiling
+		case "casfail":
+			r.Kind = RuleCASFailCeiling
+		case "stalls":
+			r.Kind = RuleStallRate
+		default:
+			return nil, fmt.Errorf("slo rule %q: unknown kind %q (want ops, p99, casfail, stalls)", item, kind)
+		}
+		if r.Kind != RuleOpsFloor && op == ">=" {
+			return nil, fmt.Errorf("slo rule %q: %s is a ceiling, use <=", item, kind)
+		}
+		if r.Kind == RuleP99Ceiling {
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("slo rule %q: bad duration: %v", item, err)
+			}
+			r.Threshold = float64(d)
+		} else {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("slo rule %q: bad threshold: %v", item, err)
+			}
+			r.Threshold = f
+		}
+		rules = append(rules, r.withDefaults())
+	}
+	return rules, nil
+}
+
+// splitRule splits `kind(op)value` at the first >=, <= or =.
+func splitRule(s string) (kind, op, val string, err error) {
+	for _, op := range []string{">=", "<=", "="} {
+		if i := strings.Index(s, op); i >= 0 {
+			return s[:i], op, s[i+len(op):], nil
+		}
+	}
+	return "", "", "", fmt.Errorf("missing comparison (want kind>=value or kind<=value)")
+}
+
+// ruleState is one rule's evaluation state: the resolved target series and
+// the episode latch that makes breach/clear callbacks fire once per
+// transition, mirroring the watchdog's once-per-episode discipline.
+type ruleState struct {
+	rule      Rule
+	targets   []int // series indices the rule aggregates over
+	breached  bool
+	sinceTS   int64
+	lastValue float64
+	evaluated bool
+}
+
+// Breach reports one SLO transition (Cleared false: entered violation;
+// true: recovered).
+type Breach struct {
+	Rule      Rule
+	Value     float64
+	TS        int64
+	Cleared   bool
+	SinceNs   int64 // violation duration, set on clear
+	RuleIndex int
+}
+
+// BreachState is the currently-known state of one rule, for the query
+// surface.
+type BreachState struct {
+	Rule      Rule    `json:"-"`
+	Name      string  `json:"rule"`
+	Breached  bool    `json:"breached"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	SinceNs   int64   `json:"since_ns,omitempty"`
+	Evaluated bool    `json:"evaluated"`
+}
+
+// Breaches returns the current state of every rule, in configuration
+// order. Safe from any goroutine: the rule mutex serializes it against the
+// scraper's evaluation pass.
+func (t *Timeline) Breaches(now int64) []BreachState {
+	out := make([]BreachState, len(t.rules))
+	t.ruleMu.Lock()
+	defer t.ruleMu.Unlock()
+	for i := range t.rules {
+		rs := &t.rules[i]
+		out[i] = BreachState{
+			Rule:      rs.rule,
+			Name:      rs.rule.Name(),
+			Breached:  rs.breached,
+			Value:     rs.lastValue,
+			Threshold: rs.rule.Threshold,
+			Evaluated: rs.evaluated,
+		}
+		if rs.breached {
+			out[i].SinceNs = now - rs.sinceTS
+		}
+	}
+	return out
+}
+
+// resolveRuleTargets fills each rule's target series set: the named series,
+// or every unlabeled series for an unscoped rule.
+func (t *Timeline) resolveRuleTargets() {
+	for i := range t.rules {
+		rs := &t.rules[i]
+		rs.targets = rs.targets[:0]
+		for j, name := range t.names {
+			if rs.rule.Series == "" {
+				if !strings.ContainsRune(name, '{') {
+					rs.targets = append(rs.targets, j)
+				}
+			} else if name == rs.rule.Series {
+				rs.targets = append(rs.targets, j)
+			}
+		}
+	}
+}
+
+// evalRules runs every rule against the sample rings after a scrape. Runs
+// on the scraper goroutine only; the rule mutex covers the state pass so
+// Breaches (any goroutine) sees consistent episodes. Annotations and the
+// OnBreach callback fire after the lock drops — transitions are rare, so
+// the deferred slice stays nil (and allocation-free) on the common path.
+func (t *Timeline) evalRules(now int64) {
+	type transition struct {
+		b    Breach
+		kind Kind
+	}
+	var fired []transition
+	t.ruleMu.Lock()
+	for i := range t.rules {
+		rs := &t.rules[i]
+		cutoff := now - rs.rule.Window.Nanoseconds()
+		value, ok := t.measure(rs, cutoff)
+		if !ok {
+			continue
+		}
+		rs.lastValue = value
+		rs.evaluated = true
+		breached := false
+		switch rs.rule.Kind {
+		case RuleOpsFloor:
+			breached = value < rs.rule.Threshold
+		default:
+			breached = value > rs.rule.Threshold
+		}
+		if breached == rs.breached {
+			continue
+		}
+		rs.breached = breached
+		b := Breach{Rule: rs.rule, Value: value, TS: now, RuleIndex: i}
+		kind := KindBreach
+		if breached {
+			rs.sinceTS = now
+		} else {
+			b.Cleared = true
+			b.SinceNs = now - rs.sinceTS
+			kind = KindClear
+		}
+		fired = append(fired, transition{b: b, kind: kind})
+	}
+	t.ruleMu.Unlock()
+	for _, tr := range fired {
+		t.annotate(Sample{TS: now, Series: int32(tr.b.RuleIndex), Kind: tr.kind, Value: tr.b.Value})
+		if t.cfg.OnBreach != nil {
+			t.cfg.OnBreach(tr.b)
+		}
+	}
+}
+
+// measure computes a rule's windowed value. ok is false while the window
+// holds no complete sample yet (warm-up) — a rule never breaches on
+// missing data. Throughput sums across target series; latency takes the
+// worst per-sample p99 upper bound in the window; the CAS ratio is
+// computed over summed counts.
+func (t *Timeline) measure(rs *ruleState, cutoff int64) (value float64, ok bool) {
+	if rs.rule.Kind == RuleStallRate {
+		return float64(t.stallsSince(cutoff)), true
+	}
+	var ops, casFail, casTotal uint64
+	var elapsedNs int64
+	var p99 uint64
+	for _, j := range rs.targets {
+		ss := t.series[j]
+		var seriesElapsed int64
+		ss.recent(func(s Sample) bool {
+			if s.TS < cutoff {
+				return false
+			}
+			ops += s.Ops
+			casFail += s.CASFail
+			casTotal += s.CASFail + s.CASSuccess
+			seriesElapsed += s.IntervalNs
+			if s.LatCount > 0 && s.LatP99 > p99 {
+				p99 = s.LatP99
+			}
+			return true
+		})
+		if seriesElapsed > elapsedNs {
+			elapsedNs = seriesElapsed
+		}
+	}
+	if elapsedNs == 0 {
+		return 0, false
+	}
+	switch rs.rule.Kind {
+	case RuleOpsFloor:
+		return float64(ops) * 1e9 / float64(elapsedNs), true
+	case RuleP99Ceiling:
+		return float64(p99), true
+	case RuleCASFailCeiling:
+		if casTotal == 0 {
+			return 0, true
+		}
+		return float64(casFail) / float64(casTotal), true
+	}
+	return 0, false
+}

@@ -1,0 +1,183 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(` ops>=12000, p99<=2ms , casfail<=0.25, stalls<=3@1m, map{shard="0"}:ops>=100@30s `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("want 5 rules, got %d", len(rules))
+	}
+	want := []Rule{
+		{Kind: RuleOpsFloor, Threshold: 12000, Window: 10 * time.Second},
+		{Kind: RuleP99Ceiling, Threshold: float64(2 * time.Millisecond), Window: 10 * time.Second},
+		{Kind: RuleCASFailCeiling, Threshold: 0.25, Window: 10 * time.Second},
+		{Kind: RuleStallRate, Threshold: 3, Window: time.Minute},
+		{Kind: RuleOpsFloor, Threshold: 100, Window: 30 * time.Second, Series: `map{shard="0"}`},
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	// Round-trip: Name() output parses back to the same rule.
+	for _, r := range rules {
+		back, err := ParseRules(r.Name())
+		if err != nil || len(back) != 1 || back[0] != r {
+			t.Fatalf("Name round-trip of %+v -> %q gave %+v, %v", r, r.Name(), back, err)
+		}
+	}
+	if r, err := ParseRules(""); err != nil || r != nil {
+		t.Fatalf("empty spec should be nil rules: %v %v", r, err)
+	}
+	for _, bad := range []string{
+		"ops<=5",       // floor direction inverted
+		"p99>=2ms",     // ceiling direction inverted
+		"p99<=fast",    // bad duration
+		"latency<=2ms", // unknown kind
+		"ops",          // no comparison
+		"ops>=x",       // bad number
+		"ops>=5@soon",  // bad window
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Fatalf("ParseRules(%q) accepted a bad rule", bad)
+		}
+	}
+}
+
+// TestSLOBreachEpisode drives a throughput-floor rule through
+// healthy → starved → healthy and checks the once-per-episode contract:
+// exactly one breach callback and one KindBreach annotation when entering
+// violation, no repeats while it persists, exactly one clear on recovery.
+func TestSLOBreachEpisode(t *testing.T) {
+	reg, ops, _ := testRegistry()
+	clk := &fakeClock{now: time.Now().UnixNano()}
+	var breaches []Breach
+	rules, err := ParseRules("ops>=50@3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := New(reg, Config{
+		Interval: time.Second,
+		Now:      clk.Now,
+		Rules:    rules,
+		OnBreach: func(b Breach) { breaches = append(breaches, b) },
+	})
+	tick := func(delta uint64) {
+		ops.Add(0, delta)
+		tl.Scrape()
+		clk.Advance(time.Second)
+	}
+	for i := 0; i < 5; i++ {
+		tick(100) // 100 ops/s: healthy
+	}
+	if len(breaches) != 0 {
+		t.Fatalf("breach fired while healthy: %+v", breaches)
+	}
+	for i := 0; i < 5; i++ {
+		tick(0) // starved: the 3s window drains below 50 ops/s
+	}
+	if len(breaches) != 1 || breaches[0].Cleared {
+		t.Fatalf("want exactly 1 breach, got %+v", breaches)
+	}
+	if breaches[0].Value >= 50 {
+		t.Fatalf("breach value %v not below threshold", breaches[0].Value)
+	}
+	st := tl.Breaches(clk.Now())
+	if !st[0].Breached || !st[0].Evaluated {
+		t.Fatalf("breach state not reflected: %+v", st)
+	}
+	for i := 0; i < 5; i++ {
+		tick(100) // recovered
+	}
+	if len(breaches) != 2 || !breaches[1].Cleared {
+		t.Fatalf("want breach then clear, got %+v", breaches)
+	}
+	if breaches[1].SinceNs <= 0 {
+		t.Fatalf("clear carries no violation duration: %+v", breaches[1])
+	}
+	if tl.Breaches(clk.Now())[0].Breached {
+		t.Fatal("state still breached after recovery")
+	}
+
+	// Both transitions landed in the log as annotations, in order.
+	resp := tl.Query(0, 0, nil)
+	var kinds []string
+	for _, a := range resp.Annotations {
+		kinds = append(kinds, a.Kind)
+		if a.Ref != rules[0].Name() {
+			t.Fatalf("annotation ref %q, want %q", a.Ref, rules[0].Name())
+		}
+	}
+	if strings.Join(kinds, ",") != "slo_breach,slo_clear" {
+		t.Fatalf("annotations = %v, want breach then clear", kinds)
+	}
+}
+
+// TestSLOStallRate checks the watchdog-episode rule: stalls recorded via
+// RecordStall count against the windowed ceiling.
+func TestSLOStallRate(t *testing.T) {
+	reg, _, _ := testRegistry()
+	clk := &fakeClock{now: time.Now().UnixNano()}
+	var breaches []Breach
+	rules, _ := ParseRules("stalls<=2@1m")
+	tl := New(reg, Config{
+		Interval: time.Second,
+		Now:      clk.Now,
+		Rules:    rules,
+		OnBreach: func(b Breach) { breaches = append(breaches, b) },
+	})
+	tl.Scrape()
+	for i := 0; i < 3; i++ {
+		tl.RecordStall(i, 1000)
+	}
+	clk.Advance(time.Second)
+	tl.Scrape()
+	if len(breaches) != 1 || breaches[0].Rule.Kind != RuleStallRate || breaches[0].Value != 3 {
+		t.Fatalf("stall rule did not breach: %+v", breaches)
+	}
+	// Stalls age out of the window; the rule clears.
+	clk.Advance(2 * time.Minute)
+	tl.Scrape()
+	if len(breaches) != 2 || !breaches[1].Cleared {
+		t.Fatalf("stall rule did not clear: %+v", breaches)
+	}
+}
+
+// TestSLOScopedSeries checks a rule scoped to one labeled series ignores
+// the aggregate's traffic.
+func TestSLOScopedSeries(t *testing.T) {
+	reg, ops, _ := testRegistry()
+	shard0 := reg.LookupCounters(`map_ops_total{shard="0"}`)[0]
+	clk := &fakeClock{now: time.Now().UnixNano()}
+	var breaches []Breach
+	rules, _ := ParseRules(`map{shard="0"}:ops>=10@2s`)
+	tl := New(reg, Config{
+		Interval: time.Second,
+		Now:      clk.Now,
+		Rules:    rules,
+		OnBreach: func(b Breach) { breaches = append(breaches, b) },
+	})
+	for i := 0; i < 4; i++ {
+		ops.Add(0, 1000) // aggregate busy, shard 0 idle
+		tl.Scrape()
+		clk.Advance(time.Second)
+	}
+	if len(breaches) != 1 {
+		t.Fatalf("scoped rule ignored its series: %+v", breaches)
+	}
+	for i := 0; i < 4; i++ {
+		shard0.Add(0, 100)
+		tl.Scrape()
+		clk.Advance(time.Second)
+	}
+	if len(breaches) != 2 || !breaches[1].Cleared {
+		t.Fatalf("scoped rule did not clear: %+v", breaches)
+	}
+}

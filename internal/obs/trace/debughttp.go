@@ -16,10 +16,15 @@ import (
 //	/debug/flight        the flight-recorder snapshot, when tr is non-nil:
 //	                     ?format=chrome (default; open in Perfetto) or
 //	                     ?format=text, &last=N to trim to the newest N events
+//	/debug/timeline      the telemetry-timeline query surface (windowed
+//	                     per-series rate/latency history; see
+//	                     internal/obs/timeline), when timeline is non-nil
 //
 // tr may be nil: the flight endpoint then answers 404 with a hint to enable
-// the recorder.
-func RegisterDebug(mux *http.ServeMux, tr *Tracer) {
+// the recorder. timeline is passed as an opaque http.Handler (the timeline
+// package sits above the spool, which this package instruments — a typed
+// parameter would be an import cycle); nil answers 404 with a hint.
+func RegisterDebug(mux *http.ServeMux, tr *Tracer, timeline http.Handler) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -29,6 +34,12 @@ func RegisterDebug(mux *http.ServeMux, tr *Tracer) {
 	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		handleFlight(w, r, tr)
 	})
+	if timeline == nil {
+		timeline = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "timeline disabled (start the daemon with -timeline)", http.StatusNotFound)
+		})
+	}
+	mux.Handle("/debug/timeline", timeline)
 }
 
 // handleRuntimeTrace streams a runtime/trace capture of the next ?sec=N

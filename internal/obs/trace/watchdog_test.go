@@ -88,6 +88,55 @@ func TestWatchdogProgressResetsTracking(t *testing.T) {
 	}
 }
 
+// TestWatchdogEpisodeCycles drives one pid through repeated
+// stall → recover → stall cycles and pins the once-PER-EPISODE contract:
+// every distinct episode fires the callback exactly once (not once ever,
+// not once per scan), and the episode state — round count, wall-clock
+// baseline — restarts fresh each time rather than accumulating across
+// recoveries.
+func TestWatchdogEpisodeCycles(t *testing.T) {
+	tr := New(2, WithSampleEvery(1))
+	var reported []Stall
+	wd := NewWatchdog(tr, 10, func(s Stall) { reported = append(reported, s) })
+
+	const cycles = 5
+	for c := 0; c < cycles; c++ {
+		tr.OpStart(1) // announce and stall
+		wd.Scan()     // arm
+
+		// The rest of the system commits past the budget; several scans
+		// while the stall persists must report it but fire no extra
+		// callbacks.
+		for i := 0; i < 15; i++ {
+			t0 := tr.OpStart(0)
+			tr.OpCommit(0, t0, 1, 1, 1)
+		}
+		for scan := 0; scan < 3; scan++ {
+			stalls := wd.Scan()
+			if len(stalls) != 1 || stalls[0].Pid != 1 {
+				t.Fatalf("cycle %d scan %d: stalls = %v, want pid 1", c, scan, stalls)
+			}
+		}
+		if len(reported) != c+1 {
+			t.Fatalf("cycle %d: %d callbacks, want %d (once per episode)", c, len(reported), c+1)
+		}
+		// Rounds count commits within THIS episode only: 15 plus at most
+		// a few strays, never the cumulative total across cycles.
+		if r := reported[c].Rounds; r < 11 || r > 20 {
+			t.Fatalf("cycle %d: episode rounds = %d, want ~15 (fresh per episode)", c, r)
+		}
+
+		// The stalled op commits: the episode ends.
+		tr.OpCommit(1, 0, 1, 1, 1)
+		if stalls := wd.Scan(); len(stalls) != 0 {
+			t.Fatalf("cycle %d: stall survived recovery: %v", c, stalls)
+		}
+	}
+	if len(reported) != cycles {
+		t.Fatalf("%d callbacks over %d episodes, want one each: %+v", len(reported), cycles, reported)
+	}
+}
+
 func TestWatchdogBudgetFloorsAtN(t *testing.T) {
 	tr := New(8)
 	wd := NewWatchdog(tr, 1, nil)

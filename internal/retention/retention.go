@@ -1,10 +1,12 @@
-// Package retention is the compaction stage of the ingest pipeline: a
-// policy (age bound, sealed-segment bound, retained-event bound) plus a
+// Package retention is the compaction stage of the spool-backed logs: a
+// policy (age bound, sealed-segment bound, retained-entry bound) plus a
 // pass that applies the policy to a spool as ONE ApplyBatch op-vector.
 // Because the universal construction linearizes a batch contiguously at a
 // single announce slot, the whole expiry decision — seal the aged active
 // tail, drop aged segments, enforce the count bounds — takes effect at one
 // linearization point: no consumer can ever observe half a retention pass.
+// It is generic over the spool's entry type, so the ingest pipeline's event
+// log and the telemetry timeline's sample log share one expiry engine.
 package retention
 
 import (
@@ -17,13 +19,13 @@ import (
 
 // Policy bounds what the spool retains. Zero fields disable that bound.
 type Policy struct {
-	// MaxAge expires events older than this (whole sealed segments; the
-	// active segment is first sealed if its oldest event is past the bound,
+	// MaxAge expires entries older than this (whole sealed segments; the
+	// active segment is first sealed if its oldest entry is past the bound,
 	// so a quiescent log still drains).
 	MaxAge time.Duration
 	// MaxSegments caps the sealed-segment ring.
 	MaxSegments int
-	// MaxEvents caps retained events; excess expires from the front
+	// MaxEvents caps retained entries; excess expires from the front
 	// (segment-granular in the sealed ring, exact in the active segment).
 	MaxEvents int
 }
@@ -36,8 +38,8 @@ func (p Policy) enabled() bool {
 // Runner periodically applies a Policy to a spool on behalf of one process
 // id. The id must be reserved for the runner — the construction's announce
 // slots are single-writer.
-type Runner struct {
-	sp  *spool.Spool
+type Runner[E spool.Entry] struct {
+	sp  *spool.Spool[E]
 	id  int
 	pol Policy
 	// Now is the clock (unix nanos); tests override it. Defaults to the
@@ -51,35 +53,38 @@ type Runner struct {
 	stop chan struct{}
 	done chan struct{}
 
-	ops [4]spool.Op // scratch: a pass allocates nothing
+	ops [4]spool.Op[E] // scratch: a pass allocates nothing
 }
 
 // NewRunner returns a runner applying pol via process id on sp.
-func NewRunner(sp *spool.Spool, id int, pol Policy) *Runner {
-	return &Runner{sp: sp, id: id, pol: pol, Now: func() int64 { return time.Now().UnixNano() }}
+func NewRunner[E spool.Entry](sp *spool.Spool[E], id int, pol Policy) *Runner[E] {
+	return &Runner[E]{sp: sp, id: id, pol: pol, Now: func() int64 { return time.Now().UnixNano() }}
 }
 
 // Pass runs one compaction pass now and returns the new low watermark. The
 // policy legs are submitted as a single op-vector, so the pass is one
 // linearizable step.
-func (r *Runner) Pass() uint64 {
+func (r *Runner[E]) Pass() uint64 {
 	ops := r.ops[:0]
 	if r.pol.MaxAge > 0 {
 		cutoff := r.Now() - r.pol.MaxAge.Nanoseconds()
-		ops = append(ops, spool.SealAgedOp(cutoff), spool.TrimAgeOp(cutoff))
+		ops = append(ops, spool.SealAgedOp[E](cutoff), spool.TrimAgeOp[E](cutoff))
 	}
 	if r.pol.MaxSegments > 0 {
-		ops = append(ops, spool.TrimSegmentsOp(r.pol.MaxSegments))
+		ops = append(ops, spool.TrimSegmentsOp[E](r.pol.MaxSegments))
 	}
 	if r.pol.MaxEvents > 0 {
 		v := r.sp.Snapshot()
 		if end := v.End(); end > uint64(r.pol.MaxEvents) {
-			ops = append(ops, spool.TrimToOp(end-uint64(r.pol.MaxEvents)))
+			ops = append(ops, spool.TrimToOp[E](end-uint64(r.pol.MaxEvents)))
 		}
 	}
 	if len(ops) == 0 {
+		// Nothing to trim this pass; it still counts — Passes() is the
+		// runner's liveness signal (simingestd smoke asserts it moved).
 		v := r.sp.Snapshot()
 		r.lwm.Store(v.LowWater())
+		r.passes.Add(1)
 		return v.LowWater()
 	}
 	lwm := r.sp.Do(r.id, ops...)
@@ -89,7 +94,7 @@ func (r *Runner) Pass() uint64 {
 }
 
 // Start launches the periodic pass loop (no-op for an empty policy).
-func (r *Runner) Start(every time.Duration) {
+func (r *Runner[E]) Start(every time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stop != nil || !r.pol.enabled() {
@@ -113,7 +118,7 @@ func (r *Runner) Start(every time.Duration) {
 }
 
 // Stop halts the loop and waits for an in-flight pass to finish.
-func (r *Runner) Stop() {
+func (r *Runner[E]) Stop() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stop == nil {
@@ -126,7 +131,8 @@ func (r *Runner) Stop() {
 
 // LowWater returns the low watermark observed by the most recent pass —
 // the retention high-watermark: every offset below it is gone.
-func (r *Runner) LowWater() uint64 { return r.lwm.Load() }
+func (r *Runner[E]) LowWater() uint64 { return r.lwm.Load() }
 
-// Passes returns the number of completed compaction passes.
-func (r *Runner) Passes() uint64 { return r.passes.Load() }
+// Passes returns the number of completed compaction passes, including
+// passes that found nothing to trim — a liveness counter for the loop.
+func (r *Runner[E]) Passes() uint64 { return r.passes.Load() }

@@ -8,14 +8,14 @@ import (
 )
 
 // fill appends n events with 1ns-spaced timestamps starting at ts0.
-func fill(s *spool.Spool, n int, ts0 int64) {
+func fill(s *spool.Spool[spool.Event], n int, ts0 int64) {
 	for i := 0; i < n; i++ {
 		s.Append(0, spool.Event{Payload: uint64(i), TS: ts0 + int64(i)})
 	}
 }
 
 func TestPassMaxEvents(t *testing.T) {
-	s := spool.New(2, spool.Config{SegEvents: 8, MaxSegments: 1 << 20})
+	s := spool.NewEvents(2, spool.Config{SegEvents: 8, MaxSegments: 1 << 20})
 	fill(s, 100, 0)
 	r := NewRunner(s, 1, Policy{MaxEvents: 24})
 	lwm := r.Pass()
@@ -32,7 +32,7 @@ func TestPassMaxEvents(t *testing.T) {
 }
 
 func TestPassMaxAgeUsesInjectedClock(t *testing.T) {
-	s := spool.New(2, spool.Config{SegEvents: 4})
+	s := spool.NewEvents(2, spool.Config{SegEvents: 4})
 	fill(s, 10, 0) // ts 0..9
 	r := NewRunner(s, 1, Policy{MaxAge: 5 * time.Nanosecond})
 	r.Now = func() int64 { return 11 } // cutoff = 11 - 5 = 6
@@ -60,7 +60,7 @@ func TestPassIsOneLinearizableStep(t *testing.T) {
 	// operation batch for it (CAS successes advance by at most the chunk
 	// count, not per leg). We assert the observable part: the pass result
 	// equals the final watermark and the runner counted one pass.
-	s := spool.New(2, spool.Config{SegEvents: 4})
+	s := spool.NewEvents(2, spool.Config{SegEvents: 4})
 	fill(s, 40, 0)
 	r := NewRunner(s, 1, Policy{MaxAge: 10 * time.Nanosecond, MaxSegments: 2, MaxEvents: 6})
 	r.Now = func() int64 { return 45 }
@@ -79,7 +79,7 @@ func TestPassIsOneLinearizableStep(t *testing.T) {
 }
 
 func TestRunnerStartStop(t *testing.T) {
-	s := spool.New(2, spool.Config{SegEvents: 4})
+	s := spool.NewEvents(2, spool.Config{SegEvents: 4})
 	r := NewRunner(s, 1, Policy{MaxEvents: 8})
 	r.Start(time.Millisecond)
 	defer r.Stop()
@@ -105,7 +105,7 @@ func TestRunnerStartStop(t *testing.T) {
 }
 
 func TestEmptyPolicyPassIsReadOnly(t *testing.T) {
-	s := spool.New(2, spool.Config{SegEvents: 4})
+	s := spool.NewEvents(2, spool.Config{SegEvents: 4})
 	fill(s, 10, 0)
 	r := NewRunner(s, 1, Policy{})
 	if lwm := r.Pass(); lwm != 0 {

@@ -1,8 +1,8 @@
 package simmap
 
 import (
-	"fmt"
 	"hash/maphash"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -207,13 +207,15 @@ func (s *Sharded[K, V]) Range(f func(k K, v V) bool) {
 	}
 }
 
-// Instrument publishes every shard in reg under prefix_shard<i>_, giving
-// each shard its own metric family and SimRecorder (returned in shard
-// order) so per-shard load imbalance is visible. Call before any mutation.
+// Instrument publishes every shard in reg as labeled series of one metric
+// family — prefix_ops_total{shard="<i>"}, … — giving each shard its own
+// SimRecorder (returned in shard order) so per-shard load imbalance is
+// visible while `sum by (shard)` still aggregates the family. Call before
+// any mutation.
 func (s *Sharded[K, V]) Instrument(reg *obs.Registry, prefix string) []*obs.SimRecorder {
 	recs := make([]*obs.SimRecorder, len(s.shards))
 	for i, m := range s.shards {
-		recs[i] = m.Instrument(reg, fmt.Sprintf("%sshard%d_", prefix, i))
+		recs[i] = m.Instrument(reg, obs.Labeled(prefix, "shard", strconv.Itoa(i)))
 	}
 	return recs
 }

@@ -8,7 +8,7 @@ import (
 func ev(payload uint64, ts int64) Event { return Event{Payload: payload, TS: ts} }
 
 func TestAppendAssignsContiguousOffsets(t *testing.T) {
-	s := New(1, Config{SegEvents: 4})
+	s := NewEvents(1, Config{SegEvents: 4})
 	for i := 0; i < 10; i++ {
 		off := s.Append(0, ev(uint64(100+i), int64(i)))
 		if off != uint64(i) {
@@ -34,7 +34,7 @@ func TestAppendAssignsContiguousOffsets(t *testing.T) {
 }
 
 func TestTimeBucketSealing(t *testing.T) {
-	s := New(1, Config{SegEvents: 1000, BucketNs: 10})
+	s := NewEvents(1, Config{SegEvents: 1000, BucketNs: 10})
 	for i := 0; i < 6; i++ {
 		s.Append(0, ev(uint64(i), int64(i*5))) // ts 0,5,10,15,20,25
 	}
@@ -49,7 +49,7 @@ func TestTimeBucketSealing(t *testing.T) {
 }
 
 func TestSealedRingBoundAdvancesWatermark(t *testing.T) {
-	s := New(1, Config{SegEvents: 2, MaxSegments: 2})
+	s := NewEvents(1, Config{SegEvents: 2, MaxSegments: 2})
 	for i := 0; i < 10; i++ { // 5 potential segments of 2; ring keeps 2 + active
 		s.Append(0, ev(uint64(i), int64(i)))
 	}
@@ -76,11 +76,11 @@ func TestSealedRingBoundAdvancesWatermark(t *testing.T) {
 }
 
 func TestTrimToTrimsActiveInPlace(t *testing.T) {
-	s := New(1, Config{SegEvents: 100})
+	s := NewEvents(1, Config{SegEvents: 100})
 	for i := 0; i < 10; i++ {
 		s.Append(0, ev(uint64(i), int64(i)))
 	}
-	if lwm := s.Do(0, TrimToOp(7)); lwm != 7 {
+	if lwm := s.Do(0, TrimToOp[Event](7)); lwm != 7 {
 		t.Fatalf("TrimTo(7) returned lwm %d, want 7 (exact within active)", lwm)
 	}
 	v := s.Snapshot()
@@ -94,13 +94,13 @@ func TestTrimToTrimsActiveInPlace(t *testing.T) {
 }
 
 func TestTrimAgeAndSealAged(t *testing.T) {
-	s := New(1, Config{SegEvents: 3})
+	s := NewEvents(1, Config{SegEvents: 3})
 	for i := 0; i < 7; i++ { // segments [0..2](ts 0..2) [3..5](ts 3..5), active [6](ts 6)
 		s.Append(0, ev(uint64(i), int64(i)))
 	}
 	// Age out everything before ts 6: the aged active head is first sealed,
 	// then dropped with the older segments — one linearizable vector.
-	lwm := s.Do(0, SealAgedOp(6), TrimAgeOp(6))
+	lwm := s.Do(0, SealAgedOp[Event](6), TrimAgeOp[Event](6))
 	if lwm != 6 {
 		t.Fatalf("age trim lwm=%d, want 6", lwm)
 	}
@@ -111,7 +111,7 @@ func TestTrimAgeAndSealAged(t *testing.T) {
 }
 
 func TestSnapshotIsImmutable(t *testing.T) {
-	s := New(1, Config{SegEvents: 4})
+	s := NewEvents(1, Config{SegEvents: 4})
 	for i := 0; i < 6; i++ {
 		s.Append(0, ev(uint64(i), int64(i)))
 	}
@@ -121,7 +121,7 @@ func TestSnapshotIsImmutable(t *testing.T) {
 	for i := 6; i < 50; i++ {
 		s.Append(0, ev(uint64(i), int64(i)))
 	}
-	s.Do(0, SealOp(), TrimToOp(40))
+	s.Do(0, SealOp[Event](), TrimToOp[Event](40))
 	after, _, _ := v.Read(0, 100, nil)
 	if len(before) != len(after) {
 		t.Fatalf("snapshot changed size: %d -> %d", len(before), len(after))
@@ -141,7 +141,7 @@ func TestConcurrentAppendersKeepOffsetsUnique(t *testing.T) {
 		n   = 4
 		per = 512
 	)
-	s := New(n, Config{SegEvents: 64, MaxSegments: 1 << 20})
+	s := NewEvents(n, Config{SegEvents: 64, MaxSegments: 1 << 20})
 	offs := make([][]uint64, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -185,7 +185,7 @@ func TestConcurrentAppendersKeepOffsetsUnique(t *testing.T) {
 }
 
 func TestViewReadWindows(t *testing.T) {
-	s := New(1, Config{SegEvents: 4})
+	s := NewEvents(1, Config{SegEvents: 4})
 	for i := 0; i < 10; i++ {
 		s.Append(0, ev(uint64(i), int64(i)))
 	}

@@ -5,43 +5,44 @@ package spool
 // frozen); the active segment is a private deep copy made by the read-side
 // clone. A View therefore stays valid forever, costs no coordination with
 // writers, and supports any number of concurrent consumers — the query
-// layer of the ingest pipeline is built entirely on it.
-type View struct {
-	st state
+// layers of the ingest pipeline and the telemetry timeline are built
+// entirely on it.
+type View[E Entry] struct {
+	st state[E]
 }
 
 // LowWater returns the oldest retained offset: everything below it has been
 // expired by retention (or the sealed-ring bound).
-func (v View) LowWater() uint64 { return v.st.lwm }
+func (v View[E]) LowWater() uint64 { return v.st.lwm }
 
-// End returns the offset one past the newest event (the next to be
+// End returns the offset one past the newest entry (the next to be
 // assigned). The retained range is the single interval [LowWater, End).
-func (v View) End() uint64 { return v.st.next }
+func (v View[E]) End() uint64 { return v.st.next }
 
-// Len returns the number of retained events.
-func (v View) Len() int { return int(v.st.next - v.st.lwm) }
+// Len returns the number of retained entries.
+func (v View[E]) Len() int { return int(v.st.next - v.st.lwm) }
 
 // Segments returns the number of sealed segments in the ring.
-func (v View) Segments() int { return len(v.st.sealed) }
+func (v View[E]) Segments() int { return len(v.st.sealed) }
 
 // SealedTotal returns the number of segments sealed since the spool was
 // created (a monotone counter, unlike Segments which the ring bounds).
-func (v View) SealedTotal() uint64 { return v.st.sealedTotal }
+func (v View[E]) SealedTotal() uint64 { return v.st.sealedTotal }
 
-// ExpiredTotal returns the number of events dropped by retention and the
+// ExpiredTotal returns the number of entries dropped by retention and the
 // sealed-ring bound — the retention high-watermark equals
 // LowWater() == ExpiredTotal() exactly because offsets are contiguous.
-func (v View) ExpiredTotal() uint64 { return v.st.expiredTotal }
+func (v View[E]) ExpiredTotal() uint64 { return v.st.expiredTotal }
 
-// Read copies up to max events starting at offset cursor into out
+// Read copies up to max entries starting at offset cursor into out
 // (appending; pass out[:0] to reuse a buffer) and returns the filled slice,
-// the cursor to resume from, and the number of events skipped because
+// the cursor to resume from, and the number of entries skipped because
 // retention expired them before the consumer arrived (cursor below the low
 // watermark). next is always ≥ cursor, and next - cursor == skipped +
 // len(returned): a consumer that tracks its cursor observes every retained
-// event exactly once, in offset order, with gaps accounted rather than
+// entry exactly once, in offset order, with gaps accounted rather than
 // silent.
-func (v View) Read(cursor uint64, max int, out []Event) (evs []Event, next uint64, skipped uint64) {
+func (v View[E]) Read(cursor uint64, max int, out []E) (evs []E, next uint64, skipped uint64) {
 	start := cursor
 	if start < v.st.lwm {
 		skipped = v.st.lwm - start
@@ -56,27 +57,27 @@ func (v View) Read(cursor uint64, max int, out []Event) (evs []Event, next uint6
 		if seg.End() <= next {
 			continue
 		}
-		out, next = copyFrom(out, max, seg.Base, seg.Events, next)
+		out, next = copyFrom(out, max, seg.Base, seg.Entries, next)
 		if len(out) >= max {
 			return out, next, skipped
 		}
 	}
-	if len(v.st.active.Events) > 0 {
-		out, next = copyFrom(out, max, v.st.active.Base, v.st.active.Events, next)
+	if len(v.st.active.Entries) > 0 {
+		out, next = copyFrom(out, max, v.st.active.Base, v.st.active.Entries, next)
 	}
 	return out, next, skipped
 }
 
-// copyFrom appends events of one segment starting at offset next, stopping
-// at max total events.
-func copyFrom(out []Event, max int, base uint64, events []Event, next uint64) ([]Event, uint64) {
+// copyFrom appends entries of one segment starting at offset next, stopping
+// at max total entries.
+func copyFrom[E Entry](out []E, max int, base uint64, entries []E, next uint64) ([]E, uint64) {
 	if next > base {
-		events = events[next-base:]
+		entries = entries[next-base:]
 	}
 	room := max - len(out)
-	if room < len(events) {
-		events = events[:room]
+	if room < len(entries) {
+		entries = entries[:room]
 	}
-	out = append(out, events...)
-	return out, next + uint64(len(events))
+	out = append(out, entries...)
+	return out, next + uint64(len(entries))
 }
