@@ -33,7 +33,7 @@ experiments:
 # Refresh the machine-readable perf trajectory (ns/op, allocs/op, helping
 # degree for the fig2/fig3 families) checked in as BENCH_psim.json.
 bench-json:
-	$(GO) run ./cmd/simbench -experiment fig2,fig2help,fig3stack,fig3queue,fig2-batch,map-sharded,ingest,largeobject-crossover \
+	$(GO) run ./cmd/simbench -experiment fig2,fig2help,fig3stack,fig3queue,fig2-batch,map-sharded,ingest,largeobject-crossover,alloc-churn \
 		-ops $(OPS) -reps $(REPS) -ingest-batch 1,8,32 -json BENCH_psim.json
 
 examples:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/alloc"
 	"repro/internal/backoff"
 	"repro/internal/collect"
 	"repro/internal/obs"
@@ -44,16 +45,22 @@ import (
 // round is abandoned exactly like a failed CAS (see collect/batch.go).
 //
 // Memory discipline: like the paper's pool of State records, the hot path is
-// allocation-free in steady state. Each thread keeps a Ring of 2n+2 retired
-// State records (the paper's own pool bound carried to the GC variant) and
-// rebuilds the next round's record into the oldest one no reader holds;
-// readers protect the record they are reading with a hazard slot (one store
-// plus one validating re-load — see recycle.go for why Observation 3.2 alone
-// cannot license reuse under arbitrary preemption). A CAS still installs a
-// pointer that is not the current one, and a protected record is never
-// rewritten, so there is no ABA and no torn read; the race detector agrees.
-// When every retired record is still protected, the thread allocates a fresh
-// record instead of waiting — recycling is an optimization, never a wait.
+// allocation-free in steady state. Retired State records live in the unified
+// memory plane (internal/alloc): each thread owns a two-stack handle of up to
+// 2(n+1) records with O(1) get/put, whole chains of n+1 records move through
+// a bounded shared pool when one thread retires what another consumes, and
+// anything beyond the plane's O(threads × cache) bound is dropped to the GC —
+// the Blelloch–Wei space guarantee the old per-thread rings lacked. Reissue
+// goes through alloc.Typed over this instance's hazard table: readers protect
+// the record they are reading with a hazard slot (one store plus one
+// validating re-load — see recycle.go for why Observation 3.2 alone cannot
+// license reuse under arbitrary preemption), and Typed.Get probes candidates
+// against those slots, so a protected record is never rewritten. A CAS still
+// installs a pointer that is not the current one, hence no ABA and no torn
+// read; the race detector agrees. When every cached record is protected, the
+// thread allocates fresh instead of waiting — recycling is an optimization,
+// never a wait. WithLegacyRings restores the pre-plane per-thread Ring
+// discipline for the alloc-churn ablation.
 type PSim[S, A, R any] struct {
 	n     int
 	apply func(st *S, pid int, arg A) R
@@ -66,6 +73,9 @@ type PSim[S, A, R any] struct {
 	act      *xatomic.SharedBits
 	state    atomic.Pointer[psimState[S, R]]
 	haz      *Hazards[psimState[S, R]]
+	// pool is the unified memory plane for retired records (nil under
+	// WithLegacyRings, which keeps the pre-plane per-thread Ring scheme).
+	pool *alloc.Typed[psimState[S, R]]
 
 	threads []psimThread[S, R]
 	stats   *StatsPlane
@@ -83,22 +93,25 @@ type PSim[S, A, R any] struct {
 // return vectors. brvals[k] holds the responses of k's last served vector
 // when it had more than one element (a single-element vector answers through
 // rvals[k] alone, so vector-free workloads only pay an empty-row copy per
-// round). A record is immutable from the moment it is published until its
-// retirement ring owner reuses it.
+// round). A record is immutable from the moment it is published until the
+// memory plane reissues it. nextFree is the plane's intrusive free-chain
+// link, dead while the record is live.
 type psimState[S, R any] struct {
-	applied xatomic.Snapshot
-	rvals   []R
-	brvals  [][]R
-	st      S
+	applied  xatomic.Snapshot
+	rvals    []R
+	brvals   [][]R
+	st       S
+	nextFree *psimState[S, R]
 }
 
 // psimThread is a thread's private handle internals.
 type psimThread[S, R any] struct {
 	toggler *xatomic.Toggler
 	bo      *backoff.Adaptive
-	active  xatomic.Snapshot       // scratch: last read of Act
-	diffs   xatomic.Snapshot       // scratch: applied XOR active
-	ring    *Ring[psimState[S, R]] // retired records awaiting reuse
+	active  xatomic.Snapshot              // scratch: last read of Act
+	diffs   xatomic.Snapshot              // scratch: applied XOR active
+	blk     *alloc.Handle[psimState[S, R]] // memory-plane handle (default)
+	ring    *Ring[psimState[S, R]]        // legacy retirement ring (ablation)
 	inited  bool
 }
 
@@ -111,6 +124,7 @@ type psimOptions[S any] struct {
 	boLower, boUpper int
 	padActWords      bool
 	batchBudget      int
+	legacyRings      bool
 }
 
 // WithClone supplies a deep-copy function for the state, required when S
@@ -144,6 +158,15 @@ func WithBackoff[S any](lower, upper int) PSimOption[S] {
 // of the paper's dense minimal-lines layout.
 func WithPaddedAct[S any]() PSimOption[S] {
 	return func(o *psimOptions[S]) { o.padActWords = true }
+}
+
+// WithLegacyRings restores the pre-plane reclamation scheme — one private
+// Ring of 2n+2 retired records per thread, no shared handoff, no space bound
+// beyond the rings themselves. It exists for the alloc-churn ablation
+// (old-rings vs unified-plane); production instances should use the default
+// memory plane.
+func WithLegacyRings[S any]() PSimOption[S] {
+	return func(o *psimOptions[S]) { o.legacyRings = true }
 }
 
 // WithBatchBudget bounds how many operations one announcement may carry;
@@ -216,6 +239,26 @@ func NewPSim[S, A, R any](n int, init S, apply func(st *S, pid int, arg A) R, op
 		boUpper:     o.boUpper,
 		batchBudget: o.batchBudget,
 	}
+	if !o.legacyRings {
+		// The unified memory plane: chains of n+1 records (per-thread cache
+		// 2(n+1), matching the old 2n+2 ring bound) moving through n shared
+		// slots, reissue guarded by this instance's hazard table.
+		pool := alloc.NewPool(n, alloc.Config[psimState[S, R]]{
+			New: func() *psimState[S, R] {
+				return &psimState[S, R]{
+					applied: xatomic.NewSnapshot(n),
+					rvals:   make([]R, n),
+					brvals:  make([][]R, n),
+				}
+			},
+			Next:    func(s *psimState[S, R]) *psimState[S, R] { return s.nextFree },
+			SetNext: func(s, nx *psimState[S, R]) { s.nextFree = nx },
+			Chain:   n + 1,
+			Slots:   n,
+		})
+		u.pool = alloc.NewTyped(pool, u.haz)
+		u.stats.AttachAllocPool("state", pool)
+	}
 	u.state.Store(&psimState[S, R]{
 		applied: xatomic.NewSnapshot(n),
 		rvals:   make([]R, n),
@@ -256,6 +299,9 @@ func (u *PSim[S, A, R]) SetTracer(tr *trace.Tracer) {
 	} else {
 		u.haz.SetOverflowHook(nil)
 	}
+	if u.pool != nil {
+		u.pool.Pool().SetTracer(tr)
+	}
 }
 
 // RegisterStats publishes the instance's exact counters in reg under prefix
@@ -294,29 +340,53 @@ func (u *PSim[S, A, R]) thread(i int) *psimThread[S, R] {
 		}
 		t.active = xatomic.NewSnapshot(u.n)
 		t.diffs = xatomic.NewSnapshot(u.n)
-		t.ring = NewRing[psimState[S, R]](2*u.n + 2)
+		if u.pool != nil {
+			t.blk = u.pool.Pool().Handle(i)
+		} else {
+			t.ring = NewRing[psimState[S, R]](2*u.n + 2)
+		}
 		t.inited = true
 	}
 	return t
 }
 
 // record returns a State record for process i to build the next round into:
-// the oldest retired record no reader holds, or a freshly allocated one when
-// every retired record is still protected (or the ring is still warming up).
+// an unprotected recycled record from the memory plane (or legacy ring), or
+// a freshly allocated one when every cached record is still protected (or
+// the plane is still warming up).
 func (u *PSim[S, A, R]) record(i int, t *psimThread[S, R]) *psimState[S, R] {
 	tr := u.stats.Trace
+	if t.blk != nil {
+		ns, fresh := u.pool.Get(t.blk)
+		if !fresh {
+			tr.Instant(i, trace.KindRecycleHit, uint64(t.blk.Cached()), 0)
+			return ns
+		}
+		// A miss pays a fresh allocation, so the unconditional event is free
+		// by comparison — and warmup misses make cache fill visible.
+		tr.Rare(i, trace.KindRecycleMiss, uint64(t.blk.Cached()), 0)
+		return ns
+	}
 	if ns := t.ring.PopFree(u.haz); ns != nil {
 		tr.Instant(i, trace.KindRecycleHit, uint64(t.ring.Len()), 0)
 		return ns
 	}
-	// A miss pays a fresh allocation, so the unconditional event is free by
-	// comparison — and warmup misses make ring fill visible in the trace.
 	tr.Rare(i, trace.KindRecycleMiss, uint64(t.ring.Len()), 0)
 	return &psimState[S, R]{
 		applied: xatomic.NewSnapshot(u.n),
 		rvals:   make([]R, u.n),
 		brvals:  make([][]R, u.n),
 	}
+}
+
+// retire returns a record to the memory plane (or legacy ring). Protected
+// records are fine to retire: the plane re-checks hazards at reissue time.
+func (u *PSim[S, A, R]) retire(t *psimThread[S, R], s *psimState[S, R]) {
+	if t.blk != nil {
+		u.pool.Put(t.blk, s)
+		return
+	}
+	t.ring.Push(s)
 }
 
 // cloneStateInto rebuilds ns.st from ls.st, reusing ns's previous state
@@ -542,8 +612,8 @@ func (u *PSim[S, A, R]) applyAnnounced(i int, t *psimThread[S, R], t0, tt obs.St
 			u.counter.Inc(i)
 			SchedYield(i, PointCAS)
 			if u.state.CompareAndSwap(ls, ns) {
-				t.ring.Push(ls) // line 26's pool rotation: retire the old record
-				u.haz.Clear(i)  // unpin ls so its ring slot can recycle it
+				u.haz.Clear(i)  // unpin ls before retiring it to the plane
+				u.retire(t, ls) // line 26's pool rotation: retire the old record
 				st.Ops.Add(i, um)
 				st.CASSuccess.Inc(i)
 				st.Combined.Add(i, ops)
@@ -560,7 +630,7 @@ func (u *PSim[S, A, R]) applyAnnounced(i int, t *psimThread[S, R], t0, tt obs.St
 			}
 			res = res[:base] // speculative copies die with the failed round
 		}
-		t.ring.Push(ns) // never published — immediately reusable
+		u.retire(t, ns) // never published — immediately reusable
 		st.CASFail.Inc(i)
 		tr.Instant(i, trace.KindCASFail, uint64(j), 0)
 		if j == 0 {
@@ -622,7 +692,7 @@ func (u *PSim[S, A, R]) applySoloVec(t *psimThread[S, R], t0, tt obs.Stamp, arg 
 		ns.rvals[0] = rv
 	}
 	u.state.Store(ns) // sole writer: plain atomic publish
-	t.ring.Push(ls)
+	u.retire(t, ls)
 	u.counter.Add(0, 2)
 	st := u.stats
 	st.Ops.Add(0, ops)

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/alloc"
 	"repro/internal/backoff"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
@@ -55,14 +55,20 @@ type PSimWord struct {
 	announce []wordAnnounce // Announce[i]: single-writer argument vectors
 	act      *xatomic.SharedBits
 	pool     []wordState
-	p        xatomic.TimedWord
+	// p is the LL/SC-shaped shared variable: the paper-exact packed
+	// ⟨index, stamp⟩ word below the 2^48 wrap horizon, the atomic-copy
+	// cell variant at or above it (xatomic.NewTimedVar).
+	p xatomic.TimedVar
 
 	threads []wordThread
 	stats   *StatsPlane
 
 	boLower, boUpper int
 
-	readScratch sync.Pool // *wordThread scratch for anonymous Read()ers
+	// readScratch is the memory plane's anonymous front: bounded scratch
+	// recycling for Read()ers with no process id (replaces sync.Pool — same
+	// zero-alloc steady state, but retention is strictly bounded).
+	readScratch *alloc.Shared[wordThread]
 }
 
 // WordBatchBudget is the announce-vector capacity of the word-specialised
@@ -117,10 +123,33 @@ type wordThread struct {
 // distance that protects the fallback read.
 const DefaultPoolPerThread = 8
 
+// DefaultUpdateHorizon is the successful-update count NewPSimWord assumes
+// over an instance's lifetime: generous (at 10^7 publishes/sec it is over a
+// day of non-stop updates) yet far below the 2^48 stamp-wrap bound, so the
+// default instance keeps the paper-exact packed-word CAS. Deployments whose
+// horizon reaches xatomic.TimedStampMax get the wrap-safe atomic-copy
+// variant via NewPSimWordHorizon.
+const DefaultUpdateHorizon = 1 << 40
+
 // NewPSimWord builds a pooled P-Sim for n threads with C records per thread
 // (C ≥ 2; pass 0 for DefaultPoolPerThread), initial state init, and the
-// sequential transition function apply.
+// sequential transition function apply. The shared ⟨index, stamp⟩ variable
+// assumes DefaultUpdateHorizon successful updates; use NewPSimWordHorizon
+// for longer-lived instances.
 func NewPSimWord(n, c int, init uint64, apply func(st, arg uint64) (uint64, uint64)) *PSimWord {
+	return NewPSimWordHorizon(n, c, init, apply, DefaultUpdateHorizon)
+}
+
+// NewPSimWordHorizon is NewPSimWord with an explicit successful-update
+// horizon. While horizon stays below xatomic.TimedStampMax the shared
+// variable is the paper's packed ⟨pool index, 48-bit stamp⟩ CAS word, whose
+// ABA argument holds for up to 2^48 updates; at or beyond the bound the
+// instance selects the wrap-safe LL/SC built from atomic-copy cells
+// (xatomic.TimedSafe, per arXiv 1911.09671), trading one small allocation
+// per successful publish for unconditional soundness. The choice is made
+// once, here — the hot path pays no per-operation dispatch beyond the
+// interface call either way.
+func NewPSimWordHorizon(n, c int, init uint64, apply func(st, arg uint64) (uint64, uint64), horizon uint64) *PSimWord {
 	if n < 1 {
 		panic("core: PSimWord needs n >= 1")
 	}
@@ -153,9 +182,24 @@ func NewPSimWord(n, c int, init uint64, apply func(st, arg uint64) (uint64, uint
 	}
 	// Record n·C carries the initial state (P = {n·C, 0} in Algorithm 2).
 	u.pool[n*c].st.Store(init)
+	u.p = xatomic.NewTimedVar(horizon)
 	u.p.Store(uint16(n*c), 0)
+	u.readScratch = alloc.NewShared(readScratchSlots, func() *wordThread {
+		return &wordThread{
+			applied: xatomic.NewSnapshot(n),
+			rvals:   make([]uint64, n),
+			bn:      make([]uint64, n),
+			brv:     make([]uint64, n*WordBatchBudget),
+		}
+	})
+	u.stats.AttachAllocPool("scratch", u.readScratch)
 	return u
 }
+
+// readScratchSlots bounds the parked Read() scratch records of the word
+// variants' anonymous fronts (more simultaneous anonymous readers than this
+// pay a fresh allocation; fewer keep the zero-alloc steady state).
+const readScratchSlots = 4
 
 // SetBackoff reconfigures the adaptive backoff bounds (0 upper disables).
 // Call before any Apply.
@@ -281,8 +325,7 @@ func (u *PSimWord) applyAnnounced(i int, t *wordThread, tt obs.Stamp, m int, res
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ { // lines 5–27
-		lpRaw := u.p.LoadRaw() // line 6: read ⟨index, stamp⟩
-		lpIdx, lpStamp := xatomic.UnpackTimed(lpRaw)
+		lpIdx, lpStamp, lpTag := u.p.LL() // line 6: read ⟨index, stamp⟩
 		src := &u.pool[lpIdx]
 
 		// line 8: copy the current State into local scratch;
@@ -351,8 +394,9 @@ func (u *PSimWord) applyAnnounced(i int, t *wordThread, tt obs.Stamp, m int, res
 		}
 		dst.seq2.Add(1) // line 21: close the record
 
-		// lines 22–25: CAS P to ⟨our record, stamp+1⟩.
-		if u.p.CompareAndSwap(lpRaw, uint16(i*u.c+t.poolIndex), lpStamp+1) {
+		// lines 22–25: SC P to ⟨our record, stamp+1⟩ (a CAS on the packed
+		// word below the wrap horizon, a cell swap above it).
+		if u.p.SC(lpTag, uint16(i*u.c+t.poolIndex), lpStamp+1) {
 			t.poolIndex = (t.poolIndex + 1) % u.c // line 26
 			st.Ops.Add(i, um)
 			st.CASSuccess.Inc(i)
@@ -423,18 +467,11 @@ func appendRow(res, brv []uint64, bn []uint64, i int) []uint64 {
 // Read returns the current simulated state word. Unlike Apply it may be
 // called from any goroutine; it is lock-free (it retries if it observes a
 // record mid-rewrite, which requires concurrent successful publishes).
-// Scratch buffers for the seqlock copy come from a sync.Pool, so steady-state
-// reads allocate nothing.
+// Scratch buffers for the seqlock copy come from the memory plane's
+// anonymous front, so steady-state reads allocate nothing and parked scratch
+// is bounded by readScratchSlots.
 func (u *PSimWord) Read() uint64 {
-	scratch, _ := u.readScratch.Get().(*wordThread)
-	if scratch == nil {
-		scratch = &wordThread{
-			applied: xatomic.NewSnapshot(u.n),
-			rvals:   make([]uint64, u.n),
-			bn:      make([]uint64, u.n),
-			brv:     make([]uint64, u.n*WordBatchBudget),
-		}
-	}
+	scratch := u.readScratch.Get()
 	for {
 		lpIdx, _ := u.p.Load()
 		if st, ok := u.copyState(&u.pool[lpIdx], scratch); ok {

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/alloc"
 	"repro/internal/backoff"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
@@ -31,14 +31,17 @@ type PSimWords struct {
 	announce []wordAnnounce
 	act      *xatomic.SharedBits
 	pool     []wordsState
-	p        xatomic.TimedWord
+	// p is the LL/SC-shaped shared variable (see PSimWord.p).
+	p xatomic.TimedVar
 
 	threads []wordsThread
 	stats   *StatsPlane
 
 	boLower, boUpper int
 
-	readScratch sync.Pool // *wordsThread scratch for anonymous readers
+	// readScratch is the memory plane's anonymous front for ReadInto
+	// scratch (bounded retention; see PSimWord.readScratch).
+	readScratch *alloc.Shared[wordsThread]
 }
 
 // wordsState is one pool record with a multi-word state vector. bn/brv are
@@ -72,8 +75,17 @@ type wordsThread struct {
 // len(init) words. c is the per-thread pool size (0 = default, ≥ 2). apply
 // receives a PRIVATE copy of the state words it may mutate in place, the id
 // of the process whose operation is applied, and that process's announced
-// argument; it returns the response word.
+// argument; it returns the response word. The shared ⟨index, stamp⟩
+// variable assumes DefaultUpdateHorizon successful updates; use
+// NewPSimWordsHorizon for longer-lived instances.
 func NewPSimWords(n, c int, init []uint64, apply func(st []uint64, pid int, arg uint64) uint64) *PSimWords {
+	return NewPSimWordsHorizon(n, c, init, apply, DefaultUpdateHorizon)
+}
+
+// NewPSimWordsHorizon is NewPSimWords with an explicit successful-update
+// horizon (see NewPSimWordHorizon for the TimedWord/TimedSafe selection
+// argument).
+func NewPSimWordsHorizon(n, c int, init []uint64, apply func(st []uint64, pid int, arg uint64) uint64, horizon uint64) *PSimWords {
 	if n < 1 {
 		panic("core: PSimWords needs n >= 1")
 	}
@@ -112,7 +124,18 @@ func NewPSimWords(n, c int, init []uint64, apply func(st []uint64, pid int, arg 
 	for i, v := range init {
 		initRec.st[i].Store(v)
 	}
+	u.p = xatomic.NewTimedVar(horizon)
 	u.p.Store(uint16(n*c), 0)
+	u.readScratch = alloc.NewShared(readScratchSlots, func() *wordsThread {
+		return &wordsThread{
+			applied: xatomic.NewSnapshot(n),
+			st:      make([]uint64, len(init)),
+			rvals:   make([]uint64, n),
+			bn:      make([]uint64, n),
+			brv:     make([]uint64, n*WordBatchBudget),
+		}
+	})
+	u.stats.AttachAllocPool("scratch", u.readScratch)
 	return u
 }
 
@@ -238,8 +261,7 @@ func (u *PSimWords) applyAnnounced(i int, t *wordsThread, tt obs.Stamp, m int, r
 	myWord, myMask := t.toggler.Word(), t.toggler.Mask()
 
 	for j := 0; j < 2; j++ {
-		lpRaw := u.p.LoadRaw()
-		lpIdx, lpStamp := xatomic.UnpackTimed(lpRaw)
+		lpIdx, lpStamp, lpTag := u.p.LL()
 		if !u.copyState(&u.pool[lpIdx], t) {
 			continue
 		}
@@ -303,7 +325,7 @@ func (u *PSimWords) applyAnnounced(i int, t *wordsThread, tt obs.Stamp, m int, r
 		}
 		dst.seq2.Add(1)
 
-		if u.p.CompareAndSwap(lpRaw, uint16(i*u.c+t.poolIndex), lpStamp+1) {
+		if u.p.SC(lpTag, uint16(i*u.c+t.poolIndex), lpStamp+1) {
 			t.poolIndex = (t.poolIndex + 1) % u.c
 			st.Ops.Add(i, um)
 			st.CASSuccess.Inc(i)
@@ -357,19 +379,11 @@ func (u *PSimWords) applyAnnounced(i int, t *wordsThread, tt obs.Stamp, m int, r
 }
 
 // ReadInto copies the current state into dst (len ≥ StateWords). Lock-free.
-// Scratch buffers for the seqlock copy come from a sync.Pool, so steady-state
-// reads allocate nothing.
+// Scratch buffers for the seqlock copy come from the memory plane's
+// anonymous front, so steady-state reads allocate nothing and parked
+// scratch is bounded by readScratchSlots.
 func (u *PSimWords) ReadInto(dst []uint64) {
-	scratch, _ := u.readScratch.Get().(*wordsThread)
-	if scratch == nil {
-		scratch = &wordsThread{
-			applied: xatomic.NewSnapshot(u.n),
-			st:      make([]uint64, u.sWords),
-			rvals:   make([]uint64, u.n),
-			bn:      make([]uint64, u.n),
-			brv:     make([]uint64, u.n*WordBatchBudget),
-		}
-	}
+	scratch := u.readScratch.Get()
 	for {
 		lpIdx, _ := u.p.Load()
 		if u.copyState(&u.pool[lpIdx], scratch) {

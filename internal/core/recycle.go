@@ -50,10 +50,12 @@ import (
 type Hazards[T any] struct {
 	fixed []pad.Pointer[T]
 	anon  []anonSlot[T]
-	// extra is a grow-only list of overflow anonymous slots, pushed when a
-	// claim sweep finds every slot (preallocated and overflow) held — so a
-	// preempted reader never blocks new readers. Its length is bounded by
-	// the historical maximum number of simultaneous anonymous readers.
+	// extra is a list of overflow anonymous slots, pushed when a claim sweep
+	// finds every slot (preallocated and overflow) held — so a preempted
+	// reader never blocks new readers. It grows to the instantaneous number
+	// of simultaneous anonymous readers and is shrunk back by a bounded
+	// reclaim pass on every ReleaseAnon (shrinkOverflow), so a one-off burst
+	// of parked readers does not permanently tax every later Hazarded scan.
 	extra atomic.Pointer[anonSlot[T]]
 
 	// onOverflow, when set, is invoked each time a reader is about to push an
@@ -170,10 +172,41 @@ func (h *Hazards[T]) protect(s *anonSlot[T], src *atomic.Pointer[T]) *T {
 	}
 }
 
-// ReleaseAnon returns an anonymous slot claimed by AcquireAnon.
+// anonShrinkMax bounds the overflow slots one ReleaseAnon may retire, so
+// the reclaim pass adds O(1) work to the release path.
+const anonShrinkMax = 4
+
+// ReleaseAnon returns an anonymous slot claimed by AcquireAnon, then runs a
+// bounded reclaim pass over the overflow list so burst-grown slots are given
+// back once the burst subsides.
 func (h *Hazards[T]) ReleaseAnon(s *anonSlot[T]) {
 	s.ptr.Store(nil)
 	s.claimed.Store(0)
+	h.shrinkOverflow()
+}
+
+// shrinkOverflow retires up to anonShrinkMax free slots from the head of the
+// overflow list. A slot is unlinked only after being claimed, so no reader
+// can be protecting through it: claimed==0 implies ptr==nil (ReleaseAnon
+// clears ptr before claim), and a claimed slot is exclusively ours. Unlinked
+// slots are left claimed forever — unreachable from extra, they are garbage
+// the moment the last traversal that saw them finishes, and can never hide a
+// protected pointer from Hazarded. Only the head is unlinked (next fields
+// are immutable once pushed, so mid-list surgery is off the table); a CAS
+// loss means another reader pushed or shrank concurrently, and we simply
+// hand the slot back and stop — the next release tries again. No ABA: a slot
+// is never re-pushed, so the head CAS can only see each slot value once.
+func (h *Hazards[T]) shrinkOverflow() {
+	for i := 0; i < anonShrinkMax; i++ {
+		s := h.extra.Load()
+		if s == nil || !s.tryClaim() {
+			return
+		}
+		if !h.extra.CompareAndSwap(s, s.next) {
+			s.claimed.Store(0)
+			return
+		}
+	}
 }
 
 // Clear resets fixed slot `slot`. Operations clear their slot when they

@@ -77,6 +77,70 @@ func TestHazardsAnonOverflow(t *testing.T) {
 	}
 }
 
+// overflowLen counts the linked overflow slots (test-only).
+func (h *Hazards[T]) overflowLen() int {
+	n := 0
+	for s := h.extra.Load(); s != nil; s = s.next {
+		n++
+	}
+	return n
+}
+
+// TestHazardsAnonOverflowShrinks is the regression test for burst reclaim:
+// a burst of parked readers grows the overflow list, and once the burst
+// subsides the bounded per-release reclaim pass drains it back to empty —
+// overflow slots no longer tax Hazarded scans forever.
+func TestHazardsAnonOverflowShrinks(t *testing.T) {
+	const burst = 20
+	h := NewHazards[int](0, 1)
+	var src atomic.Pointer[int]
+	x := new(int)
+	src.Store(x)
+
+	// Burst: 1 + burst simultaneous readers; all but one land in overflow.
+	slots := make([]*anonSlot[int], 0, burst+1)
+	for i := 0; i < burst+1; i++ {
+		_, s := h.AcquireAnon(&src)
+		slots = append(slots, s)
+	}
+	if got := h.overflowLen(); got != burst {
+		t.Fatalf("overflow len = %d after burst, want %d", got, burst)
+	}
+
+	// Release the older half; the newer half still protects x, and the
+	// reclaim pass must never unlink a held slot out from under Hazarded.
+	for _, s := range slots[:burst/2] {
+		h.ReleaseAnon(s)
+	}
+	if !h.Hazarded(x) {
+		t.Fatal("record lost protection while half the readers still hold it")
+	}
+	for _, s := range slots[burst/2:] {
+		h.ReleaseAnon(s)
+	}
+	if h.Hazarded(x) {
+		t.Fatal("record still hazarded after every release")
+	}
+
+	// Each release retires at most anonShrinkMax slots and stops early at a
+	// held head, so a few slots may linger; a short tail of acquire/release
+	// cycles must drain the list completely.
+	for i := 0; i < burst && h.overflowLen() > 0; i++ {
+		_, s := h.AcquireAnon(&src)
+		h.ReleaseAnon(s)
+	}
+	if got := h.overflowLen(); got != 0 {
+		t.Fatalf("overflow len = %d after reclaim, want 0", got)
+	}
+
+	// The table still works end to end after shrinking.
+	p, s := h.AcquireAnon(&src)
+	if p != x {
+		t.Fatalf("AcquireAnon after shrink = %p, want %p", p, x)
+	}
+	h.ReleaseAnon(s)
+}
+
 func TestRingPushPopFIFO(t *testing.T) {
 	h := NewHazards[int](1, 0)
 	r := NewRing[int](4)

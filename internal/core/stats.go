@@ -28,6 +28,29 @@ type StatsPlane struct {
 	// Trace is the optional flight recorder (nil = tracing disabled). Set it
 	// through the owning construction's SetTracer, before operations start.
 	Trace *trace.Tracer
+
+	allocPools []allocAttachment
+}
+
+// AllocRegistrar is the slice of a memory-plane pool the stats plane needs
+// in order to publish it: both alloc.Pool and alloc.Shared satisfy it.
+type AllocRegistrar interface {
+	Register(reg *obs.Registry, class string)
+}
+
+type allocAttachment struct {
+	class string
+	pool  AllocRegistrar
+}
+
+// AttachAllocPool records a memory-plane pool (internal/alloc) to publish
+// alongside the combining counters. Register then publishes it under the
+// fixed alloc_* families with class "<base>_<class>", where base is the
+// registration prefix's name with any label block dropped — e.g. prefix
+// "fmul" and class "state" yield alloc_blocks_total{class="fmul_state"}.
+// Call before Register; not safe concurrently with operations.
+func (p *StatsPlane) AttachAllocPool(class string, pool AllocRegistrar) {
+	p.allocPools = append(p.allocPools, allocAttachment{class: class, pool: pool})
 }
 
 // NewStatsPlane returns a zeroed plane for n process ids.
@@ -53,6 +76,12 @@ func (p *StatsPlane) Register(reg *obs.Registry, prefix string) {
 	reg.AttachCounter(obs.Join(prefix, "_cas_fail_total"), p.CASFail)
 	reg.AttachCounter(obs.Join(prefix, "_combined_total"), p.Combined)
 	reg.AttachCounter(obs.Join(prefix, "_served_by_total"), p.ServedBy)
+	if len(p.allocPools) > 0 {
+		base, _ := obs.SplitName(prefix)
+		for _, a := range p.allocPools {
+			a.pool.Register(reg, base+"_"+a.class)
+		}
+	}
 }
 
 // Aggregate sums the per-thread slots into a Stats.

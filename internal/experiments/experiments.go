@@ -215,6 +215,22 @@ func Fig3QueueMakers() []harness.Maker {
 	}
 }
 
+// AllocChurnMakers compares the unified memory plane (internal/alloc) against
+// the pre-plane per-thread recycling rings on the allocation-heaviest hot
+// path: P-Sim's state-record churn, where every committed round retires one
+// O(n)-sized record and reissues another. The two arms run the identical
+// protocol — only the reclamation scheme differs (core.WithLegacyRings) — so
+// the spread is the cost (or win) of the plane itself; the CI smoke gates
+// the plane arm at ≥ 0.8× ring throughput.
+func AllocChurnMakers() []harness.Maker {
+	return []harness.Maker{
+		fmulMaker("P-Sim rings", func(n int) fmul.Interface {
+			return fmul.NewPSim(n, core.WithLegacyRings[uint64]())
+		}, nil),
+		fmulMaker("P-Sim plane", func(n int) fmul.Interface { return fmul.NewPSim(n) }, nil),
+	}
+}
+
 // AblationBackoffMakers compares P-Sim with adaptive backoff against P-Sim
 // with backoff disabled (§4: "P-Sim achieves very good performance even if
 // no backoff is employed").

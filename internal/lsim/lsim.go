@@ -22,11 +22,13 @@
 // reader's slot, re-load, accept only if unchanged), VL is a pointer
 // re-load, and SC is a CAS — sound against ABA because a record that might
 // be re-published is never recycled while any slot protects it. Retired
-// round records and item bodies go to per-thread recycling rings, so the
-// steady-state ApplyOp/ApplyBatch path allocates nothing (gated by
+// round records and item bodies go to the unified memory plane
+// (internal/alloc): per-thread two-stack handles reissued through
+// alloc.Typed over the instance's hazard planes, so the steady-state
+// ApplyOp/ApplyBatch path allocates nothing (gated by
 // TestLSimApplyAllocsSteadyState): announcements rotate through
 // collect.BatchAnnounce box pools, round records and item bodies come back
-// from the rings, and the per-helper directory is a reusable slice. As with
+// from the plane, and the per-helper directory is a reusable slice. As with
 // P-Sim, recycling turns the strictly bounded LL into a lock-free protected
 // load: a protection retry is paid for by another thread's successful
 // publish, and a failed bounded acquire is treated exactly like a failed SC.
@@ -43,6 +45,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/alloc"
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -63,9 +66,10 @@ type Item[V any] struct {
 }
 
 type itemBody[V any] struct {
-	val    [2]V
-	toggle int    // index of the CURRENT slot; 1-toggle holds the old value
-	seq    uint64 // round that last wrote the item
+	val      [2]V
+	toggle   int          // index of the CURRENT slot; 1-toggle holds the old value
+	seq      uint64       // round that last wrote the item
+	nextFree *itemBody[V] // memory-plane chain link; unused while live
 }
 
 func newItem[V any](h *core.Hazards[itemBody[V]], init V) *Item[V] {
@@ -102,7 +106,7 @@ type lop[V, A, R any] struct {
 // lsimState is the published round record (struct State of Algorithm 7): the
 // applied/papplied double bit vector, per-process responses (single and
 // batch rows), the round number, and the shared list of items allocated
-// during the round. Records recycle through per-thread rings under the
+// during the round. Records recycle through the memory plane under the
 // state hazard plane.
 type lsimState[R any] struct {
 	applied  []bool
@@ -111,6 +115,7 @@ type lsimState[R any] struct {
 	brvals   [][]R // batch-response rows, forwarded round to round
 	seq      uint64
 	varList  *newList
+	nextFree *lsimState[R] // memory-plane chain link; unused while live
 }
 
 // newList is the shared new-variable list; head is a dummy node so the
@@ -141,11 +146,11 @@ const anonStateSlots = 2
 // neighbouring threads' cursors do not share cache lines).
 type lthread[V, A, R any] struct {
 	inited bool
-	ring   *core.Ring[lsimState[R]] // retired round records
-	iring  *core.Ring[itemBody[V]]  // retired item bodies
-	lact   xatomic.Snapshot         // GetSet scratch
-	mem    Mem[V, A, R]             // reusable directory + alloc cursor
-	batch  []lop[V, A, R]           // announce-vector scratch
+	blk    *alloc.Handle[lsimState[R]] // retired round records
+	iblk   *alloc.Handle[itemBody[V]]  // retired item bodies
+	lact   xatomic.Snapshot            // GetSet scratch
+	mem    Mem[V, A, R]                // reusable directory + alloc cursor
+	batch  []lop[V, A, R]              // announce-vector scratch
 	_      pad.CacheLinePad
 }
 
@@ -160,6 +165,11 @@ type LSim[V, A, R any] struct {
 	state atomic.Pointer[lsimState[R]]
 	haz   *core.Hazards[lsimState[R]] // round-record hazard plane
 	ihaz  *core.Hazards[itemBody[V]]  // item-body hazard plane
+
+	// Memory plane: guarded pools for round records and item bodies (see the
+	// package comment's hot-path-parity section).
+	rpool *alloc.Typed[lsimState[R]]
+	ipool *alloc.Typed[itemBody[V]]
 
 	threads []lthread[V, A, R]
 
@@ -196,6 +206,39 @@ func New[V, A, R any](n int) *LSim[V, A, R] {
 		brvals:   make([][]R, n),
 		varList:  &newList{},
 	})
+	// Memory plane: round records carry cache 2(n+1) per thread (the old
+	// rings held 2n+2); item bodies a deeper cache (one round may retire up
+	// to a whole write-set of bodies). Neither pool Resets at Put — a retired
+	// record or body may still be hazard-protected, so it is only mutated at
+	// reissue, after the guard probe clears it.
+	l.rpool = alloc.NewTyped(alloc.NewPool(n, alloc.Config[lsimState[R]]{
+		New: func() *lsimState[R] {
+			return &lsimState[R]{
+				applied:  make([]bool, n),
+				papplied: make([]bool, n),
+				rvals:    make([]R, n),
+				brvals:   make([][]R, n),
+				varList:  &newList{},
+			}
+		},
+		Next:    func(s *lsimState[R]) *lsimState[R] { return s.nextFree },
+		SetNext: func(s, nx *lsimState[R]) { s.nextFree = nx },
+		Chain:   n + 1,
+		Slots:   n,
+	}), l.haz)
+	itemChain := 2 * n
+	if itemChain < 8 {
+		itemChain = 8
+	}
+	l.ipool = alloc.NewTyped(alloc.NewPool(n, alloc.Config[itemBody[V]]{
+		New:     func() *itemBody[V] { return new(itemBody[V]) },
+		Next:    func(b *itemBody[V]) *itemBody[V] { return b.nextFree },
+		SetNext: func(b, nx *itemBody[V]) { b.nextFree = nx },
+		Chain:   itemChain,
+		Slots:   n,
+	}), l.ihaz)
+	l.stats.AttachAllocPool("state", l.rpool.Pool())
+	l.stats.AttachAllocPool("item", l.ipool.Pool())
 	return l
 }
 
@@ -225,6 +268,8 @@ func (l *LSim[V, A, R]) SetRecorder(rec *obs.SimRecorder) { l.rec = rec }
 // way. Not safe to call concurrently with operations.
 func (l *LSim[V, A, R]) SetTracer(tr *trace.Tracer) {
 	l.stats.Trace = tr
+	l.rpool.Pool().SetTracer(tr)
+	l.ipool.Pool().SetTracer(tr)
 	if tr != nil {
 		l.haz.SetOverflowHook(func() { tr.AnonInstant(trace.KindHazardOverflow, 0, 0) })
 		l.ihaz.SetOverflowHook(func() { tr.AnonInstant(trace.KindHazardOverflow, 0, 1) })
@@ -278,12 +323,8 @@ func (l *LSim[V, A, R]) N() int { return l.n }
 func (l *LSim[V, A, R]) thread(i int) *lthread[V, A, R] {
 	t := &l.threads[i]
 	if !t.inited {
-		t.ring = core.NewRing[lsimState[R]](2*l.n + 2)
-		cap := 4 * l.n
-		if cap < 16 {
-			cap = 16
-		}
-		t.iring = core.NewRing[itemBody[V]](cap)
+		t.blk = l.rpool.Pool().Handle(i)
+		t.iblk = l.ipool.Pool().Handle(i)
 		t.lact = xatomic.NewSnapshot(l.n)
 		t.mem.l = l
 		t.mem.id = i
@@ -430,7 +471,7 @@ func (l *LSim[V, A, R]) attempt(i int, t *lthread[V, A, R], t0 obs.Stamp, tt obs
 		// operation became visible last round (applied ∧ ¬papplied).
 		degree, opsApplied := uint64(0), uint64(0)
 		if !l.simulate(ls, ns, m, &degree, &opsApplied) {
-			t.ring.Push(ns)
+			l.rpool.Put(t.blk, ns)
 			continue // stale state detected mid-simulation — retry round
 		}
 
@@ -438,7 +479,7 @@ func (l *LSim[V, A, R]) attempt(i int, t *lthread[V, A, R], t0 obs.Stamp, tt obs
 			l.count(i, 1)
 			l.stats.CASFail.Inc(i)
 			tr.Instant(i, trace.KindCASFail, 1, 0)
-			t.ring.Push(ns)
+			l.rpool.Put(t.blk, ns)
 			continue
 		}
 		l.count(i, 1)
@@ -446,12 +487,12 @@ func (l *LSim[V, A, R]) attempt(i int, t *lthread[V, A, R], t0 obs.Stamp, tt obs
 		// lines 39–43: write the dirty directory entries back per-item.
 		wrote, later := l.writeBack(i, t, m, ns.seq)
 		if later {
-			t.ring.Push(ns)
+			l.rpool.Put(t.blk, ns)
 			return // a later round already committed everything (line 40)
 		}
 
 		if l.state.CompareAndSwap(ls, ns) { // line 45 (SC)
-			t.ring.Push(ls) // retire the replaced record
+			l.rpool.Put(t.blk, ls) // retire the replaced record
 			l.stats.CASSuccess.Inc(i)
 			l.stats.Combined.Add(i, opsApplied)
 			l.itemsWritten.Add(i, wrote)
@@ -463,7 +504,7 @@ func (l *LSim[V, A, R]) attempt(i int, t *lthread[V, A, R], t0 obs.Stamp, tt obs
 				tr.Instant(i, trace.KindRound, degree, opsApplied)
 			}
 		} else {
-			t.ring.Push(ns)
+			l.rpool.Put(t.blk, ns)
 			l.stats.CASFail.Inc(i)
 			tr.Instant(i, trace.KindCASFail, 0, 0)
 		}
@@ -471,36 +512,34 @@ func (l *LSim[V, A, R]) attempt(i int, t *lthread[V, A, R], t0 obs.Stamp, tt obs
 	}
 }
 
-// record returns a round record to build into: the oldest retired record no
-// reader holds, or a fresh one. A recycled record's new-variable chain is
-// dropped (its items, if any survived, are owned by the object by now).
+// record returns a round record to build into, reissued through the guarded
+// plane (never one a reader still holds). A recycled record's new-variable
+// chain is dropped at reissue — not at Put, when the record may still be
+// hazard-protected (its items, if any survived, are owned by the object by
+// now).
 func (l *LSim[V, A, R]) record(i int, t *lthread[V, A, R]) *lsimState[R] {
 	tr := l.stats.Trace
-	if ns := t.ring.PopFree(l.haz); ns != nil {
-		tr.Instant(i, trace.KindRecycleHit, uint64(t.ring.Len()), 0)
+	ns, fresh := l.rpool.Get(t.blk)
+	if fresh {
+		tr.Rare(i, trace.KindRecycleMiss, uint64(t.blk.Cached()), 0)
+	} else {
+		tr.Instant(i, trace.KindRecycleHit, uint64(t.blk.Cached()), 0)
 		ns.varList.head.next.Store(nil)
-		return ns
 	}
-	tr.Rare(i, trace.KindRecycleMiss, uint64(t.ring.Len()), 0)
-	return &lsimState[R]{
-		applied:  make([]bool, l.n),
-		papplied: make([]bool, l.n),
-		rvals:    make([]R, l.n),
-		brvals:   make([][]R, l.n),
-		varList:  &newList{},
-	}
+	return ns
 }
 
-// body returns an item body for a write-back: a retired one no reader
-// holds, or a fresh allocation.
+// body returns an item body for a write-back, reissued through the guarded
+// plane (never one a reader still holds).
 func (l *LSim[V, A, R]) body(i int, t *lthread[V, A, R]) *itemBody[V] {
 	tr := l.stats.Trace
-	if b := t.iring.PopFree(l.ihaz); b != nil {
-		tr.Instant(i, trace.KindRecycleHit, uint64(t.iring.Len()), 1)
-		return b
+	b, fresh := l.ipool.Get(t.iblk)
+	if fresh {
+		tr.Rare(i, trace.KindRecycleMiss, uint64(t.iblk.Cached()), 1)
+	} else {
+		tr.Instant(i, trace.KindRecycleHit, uint64(t.iblk.Cached()), 1)
 	}
-	tr.Rare(i, trace.KindRecycleMiss, uint64(t.iring.Len()), 1)
-	return new(itemBody[V])
+	return b
 }
 
 // forwardBatchRows carries every process's pending batch-response row from
@@ -593,13 +632,13 @@ func (l *LSim[V, A, R]) writeBack(i int, t *lthread[V, A, R], m *Mem[V, A, R], s
 			nb.toggle = 0
 		}
 		if it.p.CompareAndSwap(body, nb) { // per-item SC
-			t.iring.Push(body) // retire the replaced body
+			l.ipool.Put(t.iblk, body) // retire the replaced body
 			wrote++
 		} else {
 			// A co-helper's SC won (same round) or a later round's did;
 			// either way the item already carries a stamp >= seq. Reuse our
 			// unpublished build.
-			t.iring.Push(nb)
+			l.ipool.Put(t.iblk, nb)
 		}
 		l.count(i, 1)
 	}

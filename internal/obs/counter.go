@@ -51,6 +51,18 @@ func (c *Counter) Add(id int, d uint64) {
 	v.Store(v.Load() + d)
 }
 
+// AddAtomic adds d to slot id with a real atomic RMW, for writers that have
+// no stable process id (e.g. the memory plane's anonymous front, where any
+// goroutine may touch any slot). Costs a LOCK-prefixed add; do not mix with
+// Add on the same slot — the single-writer load+store would lose concurrent
+// RMW updates. No-op on a nil counter.
+func (c *Counter) AddAtomic(id int, d uint64) {
+	if c == nil {
+		return
+	}
+	c.slots[id].V.Add(d)
+}
+
 // Total sums all slots with atomic loads. Safe concurrently with writers;
 // the result is monotone across calls but not a linearizable cut.
 func (c *Counter) Total() uint64 {

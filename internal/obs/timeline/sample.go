@@ -35,6 +35,14 @@
 // series <prefix>, so `map`, `map{shard="0"}` and `ingest{partition="2"}`
 // are scraped side by side and the per-shard breakdown falls out of the
 // labeled-name convention (obs.Labeled) rather than bespoke plumbing.
+//
+// Memory-plane size classes are discovered the same way: every counter
+// alloc_blocks_total{class="C"} (published by alloc.Pool.Register, wired
+// through core.StatsPlane.AttachAllocPool) declares the series
+// alloc{class="C"}, with the plane's families mapped onto the sample
+// columns — Ops = blocks issued, CASSuccess = shared-pool chain handoffs,
+// CASFail = guard-starved Gets, Combined = fresh heap allocations. Alloc
+// series carry no latency histograms, so their latency columns stay zero.
 package timeline
 
 // Kind discriminates log entries.

@@ -132,10 +132,14 @@ type Timeline struct {
 
 // New builds a timeline over reg, resolving its series from the registry's
 // current contents: every counter named <prefix>_ops_total declares the
-// series <prefix> (labeled names included — see the package doc). Metrics
-// registered AFTER New are not scraped, so instrument first. reg may also
-// carry the timeline's own self-metrics (timeline_samples_total,
-// timeline_query_skip_total).
+// series <prefix> (labeled names included — see the package doc), and every
+// memory-plane size class (a counter alloc_blocks_total{class="C"}, see
+// alloc.Pool.Register) declares the series alloc{class="C"} with the plane's
+// families mapped onto the sample columns — Ops carries blocks issued,
+// CASSuccess shared-pool handoffs, CASFail guard starvation, Combined fresh
+// heap allocations. Metrics registered AFTER New are not scraped, so
+// instrument first. reg may also carry the timeline's own self-metrics
+// (timeline_samples_total, timeline_query_skip_total).
 func New(reg *obs.Registry, cfg Config) *Timeline {
 	cfg = cfg.withDefaults()
 	t := &Timeline{cfg: cfg}
@@ -156,6 +160,26 @@ func New(reg *obs.Registry, cfg Config) *Timeline {
 			combined:   reg.LookupCounters(obs.Join(prefix, "_combined_total")),
 			lat:        reg.LookupHistograms(obs.Join(prefix, "_op_latency_ns")),
 			combine:    reg.LookupHistograms(obs.Join(prefix, "_combine_degree")),
+			ring:       make([]Sample, ringCap),
+		}
+		t.series = append(t.series, ss)
+		t.names = append(t.names, prefix)
+	}
+	for _, name := range reg.CounterNames() {
+		base, labels := obs.SplitName(name)
+		if base != "alloc_blocks_total" {
+			continue
+		}
+		prefix := "alloc"
+		if labels != "" {
+			prefix += "{" + labels + "}"
+		}
+		ss := &seriesState{
+			name:       prefix,
+			ops:        reg.LookupCounters(name),
+			casSuccess: reg.LookupCounters(obs.Join(prefix, "_pool_handoff_total")),
+			casFail:    reg.LookupCounters(obs.Join(prefix, "_starved_total")),
+			combined:   reg.LookupCounters(obs.Join(prefix, "_fresh_total")),
 			ring:       make([]Sample, ringCap),
 		}
 		t.series = append(t.series, ss)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/obs"
 )
 
@@ -217,4 +218,62 @@ func TestStartStop(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("background scraper appended no samples within 2s")
+}
+
+// planeBlock is a minimal memory-plane block for the alloc-series tests.
+type planeBlock struct{ next *planeBlock }
+
+// TestAllocSeriesDiscovery checks that a registered memory-plane size class
+// shows up as an alloc{class=...} series and that its families land in the
+// mapped sample columns (Ops = blocks, Combined = fresh).
+func TestAllocSeriesDiscovery(t *testing.T) {
+	reg, _, _ := testRegistry()
+	pool := alloc.NewPool(1, alloc.Config[planeBlock]{
+		New:     func() *planeBlock { return &planeBlock{} },
+		Next:    func(b *planeBlock) *planeBlock { return b.next },
+		SetNext: func(b, nx *planeBlock) { b.next = nx },
+	})
+	pool.Register(reg, "fmul_state")
+	clk := &fakeClock{now: 1}
+	tl := New(reg, Config{Interval: time.Second, Now: clk.Now})
+
+	want := `alloc{class="fmul_state"}`
+	idx := -1
+	for i, name := range tl.SeriesNames() {
+		if name == want {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("series %q not discovered in %v", want, tl.SeriesNames())
+	}
+
+	h := pool.Handle(0)
+	x, fresh := h.Get() // miss: counts one block and one fresh
+	if !fresh {
+		t.Fatal("first Get must be fresh")
+	}
+	h.Put(x)
+	h.Get() // hit: one more block, no fresh
+	clk.Advance(time.Second)
+	tl.Scrape()
+
+	v := tl.Snapshot()
+	evs, _, _ := v.Read(v.LowWater(), v.Len(), nil)
+	var got Sample
+	found := false
+	for _, s := range evs {
+		if s.Kind == KindSample && int(s.Series) == idx {
+			got, found = s, true
+		}
+	}
+	if !found {
+		t.Fatal("no scrape sample for the alloc series")
+	}
+	if got.Ops != 2 {
+		t.Fatalf("Ops (blocks issued) = %d, want 2", got.Ops)
+	}
+	if got.Combined != 1 {
+		t.Fatalf("Combined (fresh allocations) = %d, want 1", got.Combined)
+	}
 }

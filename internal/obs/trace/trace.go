@@ -87,6 +87,16 @@ const (
 	// enqueue batch onto the shared list (A = 1) or an enqueuer spliced on
 	// the fallback path (A = 0).
 	KindSplice
+	// KindAllocHandoff is a memory-plane chain exchange through the shared
+	// pool: A = 0 for a take, 1 for a give, 2 for a drop to the GC (pool
+	// full — the allocator's space bound at work). B = the chain length.
+	// Recorded in the shared ring (handles outnumber process ids). Always
+	// recorded — handoffs happen once per B block operations.
+	KindAllocHandoff
+	// KindAllocStarved is a guarded allocation that found every candidate
+	// block hazard-protected and fell back to a fresh allocation. A = blocks
+	// probed. Recorded in the shared ring. Always recorded.
+	KindAllocStarved
 )
 
 // String returns the event kind's export name.
@@ -108,6 +118,10 @@ func (k Kind) String() string {
 		return "hazard_overflow"
 	case KindSplice:
 		return "splice"
+	case KindAllocHandoff:
+		return "alloc_handoff"
+	case KindAllocStarved:
+		return "alloc_starved"
 	}
 	return "unknown"
 }
@@ -126,6 +140,10 @@ func (k Kind) argNames() (a, b, c string) {
 		return "resident", "", ""
 	case KindSplice:
 		return "helper", "", ""
+	case KindAllocHandoff:
+		return "dir", "chain", ""
+	case KindAllocStarved:
+		return "probed", "", ""
 	}
 	return "", "", ""
 }

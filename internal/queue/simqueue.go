@@ -3,6 +3,7 @@ package queue
 import (
 	"sync/atomic"
 
+	"repro/internal/alloc"
 	"repro/internal/backoff"
 	"repro/internal/collect"
 	"repro/internal/core"
@@ -40,14 +41,22 @@ import (
 // collect/batch.go, which also covers enqueue box revalidation failures).
 //
 // Memory discipline: like core.PSim, state records publish via CAS on an
-// atomic pointer, and the hot path recycles them — each thread keeps a ring
-// of retired EnqState/DeqState records guarded by hazard slots (see
-// internal/core/recycle.go), and failed combining rounds return their
-// private node lists to a thread-local free-list instead of dropping them.
-// Queue nodes that were PUBLISHED are never recycled when n > 1 (a stalled
-// combiner may still traverse them); single-thread instances also recycle
-// consumed nodes — whole chains at a time through the spare slot — making
-// the enqueue+dequeue pair allocation-free in steady state.
+// atomic pointer, and the hot path recycles them through the unified memory
+// plane (internal/alloc). Retired EnqState/DeqState records go to per-thread
+// two-stack handles and are reissued through alloc.Typed over the end's
+// hazard table, so a record a stalled combiner still reads is never reused
+// (see internal/core/recycle.go); chains of records move through a bounded
+// shared pool when the thread that retires is not the thread that reuses
+// (the CAS winner retires the record some OTHER thread published, so record
+// ownership migrates constantly). Queue nodes live in a second pool with one
+// handle per (end, process): failed combining rounds return their private
+// node lists to the enqueue-side handle, and single-thread instances also
+// recycle consumed nodes — the dequeue-side handle's chains flow back to the
+// enqueue side through the pool's shared slots, making the enqueue+dequeue
+// pair allocation-free in steady state. Nodes that were PUBLISHED are never
+// recycled when n > 1 (a stalled combiner may still traverse them). Beyond
+// the plane's O(threads × cache) bound, retired blocks are dropped to the
+// GC — the Blelloch–Wei space guarantee.
 //
 // Progress: as in core.PSim, everything up to the Observation-3.2 fallback
 // is bounded, but the fallback's hazard-protected read retries only when a
@@ -68,10 +77,13 @@ type SimQueue[V any] struct {
 	deqP      atomic.Pointer[deqState[V]]
 	deqHaz    *core.Hazards[deqState[V]]
 
-	// spare hands consumed node chains from the dequeue end back to the
-	// enqueue end when n == 1 (single-slot exchange: Store overwrites, Swap
-	// takes; chain links ride the nodes' next pointers).
-	spare atomic.Pointer[qnode[V]]
+	// The memory plane (internal/alloc): one guarded pool per record type and
+	// one node pool shared by both ends — enqueuers own node handles [0,n),
+	// dequeuers [n,2n), so consumed chains flow dequeue→enqueue through the
+	// pool's shared slots (replacing the old spare-slot exchange at n == 1).
+	estate *alloc.Typed[enqState[V]]
+	dstate *alloc.Typed[deqState[V]]
+	nodes  *alloc.Pool[qnode[V]]
 
 	enqThreads []sqThread[V]
 	deqThreads []sqThread[V]
@@ -90,8 +102,8 @@ type SimQueue[V any] struct {
 const batchBudget = 64
 
 // qnode is a queue node; next is written once with CAS when the node's
-// batch is spliced onto the shared list (and doubles as the free-list link
-// while the node is retired).
+// batch is spliced onto the shared list (and doubles as the memory plane's
+// free-chain link while the node is retired).
 type qnode[V any] struct {
 	v    V
 	next atomic.Pointer[qnode[V]]
@@ -99,20 +111,22 @@ type qnode[V any] struct {
 
 // enqState is the enqueuers' State record (struct EnqState of Algorithm 4).
 type enqState[V any] struct {
-	applied xatomic.Snapshot
-	oldTail *qnode[V] // tail of the queue when this batch was built
-	lfirst  *qnode[V] // first node of this batch's private list (nil: none)
-	newTail *qnode[V] // last node of this batch — the tail after splicing
+	applied  xatomic.Snapshot
+	oldTail  *qnode[V]    // tail of the queue when this batch was built
+	lfirst   *qnode[V]    // first node of this batch's private list (nil: none)
+	newTail  *qnode[V]    // last node of this batch — the tail after splicing
+	nextFree *enqState[V] // memory-plane chain link; unused while live
 }
 
 // deqState is the dequeuers' State record (struct DeqState of Algorithm 4).
 // brvals[k] holds process k's batch responses when its last served count was
 // more than one (single dequeues answer through rvals[k] alone).
 type deqState[V any] struct {
-	applied xatomic.Snapshot
-	head    *qnode[V] // node whose next pointer is the queue front
-	rvals   []deqRes[V]
-	brvals  [][]deqRes[V]
+	applied  xatomic.Snapshot
+	head     *qnode[V] // node whose next pointer is the queue front
+	rvals    []deqRes[V]
+	brvals   [][]deqRes[V]
+	nextFree *deqState[V] // memory-plane chain link; unused while live
 }
 
 type deqRes[V any] struct {
@@ -125,10 +139,10 @@ type sqThread[V any] struct {
 	bo      *backoff.Adaptive
 	active  xatomic.Snapshot
 	diffs   xatomic.Snapshot
-	ering   *core.Ring[enqState[V]] // retired EnqState records (enq threads)
-	dring   *core.Ring[deqState[V]] // retired DeqState records (deq threads)
-	free    *qnode[V]               // node free-list, linked through next
-	lastCnt uint64                  // last announced dequeue count (deq threads)
+	eblk    *alloc.Handle[enqState[V]] // record cache (enq threads)
+	dblk    *alloc.Handle[deqState[V]] // record cache (deq threads)
+	nblk    *alloc.Handle[qnode[V]]    // node cache (both ends, disjoint ids)
+	lastCnt uint64                     // last announced dequeue count (deq threads)
 	inited  bool
 }
 
@@ -165,6 +179,48 @@ func NewSimQueue[V any](n int) *SimQueue[V] {
 		rvals:   make([]deqRes[V], n),
 		brvals:  make([][]deqRes[V], n),
 	})
+	// Memory plane: record pools carry cache 2(n+1) per thread (the old rings
+	// held 2n+2) and reissue through the end's hazard table; records are NOT
+	// reset at Put — a retired record may still be hazard-protected, so it may
+	// only be mutated at reissue, after the guard probe clears it.
+	q.estate = alloc.NewTyped(alloc.NewPool(n, alloc.Config[enqState[V]]{
+		New:     func() *enqState[V] { return &enqState[V]{applied: xatomic.NewSnapshot(n)} },
+		Next:    func(s *enqState[V]) *enqState[V] { return s.nextFree },
+		SetNext: func(s, nx *enqState[V]) { s.nextFree = nx },
+		Chain:   n + 1,
+		Slots:   n,
+	}), q.enqHaz)
+	q.dstate = alloc.NewTyped(alloc.NewPool(n, alloc.Config[deqState[V]]{
+		New: func() *deqState[V] {
+			return &deqState[V]{
+				applied: xatomic.NewSnapshot(n),
+				rvals:   make([]deqRes[V], n),
+				brvals:  make([][]deqRes[V], n),
+			}
+		},
+		Next:    func(s *deqState[V]) *deqState[V] { return s.nextFree },
+		SetNext: func(s, nx *deqState[V]) { s.nextFree = nx },
+		Chain:   n + 1,
+		Slots:   n,
+	}), q.deqHaz)
+	// Nodes need no guard (reissue is governed by reachability, not hazards:
+	// only never-published or provably unreachable nodes are ever Put). Reset
+	// clears the value so parked nodes do not retain references.
+	nodeSlots := 4
+	if n > nodeSlots {
+		nodeSlots = n
+	}
+	q.nodes = alloc.NewPool(2*n, alloc.Config[qnode[V]]{
+		New:     func() *qnode[V] { return &qnode[V]{} },
+		Next:    func(nd *qnode[V]) *qnode[V] { return nd.next.Load() },
+		SetNext: func(nd, nx *qnode[V]) { nd.next.Store(nx) },
+		Reset:   func(nd *qnode[V]) { var zero V; nd.v = zero },
+		Chain:   16,
+		Slots:   nodeSlots,
+	})
+	q.enqStats.AttachAllocPool("enq_state", q.estate.Pool())
+	q.enqStats.AttachAllocPool("node", q.nodes)
+	q.deqStats.AttachAllocPool("deq_state", q.dstate.Pool())
 	return q
 }
 
@@ -185,6 +241,9 @@ func (q *SimQueue[V]) SetRecorder(rec *obs.SimRecorder) { q.rec = rec }
 func (q *SimQueue[V]) SetTracer(tr *trace.Tracer) {
 	q.enqStats.Trace = tr
 	q.deqStats.Trace = tr
+	q.estate.Pool().SetTracer(tr)
+	q.dstate.Pool().SetTracer(tr)
+	q.nodes.SetTracer(tr)
 }
 
 // Instrument publishes the queue in reg under prefix: both ends' exact
@@ -218,44 +277,33 @@ func (q *SimQueue[V]) thread(ts []sqThread[V], act *xatomic.SharedBits, i int) *
 		t.active = xatomic.NewSnapshot(q.n)
 		t.diffs = xatomic.NewSnapshot(q.n)
 		if &ts[0] == &q.enqThreads[0] {
-			t.ering = core.NewRing[enqState[V]](2*q.n + 2)
+			t.eblk = q.estate.Pool().Handle(i)
+			t.nblk = q.nodes.Handle(i)
 		} else {
-			t.dring = core.NewRing[deqState[V]](2*q.n + 2)
+			t.dblk = q.dstate.Pool().Handle(i)
+			t.nblk = q.nodes.Handle(q.n + i)
 		}
 		t.inited = true
 	}
 	return t
 }
 
-// node returns a queue node holding v: from the thread's free-list, from the
-// cross-end spare slot (n == 1 only; a returned chain's tail joins the
-// free-list), or freshly allocated.
+// node returns a queue node holding v from the thread's plane handle: its
+// cached blocks, a chain taken from the pool's shared slots (how dequeue-side
+// chains come back at n == 1), or a fresh allocation.
 func (q *SimQueue[V]) node(t *sqThread[V], v V) *qnode[V] {
-	nd := t.free
-	if nd != nil {
-		t.free = nd.next.Load()
-		nd.next.Store(nil)
-	} else if q.n == 1 {
-		if nd = q.spare.Swap(nil); nd != nil {
-			t.free = nd.next.Load()
-			nd.next.Store(nil)
-		}
-	}
-	if nd == nil {
-		nd = &qnode[V]{}
-	}
+	nd, _ := t.nblk.Get() // Get clears the link; Reset cleared the value
 	nd.v = v
 	return nd
 }
 
 // freeNodes returns the private list first..last (never published — its CAS
-// lost) to the thread's free-list.
+// lost) to the thread's plane handle.
 func (t *sqThread[V]) freeNodes(first, last *qnode[V]) {
 	for nd := first; ; {
-		nx := nd.next.Load()
+		nx := nd.next.Load() // Put overwrites the link: read it first
 		end := nd == last
-		nd.next.Store(t.free)
-		t.free = nd
+		t.nblk.Put(nd)
 		if end {
 			return
 		}
@@ -264,31 +312,30 @@ func (t *sqThread[V]) freeNodes(first, last *qnode[V]) {
 }
 
 // enqRecord returns an EnqState record for process id to build the next
-// batch into.
+// batch into, reissued through the guarded plane (never one a stalled
+// combiner still reads).
 func (q *SimQueue[V]) enqRecord(id int, t *sqThread[V]) *enqState[V] {
+	ns, fresh := q.estate.Get(t.eblk)
 	tr := q.enqStats.Trace
-	if ns := t.ering.PopFree(q.enqHaz); ns != nil {
-		tr.Instant(id, trace.KindRecycleHit, uint64(t.ering.Len()), 0)
-		return ns
+	if fresh {
+		tr.Rare(id, trace.KindRecycleMiss, uint64(t.eblk.Cached()), 0)
+	} else {
+		tr.Instant(id, trace.KindRecycleHit, uint64(t.eblk.Cached()), 0)
 	}
-	tr.Rare(id, trace.KindRecycleMiss, uint64(t.ering.Len()), 0)
-	return &enqState[V]{applied: xatomic.NewSnapshot(q.n)}
+	return ns
 }
 
 // deqRecord returns a DeqState record for process id to build the next
-// batch into.
+// batch into, reissued through the guarded plane.
 func (q *SimQueue[V]) deqRecord(id int, t *sqThread[V]) *deqState[V] {
+	ns, fresh := q.dstate.Get(t.dblk)
 	tr := q.deqStats.Trace
-	if ns := t.dring.PopFree(q.deqHaz); ns != nil {
-		tr.Instant(id, trace.KindRecycleHit, uint64(t.dring.Len()), 0)
-		return ns
+	if fresh {
+		tr.Rare(id, trace.KindRecycleMiss, uint64(t.dblk.Cached()), 0)
+	} else {
+		tr.Instant(id, trace.KindRecycleHit, uint64(t.dblk.Cached()), 0)
 	}
-	tr.Rare(id, trace.KindRecycleMiss, uint64(t.dring.Len()), 0)
-	return &deqState[V]{
-		applied: xatomic.NewSnapshot(q.n),
-		rvals:   make([]deqRes[V], q.n),
-		brvals:  make([][]deqRes[V], q.n),
-	}
+	return ns
 }
 
 // splice links batch es onto the shared queue if not already done
@@ -388,7 +435,7 @@ func (q *SimQueue[V]) enqueueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 
 		// lines 12–27: build the private list — own vector first (lines
 		// 13–17), then every value of every remaining announced vector in
-		// diffs. Nodes come from the free-list of previously failed rounds.
+		// diffs. Nodes come from the plane handle (refilled by failed rounds).
 		own := q.enqAnnounce.OwnVec(id)
 		first := q.node(t, own[0])
 		last := first
@@ -445,8 +492,8 @@ func (q *SimQueue[V]) enqueueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 			// line 36: link our own batch. Splice from the locals — once
 			// published, ns may be retired and recycled by a later winner.
 			oldTail.next.CompareAndSwap(nil, first)
-			t.ering.Push(ls)   // retire the replaced record for reuse
-			q.enqHaz.Clear(id) // unpin ls so its ring slot can recycle it
+			q.enqHaz.Clear(id)       // unpin ls before retiring it
+			q.estate.Put(t.eblk, ls) // retire the replaced record for reuse
 			st.Ops.Add(id, um)
 			st.CASSuccess.Inc(id)
 			st.Combined.Add(id, ops)
@@ -463,7 +510,7 @@ func (q *SimQueue[V]) enqueueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 			return
 		}
 		t.freeNodes(first, last) // the list was never published: reuse it
-		t.ering.Push(ns)         // likewise the record
+		q.estate.Put(t.eblk, ns) // likewise the record
 		st.CASFail.Inc(id)
 		tr.Instant(id, trace.KindCASFail, uint64(j), 0)
 		if j == 0 {
@@ -487,10 +534,11 @@ func (q *SimQueue[V]) enqueueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 
 // enqueueSolo is Enqueue for n == 1: no helper can exist, so skip announce,
 // toggle, backoff, and CAS (process 0's enqueuer is the sole writer of
-// enqP). Records rotate through the ring and nodes through the free-list /
-// spare slot, so the steady-state path allocates nothing.
+// enqP). Records rotate through the plane's record cache and nodes through
+// its node pool (consumed chains flow back from the dequeue-side handle via
+// the pool's shared slots), so the steady-state path allocates nothing.
 func (q *SimQueue[V]) enqueueSolo(t *sqThread[V], t0, tt obs.Stamp, v V) {
-	ls := q.enqP.Load() // current record: never in the ring, safe to read
+	ls := q.enqP.Load() // current record: never retired, safe to read
 	nd := q.node(t, v)
 	ns := q.enqRecord(0, t)
 	ns.applied.CopyFrom(ls.applied)
@@ -501,7 +549,7 @@ func (q *SimQueue[V]) enqueueSolo(t *sqThread[V], t0, tt obs.Stamp, v V) {
 	// Splice before returning; prior batches were spliced by their own
 	// enqueues, so the tail's next is nil until this CAS.
 	ns.oldTail.next.CompareAndSwap(nil, nd)
-	t.ering.Push(ls)
+	q.estate.Put(t.eblk, ls)
 	st := q.enqStats
 	st.Ops.Inc(0)
 	st.CASSuccess.Inc(0)
@@ -528,7 +576,7 @@ func (q *SimQueue[V]) enqueueSoloBatch(t *sqThread[V], t0, tt obs.Stamp, vals []
 	ns.newTail = last
 	q.enqP.Store(ns)
 	ns.oldTail.next.CompareAndSwap(nil, first)
-	t.ering.Push(ls)
+	q.estate.Put(t.eblk, ls)
 	m := uint64(len(vals))
 	st := q.enqStats
 	st.Ops.Add(0, m)
@@ -725,8 +773,8 @@ func (q *SimQueue[V]) dequeueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 		}
 		core.SchedYield(id, core.PointCAS)
 		if q.deqP.CompareAndSwap(ls, ns) { // line 67
-			t.dring.Push(ls)
-			q.deqHaz.Clear(id) // unpin ls so its ring slot can recycle it
+			q.deqHaz.Clear(id) // unpin ls before retiring it
+			q.dstate.Put(t.dblk, ls)
 			st.Ops.Add(id, um)
 			st.CASSuccess.Inc(id)
 			st.Combined.Add(id, ops)
@@ -741,8 +789,8 @@ func (q *SimQueue[V]) dequeueAnnounced(id int, t *sqThread[V], t0, tt obs.Stamp,
 			}
 			return r, out
 		}
-		out = out[:base] // speculative copies die with the failed round
-		t.dring.Push(ns) // never published — immediately reusable
+		out = out[:base]         // speculative copies die with the failed round
+		q.dstate.Put(t.dblk, ns) // never published — immediately reusable
 		st.CASFail.Inc(id)
 		tr.Instant(id, trace.KindCASFail, uint64(j), 0)
 		if j == 0 {
@@ -780,8 +828,9 @@ func appendHits[V any](out []V, row []deqRes[V]) []V {
 	return out
 }
 
-// dequeueSolo is Dequeue for n == 1. Consumed nodes are handed back to the
-// enqueue end through the spare slot — nodes strictly before the head are
+// dequeueSolo is Dequeue for n == 1. Consumed nodes retire into the
+// dequeue-side plane handle, whose full chains flow back to the enqueue end
+// through the pool's shared slots — nodes strictly before the head are
 // unreachable from every record still in use, and with one process per end
 // no stalled combiner can be traversing them.
 func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0, tt obs.Stamp, m int, _ []V) deqRes[V] {
@@ -801,14 +850,11 @@ func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0, tt obs.Stamp, m int, _ []V
 	}
 	r := ns.rvals[0]
 	q.deqP.Store(ns)
-	t.dring.Push(ls)
+	q.dstate.Put(t.dblk, ls)
 	if next != nil {
-		// head was consumed: recycle it. Clear the value so recycled nodes
-		// do not retain references, and the link so a splice CAS can hit it.
-		var zero V
-		head.v = zero
-		head.next.Store(nil)
-		q.spare.Store(head)
+		// head was consumed: recycle it (Put's Reset clears the value, and
+		// Get clears the link before reuse so a splice CAS can hit it).
+		t.nblk.Put(head)
 	}
 	st := q.deqStats
 	st.Ops.Inc(0)
@@ -820,9 +866,9 @@ func (q *SimQueue[V]) dequeueSolo(t *sqThread[V], t0, tt obs.Stamp, m int, _ []V
 }
 
 // dequeueSoloBatch is DequeueBatch for n == 1: up to m front values are
-// consumed in one record rotation and the whole consumed node chain is
-// handed back through the spare slot with its links intact, so batched
-// pair workloads stay allocation-free.
+// consumed in one record rotation and every consumed node retires into the
+// dequeue-side plane handle, so batched pair workloads stay
+// allocation-free.
 func (q *SimQueue[V]) dequeueSoloBatch(t *sqThread[V], t0, tt obs.Stamp, m int, out []V) []V {
 	ls := q.deqP.Load()
 	head := ls.head
@@ -848,18 +894,13 @@ func (q *SimQueue[V]) dequeueSoloBatch(t *sqThread[V], t0, tt obs.Stamp, m int, 
 		ns.rvals[0] = deqRes[V]{}
 	}
 	q.deqP.Store(ns)
-	t.dring.Push(ls)
-	if got > 0 {
-		// Nodes head..(node before newHead) were consumed: clear their
-		// values, cut the link into the live list, and hand the chain back.
-		var zero V
-		last := head
-		for nd := head; nd != newHead; nd = nd.next.Load() {
-			nd.v = zero
-			last = nd
-		}
-		last.next.Store(nil)
-		q.spare.Store(head)
+	q.dstate.Put(t.dblk, ls)
+	// Nodes head..(node before newHead) were consumed: retire each (Put's
+	// Reset clears values; read the link before Put overwrites it).
+	for nd := head; nd != newHead; {
+		nx := nd.next.Load()
+		t.nblk.Put(nd)
+		nd = nx
 	}
 	st := q.deqStats
 	st.Ops.Add(0, uint64(m))

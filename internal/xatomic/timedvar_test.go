@@ -1,0 +1,138 @@
+package xatomic
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTimedVarLLSCBasics pins the shared protocol on both implementations:
+// SC succeeds from a current tag, fails after an intervening SC, and Load
+// observes the installed pair.
+func TestTimedVarLLSCBasics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		v    TimedVar
+	}{
+		{"TimedWord", new(TimedWord)},
+		{"TimedSafe", new(TimedSafe)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			v := tc.v
+			v.Store(3, 10)
+			i, s, tag := v.LL()
+			if i != 3 || s != 10 {
+				t.Fatalf("LL = (%d, %d), want (3, 10)", i, s)
+			}
+			if !v.SC(tag, 4, 11) {
+				t.Fatalf("SC from a current tag must succeed")
+			}
+			if i, s = v.Load(); i != 4 || s != 11 {
+				t.Fatalf("Load = (%d, %d), want (4, 11)", i, s)
+			}
+			if v.SC(tag, 5, 12) {
+				t.Fatalf("SC from a superseded tag must fail")
+			}
+			// Fresh LL/SC after the stale failure still works.
+			_, s, tag = v.LL()
+			if !v.SC(tag, 6, s+1) {
+				t.Fatalf("fresh SC must succeed")
+			}
+		})
+	}
+}
+
+// TestTimedVarStampWrapABA is the deterministic wrap-forcing test: advance
+// the stamp by exactly 2^48 so the packed word RECURS, and check the two
+// implementations split exactly as documented — the paper-exact TimedWord
+// reopens the ABA window (the stale SC succeeds: value equality cannot tell
+// the recurrence apart), while the atomic-copy TimedSafe rejects it (cell
+// identity survives any value recurrence).
+func TestTimedVarStampWrapABA(t *testing.T) {
+	const (
+		idx   = uint16(1)
+		stamp = uint64(5)
+	)
+	wrapped := stamp + (TimedStampMax + 1) // ≡ stamp mod 2^48: same packed word
+
+	t.Run("TimedWord-reopens", func(t *testing.T) {
+		v := new(TimedWord)
+		v.Store(idx, stamp)
+		_, _, tag := v.LL() // stale observer stalls here
+		v.Store(2, 6)       // the variable moves on...
+		v.Store(idx, wrapped)
+		if i, s := v.Load(); i != idx || s != stamp {
+			t.Fatalf("wrap setup broken: Load = (%d, %d), want (%d, %d) — stamp must wrap silently", i, s, idx, stamp)
+		}
+		if !v.SC(tag, 7, 9) {
+			t.Fatalf("TimedWord stale SC must SUCCEED after an exact 2^48 recurrence (the documented wrap bound)")
+		}
+	})
+
+	t.Run("TimedSafe-immune", func(t *testing.T) {
+		v := new(TimedSafe)
+		v.Store(idx, stamp)
+		_, _, tag := v.LL()
+		v.Store(2, 6)
+		v.Store(idx, wrapped)
+		if v.SC(tag, 7, 9) {
+			t.Fatalf("TimedSafe stale SC must FAIL: value recurrence cannot forge cell identity")
+		}
+		// And the variable is undamaged: a fresh LL/SC still works.
+		i, s, tag := v.LL()
+		if i != idx || s != wrapped {
+			t.Fatalf("Load after failed stale SC = (%d, %d), want (%d, %d)", i, s, idx, wrapped)
+		}
+		if !v.SC(tag, 8, s+1) {
+			t.Fatalf("fresh SC must succeed after the rejected stale SC")
+		}
+	})
+}
+
+// TestNewTimedVarSelection pins the init-time choice: packed word below the
+// wrap bound, atomic-copy cells at or above it.
+func TestNewTimedVarSelection(t *testing.T) {
+	if _, ok := NewTimedVar(1 << 20).(*TimedWord); !ok {
+		t.Fatalf("small horizon must select the paper-exact TimedWord")
+	}
+	if _, ok := NewTimedVar(TimedStampMax).(*TimedSafe); !ok {
+		t.Fatalf("horizon at the wrap bound must select the wrap-safe TimedSafe")
+	}
+	if _, ok := NewTimedVar(1 << 63).(*TimedSafe); !ok {
+		t.Fatalf("huge horizon must select the wrap-safe TimedSafe")
+	}
+}
+
+// TestTimedSafeLLSCStress exercises the wrap-safe path under -race: many
+// goroutines race LL/SC increments; exactly one SC per generation wins, so
+// the final stamp equals the global success count.
+func TestTimedSafeLLSCStress(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 3000
+	)
+	v := new(TimedSafe)
+	v.Store(0, 0)
+	var wins atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				idx, s, tag := v.LL()
+				if v.SC(tag, idx+1, s+1) {
+					wins.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	_, s := v.Load()
+	if s != wins.Load() {
+		t.Fatalf("final stamp %d != successful SCs %d: a stale SC slipped through", s, wins.Load())
+	}
+	if wins.Load() == 0 {
+		t.Fatalf("no SC ever succeeded")
+	}
+}
